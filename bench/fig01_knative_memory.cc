@@ -1,0 +1,64 @@
+// Figure 1: committed memory under Knative autoscaling vs. memory of VMs
+// actively serving requests, while replaying a 100-function Azure Functions
+// trace sample for 20 minutes. Paper result: Knative commits ~16x more
+// memory on average than the active set needs.
+//
+// Substrate: synthesized Azure-like trace (heavy-tailed popularity, spiky
+// arrivals) sampled with the InVitro-style sampler, replayed against the
+// calibrated Knative+Firecracker node model (see DESIGN.md).
+#include <cstdio>
+
+#include "src/base/string_util.h"
+#include "src/benchutil/table.h"
+#include "src/sim/platform_models.h"
+#include "src/trace/azure_trace.h"
+#include "src/trace/sampler.h"
+
+int main() {
+  dbench::PrintHeader(
+      "Figure 1: Azure trace, committed memory w/ Knative autoscaling vs. active VMs");
+
+  // Synthesize a larger population, then sample 100 functions like the
+  // paper does with InVitro.
+  dtrace::AzureTraceConfig trace_config;
+  trace_config.num_functions = 400;
+  trace_config.duration_minutes = 20;
+  trace_config.seed = 0xA27BA5E;
+  const dtrace::Trace population = dtrace::SynthesizeAzureTrace(trace_config);
+
+  dtrace::SamplerConfig sampler_config;
+  sampler_config.target_functions = 100;
+  const dtrace::Trace trace = dtrace::SampleTrace(population, sampler_config);
+
+  dsim::TraceSimConfig sim_config;
+  const auto metrics = dsim::SimulateKnativeFirecrackerTrace(sim_config, trace, /*seed=*/1);
+
+  const dbase::Micros window =
+      static_cast<dbase::Micros>(trace.duration_minutes) * 60 * dbase::kMicrosPerSecond;
+
+  // Timeline resampled every 30 s, like the figure's x-axis.
+  dbench::Table timeline({"time_s", "committed_mb_knative", "active_mb"});
+  const auto committed = metrics.committed_mb.ResampleStep(30 * dbase::kMicrosPerSecond);
+  const auto active = metrics.active_mb.ResampleStep(30 * dbase::kMicrosPerSecond);
+  for (size_t i = 0; i < committed.size(); ++i) {
+    const double active_value = i < active.size() ? active[i].value : 0.0;
+    timeline.AddRow({dbench::Table::Num(dbase::MicrosToSeconds(committed[i].time_us), 0),
+                     dbench::Table::Num(committed[i].value, 1),
+                     dbench::Table::Num(active_value, 1)});
+  }
+  timeline.Print();
+
+  const double committed_avg = metrics.committed_mb.TimeWeightedAverage(window);
+  const double active_avg = metrics.active_mb.TimeWeightedAverage(window);
+  dbench::Table summary({"metric", "value"});
+  summary.AddRow({"invocations", std::to_string(metrics.completed)});
+  summary.AddRow({"committed MB (avg, dotted red line)", dbench::Table::Num(committed_avg, 1)});
+  summary.AddRow({"active MB (avg, dotted blue line)", dbench::Table::Num(active_avg, 1)});
+  summary.AddRow({"committed / active ratio", dbench::Table::Num(committed_avg / active_avg, 1)});
+  summary.AddRow({"cold-start fraction", dbench::Table::Num(metrics.ColdFraction() * 100, 1) + "%"});
+  summary.Print();
+
+  dbench::PrintNote("paper: committed ~16x the actively-used memory on average; ~3.3% of"
+                    " invocations are cold under Knative autoscaling");
+  return 0;
+}

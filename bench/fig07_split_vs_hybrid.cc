@@ -1,0 +1,80 @@
+// Figure 7: separating compute and communication (Dandelion) vs. running
+// compositions as single hybrid functions (D-hybrid) with various
+// threads-per-core (tpc) settings, for a compute-intensive workload
+// (128x128 matmul) and an I/O-intensive one (fetch-and-compute).
+// Paper result: the best hybrid concurrency differs per workload (tpc=1
+// pinned for matmul, tpc=5 unpinned for fetch-and-compute), while
+// Dandelion's split + PI controller is best for both.
+#include <cstdio>
+#include <vector>
+
+#include "src/benchutil/table.h"
+#include "src/sim/calibration.h"
+#include "src/sim/platform_models.h"
+#include "src/sim/workload.h"
+
+namespace {
+
+using dsim::Calibration;
+
+std::string P99Cell(const dsim::SimMetrics& metrics) {
+  const double p99 = metrics.latency_ms.Percentile(99);
+  return p99 > 2000.0 ? ">2000" : dbench::Table::Num(p99, 2);
+}
+
+void RunWorkload(const char* title, const dsim::AppShape& shape,
+                 const std::vector<double>& rps_points, uint64_t seed) {
+  dbench::PrintHeader(title);
+  constexpr int kCores = 16;
+  const dbase::Micros duration = 4 * dbase::kMicrosPerSecond;
+
+  dbench::Table table({"RPS", "Dandelion", "D-hybrid tpc=1,pin", "D-hybrid tpc=3",
+                       "D-hybrid tpc=4", "D-hybrid tpc=5"});
+  for (double rps : rps_points) {
+    const auto requests =
+        dsim::PoissonStream(shape, rps, duration, seed + static_cast<uint64_t>(rps));
+    std::vector<std::string> row = {dbench::Table::Num(rps, 0)};
+
+    dsim::DandelionSimConfig dandelion;
+    dandelion.cores = kCores;
+    dandelion.sandbox_us = Calibration::kDandelionKvmUs;
+    dandelion.enable_controller = true;
+    row.push_back(P99Cell(dsim::SimulateDandelion(dandelion, requests)));
+
+    struct Hybrid {
+      int tpc;
+      bool pinned;
+    };
+    for (Hybrid hybrid : {Hybrid{1, true}, Hybrid{3, false}, Hybrid{4, false}, Hybrid{5, false}}) {
+      dsim::DHybridSimConfig config;
+      config.cores = kCores;
+      config.threads_per_core = hybrid.tpc;
+      config.pinned = hybrid.pinned;
+      config.sandbox_us = Calibration::kDandelionKvmUs;
+      row.push_back(P99Cell(dsim::SimulateDHybrid(config, requests)));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main() {
+  dsim::AppShape matmul;
+  matmul.compute_us = Calibration::kMatmul128Us;
+  matmul.compute_jitter = 0.03;
+  RunWorkload("Figure 7 (top): matrix multiplication, p99 [ms] vs RPS", matmul,
+              {250, 500, 1000, 1500, 2000, 2500, 3000, 3500}, 0xF17A);
+
+  dsim::AppShape fetch;
+  fetch.compute_us = Calibration::kPhaseComputeUs;
+  fetch.comm_us = 4000;  // Remote fetch dominates the phase.
+  fetch.compute_jitter = 0.03;
+  RunWorkload("Figure 7 (bottom): fetch and compute, p99 [ms] vs RPS", fetch,
+              {500, 1000, 2000, 3000, 4000, 6000, 8000, 10000, 12000}, 0xF17B);
+
+  dbench::PrintNote("paper: matmul peaks with tpc=1 pinned, fetch-and-compute with tpc=5"
+                    " unpinned; no single hybrid setting wins both, Dandelion's split does");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Figure 9: Star Schema Benchmark queries — latency and cost on Dandelion
+// (real execution: this repository's columnar engine running as parallel
+// sandboxed compute functions over a simulated S3) vs. AWS Athena (cost/
+// latency model: per-query planning overhead + per-byte scan pricing).
+// Paper result: ~40% lower latency and ~67% lower cost for short queries.
+//
+// Our dataset is scaled down from the paper's ~700 MB; the table reports
+// both the measured numbers at this scale and the 700 MB-equivalent
+// projection (linear scan scaling), which is what the paper's bars show.
+#include <cstdio>
+#include <vector>
+
+#include "src/apps/ssb_app.h"
+#include "src/base/clock.h"
+#include "src/base/string_util.h"
+#include "src/benchutil/table.h"
+#include "src/runtime/platform.h"
+#include "src/sql/ssb_queries.h"
+
+namespace {
+
+// Athena model: queuing excluded (like the paper), planning/startup
+// overhead + scan at an effective rate, billed per byte scanned.
+constexpr double kAthenaOverheadMs = 1900.0;
+constexpr double kAthenaScanMbPerSec = 550.0;
+constexpr double kAthenaUsdPerTb = 5.0;
+
+// Dandelion's cost model: EC2 m7a.8xlarge on-demand (the paper's host),
+// billed for the query's wall time.
+constexpr double kEc2UsdPerHour = 1.8514;
+
+constexpr double kTargetMb = 700.0;  // The paper's input size.
+
+}  // namespace
+
+int main() {
+  dbench::PrintHeader("Figure 9: SSB query latency and cost, Dandelion vs Athena (700MB-equiv)");
+
+  constexpr int kWorkers = 16;
+  constexpr int kPaperCores = 32;  // m7a.8xlarge vCPUs in the paper.
+
+  dandelion::PlatformConfig platform_config;
+  platform_config.num_workers = kWorkers;
+  platform_config.initial_comm_workers = 2;
+  platform_config.backend = dandelion::IsolationBackend::kThread;
+  platform_config.enable_control_plane = true;
+  dandelion::Platform platform(platform_config);
+
+  dapps::SsbAppConfig app_config;
+  app_config.data.lineorder_rows = 150000;
+  app_config.data.customer_rows = 1500;
+  app_config.data.supplier_rows = 500;
+  app_config.data.part_rows = 1000;
+  app_config.partitions = 14;
+  auto handle = dapps::InstallSsbApp(platform, app_config);
+  if (!handle.ok()) {
+    std::fprintf(stderr, "install: %s\n", handle.status().ToString().c_str());
+    return 1;
+  }
+  const double dataset_mb = static_cast<double>(handle->stored_bytes) / (1024.0 * 1024.0);
+
+  // A second platform with a ~2% dataset isolates the data-independent
+  // overhead (composition dispatch, sandbox creation, S3 round-trips) from
+  // the scan work, so the 700 MB projection only scales the scan part.
+  dandelion::Platform tiny_platform(platform_config);
+  dapps::SsbAppConfig tiny_config = app_config;
+  tiny_config.data.lineorder_rows = 3000;
+  auto tiny_handle = dapps::InstallSsbApp(tiny_platform, tiny_config);
+  if (!tiny_handle.ok()) {
+    std::fprintf(stderr, "tiny install: %s\n", tiny_handle.status().ToString().c_str());
+    return 1;
+  }
+
+  dbench::Table table({"query", "D measured [ms]", "D fixed [ms]", "D @700MB [ms]",
+                       "Athena @700MB [ms]", "D cost [c]", "Athena cost [c]"});
+
+  double d_latency_sum = 0;
+  double athena_latency_sum = 0;
+  double d_cost_sum = 0;
+  double athena_cost_sum = 0;
+
+  for (int query_id : dsql::SsbQueryIds()) {
+    // Warm the code paths once (the paper's numbers exclude first-run JIT
+    // effects; ours exclude first-touch page faults).
+    (void)dapps::RunSsbQuery(platform, *handle, query_id);
+    (void)dapps::RunSsbQuery(tiny_platform, *tiny_handle, query_id);
+
+    dbase::Stopwatch tiny_watch;
+    auto tiny_csv = dapps::RunSsbQuery(tiny_platform, *tiny_handle, query_id);
+    const double fixed_ms = tiny_watch.ElapsedMillis();
+
+    dbase::Stopwatch watch;
+    auto csv = dapps::RunSsbQuery(platform, *handle, query_id);
+    const double measured_ms = watch.ElapsedMillis();
+    if (!csv.ok() || !tiny_csv.ok()) {
+      std::fprintf(stderr, "%s failed\n", dsql::SsbQueryName(query_id).c_str());
+      return 1;
+    }
+
+    // Effective scan throughput of this run, normalized to the paper's
+    // 32-core instance (scan work parallelizes across partitions).
+    const double scan_ms = std::max(1.0, measured_ms - fixed_ms);
+    const double mb_per_sec = dataset_mb / (scan_ms / 1000.0);
+    const double mb_per_sec_32 = mb_per_sec * static_cast<double>(kPaperCores) / kWorkers;
+    const double d_ms_700 = fixed_ms + kTargetMb / mb_per_sec_32 * 1000.0;
+
+    const double athena_ms_700 = kAthenaOverheadMs + kTargetMb / kAthenaScanMbPerSec * 1000.0;
+    const double d_cost_cents = d_ms_700 / 1000.0 * (kEc2UsdPerHour / 3600.0) * 100.0;
+    const double athena_cost_cents =
+        kTargetMb / (1024.0 * 1024.0) * kAthenaUsdPerTb * 100.0;
+
+    d_latency_sum += d_ms_700;
+    athena_latency_sum += athena_ms_700;
+    d_cost_sum += d_cost_cents;
+    athena_cost_sum += athena_cost_cents;
+
+    table.AddRow({dsql::SsbQueryName(query_id), dbench::Table::Num(measured_ms, 1),
+                  dbench::Table::Num(fixed_ms, 1), dbench::Table::Num(d_ms_700, 0),
+                  dbench::Table::Num(athena_ms_700, 0), dbench::Table::Num(d_cost_cents, 2),
+                  dbench::Table::Num(athena_cost_cents, 2)});
+  }
+  table.Print();
+
+  dbench::Table summary({"metric", "value"});
+  summary.AddRow({"dataset (this run)", dbase::StrFormat("%.1f MB x %d partitions", dataset_mb,
+                                                         handle->partitions)});
+  summary.AddRow({"latency reduction vs Athena",
+                  dbench::Table::Num((1.0 - d_latency_sum / athena_latency_sum) * 100.0, 0) + "%"});
+  summary.AddRow({"cost reduction vs Athena",
+                  dbench::Table::Num((1.0 - d_cost_sum / athena_cost_sum) * 100.0, 0) + "%"});
+  summary.Print();
+
+  dbench::PrintNote("queries really execute (filter/join/aggregate/sort over partitioned"
+                    " lineorder in sandboxed functions); S3 + Athena are calibrated models");
+  dbench::PrintNote("paper: ~40% lower latency and ~67% lower cost than Athena at 700 MB");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 10: committed memory over the Azure-trace replay — Firecracker
+// pods managed by Knative autoscaling vs. Dandelion creating a context per
+// request (process isolation backend). Paper result: Dandelion commits only
+// ~4% of Firecracker's average (109 MB vs 2619 MB) and cuts p99 end-to-end
+// latency by 46%.
+#include <cstdio>
+
+#include "src/base/string_util.h"
+#include "src/benchutil/table.h"
+#include "src/sim/platform_models.h"
+#include "src/trace/azure_trace.h"
+#include "src/trace/sampler.h"
+
+int main() {
+  dbench::PrintHeader("Figure 10: Azure trace, committed memory — FC w/ Knative vs Dandelion");
+
+  dtrace::AzureTraceConfig trace_config;
+  trace_config.num_functions = 400;
+  trace_config.duration_minutes = 20;
+  trace_config.seed = 0xA27BA5E;
+  const dtrace::Trace population = dtrace::SynthesizeAzureTrace(trace_config);
+  dtrace::SamplerConfig sampler_config;
+  sampler_config.target_functions = 100;
+  const dtrace::Trace trace = dtrace::SampleTrace(population, sampler_config);
+
+  dsim::TraceSimConfig sim_config;
+  const auto knative = dsim::SimulateKnativeFirecrackerTrace(sim_config, trace, /*seed=*/1);
+  const auto dandelion = dsim::SimulateDandelionTrace(sim_config, trace, /*seed=*/1);
+
+  const dbase::Micros window =
+      static_cast<dbase::Micros>(trace.duration_minutes) * 60 * dbase::kMicrosPerSecond;
+
+  dbench::Table timeline({"time_s", "firecracker_knative_mb", "dandelion_mb"});
+  const auto fc_series = knative.committed_mb.ResampleStep(30 * dbase::kMicrosPerSecond);
+  const auto d_series = dandelion.committed_mb.ResampleStep(30 * dbase::kMicrosPerSecond);
+  for (size_t i = 0; i < fc_series.size(); ++i) {
+    const double d_value = i < d_series.size() ? d_series[i].value : 0.0;
+    timeline.AddRow({dbench::Table::Num(dbase::MicrosToSeconds(fc_series[i].time_us), 0),
+                     dbench::Table::Num(fc_series[i].value, 1),
+                     dbench::Table::Num(d_value, 1)});
+  }
+  timeline.Print();
+
+  const double fc_avg = knative.committed_mb.TimeWeightedAverage(window);
+  const double d_avg = dandelion.committed_mb.TimeWeightedAverage(window);
+
+  dbench::Table summary({"metric", "FC + Knative", "Dandelion"});
+  summary.AddRow({"avg committed [MB]", dbench::Table::Num(fc_avg, 0),
+                  dbench::Table::Num(d_avg, 0)});
+  summary.AddRow({"peak committed [MB]", dbench::Table::Num(knative.committed_mb.MaxValue(), 0),
+                  dbench::Table::Num(dandelion.committed_mb.MaxValue(), 0)});
+  summary.AddRow({"p99 latency [ms]",
+                  dbench::Table::Num(knative.latency_ms.Percentile(99), 1),
+                  dbench::Table::Num(dandelion.latency_ms.Percentile(99), 1)});
+  summary.AddRow({"median latency [ms]", dbench::Table::Num(knative.latency_ms.Median(), 1),
+                  dbench::Table::Num(dandelion.latency_ms.Median(), 1)});
+  summary.AddRow({"cold-start fraction",
+                  dbench::Table::Num(knative.ColdFraction() * 100, 1) + "%",
+                  dbench::Table::Num(dandelion.ColdFraction() * 100, 1) + "%"});
+  summary.Print();
+
+  dbench::Table derived({"metric", "value"});
+  derived.AddRow({"Dandelion committed / FC committed",
+                  dbench::Table::Num(d_avg / fc_avg * 100.0, 1) + "%"});
+  derived.AddRow({"p99 latency reduction",
+                  dbench::Table::Num((1.0 - dandelion.latency_ms.Percentile(99) /
+                                                 knative.latency_ms.Percentile(99)) * 100.0, 0) +
+                      "%"});
+  derived.AddRow({"invocations", std::to_string(dandelion.completed)});
+  derived.Print();
+
+  dbench::PrintNote("paper: Dandelion commits ~4% of Firecracker's average (109 vs 2619 MB) and"
+                    " reduces p99 latency by ~46%; Dandelion cold-starts 100% of requests");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Table 1: Dandelion's sandbox-creation latency breakdown per isolation
+// backend for a 1x1 int64 matmul. Two halves:
+//   (a) REAL measurements of this repository's backends on this machine —
+//       marshal, binary load, input transfer, execute, output readback;
+//   (b) the paper's Arm Morello reference numbers for comparison.
+// The cheri/rwasm/kvm rows use the calibrated stand-ins described in
+// DESIGN.md; the process row is a real fork() on the critical path.
+#include <cstdio>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/base/stats.h"
+#include "src/benchutil/table.h"
+#include "src/func/builtins.h"
+#include "src/runtime/memory_context.h"
+#include "src/runtime/sandbox.h"
+
+namespace {
+
+struct Breakdown {
+  double marshal_us = 0;
+  double load_us = 0;
+  double setup_us = 0;   // Sandbox creation proper (fork / VM enter).
+  double execute_us = 0;
+  double output_us = 0;
+  double total_us = 0;
+};
+
+Breakdown MeasureBackend(dandelion::IsolationBackend backend, int iterations) {
+  auto executor = dandelion::CreateSandboxExecutor(backend);
+  dfunc::FunctionSpec spec;
+  spec.name = "matmul";
+  spec.body = dfunc::MatMulFunction;
+  spec.binary_bytes = 64 * 1024;  // Tiny 1x1 matmul binary.
+  spec.context_bytes = 1 << 20;
+
+  // 1x1 matrices, as in the paper's table.
+  dfunc::DataSetList inputs;
+  inputs.push_back(dfunc::DataSet{"A", {dfunc::DataItem{"", dfunc::EncodeInt64Array({3})}}});
+  inputs.push_back(dfunc::DataSet{"B", {dfunc::DataItem{"", dfunc::EncodeInt64Array({7})}}});
+
+  dbase::OnlineStats marshal, load, setup, execute, output, total;
+  for (int i = 0; i < iterations; ++i) {
+    auto context = dandelion::MemoryContext::Create(
+        spec.context_bytes, nullptr,
+        /*shared=*/backend == dandelion::IsolationBackend::kProcess);
+    if (!context.ok()) {
+      continue;
+    }
+    dbase::Stopwatch watch;
+    (void)(*context)->StoreInputSets(inputs);
+    const double marshal_us = static_cast<double>(watch.ElapsedMicros());
+
+    dandelion::ExecOutcome outcome =
+        executor->Execute(spec, **context, dandelion::SandboxOptions{});
+    if (!outcome.status.ok()) {
+      continue;
+    }
+    marshal.Add(marshal_us);
+    load.Add(static_cast<double>(outcome.timings.load_us));
+    setup.Add(static_cast<double>(outcome.timings.setup_us));
+    execute.Add(static_cast<double>(outcome.timings.execute_us));
+    output.Add(static_cast<double>(outcome.timings.output_us));
+    total.Add(marshal_us + static_cast<double>(outcome.timings.Total()));
+  }
+
+  Breakdown result;
+  result.marshal_us = marshal.mean();
+  result.load_us = load.mean();
+  result.setup_us = setup.mean();
+  result.execute_us = execute.mean();
+  result.output_us = output.mean();
+  result.total_us = total.mean();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  dbench::PrintHeader("Table 1: sandbox-creation latency breakdown, 1x1 matmul [us]");
+
+  const std::vector<dandelion::IsolationBackend> backends = {
+      dandelion::IsolationBackend::kThread,
+      dandelion::IsolationBackend::kWasmSim,
+      dandelion::IsolationBackend::kProcess,
+      dandelion::IsolationBackend::kKvmSim,
+  };
+
+  constexpr int kWarmup = 20;
+  constexpr int kIterations = 300;
+
+  dbench::Table table(
+      {"row", "cheri", "rwasm", "process", "kvm"});
+  std::vector<Breakdown> results;
+  for (auto backend : backends) {
+    (void)MeasureBackend(backend, kWarmup);
+    results.push_back(MeasureBackend(backend, kIterations));
+  }
+  auto row = [&](const char* name, double Breakdown::* field) {
+    std::vector<std::string> cells = {name};
+    for (const auto& result : results) {
+      cells.push_back(dbench::Table::Num(result.*field, 1));
+    }
+    table.AddRow(std::move(cells));
+  };
+  row("Marshal requests", &Breakdown::marshal_us);
+  row("Load binary", &Breakdown::load_us);
+  row("Create sandbox", &Breakdown::setup_us);
+  row("Execute function", &Breakdown::execute_us);
+  row("Get/send output", &Breakdown::output_us);
+  row("Total (measured here)", &Breakdown::total_us);
+  table.Print();
+
+  dbench::Table reference({"row", "cheri", "rwasm", "process", "kvm"});
+  reference.AddRow({"Paper total (Arm Morello)", "89", "241", "486", "889"});
+  reference.AddRow({"Paper total (x86, Linux 5.15)", "-", "109", "539", "218"});
+  reference.Print();
+
+  dbench::PrintNote("expected ordering on any host: cheri < rwasm < process < kvm; the process"
+                    " row's 'create sandbox' is a real fork()+wait on this machine");
+  return 0;
+}

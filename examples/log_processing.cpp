@@ -1,0 +1,48 @@
+// The distributed log-processing application of Figure 3 / Listings 1-2:
+// Access → HTTP(auth) → FanOut → HTTP(shards, parallel) → Render.
+//
+// An auth service and four log-shard services run on the in-process service
+// mesh with realistic latency models; the HTTP communication function
+// carries the requests; the 'each' keyword parallelizes the shard fetches.
+#include <cstdio>
+
+#include "src/apps/log_app.h"
+#include "src/base/clock.h"
+#include "src/runtime/platform.h"
+
+int main() {
+  dandelion::PlatformConfig platform_config;
+  platform_config.num_workers = 6;
+  platform_config.initial_comm_workers = 2;
+  platform_config.backend = dandelion::IsolationBackend::kThread;
+  dandelion::Platform platform(platform_config);
+
+  dapps::LogAppConfig app_config;
+  app_config.num_shards = 4;
+  app_config.lines_per_shard = 8;
+  dbase::Status installed = dapps::InstallLogApp(platform, app_config);
+  if (!installed.ok()) {
+    std::fprintf(stderr, "install: %s\n", installed.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Composition (Listing 2):\n%s\n", dapps::kRenderLogsDsl);
+
+  dbase::Stopwatch watch;
+  auto html = dapps::RunLogApp(platform, app_config);
+  const double ms = watch.ElapsedMillis();
+  if (!html.ok()) {
+    std::fprintf(stderr, "run: %s\n", html.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Rendered %zu bytes of HTML in %.1f ms.\n", html->size(), ms);
+  std::printf("--- first lines ---\n%.*s...\n", 400, html->c_str());
+
+  const auto stats = platform.dispatcher_stats();
+  std::printf("\ncompute instances: %llu (Access, FanOut, Render)\n",
+              static_cast<unsigned long long>(stats.compute_instances));
+  std::printf("comm instances:    %llu (1 auth + %d parallel shard fetches)\n",
+              static_cast<unsigned long long>(stats.comm_instances), app_config.num_shards);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// The Text2SQL agentic AI workflow of §7.7: parse the prompt, ask the LLM
+// for SQL, extract it, run it against the database, format the rows. The
+// LLM endpoint is simulated with the paper's measured latency (1238 ms for
+// Gemma-3-4b-it on an H100 NVL); stage structure and data flow are real.
+#include <cstdio>
+
+#include "src/apps/text2sql_app.h"
+#include "src/base/clock.h"
+#include "src/runtime/platform.h"
+
+int main() {
+  dandelion::PlatformConfig platform_config;
+  platform_config.num_workers = 4;
+  platform_config.backend = dandelion::IsolationBackend::kThread;
+  dandelion::Platform platform(platform_config);
+
+  dapps::Text2SqlConfig app_config;  // Paper latencies: LLM 1238 ms, DB 136 ms.
+  dbase::Status installed = dapps::InstallText2SqlApp(platform, app_config);
+  if (!installed.ok()) {
+    std::fprintf(stderr, "install: %s\n", installed.ToString().c_str());
+    return 1;
+  }
+
+  const std::string question = "What are the most populous cities of Japan?";
+  std::printf("Q: %s\n\nrunning 5-stage workflow (parse -> LLM -> extract -> DB -> format)...\n",
+              question.c_str());
+
+  dbase::Stopwatch watch;
+  auto answer = dapps::RunText2Sql(platform, question);
+  const double ms = watch.ElapsedMillis();
+  if (!answer.ok()) {
+    std::fprintf(stderr, "run: %s\n", answer.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\n%s\n", answer->c_str());
+  std::printf("end-to-end: %.0f ms (the LLM call dominates, as in the paper's ~2 s"
+              " pipeline where inference is 61%%)\n", ms);
+  return 0;
+}

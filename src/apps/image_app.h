@@ -1,0 +1,38 @@
+// Image-compression application (§7.6): fetch a QOI image from the object
+// store, transcode it to PNG, store the result. The compute-intensive
+// counterpart to the log-processing app in the Figure 8 multiplexing
+// experiment (the paper uses an 18 kB QOI input).
+#ifndef SRC_APPS_IMAGE_APP_H_
+#define SRC_APPS_IMAGE_APP_H_
+
+#include <string>
+
+#include "src/base/status.h"
+#include "src/runtime/platform.h"
+
+namespace dapps {
+
+extern const char kImagePipelineDsl[];
+
+// Compute functions: MakeFetchRequest (key → GET), CompressImage (QOI
+// response → PNG + PUT request), CheckStored (PUT response → status text).
+dbase::Status MakeFetchRequestFunction(dfunc::FunctionCtx& ctx);
+dbase::Status CompressImageFunction(dfunc::FunctionCtx& ctx);
+dbase::Status CheckStoredFunction(dfunc::FunctionCtx& ctx);
+
+struct ImageAppConfig {
+  std::string store_host = "storage.internal";
+  uint32_t image_width = 96;
+  uint32_t image_height = 64;  // ~18 kB QOI, like the paper's input.
+  int num_images = 4;
+  dbase::Micros store_latency_us = 800;
+};
+
+dbase::Status InstallImageApp(dandelion::Platform& platform, const ImageAppConfig& config);
+
+// Runs the pipeline on image `index`; returns the stored-PNG confirmation.
+dbase::Result<std::string> RunImageApp(dandelion::Platform& platform, int index);
+
+}  // namespace dapps
+
+#endif  // SRC_APPS_IMAGE_APP_H_

@@ -1,0 +1,47 @@
+// The distributed log-processing application of Figure 3 / Listing 1-2:
+//   Access  — turns an access token into an auth-service request,
+//   HTTP    — platform communication function (auth round-trip),
+//   FanOut  — parses the authorized shard list into one GET per shard,
+//   HTTP    — parallel shard fetches ('each' distribution),
+//   Render  — templates every shard's log lines into one HTML document.
+// This app is I/O-intensive: two network round-trips, little compute.
+#ifndef SRC_APPS_LOG_APP_H_
+#define SRC_APPS_LOG_APP_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/runtime/platform.h"
+
+namespace dapps {
+
+// The DSL source of the composition (Listing 2 verbatim, modulo our DSL's
+// canonical formatting).
+extern const char kRenderLogsDsl[];
+
+// Compute-function bodies.
+dbase::Status LogAccessFunction(dfunc::FunctionCtx& ctx);
+dbase::Status LogFanOutFunction(dfunc::FunctionCtx& ctx);
+dbase::Status LogRenderFunction(dfunc::FunctionCtx& ctx);
+
+struct LogAppConfig {
+  std::string auth_host = "auth.internal";
+  std::string auth_token = "token-tenant-42";
+  int num_shards = 4;
+  int lines_per_shard = 64;
+  // Mesh latency models.
+  dbase::Micros auth_latency_us = 1500;
+  dbase::Micros shard_latency_us = 4000;
+};
+
+// Registers the Access/FanOut/Render functions, the RenderLogs composition,
+// and wires up the auth + shard services on the platform's mesh.
+dbase::Status InstallLogApp(dandelion::Platform& platform, const LogAppConfig& config);
+
+// Invokes the composition end-to-end; returns the rendered HTML.
+dbase::Result<std::string> RunLogApp(dandelion::Platform& platform, const LogAppConfig& config);
+
+}  // namespace dapps
+
+#endif  // SRC_APPS_LOG_APP_H_

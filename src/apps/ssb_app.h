@@ -1,0 +1,56 @@
+// Elastic SSB query processing on Dandelion (§7.7 / Figure 9): lineorder
+// partitions and the dimension tables live in the (simulated) S3 object
+// store; a composition fans out one compute function per partition, runs
+// the per-partition plan, and merges partials — "Dandelion quickly boots
+// sandboxes and spreads query execution across all CPU cores".
+#ifndef SRC_APPS_SSB_APP_H_
+#define SRC_APPS_SSB_APP_H_
+
+#include <memory>
+#include <string>
+
+#include "src/base/status.h"
+#include "src/http/services.h"
+#include "src/runtime/platform.h"
+#include "src/sql/ssb.h"
+
+namespace dapps {
+
+extern const char kSsbQueryDsl[];
+
+// Dimension-table bundle serialization (date, customer, supplier, part).
+std::string SerializeDims(const dsql::SsbData& data);
+dbase::Result<dsql::SsbData> DeserializeDims(std::string_view bytes);
+
+dbase::Status MakeSsbFetchesFunction(dfunc::FunctionCtx& ctx);
+dbase::Status MakeDimFetchFunction(dfunc::FunctionCtx& ctx);
+dbase::Status RunPartitionFunction(dfunc::FunctionCtx& ctx);
+dbase::Status MergePartialsFunction(dfunc::FunctionCtx& ctx);
+
+struct SsbAppConfig {
+  std::string store_host = "s3.internal";
+  dsql::SsbConfig data;
+  int partitions = 8;
+  // S3-like latency model: base RTT + bandwidth term.
+  dbase::Micros s3_base_latency_us = 15 * dbase::kMicrosPerMilli;
+  double s3_us_per_kb = 8.0;  // ≈ 125 MB/s effective per stream.
+};
+
+struct SsbAppHandle {
+  std::shared_ptr<dhttp::ObjectStoreService> store;
+  uint64_t stored_bytes = 0;
+  int partitions = 0;
+};
+
+// Generates data, uploads partitions + dims to the store, registers
+// functions and the composition.
+dbase::Result<SsbAppHandle> InstallSsbApp(dandelion::Platform& platform,
+                                          const SsbAppConfig& config);
+
+// Runs one SSB query (11/21/31/41) through the composition; returns CSV.
+dbase::Result<std::string> RunSsbQuery(dandelion::Platform& platform,
+                                       const SsbAppHandle& handle, int query_id);
+
+}  // namespace dapps
+
+#endif  // SRC_APPS_SSB_APP_H_

@@ -1,0 +1,50 @@
+// Text2SQL agentic workflow (§7.7), ported from the TAG-benchmark style:
+//   1. ParsePrompt   (compute) — normalize the user question, build the LLM
+//                                 prompt with the table schema,
+//   2. HTTP           (comm)   — POST to the LLM inference endpoint,
+//   3. ExtractSql     (compute) — pull the SQL statement out of the LLM
+//                                 completion,
+//   4. HTTP           (comm)   — POST the query to the SQL database,
+//   5. FormatResult   (compute) — render the rows as a user-facing answer.
+// The paper's H100-served Gemma-3-4b is replaced by a canned-completion
+// LLM service with the measured 1238 ms latency injected via the mesh.
+#ifndef SRC_APPS_TEXT2SQL_APP_H_
+#define SRC_APPS_TEXT2SQL_APP_H_
+
+#include <string>
+
+#include "src/base/status.h"
+#include "src/runtime/platform.h"
+
+namespace dapps {
+
+extern const char kText2SqlDsl[];
+
+dbase::Status ParsePromptFunction(dfunc::FunctionCtx& ctx);
+dbase::Status ExtractSqlFunction(dfunc::FunctionCtx& ctx);
+dbase::Status FormatResultFunction(dfunc::FunctionCtx& ctx);
+
+struct Text2SqlConfig {
+  std::string llm_host = "llm.internal";
+  std::string db_host = "db.internal";
+  // Stage latencies measured by the paper (§7.7): LLM 1238 ms, DB 136 ms.
+  dbase::Micros llm_latency_us = 1238 * dbase::kMicrosPerMilli;
+  dbase::Micros db_latency_us = 136 * dbase::kMicrosPerMilli;
+  // Extra compute spin to match the paper's interpreter-bound stages
+  // (parse 221 ms, extract 207 ms, format 213 ms run a Python interpreter;
+  // our native functions are faster, so the difference is injected).
+  bool emulate_python_overhead = false;
+};
+
+// Registers functions + composition and wires the LLM/DB services (with a
+// demo 'cities' table and a canned completion for questions about it).
+dbase::Status InstallText2SqlApp(dandelion::Platform& platform, const Text2SqlConfig& config);
+
+// Runs the workflow for a natural-language question; returns the formatted
+// answer.
+dbase::Result<std::string> RunText2Sql(dandelion::Platform& platform,
+                                       const std::string& question);
+
+}  // namespace dapps
+
+#endif  // SRC_APPS_TEXT2SQL_APP_H_

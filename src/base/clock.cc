@@ -1,0 +1,34 @@
+#include "src/base/clock.h"
+
+#include <ctime>
+
+namespace dbase {
+
+Micros MonotonicClock::NowMicros() const {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<Micros>(ts.tv_sec) * kMicrosPerSecond + ts.tv_nsec / 1000;
+}
+
+MonotonicClock* MonotonicClock::Get() {
+  static MonotonicClock clock;
+  return &clock;
+}
+
+void Stopwatch::Restart() { start_ = MonotonicClock::Get()->NowMicros(); }
+
+Micros Stopwatch::ElapsedMicros() const {
+  return MonotonicClock::Get()->NowMicros() - start_;
+}
+
+void SpinFor(Micros duration) {
+  if (duration <= 0) {
+    return;
+  }
+  const Micros deadline = MonotonicClock::Get()->NowMicros() + duration;
+  while (MonotonicClock::Get()->NowMicros() < deadline) {
+    // Busy-wait; callers use this only for short, compute-like delays.
+  }
+}
+
+}  // namespace dbase

@@ -1,0 +1,68 @@
+// Time utilities. All durations and timestamps in this code base are
+// microseconds (int64_t), matching the granularity the paper reports
+// (sandbox cold starts are 100s of microseconds).
+#ifndef SRC_BASE_CLOCK_H_
+#define SRC_BASE_CLOCK_H_
+
+#include <cstdint>
+
+namespace dbase {
+
+using Micros = int64_t;
+
+constexpr Micros kMicrosPerMilli = 1000;
+constexpr Micros kMicrosPerSecond = 1000 * 1000;
+
+constexpr Micros MillisToMicros(double ms) { return static_cast<Micros>(ms * 1000.0); }
+constexpr double MicrosToMillis(Micros us) { return static_cast<double>(us) / 1000.0; }
+constexpr double MicrosToSeconds(Micros us) { return static_cast<double>(us) / 1e6; }
+
+// Abstract clock so the runtime can run against real time and tests /
+// the simulator can run against virtual time.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Micros NowMicros() const = 0;
+};
+
+// Wall-clock-backed monotonic clock (CLOCK_MONOTONIC).
+class MonotonicClock : public Clock {
+ public:
+  Micros NowMicros() const override;
+
+  // Process-wide instance, suitable for most callers.
+  static MonotonicClock* Get();
+};
+
+// Manually-advanced clock for unit tests.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(Micros start = 0) : now_(start) {}
+  Micros NowMicros() const override { return now_; }
+  void Advance(Micros delta) { now_ += delta; }
+  void Set(Micros t) { now_ = t; }
+
+ private:
+  Micros now_;
+};
+
+// Measures elapsed real time; used by the benchmarks and the latency
+// breakdown instrumentation in the runtime.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+  void Restart();
+  Micros ElapsedMicros() const;
+  double ElapsedMillis() const { return MicrosToMillis(ElapsedMicros()); }
+
+ private:
+  Micros start_;
+};
+
+// Busy-spins for the given duration; models a pure compute phase with
+// microsecond fidelity (sleep-based waits are far too coarse).
+void SpinFor(Micros duration);
+
+}  // namespace dbase
+
+#endif  // SRC_BASE_CLOCK_H_

@@ -1,0 +1,47 @@
+#include "src/base/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+namespace dbase {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+std::mutex g_sink_mu;
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash == nullptr ? path : slash + 1;
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kVerbose:
+      return "V";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kNone:
+      return "?";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message) {
+  if (level < GetLogLevel()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level), Basename(file), line, message.c_str());
+}
+
+}  // namespace dbase

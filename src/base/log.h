@@ -1,0 +1,44 @@
+// Minimal leveled logger. Off by default at VERBOSE; benchmarks run with
+// WARNING to keep output machine-parseable.
+#ifndef SRC_BASE_LOG_H_
+#define SRC_BASE_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace dbase {
+
+enum class LogLevel { kVerbose = 0, kInfo = 1, kWarning = 2, kError = 3, kNone = 4 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Internal sink; prefer the DLOG macro below.
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message);
+
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line) : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, os_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream os_;
+};
+
+}  // namespace dbase
+
+#define DLOG(level)                                                            \
+  if (::dbase::LogLevel::k##level < ::dbase::GetLogLevel()) {                   \
+  } else                                                                        \
+    ::dbase::LogStream(::dbase::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // SRC_BASE_LOG_H_

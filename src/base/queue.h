@@ -1,0 +1,120 @@
+// Blocking multi-producer multi-consumer queue with close semantics and
+// size sampling. Engines poll these queues (late binding of tasks, §5);
+// the control plane samples queue depth growth to drive the PI controller.
+#ifndef SRC_BASE_QUEUE_H_
+#define SRC_BASE_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "src/base/clock.h"
+
+namespace dbase {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  MpmcQueue() = default;
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  // Returns false if the queue is closed (item is dropped).
+  bool Push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) {
+        return false;
+      }
+      items_.push_back(std::move(item));
+      ++total_pushed_;
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available or the queue is closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    ++total_popped_;
+    return item;
+  }
+
+  // Waits at most timeout; nullopt on timeout or closed-and-drained.
+  std::optional<T> PopWithTimeout(Micros timeout_us) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, std::chrono::microseconds(timeout_us),
+                 [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    ++total_popped_;
+    return item;
+  }
+
+  // Non-blocking.
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    ++total_popped_;
+    return item;
+  }
+
+  // After Close(), pushes fail and pops drain the remaining items then
+  // return nullopt. Wakes all waiters.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t Size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  // Cumulative counters; the controller uses deltas of these between
+  // sampling periods as queue growth rates (arrivals − departures).
+  uint64_t total_pushed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_pushed_;
+  }
+  uint64_t total_popped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_popped_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  uint64_t total_pushed_ = 0;
+  uint64_t total_popped_ = 0;
+};
+
+}  // namespace dbase
+
+#endif  // SRC_BASE_QUEUE_H_

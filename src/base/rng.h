@@ -1,0 +1,98 @@
+// Deterministic random number generation. Every stochastic component
+// (workload generators, service latency jitter, trace synthesis) takes an
+// explicit Rng so experiments are reproducible from a seed.
+#ifndef SRC_BASE_RNG_H_
+#define SRC_BASE_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace dbase {
+
+// xoshiro256** with a splitmix64 seeder. Small, fast, good statistical
+// quality; identical streams across platforms for a given seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // splitmix64 expansion of the seed into the 4-word state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) { return NextU64() % bound; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBounded(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  // Exponential with the given mean (inter-arrival times of Poisson loads).
+  double Exponential(double mean) {
+    double u = NextDouble();
+    if (u <= 0.0) {
+      u = 1e-18;
+    }
+    return -mean * std::log(1.0 - u);
+  }
+
+  // Bounded Pareto — heavy-tailed function popularity / durations, as in the
+  // Azure Functions trace characterization.
+  double BoundedPareto(double alpha, double lo, double hi) {
+    const double u = NextDouble();
+    const double la = std::pow(lo, alpha);
+    const double ha = std::pow(hi, alpha);
+    return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+  }
+
+  // Normal via Box-Muller (service latency jitter).
+  double Normal(double mean, double stddev) {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 <= 0.0) {
+      u1 = 1e-18;
+    }
+    return mean + stddev * std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  }
+
+  // Lognormal: exp(Normal(mu, sigma)). Used for service / execution times.
+  double LogNormal(double mu, double sigma) { return std::exp(Normal(mu, sigma)); }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Derives an independent child stream (per-function, per-service streams).
+  Rng Fork() { return Rng(NextU64()); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4];
+};
+
+}  // namespace dbase
+
+#endif  // SRC_BASE_RNG_H_

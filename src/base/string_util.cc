@@ -1,0 +1,192 @@
+#include "src/base/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace dbase {
+
+std::vector<std::string_view> SplitString(std::string_view input, char sep) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(input.substr(start));
+      break;
+    }
+    out.push_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::vector<std::string_view> SplitString(std::string_view input, std::string_view sep) {
+  std::vector<std::string_view> out;
+  if (sep.empty()) {
+    out.push_back(input);
+    return out;
+  }
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(input.substr(start));
+      break;
+    }
+    out.push_back(input.substr(start, pos - start));
+    start = pos + sep.size();
+  }
+  return out;
+}
+
+std::string_view TrimWhitespace(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() && std::isspace(static_cast<unsigned char>(s[begin])) != 0) {
+    ++begin;
+  }
+  size_t end = s.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1])) != 0) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::string ToLowerAscii(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string ToUpperAscii(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ParseUint64(std::string_view s, uint64_t* out) {
+  if (s.empty() || s.size() > 20) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return false;  // Overflow.
+    }
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseInt64(std::string_view s, int64_t* out) {
+  bool negative = false;
+  if (!s.empty() && (s[0] == '-' || s[0] == '+')) {
+    negative = s[0] == '-';
+    s.remove_prefix(1);
+  }
+  uint64_t magnitude = 0;
+  if (!ParseUint64(s, &magnitude)) {
+    return false;
+  }
+  if (negative) {
+    if (magnitude > static_cast<uint64_t>(INT64_MAX) + 1) {
+      return false;
+    }
+    *out = -static_cast<int64_t>(magnitude);
+  } else {
+    if (magnitude > static_cast<uint64_t>(INT64_MAX)) {
+      return false;
+    }
+    *out = static_cast<int64_t>(magnitude);
+  }
+  return true;
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  if (s.empty()) {
+    return false;
+  }
+  std::string buf(s);
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size()) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) {
+      out += sep;
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string FormatMicros(double us) {
+  if (us < 1000.0) {
+    return StrFormat("%.0f us", us);
+  }
+  if (us < 1e6) {
+    return StrFormat("%.2f ms", us / 1000.0);
+  }
+  return StrFormat("%.3f s", us / 1e6);
+}
+
+std::string FormatBytes(double bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 4) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  return StrFormat("%.2f %s", bytes, units[unit]);
+}
+
+}  // namespace dbase

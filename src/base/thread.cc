@@ -1,0 +1,85 @@
+#include "src/base/thread.h"
+
+#include <pthread.h>
+#include <sched.h>
+
+#include <utility>
+
+namespace dbase {
+
+JoiningThread::JoiningThread(std::string name, std::function<void()> fn)
+    : name_(std::move(name)), thread_(std::move(fn)) {
+#ifdef __linux__
+  // Thread names are capped at 15 chars + NUL on Linux.
+  std::string short_name = name_.substr(0, 15);
+  pthread_setname_np(thread_.native_handle(), short_name.c_str());
+#endif
+}
+
+JoiningThread& JoiningThread::operator=(JoiningThread&& other) {
+  if (this != &other) {
+    Join();
+    name_ = std::move(other.name_);
+    thread_ = std::move(other.thread_);
+  }
+  return *this;
+}
+
+void JoiningThread::Join() {
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void Latch::CountDown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--count_ <= 0) {
+    cv_.notify_all();
+  }
+}
+
+void Latch::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return count_ <= 0; });
+}
+
+bool Latch::WaitFor(Micros timeout_us) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_for(lock, std::chrono::microseconds(timeout_us), [&] { return count_ <= 0; });
+}
+
+WorkerPool::WorkerPool(int num_threads, std::string name) {
+  threads_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back(name + "-" + std::to_string(i), [this] {
+      while (auto task = tasks_.Pop()) {
+        (*task)();
+      }
+    });
+  }
+}
+
+WorkerPool::~WorkerPool() { Shutdown(); }
+
+bool WorkerPool::Submit(std::function<void()> task) { return tasks_.Push(std::move(task)); }
+
+void WorkerPool::Shutdown() {
+  tasks_.Close();
+  for (auto& t : threads_) {
+    t.Join();
+  }
+}
+
+bool PinCurrentThreadToCpu(int cpu) {
+#ifdef __linux__
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+}  // namespace dbase

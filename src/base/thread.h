@@ -1,0 +1,84 @@
+// Threading helpers: named joining threads, a countdown latch, and a small
+// fixed worker pool used for offloading data movement (the dispatcher
+// "offloads tasks that are not part of the control flow", §6.1).
+#ifndef SRC_BASE_THREAD_H_
+#define SRC_BASE_THREAD_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/queue.h"
+
+namespace dbase {
+
+// std::thread that joins on destruction and carries a debug name.
+class JoiningThread {
+ public:
+  JoiningThread() = default;
+  JoiningThread(std::string name, std::function<void()> fn);
+  ~JoiningThread() { Join(); }
+
+  JoiningThread(JoiningThread&&) = default;
+  JoiningThread& operator=(JoiningThread&& other);
+
+  JoiningThread(const JoiningThread&) = delete;
+  JoiningThread& operator=(const JoiningThread&) = delete;
+
+  void Join();
+  bool joinable() const { return thread_.joinable(); }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::thread thread_;
+};
+
+// One-shot countdown latch (C++20 std::latch exists, but we also want
+// CountUp for dynamic task groups).
+class Latch {
+ public:
+  explicit Latch(int count) : count_(count) {}
+
+  void CountDown();
+  void Wait();
+  // Waits at most timeout_us; returns true if the latch opened.
+  bool WaitFor(Micros timeout_us);
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int count_;
+};
+
+// Fixed-size worker pool over an MpmcQueue. Used for transfer offloading.
+class WorkerPool {
+ public:
+  explicit WorkerPool(int num_threads, std::string name = "worker");
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // Returns false if the pool is shutting down.
+  bool Submit(std::function<void()> task);
+  // Drains outstanding tasks and stops the workers.
+  void Shutdown();
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  MpmcQueue<std::function<void()>> tasks_;
+  std::vector<JoiningThread> threads_;
+};
+
+// Pins the calling thread to the given CPU if possible; best-effort (the
+// paper pins communication engines to dedicated cores, §6.3).
+bool PinCurrentThreadToCpu(int cpu);
+
+}  // namespace dbase
+
+#endif  // SRC_BASE_THREAD_H_

@@ -1,0 +1,89 @@
+#include "src/benchutil/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/base/string_util.h"
+
+namespace dbench {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Num(double value, int decimals) {
+  return dbase::StrFormat("%.*f", decimals, value);
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : "";
+      line += cell;
+      line.append(widths[c] - cell.size() + 2, ' ');
+    }
+    while (!line.empty() && line.back() == ' ') {
+      line.pop_back();
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = render_row(columns_);
+  std::string rule;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    rule.append(widths[c], '-');
+    rule.append(2, ' ');
+  }
+  while (!rule.empty() && rule.back() == ' ') {
+    rule.pop_back();
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+std::string Table::ToCsv() const {
+  auto join = [](const std::vector<std::string>& cells) {
+    std::string line = "CSV";
+    for (const auto& cell : cells) {
+      line += ',';
+      line += cell;
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = join(columns_);
+  for (const auto& row : rows_) {
+    out += join(row);
+  }
+  return out;
+}
+
+void Table::Print() const {
+  std::fputs(ToString().c_str(), stdout);
+  std::fputs(ToCsv().c_str(), stdout);
+  std::fputs("\n", stdout);
+}
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n== %s ==\n\n", title.c_str());
+}
+
+void PrintNote(const std::string& note) { std::printf("note: %s\n", note.c_str()); }
+
+}  // namespace dbench

@@ -1,0 +1,66 @@
+// AST for the composition DSL. A source file contains one or more
+// composition definitions; each definition is an ordered list of node
+// statements wiring named dataflow values between function input/output
+// sets with a distribution keyword (§4.1):
+//
+//   composition RenderLogs(AccessToken) => HTMLOutput {
+//     Access(AccessToken = all AccessToken) => (AuthRequest = HTTPRequest);
+//     HTTP(Request = each AuthRequest)      => (AuthResponse = Response);
+//     ...
+//   }
+#ifndef SRC_DSL_AST_H_
+#define SRC_DSL_AST_H_
+
+#include <string>
+#include <vector>
+
+namespace ddsl {
+
+// How items of the source value are distributed over instances of the
+// consuming function (§4.1): 'all' → one instance gets every item, 'each' →
+// one instance per item, 'key' → one instance per distinct item key.
+enum class Distribution { kAll, kEach, kKey };
+
+std::string_view DistributionName(Distribution d);
+
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+};
+
+struct InputBindingAst {
+  std::string set_name;  // The function's declared input set.
+  Distribution dist = Distribution::kAll;
+  bool optional = false;  // §4.4: function may run with this set empty.
+  std::string source;     // Composition value feeding this set.
+  SourceLoc loc;
+};
+
+struct OutputBindingAst {
+  std::string alias;     // Composition value this output defines.
+  std::string set_name;  // The function's declared output set.
+  SourceLoc loc;
+};
+
+struct NodeStmtAst {
+  std::string callee;  // Compute function, communication function, or a
+                       // nested composition name.
+  std::vector<InputBindingAst> inputs;
+  std::vector<OutputBindingAst> outputs;
+  SourceLoc loc;
+};
+
+struct CompositionAst {
+  std::string name;
+  std::vector<std::string> params;   // Composition inputs.
+  std::vector<std::string> results;  // Composition outputs.
+  std::vector<NodeStmtAst> nodes;
+  SourceLoc loc;
+};
+
+// Pretty-prints the AST back to canonical DSL text (round-trip testable).
+std::string FormatComposition(const CompositionAst& ast);
+
+}  // namespace ddsl
+
+#endif  // SRC_DSL_AST_H_

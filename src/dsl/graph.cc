@@ -1,0 +1,199 @@
+#include "src/dsl/graph.h"
+
+#include <queue>
+#include <set>
+
+#include "src/base/string_util.h"
+
+namespace ddsl {
+
+dbase::Result<CompositionGraph> CompositionGraph::FromAst(const CompositionAst& ast) {
+  std::vector<GraphNode> nodes;
+  nodes.reserve(ast.nodes.size());
+  for (const auto& stmt : ast.nodes) {
+    GraphNode node;
+    node.callee = stmt.callee;
+    for (const auto& in : stmt.inputs) {
+      node.inputs.push_back(GraphInput{in.set_name, in.dist, in.optional, in.source});
+    }
+    for (const auto& out : stmt.outputs) {
+      node.outputs.push_back(GraphOutput{out.alias, out.set_name});
+    }
+    nodes.push_back(std::move(node));
+  }
+  return Create(ast.name, ast.params, ast.results, std::move(nodes));
+}
+
+dbase::Result<CompositionGraph> CompositionGraph::Create(std::string name,
+                                                         std::vector<std::string> params,
+                                                         std::vector<std::string> results,
+                                                         std::vector<GraphNode> nodes) {
+  CompositionGraph graph;
+  graph.name_ = std::move(name);
+  graph.params_ = std::move(params);
+  graph.results_ = std::move(results);
+  graph.nodes_ = std::move(nodes);
+  RETURN_IF_ERROR(graph.Validate());
+  return graph;
+}
+
+dbase::Status CompositionGraph::Validate() {
+  using dbase::InvalidArgument;
+
+  if (name_.empty()) {
+    return InvalidArgument("composition name may not be empty");
+  }
+  if (nodes_.empty()) {
+    return InvalidArgument("composition must contain at least one node");
+  }
+  if (results_.empty()) {
+    return InvalidArgument("composition must declare at least one result");
+  }
+
+  producers_.clear();
+  consumer_counts_.clear();
+  topo_order_.clear();
+
+  // Parameters define values.
+  for (size_t i = 0; i < params_.size(); ++i) {
+    ValueProducer producer{ValueProducer::Kind::kParam, i, 0};
+    auto [it, inserted] = producers_.emplace(params_[i], producer);
+    if (!inserted) {
+      return InvalidArgument("duplicate composition parameter: " + params_[i]);
+    }
+  }
+
+  // Node outputs define values.
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    const GraphNode& node = nodes_[n];
+    if (node.callee.empty()) {
+      return InvalidArgument("node callee may not be empty");
+    }
+    if (node.inputs.empty()) {
+      return InvalidArgument(dbase::StrFormat("node %zu (%s): functions take at least one input",
+                                              n, node.callee.c_str()));
+    }
+    std::set<std::string> set_names;
+    int fanout_bindings = 0;
+    for (const auto& in : node.inputs) {
+      if (!set_names.insert(in.set_name).second) {
+        return InvalidArgument(dbase::StrFormat("node %zu (%s): duplicate input set '%s'", n,
+                                                node.callee.c_str(), in.set_name.c_str()));
+      }
+      if (in.dist != Distribution::kAll) {
+        ++fanout_bindings;
+      }
+    }
+    // The instance count of a node is driven by at most one 'each'/'key'
+    // binding; the semantics of several fan-out bindings on one node are
+    // undefined in the paper and rejected here.
+    if (fanout_bindings > 1) {
+      return InvalidArgument(
+          dbase::StrFormat("node %zu (%s): at most one input may use 'each' or 'key'", n,
+                           node.callee.c_str()));
+    }
+    std::set<std::string> out_sets;
+    for (size_t b = 0; b < node.outputs.size(); ++b) {
+      const auto& out = node.outputs[b];
+      if (!out_sets.insert(out.set_name).second) {
+        return InvalidArgument(dbase::StrFormat("node %zu (%s): duplicate output set '%s'", n,
+                                                node.callee.c_str(), out.set_name.c_str()));
+      }
+      ValueProducer producer{ValueProducer::Kind::kNode, n, b};
+      auto [it, inserted] = producers_.emplace(out.value, producer);
+      if (!inserted) {
+        return InvalidArgument(
+            dbase::StrFormat("value '%s' defined more than once", out.value.c_str()));
+      }
+    }
+  }
+
+  // All consumed values must exist; count consumers.
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    for (const auto& in : nodes_[n].inputs) {
+      auto it = producers_.find(in.source_value);
+      if (it == producers_.end()) {
+        return InvalidArgument(dbase::StrFormat("node %zu (%s): input '%s' reads undefined value '%s'",
+                                                n, nodes_[n].callee.c_str(), in.set_name.c_str(),
+                                                in.source_value.c_str()));
+      }
+      ++consumer_counts_[in.source_value];
+    }
+  }
+
+  // All declared results must be produced; the client is a consumer.
+  std::set<std::string> result_names;
+  for (const auto& result : results_) {
+    if (!result_names.insert(result).second) {
+      return InvalidArgument("duplicate composition result: " + result);
+    }
+    if (producers_.count(result) == 0) {
+      return InvalidArgument("composition result '" + result + "' is never produced");
+    }
+    ++consumer_counts_[result];
+  }
+
+  // Structural cycle check (Kahn). Edges: producer node → consumer node.
+  std::vector<int> in_degree(nodes_.size(), 0);
+  std::vector<std::vector<size_t>> adjacency(nodes_.size());
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    for (const auto& in : nodes_[n].inputs) {
+      const ValueProducer& producer = producers_.at(in.source_value);
+      if (producer.kind == ValueProducer::Kind::kNode) {
+        if (producer.index == n) {
+          return InvalidArgument(
+              dbase::StrFormat("node %zu (%s) consumes its own output", n, nodes_[n].callee.c_str()));
+        }
+        adjacency[producer.index].push_back(n);
+        ++in_degree[n];
+      }
+    }
+  }
+  std::queue<size_t> ready;
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    if (in_degree[n] == 0) {
+      ready.push(n);
+    }
+  }
+  while (!ready.empty()) {
+    const size_t n = ready.front();
+    ready.pop();
+    topo_order_.push_back(n);
+    for (size_t next : adjacency[n]) {
+      if (--in_degree[next] == 0) {
+        ready.push(next);
+      }
+    }
+  }
+  if (topo_order_.size() != nodes_.size()) {
+    return InvalidArgument("composition graph contains a cycle");
+  }
+  return dbase::OkStatus();
+}
+
+dbase::Result<ValueProducer> CompositionGraph::ProducerOf(const std::string& value) const {
+  auto it = producers_.find(value);
+  if (it == producers_.end()) {
+    return dbase::NotFound("unknown composition value: " + value);
+  }
+  return it->second;
+}
+
+int CompositionGraph::ConsumerCount(const std::string& value) const {
+  auto it = consumer_counts_.find(value);
+  return it == consumer_counts_.end() ? 0 : it->second;
+}
+
+std::string CompositionGraph::DebugString() const {
+  std::string out = "composition " + name_ + " nodes=[";
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += nodes_[i].callee;
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace ddsl

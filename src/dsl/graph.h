@@ -1,0 +1,93 @@
+// Validated composition graphs — the form the dispatcher executes. Lowering
+// from the AST checks the dataflow rules: every consumed value has exactly
+// one producer (a composition parameter or an earlier node's output alias),
+// aliases are unique, declared results are produced, and the graph is
+// acyclic (guaranteed by define-before-use, and re-checked structurally for
+// graphs assembled programmatically).
+#ifndef SRC_DSL_GRAPH_H_
+#define SRC_DSL_GRAPH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/dsl/ast.h"
+
+namespace ddsl {
+
+// Index of the producer of a named value.
+struct ValueProducer {
+  // kParam: the value is the composition parameter params[index].
+  // kNode: the value is output binding `binding` of nodes[index].
+  enum class Kind { kParam, kNode } kind = Kind::kParam;
+  size_t index = 0;
+  size_t binding = 0;
+};
+
+struct GraphInput {
+  std::string set_name;
+  Distribution dist = Distribution::kAll;
+  bool optional = false;
+  std::string source_value;
+};
+
+struct GraphOutput {
+  std::string value;     // Composition-level value this output defines.
+  std::string set_name;  // Function output set.
+};
+
+struct GraphNode {
+  std::string callee;
+  std::vector<GraphInput> inputs;
+  std::vector<GraphOutput> outputs;
+};
+
+class CompositionGraph {
+ public:
+  // Lowers and validates an AST.
+  static dbase::Result<CompositionGraph> FromAst(const CompositionAst& ast);
+
+  // Validates a programmatically assembled graph (same rules as FromAst,
+  // plus an explicit cycle check since node order is not trusted).
+  static dbase::Result<CompositionGraph> Create(std::string name,
+                                                std::vector<std::string> params,
+                                                std::vector<std::string> results,
+                                                std::vector<GraphNode> nodes);
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& params() const { return params_; }
+  const std::vector<std::string>& results() const { return results_; }
+  const std::vector<GraphNode>& nodes() const { return nodes_; }
+
+  // Producer of a named value; error if the value is unknown.
+  dbase::Result<ValueProducer> ProducerOf(const std::string& value) const;
+
+  // Node indices in a valid execution order (producers before consumers).
+  const std::vector<size_t>& topo_order() const { return topo_order_; }
+
+  // Consumer count per value name — the dispatcher uses this to know when
+  // an intermediate value's memory can be reclaimed (§5: "deallocates a
+  // completed function's memory context when all data-dependent functions
+  // have consumed its output"). Values that are composition results count
+  // one extra consumer (the client).
+  int ConsumerCount(const std::string& value) const;
+
+  std::string DebugString() const;
+
+ private:
+  dbase::Status Validate();
+
+  std::string name_;
+  std::vector<std::string> params_;
+  std::vector<std::string> results_;
+  std::vector<GraphNode> nodes_;
+  std::map<std::string, ValueProducer> producers_;
+  std::map<std::string, int> consumer_counts_;
+  std::vector<size_t> topo_order_;
+};
+
+}  // namespace ddsl
+
+#endif  // SRC_DSL_GRAPH_H_

@@ -1,0 +1,164 @@
+#include "src/dsl/lexer.h"
+
+#include <cctype>
+
+#include "src/base/string_util.h"
+
+namespace ddsl {
+
+std::string_view TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kKwComposition:
+      return "'composition'";
+    case TokenKind::kKwAll:
+      return "'all'";
+    case TokenKind::kKwEach:
+      return "'each'";
+    case TokenKind::kKwKey:
+      return "'key'";
+    case TokenKind::kKwOptional:
+      return "'optional'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kEquals:
+      return "'='";
+    case TokenKind::kArrow:
+      return "'=>'";
+    case TokenKind::kEof:
+      return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+bool IsIdentStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool IsIdentChar(char c) { return IsIdentStart(c) || (c >= '0' && c <= '9'); }
+
+TokenKind KeywordOrIdentifier(std::string_view text) {
+  if (text == "composition") {
+    return TokenKind::kKwComposition;
+  }
+  if (text == "all") {
+    return TokenKind::kKwAll;
+  }
+  if (text == "each") {
+    return TokenKind::kKwEach;
+  }
+  if (text == "key") {
+    return TokenKind::kKwKey;
+  }
+  if (text == "optional") {
+    return TokenKind::kKwOptional;
+  }
+  return TokenKind::kIdentifier;
+}
+}  // namespace
+
+dbase::Result<std::vector<Token>> Tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  size_t i = 0;
+
+  auto advance = [&](size_t count) {
+    for (size_t k = 0; k < count; ++k) {
+      if (source[i + k] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    i += count;
+  };
+
+  while (i < source.size()) {
+    const char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      advance(1);
+      continue;
+    }
+    // Comments: '//' and '#' to end of line.
+    if (c == '#' || (c == '/' && i + 1 < source.size() && source[i + 1] == '/')) {
+      while (i < source.size() && source[i] != '\n') {
+        advance(1);
+      }
+      continue;
+    }
+
+    Token token;
+    token.line = line;
+    token.column = column;
+
+    if (IsIdentStart(c)) {
+      size_t end = i;
+      while (end < source.size() && IsIdentChar(source[end])) {
+        ++end;
+      }
+      token.text = std::string(source.substr(i, end - i));
+      token.kind = KeywordOrIdentifier(token.text);
+      advance(end - i);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    if (c == '=' && i + 1 < source.size() && source[i + 1] == '>') {
+      token.kind = TokenKind::kArrow;
+      advance(2);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    switch (c) {
+      case '(':
+        token.kind = TokenKind::kLParen;
+        break;
+      case ')':
+        token.kind = TokenKind::kRParen;
+        break;
+      case '{':
+        token.kind = TokenKind::kLBrace;
+        break;
+      case '}':
+        token.kind = TokenKind::kRBrace;
+        break;
+      case ',':
+        token.kind = TokenKind::kComma;
+        break;
+      case ';':
+        token.kind = TokenKind::kSemicolon;
+        break;
+      case '=':
+        token.kind = TokenKind::kEquals;
+        break;
+      default:
+        return dbase::InvalidArgument(
+            dbase::StrFormat("unexpected character '%c' at %d:%d", c, line, column));
+    }
+    advance(1);
+    tokens.push_back(std::move(token));
+  }
+
+  Token eof;
+  eof.kind = TokenKind::kEof;
+  eof.line = line;
+  eof.column = column;
+  tokens.push_back(std::move(eof));
+  return tokens;
+}
+
+}  // namespace ddsl

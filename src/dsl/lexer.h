@@ -1,0 +1,46 @@
+// Lexer for the Dandelion composition DSL (§4.1, Listing 2).
+#ifndef SRC_DSL_LEXER_H_
+#define SRC_DSL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace ddsl {
+
+enum class TokenKind {
+  kIdentifier,
+  kKwComposition,
+  kKwAll,
+  kKwEach,
+  kKwKey,
+  kKwOptional,
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kSemicolon,
+  kEquals,
+  kArrow,  // "=>"
+  kEof,
+};
+
+std::string_view TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;  // Identifier spelling; empty for punctuation.
+  int line = 1;
+  int column = 1;
+};
+
+// Tokenizes the whole input. Comments run from "//" or "#" to end of line.
+// Identifiers are [A-Za-z_][A-Za-z0-9_]*.
+dbase::Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace ddsl
+
+#endif  // SRC_DSL_LEXER_H_

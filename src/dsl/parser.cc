@@ -1,0 +1,247 @@
+#include "src/dsl/parser.h"
+
+#include "src/base/string_util.h"
+#include "src/dsl/lexer.h"
+
+namespace ddsl {
+
+std::string_view DistributionName(Distribution d) {
+  switch (d) {
+    case Distribution::kAll:
+      return "all";
+    case Distribution::kEach:
+      return "each";
+    case Distribution::kKey:
+      return "key";
+  }
+  return "all";
+}
+
+std::string FormatComposition(const CompositionAst& ast) {
+  std::string out = "composition " + ast.name + "(";
+  for (size_t i = 0; i < ast.params.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += ast.params[i];
+  }
+  out += ") => ";
+  for (size_t i = 0; i < ast.results.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += ast.results[i];
+  }
+  out += " {\n";
+  for (const auto& node : ast.nodes) {
+    out += "  " + node.callee + "(";
+    for (size_t i = 0; i < node.inputs.size(); ++i) {
+      const auto& in = node.inputs[i];
+      if (i > 0) {
+        out += ", ";
+      }
+      out += in.set_name;
+      out += " = ";
+      out += DistributionName(in.dist);
+      if (in.optional) {
+        out += " optional";
+      }
+      out += " ";
+      out += in.source;
+    }
+    out += ") => (";
+    for (size_t i = 0; i < node.outputs.size(); ++i) {
+      const auto& o = node.outputs[i];
+      if (i > 0) {
+        out += ", ";
+      }
+      out += o.alias + " = " + o.set_name;
+    }
+    out += ");\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  dbase::Result<std::vector<CompositionAst>> ParseFile() {
+    std::vector<CompositionAst> out;
+    while (Peek().kind != TokenKind::kEof) {
+      ASSIGN_OR_RETURN(CompositionAst comp, ParseComposition());
+      out.push_back(std::move(comp));
+    }
+    if (out.empty()) {
+      return Error("source contains no composition definition");
+    }
+    return out;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  dbase::Status Error(const std::string& message) const {
+    const Token& t = Peek();
+    return dbase::InvalidArgument(
+        dbase::StrFormat("%d:%d: %s", t.line, t.column, message.c_str()));
+  }
+
+  dbase::Result<Token> Expect(TokenKind kind) {
+    if (Peek().kind != kind) {
+      return Error(dbase::StrFormat("expected %s, found %s",
+                                    std::string(TokenKindName(kind)).c_str(),
+                                    std::string(TokenKindName(Peek().kind)).c_str()));
+    }
+    return Advance();
+  }
+
+  dbase::Result<std::string> ExpectIdentifier(const char* what) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error(dbase::StrFormat("expected %s, found %s", what,
+                                    std::string(TokenKindName(Peek().kind)).c_str()));
+    }
+    return Advance().text;
+  }
+
+  // name_list := identifier (',' identifier)*
+  dbase::Result<std::vector<std::string>> ParseNameList(const char* what) {
+    std::vector<std::string> names;
+    ASSIGN_OR_RETURN(std::string first, ExpectIdentifier(what));
+    names.push_back(std::move(first));
+    while (Peek().kind == TokenKind::kComma) {
+      Advance();
+      ASSIGN_OR_RETURN(std::string next, ExpectIdentifier(what));
+      names.push_back(std::move(next));
+    }
+    return names;
+  }
+
+  dbase::Result<CompositionAst> ParseComposition() {
+    CompositionAst comp;
+    comp.loc = {Peek().line, Peek().column};
+    RETURN_IF_ERROR(Expect(TokenKind::kKwComposition).status());
+    ASSIGN_OR_RETURN(comp.name, ExpectIdentifier("composition name"));
+    RETURN_IF_ERROR(Expect(TokenKind::kLParen).status());
+    if (Peek().kind != TokenKind::kRParen) {
+      ASSIGN_OR_RETURN(comp.params, ParseNameList("parameter name"));
+    }
+    RETURN_IF_ERROR(Expect(TokenKind::kRParen).status());
+    RETURN_IF_ERROR(Expect(TokenKind::kArrow).status());
+    ASSIGN_OR_RETURN(comp.results, ParseNameList("result name"));
+    RETURN_IF_ERROR(Expect(TokenKind::kLBrace).status());
+    while (Peek().kind != TokenKind::kRBrace) {
+      if (Peek().kind == TokenKind::kEof) {
+        return Error("unterminated composition body (missing '}')");
+      }
+      ASSIGN_OR_RETURN(NodeStmtAst node, ParseNodeStmt());
+      comp.nodes.push_back(std::move(node));
+    }
+    Advance();  // '}'
+    if (comp.nodes.empty()) {
+      return dbase::InvalidArgument(
+          dbase::StrFormat("%d:%d: composition '%s' has no nodes", comp.loc.line,
+                           comp.loc.column, comp.name.c_str()));
+    }
+    return comp;
+  }
+
+  // node_stmt := callee '(' input_binding (',' input_binding)* ')'
+  //              '=>' '(' output_binding (',' output_binding)* ')' ';'
+  dbase::Result<NodeStmtAst> ParseNodeStmt() {
+    NodeStmtAst node;
+    node.loc = {Peek().line, Peek().column};
+    ASSIGN_OR_RETURN(node.callee, ExpectIdentifier("function or composition name"));
+    RETURN_IF_ERROR(Expect(TokenKind::kLParen).status());
+    if (Peek().kind != TokenKind::kRParen) {
+      while (true) {
+        ASSIGN_OR_RETURN(InputBindingAst binding, ParseInputBinding());
+        node.inputs.push_back(std::move(binding));
+        if (Peek().kind != TokenKind::kComma) {
+          break;
+        }
+        Advance();
+      }
+    }
+    RETURN_IF_ERROR(Expect(TokenKind::kRParen).status());
+    RETURN_IF_ERROR(Expect(TokenKind::kArrow).status());
+    RETURN_IF_ERROR(Expect(TokenKind::kLParen).status());
+    if (Peek().kind != TokenKind::kRParen) {
+      while (true) {
+        ASSIGN_OR_RETURN(OutputBindingAst binding, ParseOutputBinding());
+        node.outputs.push_back(std::move(binding));
+        if (Peek().kind != TokenKind::kComma) {
+          break;
+        }
+        Advance();
+      }
+    }
+    RETURN_IF_ERROR(Expect(TokenKind::kRParen).status());
+    RETURN_IF_ERROR(Expect(TokenKind::kSemicolon).status());
+    return node;
+  }
+
+  // input_binding := set_name '=' ('all'|'each'|'key') ['optional'] source
+  dbase::Result<InputBindingAst> ParseInputBinding() {
+    InputBindingAst binding;
+    binding.loc = {Peek().line, Peek().column};
+    ASSIGN_OR_RETURN(binding.set_name, ExpectIdentifier("input set name"));
+    RETURN_IF_ERROR(Expect(TokenKind::kEquals).status());
+    switch (Peek().kind) {
+      case TokenKind::kKwAll:
+        binding.dist = Distribution::kAll;
+        break;
+      case TokenKind::kKwEach:
+        binding.dist = Distribution::kEach;
+        break;
+      case TokenKind::kKwKey:
+        binding.dist = Distribution::kKey;
+        break;
+      default:
+        return Error("expected distribution keyword 'all', 'each', or 'key'");
+    }
+    Advance();
+    if (Peek().kind == TokenKind::kKwOptional) {
+      binding.optional = true;
+      Advance();
+    }
+    ASSIGN_OR_RETURN(binding.source, ExpectIdentifier("source value name"));
+    return binding;
+  }
+
+  // output_binding := alias '=' set_name
+  dbase::Result<OutputBindingAst> ParseOutputBinding() {
+    OutputBindingAst binding;
+    binding.loc = {Peek().line, Peek().column};
+    ASSIGN_OR_RETURN(binding.alias, ExpectIdentifier("output alias"));
+    RETURN_IF_ERROR(Expect(TokenKind::kEquals).status());
+    ASSIGN_OR_RETURN(binding.set_name, ExpectIdentifier("output set name"));
+    return binding;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+dbase::Result<std::vector<CompositionAst>> ParseCompositions(std::string_view source) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseFile();
+}
+
+dbase::Result<CompositionAst> ParseSingleComposition(std::string_view source) {
+  ASSIGN_OR_RETURN(auto compositions, ParseCompositions(source));
+  if (compositions.size() != 1) {
+    return dbase::InvalidArgument(
+        dbase::StrFormat("expected exactly one composition, found %zu", compositions.size()));
+  }
+  return std::move(compositions.front());
+}
+
+}  // namespace ddsl

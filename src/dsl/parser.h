@@ -1,0 +1,22 @@
+// Recursive-descent parser for the composition DSL.
+#ifndef SRC_DSL_PARSER_H_
+#define SRC_DSL_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/dsl/ast.h"
+
+namespace ddsl {
+
+// Parses a source file containing one or more composition definitions.
+// Errors carry line:column positions.
+dbase::Result<std::vector<CompositionAst>> ParseCompositions(std::string_view source);
+
+// Convenience: parses a source expected to contain exactly one composition.
+dbase::Result<CompositionAst> ParseSingleComposition(std::string_view source);
+
+}  // namespace ddsl
+
+#endif  // SRC_DSL_PARSER_H_

@@ -1,0 +1,143 @@
+#include "src/func/data.h"
+
+#include <cstring>
+
+namespace dfunc {
+namespace {
+
+constexpr uint32_t kMagic = 0x444C4E31;  // "DLN1"
+
+void AppendU32(std::string* out, uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v & 0xff);
+  buf[1] = static_cast<char>((v >> 8) & 0xff);
+  buf[2] = static_cast<char>((v >> 16) & 0xff);
+  buf[3] = static_cast<char>((v >> 24) & 0xff);
+  out->append(buf, 4);
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  AppendU32(out, static_cast<uint32_t>(v & 0xffffffff));
+  AppendU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+void AppendBlob(std::string* out, std::string_view blob) {
+  AppendU64(out, blob.size());
+  out->append(blob);
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view buffer) : buffer_(buffer) {}
+
+  dbase::Result<uint32_t> ReadU32() {
+    if (buffer_.size() - pos_ < 4) {
+      return dbase::InvalidArgument("truncated buffer reading u32");
+    }
+    uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) {
+      v = (v << 8) | static_cast<uint8_t>(buffer_[pos_ + static_cast<size_t>(i)]);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  dbase::Result<uint64_t> ReadU64() {
+    ASSIGN_OR_RETURN(uint32_t lo, ReadU32());
+    ASSIGN_OR_RETURN(uint32_t hi, ReadU32());
+    return (static_cast<uint64_t>(hi) << 32) | lo;
+  }
+
+  dbase::Result<std::string_view> ReadBlob() {
+    ASSIGN_OR_RETURN(uint64_t size, ReadU64());
+    if (buffer_.size() - pos_ < size) {
+      return dbase::InvalidArgument("truncated buffer reading blob");
+    }
+    std::string_view blob = buffer_.substr(pos_, size);
+    pos_ += size;
+    return blob;
+  }
+
+  bool AtEnd() const { return pos_ == buffer_.size(); }
+
+ private:
+  std::string_view buffer_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+uint64_t TotalBytes(const DataSetList& sets) {
+  uint64_t total = 0;
+  for (const auto& set : sets) {
+    total += set.TotalBytes();
+  }
+  return total;
+}
+
+const DataSet* FindSet(const DataSetList& sets, std::string_view name) {
+  for (const auto& set : sets) {
+    if (set.name == name) {
+      return &set;
+    }
+  }
+  return nullptr;
+}
+
+DataSet* FindSet(DataSetList& sets, std::string_view name) {
+  for (auto& set : sets) {
+    if (set.name == name) {
+      return &set;
+    }
+  }
+  return nullptr;
+}
+
+std::string MarshalSets(const DataSetList& sets) {
+  std::string out;
+  out.reserve(16 + TotalBytes(sets));
+  AppendU32(&out, kMagic);
+  AppendU32(&out, static_cast<uint32_t>(sets.size()));
+  for (const auto& set : sets) {
+    AppendBlob(&out, set.name);
+    AppendU32(&out, static_cast<uint32_t>(set.items.size()));
+    for (const auto& item : set.items) {
+      AppendBlob(&out, item.key);
+      AppendBlob(&out, item.data);
+    }
+  }
+  return out;
+}
+
+dbase::Result<DataSetList> UnmarshalSets(std::string_view buffer) {
+  Reader reader(buffer);
+  ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
+  if (magic != kMagic) {
+    return dbase::InvalidArgument("bad magic in marshalled set list");
+  }
+  ASSIGN_OR_RETURN(uint32_t set_count, reader.ReadU32());
+  DataSetList sets;
+  sets.reserve(set_count);
+  for (uint32_t s = 0; s < set_count; ++s) {
+    DataSet set;
+    ASSIGN_OR_RETURN(std::string_view name, reader.ReadBlob());
+    set.name = std::string(name);
+    ASSIGN_OR_RETURN(uint32_t item_count, reader.ReadU32());
+    set.items.reserve(item_count);
+    for (uint32_t i = 0; i < item_count; ++i) {
+      DataItem item;
+      ASSIGN_OR_RETURN(std::string_view key, reader.ReadBlob());
+      ASSIGN_OR_RETURN(std::string_view data, reader.ReadBlob());
+      item.key = std::string(key);
+      item.data = std::string(data);
+      set.items.push_back(std::move(item));
+    }
+    sets.push_back(std::move(set));
+  }
+  if (!reader.AtEnd()) {
+    return dbase::InvalidArgument("trailing bytes after marshalled set list");
+  }
+  return sets;
+}
+
+}  // namespace dfunc

@@ -1,0 +1,59 @@
+// Dandelion's data model (§4.1): functions consume and produce *sets* of
+// *items*. An edge in a composition names one output set of the producer and
+// one input set of the consumer; the `key` distribution keyword groups items
+// by the keys producers attach to them.
+#ifndef SRC_FUNC_DATA_H_
+#define SRC_FUNC_DATA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace dfunc {
+
+struct DataItem {
+  // Grouping key; empty unless the producer set one. "Keys are set by the
+  // user when formatting output data and are only used for grouping."
+  std::string key;
+  std::string data;
+
+  bool operator==(const DataItem& other) const = default;
+};
+
+struct DataSet {
+  std::string name;
+  std::vector<DataItem> items;
+
+  bool operator==(const DataSet& other) const = default;
+
+  uint64_t TotalBytes() const {
+    uint64_t total = 0;
+    for (const auto& item : items) {
+      total += item.data.size() + item.key.size();
+    }
+    return total;
+  }
+};
+
+// The complete input (or output) of one function instance.
+using DataSetList = std::vector<DataSet>;
+
+uint64_t TotalBytes(const DataSetList& sets);
+
+// Finds a set by name; nullptr if absent.
+const DataSet* FindSet(const DataSetList& sets, std::string_view name);
+DataSet* FindSet(DataSetList& sets, std::string_view name);
+
+// Flat, versioned wire format used to move set lists in and out of memory
+// contexts (shared memory for the process backend, guest memory for VMs).
+// Layout: magic, set count, then per set: name, item count, per item: key,
+// payload. All integers little-endian.
+std::string MarshalSets(const DataSetList& sets);
+dbase::Result<DataSetList> UnmarshalSets(std::string_view buffer);
+
+}  // namespace dfunc
+
+#endif  // SRC_FUNC_DATA_H_

@@ -1,0 +1,72 @@
+// The compute-function programming interface (the "SDK", §4.2). A compute
+// function is pure: it reads declared input sets, writes declared output
+// sets, and performs no I/O or syscalls. Two equivalent views are offered,
+// mirroring dlibc:
+//   - direct set/item access (the low-level descriptor interface), and
+//   - an in-memory filesystem where "/in/<set>/<item-index>" are the inputs
+//     and files created under "/out/<set>/" become output items.
+#ifndef SRC_FUNC_FUNCTION_H_
+#define SRC_FUNC_FUNCTION_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/base/status.h"
+#include "src/func/data.h"
+#include "src/vfs/memfs.h"
+
+namespace dfunc {
+
+class FunctionCtx {
+ public:
+  explicit FunctionCtx(DataSetList inputs);
+
+  // --- Low-level interface -------------------------------------------------
+  const DataSetList& inputs() const { return inputs_; }
+  // nullptr when the set is absent (declared-optional sets may be missing).
+  const DataSet* input_set(std::string_view name) const { return FindSet(inputs_, name); }
+  // Convenience: the first item of a set, or error if the set is empty/absent.
+  dbase::Result<std::string> SingleInput(std::string_view set_name) const;
+
+  // Appends an item to the named output set (created on first use).
+  void EmitOutput(std::string_view set_name, std::string data, std::string key = "");
+
+  DataSetList& outputs() { return outputs_; }
+  const DataSetList& outputs() const { return outputs_; }
+
+  // --- Filesystem interface ------------------------------------------------
+  // Lazily materializes "/in" from the input sets on first access.
+  dvfs::MemFs& fs();
+  // Converts files under "/out/<set>/" into output items (file name becomes
+  // the item key), merging with any items emitted via EmitOutput.
+  dbase::Status CollectFsOutputs();
+  bool fs_materialized() const { return fs_ != nullptr; }
+
+  // --- Cooperative preemption ---------------------------------------------
+  // Thread-based isolation backends cannot hard-kill a runaway function
+  // (the process backend can); they set this flag on timeout. Long-running
+  // loops should poll cancelled() — the stand-in for the paper's preemption
+  // of over-deadline tasks (§5 footnote 2).
+  void set_cancel_flag(const std::atomic<bool>* flag) { cancel_ = flag; }
+  bool cancelled() const {
+    return cancel_ != nullptr && cancel_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  DataSetList inputs_;
+  DataSetList outputs_;
+  std::unique_ptr<dvfs::MemFs> fs_;  // Lazily created.
+  const std::atomic<bool>* cancel_ = nullptr;
+};
+
+// A compute function body. Returning a non-OK status fails the instance;
+// the dispatcher converts it into an error signal on the output edges
+// (§4.4). Must not block, must not touch global state.
+using ComputeFunction = std::function<dbase::Status(FunctionCtx&)>;
+
+}  // namespace dfunc
+
+#endif  // SRC_FUNC_FUNCTION_H_

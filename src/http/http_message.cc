@@ -1,0 +1,116 @@
+#include "src/http/http_message.h"
+
+#include "src/base/string_util.h"
+
+namespace dhttp {
+
+std::string_view MethodName(Method m) {
+  switch (m) {
+    case Method::kGet:
+      return "GET";
+    case Method::kPut:
+      return "PUT";
+    case Method::kPost:
+      return "POST";
+    case Method::kDelete:
+      return "DELETE";
+  }
+  return "GET";
+}
+
+std::optional<Method> MethodFromName(std::string_view name) {
+  if (name == "GET") {
+    return Method::kGet;
+  }
+  if (name == "PUT") {
+    return Method::kPut;
+  }
+  if (name == "POST") {
+    return Method::kPost;
+  }
+  if (name == "DELETE") {
+    return Method::kDelete;
+  }
+  return std::nullopt;
+}
+
+void HeaderList::Add(std::string name, std::string value) {
+  headers_.emplace_back(std::move(name), std::move(value));
+}
+
+std::optional<std::string_view> HeaderList::Get(std::string_view name) const {
+  for (const auto& [key, value] : headers_) {
+    if (dbase::EqualsIgnoreCase(key, name)) {
+      return std::string_view(value);
+    }
+  }
+  return std::nullopt;
+}
+
+void HeaderList::Set(std::string name, std::string value) {
+  auto it = headers_.begin();
+  while (it != headers_.end()) {
+    if (dbase::EqualsIgnoreCase(it->first, name)) {
+      it = headers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  headers_.emplace_back(std::move(name), std::move(value));
+}
+
+namespace {
+void AppendHeaders(std::string* out, const HeaderList& headers, size_t body_size,
+                   bool has_content_length) {
+  for (const auto& [key, value] : headers.entries()) {
+    out->append(key);
+    out->append(": ");
+    out->append(value);
+    out->append("\r\n");
+  }
+  if (!has_content_length) {
+    out->append("Content-Length: ");
+    out->append(std::to_string(body_size));
+    out->append("\r\n");
+  }
+  out->append("\r\n");
+}
+}  // namespace
+
+std::string HttpRequest::Serialize() const {
+  std::string out;
+  out.reserve(64 + body.size());
+  out.append(MethodName(method));
+  out.push_back(' ');
+  out.append(target);
+  out.push_back(' ');
+  out.append(version);
+  out.append("\r\n");
+  AppendHeaders(&out, headers, body.size(), headers.Has("Content-Length"));
+  out.append(body);
+  return out;
+}
+
+std::string HttpResponse::Serialize() const {
+  std::string out;
+  out.reserve(64 + body.size());
+  out.append(version);
+  out.push_back(' ');
+  out.append(std::to_string(status_code));
+  out.push_back(' ');
+  out.append(reason);
+  out.append("\r\n");
+  AppendHeaders(&out, headers, body.size(), headers.Has("Content-Length"));
+  out.append(body);
+  return out;
+}
+
+HttpResponse HttpResponse::Make(int code, std::string_view reason, std::string body) {
+  HttpResponse resp;
+  resp.status_code = code;
+  resp.reason = std::string(reason);
+  resp.body = std::move(body);
+  return resp;
+}
+
+}  // namespace dhttp

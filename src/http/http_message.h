@@ -1,0 +1,80 @@
+// HTTP/1.1 message model. Dandelion's only communication function speaks
+// HTTP (§3, §6.3): compute functions emit serialized requests as output
+// items; the platform's communication engines parse, sanitize, and carry
+// them out, handing the serialized response to downstream functions.
+#ifndef SRC_HTTP_HTTP_MESSAGE_H_
+#define SRC_HTTP_HTTP_MESSAGE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dhttp {
+
+enum class Method { kGet, kPut, kPost, kDelete };
+
+std::string_view MethodName(Method m);
+std::optional<Method> MethodFromName(std::string_view name);
+
+// Ordered header list; HTTP allows repeats and order can matter.
+class HeaderList {
+ public:
+  void Add(std::string name, std::string value);
+  // First value with the given name (case-insensitive); nullopt if absent.
+  std::optional<std::string_view> Get(std::string_view name) const;
+  bool Has(std::string_view name) const { return Get(name).has_value(); }
+  // Replaces all occurrences with a single header.
+  void Set(std::string name, std::string value);
+  size_t size() const { return headers_.size(); }
+  const std::vector<std::pair<std::string, std::string>>& entries() const { return headers_; }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> headers_;
+};
+
+struct HttpRequest {
+  Method method = Method::kGet;
+  // Full target as written by the user function, e.g.
+  // "http://storage.internal/bucket/key" — communication engines resolve the
+  // host against the service mesh.
+  std::string target;
+  std::string version = "HTTP/1.1";
+  HeaderList headers;
+  std::string body;
+
+  // Serialized wire form (request line, headers incl. Content-Length, body).
+  std::string Serialize() const;
+};
+
+struct HttpResponse {
+  int status_code = 200;
+  std::string reason = "OK";
+  std::string version = "HTTP/1.1";
+  HeaderList headers;
+  std::string body;
+
+  bool IsSuccess() const { return status_code >= 200 && status_code < 300; }
+  std::string Serialize() const;
+
+  static HttpResponse Make(int code, std::string_view reason, std::string body);
+  static HttpResponse Ok(std::string body) { return Make(200, "OK", std::move(body)); }
+  static HttpResponse NotFound(std::string body = "not found") {
+    return Make(404, "Not Found", std::move(body));
+  }
+  static HttpResponse BadRequest(std::string body = "bad request") {
+    return Make(400, "Bad Request", std::move(body));
+  }
+  static HttpResponse Unauthorized(std::string body = "unauthorized") {
+    return Make(401, "Unauthorized", std::move(body));
+  }
+  static HttpResponse ServerError(std::string body = "internal error") {
+    return Make(500, "Internal Server Error", std::move(body));
+  }
+};
+
+}  // namespace dhttp
+
+#endif  // SRC_HTTP_HTTP_MESSAGE_H_

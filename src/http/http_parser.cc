@@ -1,0 +1,159 @@
+#include "src/http/http_parser.h"
+
+#include "src/base/string_util.h"
+
+namespace dhttp {
+namespace {
+
+using dbase::InvalidArgument;
+using dbase::Result;
+
+struct HeadSplit {
+  std::string_view start_line;
+  std::string_view header_block;  // May be empty.
+  std::string_view body;
+};
+
+Result<HeadSplit> SplitMessage(std::string_view wire) {
+  const size_t line_end = wire.find("\r\n");
+  if (line_end == std::string_view::npos) {
+    return InvalidArgument("missing CRLF after start line");
+  }
+  HeadSplit out;
+  out.start_line = wire.substr(0, line_end);
+  const size_t head_end = wire.find("\r\n\r\n", line_end);
+  if (head_end == std::string_view::npos) {
+    return InvalidArgument("missing blank line terminating header block");
+  }
+  // head_end == line_end when the blank line directly follows the start
+  // line (empty header block).
+  if (head_end > line_end) {
+    out.header_block = wire.substr(line_end + 2, head_end - line_end - 2);
+  }
+  out.body = wire.substr(head_end + 4);
+  return out;
+}
+
+bool IsValidHeaderName(std::string_view name) {
+  if (name.empty()) {
+    return false;
+  }
+  for (char c : name) {
+    const bool token_char = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                            (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    if (!token_char) {
+      return false;
+    }
+  }
+  return true;
+}
+
+dbase::Status ParseHeaders(std::string_view block, HeaderList* headers) {
+  if (block.empty()) {
+    return dbase::OkStatus();
+  }
+  for (std::string_view line : dbase::SplitString(block, "\r\n")) {
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return InvalidArgument("header line missing ':'");
+    }
+    std::string_view name = line.substr(0, colon);
+    if (!IsValidHeaderName(name)) {
+      return InvalidArgument("invalid header field name");
+    }
+    std::string_view value = dbase::TrimWhitespace(line.substr(colon + 1));
+    headers->Add(std::string(name), std::string(value));
+  }
+  return dbase::OkStatus();
+}
+
+// Returns the expected body length, or error. A missing Content-Length is
+// interpreted as zero-length body (we never support chunked encoding).
+Result<uint64_t> ExpectedBodyLength(const HeaderList& headers) {
+  auto value = headers.Get("Content-Length");
+  if (!value.has_value()) {
+    return uint64_t{0};
+  }
+  uint64_t length = 0;
+  if (!dbase::ParseUint64(dbase::TrimWhitespace(*value), &length)) {
+    return InvalidArgument("unparseable Content-Length");
+  }
+  return length;
+}
+
+dbase::Status CheckBody(std::string_view body, const HeaderList& headers) {
+  ASSIGN_OR_RETURN(uint64_t expected, ExpectedBodyLength(headers));
+  if (body.size() != expected) {
+    return InvalidArgument(dbase::StrFormat("body length %zu does not match Content-Length %llu",
+                                            body.size(),
+                                            static_cast<unsigned long long>(expected)));
+  }
+  return dbase::OkStatus();
+}
+
+}  // namespace
+
+Result<HttpRequest> ParseRequest(std::string_view wire) {
+  ASSIGN_OR_RETURN(HeadSplit parts, SplitMessage(wire));
+
+  // Request line: METHOD SP TARGET SP VERSION. Exactly two spaces — the
+  // paper's sanitizer relies only on this first protocol line (§6.3).
+  auto tokens = dbase::SplitString(parts.start_line, ' ');
+  if (tokens.size() != 3) {
+    return InvalidArgument("request line must be 'METHOD target HTTP/x.y'");
+  }
+  auto method = MethodFromName(tokens[0]);
+  if (!method.has_value()) {
+    return InvalidArgument("unsupported HTTP method: " + std::string(tokens[0]));
+  }
+  if (tokens[1].empty()) {
+    return InvalidArgument("empty request target");
+  }
+  if (tokens[2] != "HTTP/1.1" && tokens[2] != "HTTP/1.0") {
+    return InvalidArgument("unsupported HTTP version: " + std::string(tokens[2]));
+  }
+
+  HttpRequest req;
+  req.method = *method;
+  req.target = std::string(tokens[1]);
+  req.version = std::string(tokens[2]);
+  RETURN_IF_ERROR(ParseHeaders(parts.header_block, &req.headers));
+  RETURN_IF_ERROR(CheckBody(parts.body, req.headers));
+  req.body = std::string(parts.body);
+  return req;
+}
+
+Result<HttpResponse> ParseResponse(std::string_view wire) {
+  ASSIGN_OR_RETURN(HeadSplit parts, SplitMessage(wire));
+
+  // Status line: VERSION SP CODE SP REASON (reason may contain spaces).
+  const size_t first_sp = parts.start_line.find(' ');
+  if (first_sp == std::string_view::npos) {
+    return InvalidArgument("status line missing spaces");
+  }
+  const size_t second_sp = parts.start_line.find(' ', first_sp + 1);
+  if (second_sp == std::string_view::npos) {
+    return InvalidArgument("status line missing reason phrase separator");
+  }
+  std::string_view version = parts.start_line.substr(0, first_sp);
+  std::string_view code_str = parts.start_line.substr(first_sp + 1, second_sp - first_sp - 1);
+  std::string_view reason = parts.start_line.substr(second_sp + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return InvalidArgument("unsupported HTTP version in status line");
+  }
+  uint64_t code = 0;
+  if (!dbase::ParseUint64(code_str, &code) || code < 100 || code > 599) {
+    return InvalidArgument("invalid status code");
+  }
+
+  HttpResponse resp;
+  resp.version = std::string(version);
+  resp.status_code = static_cast<int>(code);
+  resp.reason = std::string(reason);
+  RETURN_IF_ERROR(ParseHeaders(parts.header_block, &resp.headers));
+  RETURN_IF_ERROR(CheckBody(parts.body, resp.headers));
+  resp.body = std::string(parts.body);
+  return resp;
+}
+
+}  // namespace dhttp

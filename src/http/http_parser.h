@@ -1,0 +1,24 @@
+// Parsers for HTTP/1.1 requests and responses as they appear in Dandelion
+// data items. Strict by design: communication engines treat all input as
+// untrusted (§6.3) and reject anything that does not match the grammar.
+#ifndef SRC_HTTP_HTTP_PARSER_H_
+#define SRC_HTTP_HTTP_PARSER_H_
+
+#include <string_view>
+
+#include "src/base/status.h"
+#include "src/http/http_message.h"
+
+namespace dhttp {
+
+// Parses a full request (start line, headers, body). The body length is
+// taken from Content-Length; extra trailing bytes are an error, missing
+// bytes are an error. Chunked transfer encoding is not supported (the
+// composition data model always knows item sizes up front).
+dbase::Result<HttpRequest> ParseRequest(std::string_view wire);
+
+dbase::Result<HttpResponse> ParseResponse(std::string_view wire);
+
+}  // namespace dhttp
+
+#endif  // SRC_HTTP_HTTP_PARSER_H_

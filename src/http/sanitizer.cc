@@ -1,0 +1,43 @@
+#include "src/http/sanitizer.h"
+
+#include "src/http/http_parser.h"
+
+namespace dhttp {
+
+dbase::Result<SanitizedRequest> SanitizeRequest(std::string_view raw) {
+  // Size guard before any parsing: a malicious function could emit an
+  // arbitrarily large item; the engine bounds what it will even look at.
+  constexpr size_t kMaxRequestBytes = 64 * 1024 * 1024;
+  if (raw.size() > kMaxRequestBytes) {
+    return dbase::InvalidArgument("request exceeds maximum size");
+  }
+
+  ASSIGN_OR_RETURN(HttpRequest request, ParseRequest(raw));
+
+  // The target must be an absolute URI so the engine can identify the host
+  // to connect to; relative targets could be used to confuse routing.
+  ASSIGN_OR_RETURN(Uri uri, ParseUri(request.target));
+
+  // Reject embedded NUL and control characters in the path and query —
+  // they have no legitimate use and are classic header-smuggling vectors.
+  for (char c : request.target) {
+    if (static_cast<unsigned char>(c) < 0x20 || c == 0x7f) {
+      return dbase::InvalidArgument("control character in request target");
+    }
+  }
+  for (const auto& [name, value] : request.headers.entries()) {
+    for (char c : value) {
+      if (c == '\r' || c == '\n' || c == '\0') {
+        return dbase::InvalidArgument("control character in header value");
+      }
+    }
+    (void)name;  // Field names were validated by the parser.
+  }
+
+  SanitizedRequest out;
+  out.request = std::move(request);
+  out.uri = std::move(uri);
+  return out;
+}
+
+}  // namespace dhttp

@@ -1,0 +1,30 @@
+// Input sanitization for the HTTP communication function (§6.3). Untrusted
+// compute-function output becomes a request only after these checks pass:
+// the method is in the fixed allow-list, the protocol version is known, and
+// the URI host is a syntactically valid domain name or IP.
+#ifndef SRC_HTTP_SANITIZER_H_
+#define SRC_HTTP_SANITIZER_H_
+
+#include <string_view>
+
+#include "src/base/status.h"
+#include "src/http/http_message.h"
+#include "src/http/uri.h"
+
+namespace dhttp {
+
+// A fully validated request ready to be carried out by a communication
+// engine. Only constructed through SanitizeRequest.
+struct SanitizedRequest {
+  HttpRequest request;
+  Uri uri;
+};
+
+// Parses + validates raw bytes produced by an untrusted compute function.
+// Rejection reasons become HTTP-level errors forwarded downstream (§4.4),
+// never crashes in the trusted engine.
+dbase::Result<SanitizedRequest> SanitizeRequest(std::string_view raw);
+
+}  // namespace dhttp
+
+#endif  // SRC_HTTP_SANITIZER_H_

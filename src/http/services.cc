@@ -1,0 +1,298 @@
+#include "src/http/services.h"
+
+#include <algorithm>
+
+#include "src/base/rng.h"
+#include "src/base/string_util.h"
+
+namespace dhttp {
+
+// ---------------------------------------------------------------- ObjectStore
+
+HttpResponse ObjectStoreService::Handle(const HttpRequest& request, const Uri& uri) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (request.method) {
+    case Method::kGet: {
+      auto it = objects_.find(uri.path);
+      if (it == objects_.end()) {
+        return HttpResponse::NotFound("no such object: " + uri.path);
+      }
+      return HttpResponse::Ok(it->second);
+    }
+    case Method::kPut:
+    case Method::kPost:
+      objects_[uri.path] = request.body;
+      return HttpResponse::Make(201, "Created", "");
+    case Method::kDelete: {
+      const size_t erased = objects_.erase(uri.path);
+      if (erased == 0) {
+        return HttpResponse::NotFound("no such object: " + uri.path);
+      }
+      return HttpResponse::Make(204, "No Content", "");
+    }
+  }
+  return HttpResponse::BadRequest("unsupported method");
+}
+
+void ObjectStoreService::PutObject(const std::string& path, std::string data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  objects_[path] = std::move(data);
+}
+
+bool ObjectStoreService::HasObject(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_.count(path) > 0;
+}
+
+size_t ObjectStoreService::ObjectSize(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(path);
+  return it == objects_.end() ? 0 : it->second.size();
+}
+
+size_t ObjectStoreService::object_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_.size();
+}
+
+// ----------------------------------------------------------------------- Auth
+
+HttpResponse AuthService::Handle(const HttpRequest& request, const Uri& uri) {
+  if (request.method != Method::kPost || uri.path != "/authorize") {
+    return HttpResponse::BadRequest("auth service expects POST /authorize");
+  }
+  if (std::string(dbase::TrimWhitespace(request.body)) != expected_token_) {
+    return HttpResponse::Unauthorized("invalid token");
+  }
+  std::string body;
+  for (const auto& url : shard_urls_) {
+    body += url;
+    body += '\n';
+  }
+  return HttpResponse::Ok(std::move(body));
+}
+
+// ------------------------------------------------------------------ LogShard
+
+std::vector<std::string> LogShardService::GenerateLines(const std::string& shard_name, int count,
+                                                        uint64_t seed) {
+  static const char* kLevels[] = {"INFO", "WARN", "ERROR", "DEBUG"};
+  static const char* kEvents[] = {"request served", "cache miss",    "retry scheduled",
+                                  "connection reset", "payment ok",  "user login",
+                                  "gc pause",         "disk flush"};
+  dbase::Rng rng(seed);
+  std::vector<std::string> lines;
+  lines.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    lines.push_back(dbase::StrFormat(
+        "%s ts=%08d level=%s event=\"%s\" latency_us=%llu", shard_name.c_str(), i,
+        kLevels[rng.NextBounded(4)], kEvents[rng.NextBounded(8)],
+        static_cast<unsigned long long>(rng.NextBounded(50000))));
+  }
+  return lines;
+}
+
+HttpResponse LogShardService::Handle(const HttpRequest& request, const Uri& uri) {
+  if (request.method != Method::kGet) {
+    return HttpResponse::BadRequest("log shard expects GET");
+  }
+  std::string body;
+  for (const auto& line : lines_) {
+    body += line;
+    body += '\n';
+  }
+  return HttpResponse::Ok(std::move(body));
+}
+
+// ------------------------------------------------------------------------ LLM
+
+LlmService::LlmService(std::string fallback_completion)
+    : fallback_(std::move(fallback_completion)) {}
+
+void LlmService::AddCannedCompletion(std::string prompt_substring, std::string completion) {
+  canned_.emplace_back(std::move(prompt_substring), std::move(completion));
+}
+
+HttpResponse LlmService::Handle(const HttpRequest& request, const Uri& uri) {
+  if (request.method != Method::kPost) {
+    return HttpResponse::BadRequest("LLM service expects POST");
+  }
+  for (const auto& [pattern, completion] : canned_) {
+    if (request.body.find(pattern) != std::string::npos) {
+      return HttpResponse::Ok(completion);
+    }
+  }
+  return HttpResponse::Ok(fallback_);
+}
+
+// ------------------------------------------------------------------- Tiny DB
+
+void KeyValueDbService::CreateTable(const std::string& name, std::vector<std::string> columns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_[name] = Table{std::move(columns), {}};
+}
+
+void KeyValueDbService::InsertRow(const std::string& table, std::vector<std::string> values) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it != tables_.end() && values.size() == it->second.columns.size()) {
+    it->second.rows.push_back(std::move(values));
+  }
+}
+
+namespace {
+// Case-insensitive keyword scan helpers for the micro-SQL grammar.
+size_t FindKeyword(const std::string& upper, const std::string& keyword) {
+  return upper.find(keyword);
+}
+}  // namespace
+
+dbase::Result<std::string> KeyValueDbService::ExecuteQuery(const std::string& query) const {
+  using dbase::InvalidArgument;
+
+  const std::string upper = dbase::ToUpperAscii(query);
+  const size_t select_pos = FindKeyword(upper, "SELECT ");
+  const size_t from_pos = FindKeyword(upper, " FROM ");
+  if (select_pos != 0 || from_pos == std::string::npos) {
+    return InvalidArgument("query must be SELECT ... FROM ...");
+  }
+
+  // Column list.
+  std::vector<std::string> wanted;
+  for (auto col : dbase::SplitString(
+           std::string_view(query).substr(7, from_pos - 7), ',')) {
+    wanted.emplace_back(dbase::TrimWhitespace(col));
+  }
+
+  // Table name runs until WHERE / LIMIT / end.
+  size_t table_end = upper.size();
+  const size_t where_pos = FindKeyword(upper, " WHERE ");
+  const size_t limit_pos = FindKeyword(upper, " LIMIT ");
+  if (where_pos != std::string::npos) {
+    table_end = std::min(table_end, where_pos);
+  }
+  if (limit_pos != std::string::npos) {
+    table_end = std::min(table_end, limit_pos);
+  }
+  std::string table_name(
+      dbase::TrimWhitespace(std::string_view(query).substr(from_pos + 6, table_end - from_pos - 6)));
+  // Strip a trailing semicolon.
+  if (!table_name.empty() && table_name.back() == ';') {
+    table_name.pop_back();
+  }
+
+  // Optional WHERE col = 'value'.
+  std::string where_col;
+  std::string where_val;
+  if (where_pos != std::string::npos) {
+    size_t clause_end = limit_pos != std::string::npos ? limit_pos : query.size();
+    std::string clause(
+        dbase::TrimWhitespace(std::string_view(query).substr(where_pos + 7, clause_end - where_pos - 7)));
+    if (!clause.empty() && clause.back() == ';') {
+      clause.pop_back();
+    }
+    const size_t eq = clause.find('=');
+    if (eq == std::string::npos) {
+      return InvalidArgument("WHERE clause must be col = 'value'");
+    }
+    where_col = std::string(dbase::TrimWhitespace(std::string_view(clause).substr(0, eq)));
+    std::string value(dbase::TrimWhitespace(std::string_view(clause).substr(eq + 1)));
+    if (value.size() >= 2 && value.front() == '\'' && value.back() == '\'') {
+      value = value.substr(1, value.size() - 2);
+    }
+    where_val = value;
+  }
+
+  // Optional LIMIT n.
+  int64_t limit = -1;
+  if (limit_pos != std::string::npos) {
+    std::string limit_str(dbase::TrimWhitespace(std::string_view(query).substr(limit_pos + 7)));
+    if (!limit_str.empty() && limit_str.back() == ';') {
+      limit_str.pop_back();
+    }
+    if (!dbase::ParseInt64(dbase::TrimWhitespace(limit_str), &limit) || limit < 0) {
+      return InvalidArgument("invalid LIMIT");
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table_name);
+  if (it == tables_.end()) {
+    return dbase::NotFound("no such table: " + table_name);
+  }
+  const Table& table = it->second;
+
+  auto col_index = [&](const std::string& name) -> int {
+    if (name == "*") {
+      return -2;
+    }
+    for (size_t i = 0; i < table.columns.size(); ++i) {
+      if (dbase::EqualsIgnoreCase(table.columns[i], name)) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  };
+
+  std::vector<int> indices;
+  for (const auto& w : wanted) {
+    const int idx = col_index(w);
+    if (idx == -1) {
+      return InvalidArgument("no such column: " + w);
+    }
+    if (idx == -2) {
+      for (size_t i = 0; i < table.columns.size(); ++i) {
+        indices.push_back(static_cast<int>(i));
+      }
+    } else {
+      indices.push_back(idx);
+    }
+  }
+
+  int where_idx = -1;
+  if (!where_col.empty()) {
+    where_idx = col_index(where_col);
+    if (where_idx < 0) {
+      return InvalidArgument("no such column in WHERE: " + where_col);
+    }
+  }
+
+  std::string out;
+  int64_t emitted = 0;
+  for (const auto& row : table.rows) {
+    if (where_idx >= 0 && row[static_cast<size_t>(where_idx)] != where_val) {
+      continue;
+    }
+    if (limit >= 0 && emitted >= limit) {
+      break;
+    }
+    for (size_t i = 0; i < indices.size(); ++i) {
+      if (i > 0) {
+        out += ',';
+      }
+      out += row[static_cast<size_t>(indices[i])];
+    }
+    out += '\n';
+    ++emitted;
+  }
+  return out;
+}
+
+HttpResponse KeyValueDbService::Handle(const HttpRequest& request, const Uri& uri) {
+  if (request.method != Method::kPost || uri.path != "/query") {
+    return HttpResponse::BadRequest("db expects POST /query");
+  }
+  auto result = ExecuteQuery(request.body);
+  if (!result.ok()) {
+    return HttpResponse::BadRequest(result.status().ToString());
+  }
+  return HttpResponse::Ok(std::move(result).value());
+}
+
+// ----------------------------------------------------------------------- Echo
+
+HttpResponse EchoService::Handle(const HttpRequest& request, const Uri& uri) {
+  return HttpResponse::Ok(request.body);
+}
+
+}  // namespace dhttp

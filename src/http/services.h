@@ -1,0 +1,134 @@
+// Simulated cloud services used by the paper's applications:
+//  - ObjectStoreService: S3-like bucket (log processing inputs, SSB data,
+//    image pipeline inputs) — §7.4, §7.6, §7.7.
+//  - AuthService: token → list of authorized log-shard endpoints (Fig. 3).
+//  - LogShardService: serves log chunks for the log-processing app (Fig. 3).
+//  - LlmService: inference endpoint with canned completions + configurable
+//    latency (Text2SQL, §7.7; the paper used Gemma-3-4b on an H100).
+//  - KeyValueDbService: tiny SQL-over-HTTP database (Text2SQL's SQLite).
+//  - EchoService: testing aid.
+#ifndef SRC_HTTP_SERVICES_H_
+#define SRC_HTTP_SERVICES_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/http/service_mesh.h"
+
+namespace dhttp {
+
+// S3-like object store: GET /bucket/key, PUT /bucket/key, DELETE /bucket/key.
+// GET on a missing key returns 404 (exercises the paper's fault-handling
+// path, §4.4).
+class ObjectStoreService : public Service {
+ public:
+  HttpResponse Handle(const HttpRequest& request, const Uri& uri) override;
+
+  // Direct (non-HTTP) access for test setup and data generators.
+  void PutObject(const std::string& path, std::string data);
+  bool HasObject(const std::string& path) const;
+  size_t ObjectSize(const std::string& path) const;
+  size_t object_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> objects_;
+};
+
+// Auth service for the log-processing app: POST /authorize with a token
+// body returns a newline-separated list of authorized shard URLs, or 401.
+class AuthService : public Service {
+ public:
+  AuthService(std::string expected_token, std::vector<std::string> shard_urls)
+      : expected_token_(std::move(expected_token)), shard_urls_(std::move(shard_urls)) {}
+
+  HttpResponse Handle(const HttpRequest& request, const Uri& uri) override;
+
+ private:
+  std::string expected_token_;
+  std::vector<std::string> shard_urls_;
+};
+
+// Log shard: GET /logs returns this shard's chunk of log lines.
+class LogShardService : public Service {
+ public:
+  explicit LogShardService(std::vector<std::string> lines) : lines_(std::move(lines)) {}
+
+  // Generates `count` deterministic log lines tagged with the shard name.
+  static std::vector<std::string> GenerateLines(const std::string& shard_name, int count,
+                                                uint64_t seed);
+
+  HttpResponse Handle(const HttpRequest& request, const Uri& uri) override;
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+// LLM endpoint: POST /v1/completions with a prompt body. Responds with a
+// completion chosen by substring-matching registered prompt patterns
+// (deterministic stand-in for the paper's Gemma-3-4b-it on H100 NVL).
+class LlmService : public Service {
+ public:
+  // If no pattern matches, responds with fallback_completion.
+  explicit LlmService(std::string fallback_completion = "SELECT 1;");
+
+  void AddCannedCompletion(std::string prompt_substring, std::string completion);
+
+  HttpResponse Handle(const HttpRequest& request, const Uri& uri) override;
+
+ private:
+  std::string fallback_;
+  std::vector<std::pair<std::string, std::string>> canned_;
+};
+
+// Minimal SQL-over-HTTP database: POST /query with a query of the grammar
+//   SELECT <col>[, <col>...] FROM <table> [WHERE <col> = '<value>'] [LIMIT n]
+// Rows are returned as CSV. This is the Text2SQL workflow's SQLite stand-in;
+// the full analytical engine lives in src/sql.
+class KeyValueDbService : public Service {
+ public:
+  // A table is a header row (column names) plus string rows.
+  void CreateTable(const std::string& name, std::vector<std::string> columns);
+  void InsertRow(const std::string& table, std::vector<std::string> values);
+
+  HttpResponse Handle(const HttpRequest& request, const Uri& uri) override;
+
+  // Executes the query directly (also used by unit tests).
+  dbase::Result<std::string> ExecuteQuery(const std::string& query) const;
+
+ private:
+  struct Table {
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Table> tables_;
+};
+
+// Responds 200 with the request body (round-trip tests, fetch benchmarks).
+class EchoService : public Service {
+ public:
+  HttpResponse Handle(const HttpRequest& request, const Uri& uri) override;
+};
+
+// Adapts a lambda to a Service.
+class LambdaService : public Service {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&, const Uri&)>;
+  explicit LambdaService(Handler handler) : handler_(std::move(handler)) {}
+  HttpResponse Handle(const HttpRequest& request, const Uri& uri) override {
+    return handler_(request, uri);
+  }
+
+ private:
+  Handler handler_;
+};
+
+}  // namespace dhttp
+
+#endif  // SRC_HTTP_SERVICES_H_

@@ -1,0 +1,129 @@
+#include "src/http/uri.h"
+
+#include <cctype>
+
+#include "src/base/string_util.h"
+
+namespace dhttp {
+namespace {
+
+bool IsValidIpv4(std::string_view host) {
+  auto parts = dbase::SplitString(host, '.');
+  if (parts.size() != 4) {
+    return false;
+  }
+  for (auto part : parts) {
+    uint64_t value = 0;
+    if (part.empty() || part.size() > 3 || !dbase::ParseUint64(part, &value) || value > 255) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IsValidDomainLabel(std::string_view label) {
+  if (label.empty() || label.size() > 63) {
+    return false;
+  }
+  if (label.front() == '-' || label.back() == '-') {
+    return false;
+  }
+  for (char c : label) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+                    c == '-';
+    if (!ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IsValidDomainName(std::string_view host) {
+  if (host.empty() || host.size() > 253) {
+    return false;
+  }
+  for (auto label : dbase::SplitString(host, '.')) {
+    if (!IsValidDomainLabel(label)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool IsValidHost(std::string_view host) {
+  // All-numeric hosts must be well-formed IPv4 literals; "999.1.2.3.4" is
+  // neither an address nor a plausible domain, only a confusion vector.
+  bool numeric = !host.empty();
+  for (char c : host) {
+    if ((c < '0' || c > '9') && c != '.') {
+      numeric = false;
+      break;
+    }
+  }
+  if (numeric) {
+    return IsValidIpv4(host);
+  }
+  return IsValidDomainName(host);
+}
+
+dbase::Result<Uri> ParseUri(std::string_view input) {
+  using dbase::InvalidArgument;
+
+  Uri uri;
+  const size_t scheme_end = input.find("://");
+  if (scheme_end == std::string_view::npos) {
+    return InvalidArgument("URI missing scheme");
+  }
+  uri.scheme = dbase::ToLowerAscii(input.substr(0, scheme_end));
+  if (uri.scheme != "http" && uri.scheme != "https") {
+    return InvalidArgument("unsupported URI scheme: " + uri.scheme);
+  }
+  uri.port = uri.scheme == "https" ? 443 : 80;
+
+  std::string_view rest = input.substr(scheme_end + 3);
+  if (rest.empty()) {
+    return InvalidArgument("URI missing host");
+  }
+
+  // Authority ends at the first '/' or '?'.
+  size_t authority_end = rest.find_first_of("/?");
+  std::string_view authority =
+      authority_end == std::string_view::npos ? rest : rest.substr(0, authority_end);
+  std::string_view path_and_query =
+      authority_end == std::string_view::npos ? std::string_view() : rest.substr(authority_end);
+
+  const size_t colon = authority.rfind(':');
+  std::string_view host = authority;
+  if (colon != std::string_view::npos) {
+    host = authority.substr(0, colon);
+    uint64_t port = 0;
+    if (!dbase::ParseUint64(authority.substr(colon + 1), &port) || port == 0 || port > 65535) {
+      return InvalidArgument("invalid port in URI");
+    }
+    uri.port = static_cast<uint16_t>(port);
+  }
+  if (!IsValidHost(host)) {
+    return InvalidArgument("invalid host in URI: " + std::string(host));
+  }
+  uri.host = dbase::ToLowerAscii(host);
+
+  if (path_and_query.empty() || path_and_query.front() == '?') {
+    uri.path = "/";
+    if (!path_and_query.empty()) {
+      uri.query = std::string(path_and_query.substr(1));
+    }
+    return uri;
+  }
+  const size_t question = path_and_query.find('?');
+  if (question == std::string_view::npos) {
+    uri.path = std::string(path_and_query);
+  } else {
+    uri.path = std::string(path_and_query.substr(0, question));
+    uri.query = std::string(path_and_query.substr(question + 1));
+  }
+  return uri;
+}
+
+}  // namespace dhttp

@@ -1,0 +1,33 @@
+// URI splitting for the HTTP communication function. Only the subset needed
+// to identify the remote host and route within it (§6.3): scheme, host,
+// optional port, path, optional query.
+#ifndef SRC_HTTP_URI_H_
+#define SRC_HTTP_URI_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/base/status.h"
+
+namespace dhttp {
+
+struct Uri {
+  std::string scheme;  // "http" or "https".
+  std::string host;    // Domain name or IPv4 literal.
+  uint16_t port = 80;
+  std::string path;   // Always begins with '/'.
+  std::string query;  // Without the leading '?'; may be empty.
+};
+
+// Parses an absolute URI ("http://host[:port]/path[?query]").
+dbase::Result<Uri> ParseUri(std::string_view input);
+
+// True if the host is a syntactically valid domain name or IPv4 address —
+// the validation the paper's communication engine performs on the first
+// part of the URI.
+bool IsValidHost(std::string_view host);
+
+}  // namespace dhttp
+
+#endif  // SRC_HTTP_URI_H_

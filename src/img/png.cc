@@ -1,0 +1,239 @@
+#include "src/img/png.h"
+
+#include <array>
+#include <cstring>
+
+namespace dimg {
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t n = 0; n < 256; ++n) {
+    uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  return table;
+}
+
+void PutU32Be(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v >> 24));
+  out->push_back(static_cast<char>(v >> 16));
+  out->push_back(static_cast<char>(v >> 8));
+  out->push_back(static_cast<char>(v));
+}
+
+uint32_t GetU32Be(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) | (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | p[3];
+}
+
+// Appends a PNG chunk: length, type, data, CRC(type+data).
+void AppendChunk(std::string* out, const char type[4], std::string_view data) {
+  PutU32Be(out, static_cast<uint32_t>(data.size()));
+  const size_t crc_start = out->size();
+  out->append(type, 4);
+  out->append(data);
+  const uint32_t crc =
+      Crc32(std::string_view(out->data() + crc_start, out->size() - crc_start));
+  PutU32Be(out, crc);
+}
+
+constexpr char kPngSignature[8] = {'\x89', 'P', 'N', 'G', '\r', '\n', '\x1a', '\n'};
+
+// zlib stream with deflate "stored" blocks around `raw`.
+std::string ZlibStore(std::string_view raw) {
+  std::string out;
+  out.push_back('\x78');  // CMF: deflate, 32K window.
+  out.push_back('\x01');  // FLG: check bits, no dict, fastest.
+  size_t offset = 0;
+  do {
+    const size_t block = std::min<size_t>(raw.size() - offset, 65535);
+    const bool final = offset + block == raw.size();
+    out.push_back(final ? '\x01' : '\x00');  // BFINAL + BTYPE=00 (stored).
+    const uint16_t len = static_cast<uint16_t>(block);
+    const uint16_t nlen = static_cast<uint16_t>(~len);
+    out.push_back(static_cast<char>(len & 0xff));
+    out.push_back(static_cast<char>(len >> 8));
+    out.push_back(static_cast<char>(nlen & 0xff));
+    out.push_back(static_cast<char>(nlen >> 8));
+    out.append(raw.substr(offset, block));
+    offset += block;
+  } while (offset < raw.size());
+  PutU32Be(&out, Adler32(raw));
+  return out;
+}
+
+}  // namespace
+
+uint32_t Crc32(uint32_t seed, std::string_view data) {
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (unsigned char byte : data) {
+    c = CrcTable()[(c ^ byte) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32(std::string_view data) { return Crc32(0, data); }
+
+uint32_t Adler32(std::string_view data) {
+  constexpr uint32_t kMod = 65521;
+  uint32_t a = 1;
+  uint32_t b = 0;
+  for (unsigned char byte : data) {
+    a = (a + byte) % kMod;
+    b = (b + a) % kMod;
+  }
+  return (b << 16) | a;
+}
+
+dbase::Result<std::string> PngEncode(const Image& image) {
+  if (image.channels != 3 && image.channels != 4) {
+    return dbase::InvalidArgument("PNG encoder supports RGB and RGBA only");
+  }
+  if (!image.SizeConsistent()) {
+    return dbase::InvalidArgument("image pixel buffer size mismatch");
+  }
+  std::string out;
+  out.append(kPngSignature, sizeof(kPngSignature));
+
+  // IHDR.
+  std::string ihdr;
+  PutU32Be(&ihdr, image.width);
+  PutU32Be(&ihdr, image.height);
+  ihdr.push_back('\x08');                                   // Bit depth.
+  ihdr.push_back(image.channels == 4 ? '\x06' : '\x02');    // Color type.
+  ihdr.push_back('\x00');                                   // Compression.
+  ihdr.push_back('\x00');                                   // Filter method.
+  ihdr.push_back('\x00');                                   // No interlace.
+  AppendChunk(&out, "IHDR", ihdr);
+
+  // Filtered scanlines: filter byte 0 (None) + raw row.
+  const size_t row_bytes = static_cast<size_t>(image.width) * image.channels;
+  std::string raw;
+  raw.reserve((row_bytes + 1) * image.height);
+  for (uint32_t y = 0; y < image.height; ++y) {
+    raw.push_back('\x00');
+    raw.append(reinterpret_cast<const char*>(image.pixels.data()) + y * row_bytes, row_bytes);
+  }
+  AppendChunk(&out, "IDAT", ZlibStore(raw));
+  AppendChunk(&out, "IEND", "");
+  return out;
+}
+
+dbase::Result<Image> PngDecodeStored(std::string_view data) {
+  using dbase::InvalidArgument;
+  if (data.size() < 8 || std::memcmp(data.data(), kPngSignature, 8) != 0) {
+    return InvalidArgument("bad PNG signature");
+  }
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data.data());
+  size_t pos = 8;
+
+  Image image;
+  std::string idat;
+  bool saw_ihdr = false;
+  bool saw_iend = false;
+
+  while (pos + 12 <= data.size() && !saw_iend) {
+    const uint32_t length = GetU32Be(p + pos);
+    if (pos + 12 + length > data.size()) {
+      return InvalidArgument("truncated PNG chunk");
+    }
+    const std::string_view type = data.substr(pos + 4, 4);
+    const std::string_view payload = data.substr(pos + 8, length);
+    const uint32_t expected_crc = GetU32Be(p + pos + 8 + length);
+    const uint32_t actual_crc = Crc32(data.substr(pos + 4, 4 + length));
+    if (expected_crc != actual_crc) {
+      return InvalidArgument("PNG chunk CRC mismatch in " + std::string(type));
+    }
+    if (type == "IHDR") {
+      if (length != 13) {
+        return InvalidArgument("IHDR length must be 13");
+      }
+      image.width = GetU32Be(p + pos + 8);
+      image.height = GetU32Be(p + pos + 12);
+      const uint8_t bit_depth = payload[8];
+      const uint8_t color_type = payload[9];
+      if (bit_depth != 8 || (color_type != 2 && color_type != 6)) {
+        return InvalidArgument("decoder supports 8-bit RGB/RGBA only");
+      }
+      image.channels = color_type == 6 ? 4 : 3;
+      saw_ihdr = true;
+    } else if (type == "IDAT") {
+      idat.append(payload);
+    } else if (type == "IEND") {
+      saw_iend = true;
+    }
+    pos += 12 + length;
+  }
+  if (!saw_ihdr || !saw_iend) {
+    return InvalidArgument("PNG missing IHDR or IEND");
+  }
+
+  // Un-zlib (stored blocks only).
+  if (idat.size() < 6) {
+    return InvalidArgument("IDAT too short for zlib stream");
+  }
+  if ((static_cast<uint8_t>(idat[0]) & 0x0F) != 8) {
+    return InvalidArgument("zlib CM must be deflate");
+  }
+  std::string raw;
+  size_t zpos = 2;
+  while (true) {
+    if (zpos + 5 > idat.size() - 4) {
+      return InvalidArgument("truncated deflate block header");
+    }
+    const uint8_t header = static_cast<uint8_t>(idat[zpos]);
+    if ((header & 0x06) != 0) {
+      return InvalidArgument("decoder supports stored deflate blocks only");
+    }
+    const uint16_t len = static_cast<uint16_t>(static_cast<uint8_t>(idat[zpos + 1]) |
+                                               (static_cast<uint8_t>(idat[zpos + 2]) << 8));
+    const uint16_t nlen = static_cast<uint16_t>(static_cast<uint8_t>(idat[zpos + 3]) |
+                                                (static_cast<uint8_t>(idat[zpos + 4]) << 8));
+    if (static_cast<uint16_t>(~len) != nlen) {
+      return InvalidArgument("stored block LEN/NLEN mismatch");
+    }
+    if (zpos + 5 + len > idat.size() - 4) {
+      return InvalidArgument("truncated stored block payload");
+    }
+    raw.append(idat, zpos + 5, len);
+    zpos += 5 + len;
+    if ((header & 0x01) != 0) {
+      break;  // BFINAL.
+    }
+  }
+  const uint32_t adler = GetU32Be(reinterpret_cast<const uint8_t*>(idat.data()) + zpos);
+  if (adler != Adler32(raw)) {
+    return InvalidArgument("zlib Adler-32 mismatch");
+  }
+
+  // De-filter (only filter 0 rows are produced by our encoder).
+  const size_t row_bytes = static_cast<size_t>(image.width) * image.channels;
+  if (raw.size() != (row_bytes + 1) * image.height) {
+    return InvalidArgument("decompressed size does not match dimensions");
+  }
+  image.pixels.resize(row_bytes * image.height);
+  for (uint32_t y = 0; y < image.height; ++y) {
+    if (raw[y * (row_bytes + 1)] != 0) {
+      return InvalidArgument("decoder supports filter 0 rows only");
+    }
+    std::memcpy(image.pixels.data() + y * row_bytes, raw.data() + y * (row_bytes + 1) + 1,
+                row_bytes);
+  }
+  return image;
+}
+
+dbase::Result<std::string> TranscodeQoiToPng(std::string_view qoi_bytes) {
+  ASSIGN_OR_RETURN(Image image, QoiDecode(qoi_bytes));
+  return PngEncode(image);
+}
+
+}  // namespace dimg

@@ -1,0 +1,38 @@
+// Minimal PNG encoder (and a structural decoder for tests). The encoder
+// emits fully spec-compliant PNGs using zlib "stored" (uncompressed) deflate
+// blocks with correct CRC-32 and Adler-32 checksums; the decoder handles
+// exactly the subset the encoder produces, so round-trips validate the whole
+// container format.
+#ifndef SRC_IMG_PNG_H_
+#define SRC_IMG_PNG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/base/status.h"
+#include "src/img/qoi.h"
+
+namespace dimg {
+
+// CRC-32 (IEEE, reflected, as used by PNG chunks).
+uint32_t Crc32(std::string_view data);
+uint32_t Crc32(uint32_t seed, std::string_view data);
+
+// Adler-32 (zlib trailer).
+uint32_t Adler32(std::string_view data);
+
+// Encodes 8-bit RGB (color type 2) or RGBA (color type 6), filter 0 rows.
+dbase::Result<std::string> PngEncode(const Image& image);
+
+// Decodes PNGs produced by PngEncode (stored deflate, filter 0) and fully
+// verifies signature, chunk CRCs, zlib framing, and Adler-32.
+dbase::Result<Image> PngDecodeStored(std::string_view data);
+
+// Convenience for the image-compression application: QOI bytes in, PNG
+// bytes out (§7.6's 18 kB QOI → PNG task).
+dbase::Result<std::string> TranscodeQoiToPng(std::string_view qoi_bytes);
+
+}  // namespace dimg
+
+#endif  // SRC_IMG_PNG_H_

@@ -1,0 +1,240 @@
+#include "src/img/qoi.h"
+
+#include <cstring>
+
+#include "src/base/rng.h"
+
+namespace dimg {
+namespace {
+
+constexpr uint8_t kOpIndex = 0x00;  // 00xxxxxx
+constexpr uint8_t kOpDiff = 0x40;   // 01xxxxxx
+constexpr uint8_t kOpLuma = 0x80;   // 10xxxxxx
+constexpr uint8_t kOpRun = 0xC0;    // 11xxxxxx
+constexpr uint8_t kOpRgb = 0xFE;
+constexpr uint8_t kOpRgba = 0xFF;
+constexpr uint8_t kMask2 = 0xC0;
+
+struct Px {
+  uint8_t r = 0, g = 0, b = 0, a = 255;
+  bool operator==(const Px& other) const {
+    return r == other.r && g == other.g && b == other.b && a == other.a;
+  }
+};
+
+int HashPx(const Px& p) { return (p.r * 3 + p.g * 5 + p.b * 7 + p.a * 11) % 64; }
+
+void PutU32Be(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v >> 24));
+  out->push_back(static_cast<char>(v >> 16));
+  out->push_back(static_cast<char>(v >> 8));
+  out->push_back(static_cast<char>(v));
+}
+
+uint32_t GetU32Be(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) | (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | p[3];
+}
+
+}  // namespace
+
+Image MakeTestImage(uint32_t width, uint32_t height, uint8_t channels, uint64_t seed) {
+  Image image;
+  image.width = width;
+  image.height = height;
+  image.channels = channels;
+  image.pixels.resize(static_cast<size_t>(width) * height * channels);
+  dbase::Rng rng(seed);
+  // Gradient base + blocky structure + sparse noise: QOI's DIFF/RUN ops all
+  // get exercised and the compression ratio resembles a natural image.
+  for (uint32_t y = 0; y < height; ++y) {
+    for (uint32_t x = 0; x < width; ++x) {
+      const size_t at = (static_cast<size_t>(y) * width + x) * channels;
+      const uint8_t base_r = static_cast<uint8_t>((x * 255) / (width == 0 ? 1 : width));
+      const uint8_t base_g = static_cast<uint8_t>((y * 255) / (height == 0 ? 1 : height));
+      const uint8_t block = static_cast<uint8_t>(((x / 8 + y / 8) % 2) * 24);
+      const bool noisy = rng.Bernoulli(0.02);
+      image.pixels[at + 0] = static_cast<uint8_t>(base_r + block + (noisy ? rng.NextBounded(32) : 0));
+      if (channels >= 2) {
+        image.pixels[at + 1] = static_cast<uint8_t>(base_g + block);
+      }
+      if (channels >= 3) {
+        image.pixels[at + 2] = static_cast<uint8_t>(128 + block);
+      }
+      if (channels == 4) {
+        image.pixels[at + 3] = 255;
+      }
+    }
+  }
+  return image;
+}
+
+std::string QoiEncode(const Image& image) {
+  std::string out;
+  out.reserve(14 + image.PixelCount() / 2 + 8);
+  out.append("qoif");
+  PutU32Be(&out, image.width);
+  PutU32Be(&out, image.height);
+  out.push_back(static_cast<char>(image.channels));
+  out.push_back(0);  // Colorspace: sRGB with linear alpha.
+
+  Px index[64] = {};
+  Px prev;
+  int run = 0;
+  const size_t px_count = image.PixelCount();
+  for (size_t i = 0; i < px_count; ++i) {
+    Px px;
+    const uint8_t* at = image.pixels.data() + i * image.channels;
+    px.r = at[0];
+    px.g = image.channels >= 2 ? at[1] : at[0];
+    px.b = image.channels >= 3 ? at[2] : at[0];
+    px.a = image.channels == 4 ? at[3] : prev.a;
+
+    if (px == prev) {
+      ++run;
+      if (run == 62 || i == px_count - 1) {
+        out.push_back(static_cast<char>(kOpRun | (run - 1)));
+        run = 0;
+      }
+      continue;
+    }
+    if (run > 0) {
+      out.push_back(static_cast<char>(kOpRun | (run - 1)));
+      run = 0;
+    }
+
+    const int hash = HashPx(px);
+    if (index[hash] == px) {
+      out.push_back(static_cast<char>(kOpIndex | hash));
+    } else {
+      index[hash] = px;
+      if (px.a == prev.a) {
+        const int8_t dr = static_cast<int8_t>(px.r - prev.r);
+        const int8_t dg = static_cast<int8_t>(px.g - prev.g);
+        const int8_t db = static_cast<int8_t>(px.b - prev.b);
+        const int8_t dr_dg = static_cast<int8_t>(dr - dg);
+        const int8_t db_dg = static_cast<int8_t>(db - dg);
+        if (dr >= -2 && dr <= 1 && dg >= -2 && dg <= 1 && db >= -2 && db <= 1) {
+          out.push_back(
+              static_cast<char>(kOpDiff | ((dr + 2) << 4) | ((dg + 2) << 2) | (db + 2)));
+        } else if (dg >= -32 && dg <= 31 && dr_dg >= -8 && dr_dg <= 7 && db_dg >= -8 &&
+                   db_dg <= 7) {
+          out.push_back(static_cast<char>(kOpLuma | (dg + 32)));
+          out.push_back(static_cast<char>(((dr_dg + 8) << 4) | (db_dg + 8)));
+        } else {
+          out.push_back(static_cast<char>(kOpRgb));
+          out.push_back(static_cast<char>(px.r));
+          out.push_back(static_cast<char>(px.g));
+          out.push_back(static_cast<char>(px.b));
+        }
+      } else {
+        out.push_back(static_cast<char>(kOpRgba));
+        out.push_back(static_cast<char>(px.r));
+        out.push_back(static_cast<char>(px.g));
+        out.push_back(static_cast<char>(px.b));
+        out.push_back(static_cast<char>(px.a));
+      }
+    }
+    prev = px;
+  }
+
+  // End marker: seven 0x00 bytes then 0x01.
+  out.append(7, '\0');
+  out.push_back('\x01');
+  return out;
+}
+
+dbase::Result<Image> QoiDecode(std::string_view data) {
+  using dbase::InvalidArgument;
+  if (data.size() < 14 + 8) {
+    return InvalidArgument("QOI data too short");
+  }
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data.data());
+  if (std::memcmp(p, "qoif", 4) != 0) {
+    return InvalidArgument("bad QOI magic");
+  }
+  Image image;
+  image.width = GetU32Be(p + 4);
+  image.height = GetU32Be(p + 8);
+  image.channels = p[12];
+  if (image.channels != 3 && image.channels != 4) {
+    return InvalidArgument("QOI channels must be 3 or 4");
+  }
+  if (image.width == 0 || image.height == 0 ||
+      image.PixelCount() > 512ull * 1024 * 1024) {
+    return InvalidArgument("implausible QOI dimensions");
+  }
+  image.pixels.resize(image.PixelCount() * image.channels);
+
+  Px index[64] = {};
+  Px px;
+  size_t pos = 14;
+  const size_t chunk_end = data.size() - 8;
+  size_t px_at = 0;
+  const size_t px_count = image.PixelCount();
+
+  while (px_at < px_count) {
+    int run = 0;
+    if (pos < chunk_end) {
+      const uint8_t b0 = p[pos++];
+      if (b0 == kOpRgb) {
+        if (pos + 3 > chunk_end) {
+          return InvalidArgument("truncated RGB op");
+        }
+        px.r = p[pos++];
+        px.g = p[pos++];
+        px.b = p[pos++];
+      } else if (b0 == kOpRgba) {
+        if (pos + 4 > chunk_end) {
+          return InvalidArgument("truncated RGBA op");
+        }
+        px.r = p[pos++];
+        px.g = p[pos++];
+        px.b = p[pos++];
+        px.a = p[pos++];
+      } else if ((b0 & kMask2) == kOpIndex) {
+        px = index[b0 & 0x3F];
+      } else if ((b0 & kMask2) == kOpDiff) {
+        px.r = static_cast<uint8_t>(px.r + ((b0 >> 4) & 0x03) - 2);
+        px.g = static_cast<uint8_t>(px.g + ((b0 >> 2) & 0x03) - 2);
+        px.b = static_cast<uint8_t>(px.b + (b0 & 0x03) - 2);
+      } else if ((b0 & kMask2) == kOpLuma) {
+        if (pos + 1 > chunk_end) {
+          return InvalidArgument("truncated LUMA op");
+        }
+        const uint8_t b1 = p[pos++];
+        const int dg = (b0 & 0x3F) - 32;
+        px.r = static_cast<uint8_t>(px.r + dg - 8 + ((b1 >> 4) & 0x0F));
+        px.g = static_cast<uint8_t>(px.g + dg);
+        px.b = static_cast<uint8_t>(px.b + dg - 8 + (b1 & 0x0F));
+      } else {  // kOpRun
+        run = (b0 & 0x3F);
+      }
+      index[HashPx(px)] = px;
+    } else {
+      return InvalidArgument("QOI stream ended before all pixels were decoded");
+    }
+
+    for (int r = 0; r <= run && px_at < px_count; ++r, ++px_at) {
+      uint8_t* at = image.pixels.data() + px_at * image.channels;
+      at[0] = px.r;
+      if (image.channels >= 2) {
+        at[1] = px.g;
+      }
+      if (image.channels >= 3) {
+        at[2] = px.b;
+      }
+      if (image.channels == 4) {
+        at[3] = px.a;
+      }
+    }
+  }
+
+  // Validate the end marker.
+  if (std::memcmp(data.data() + data.size() - 8, "\0\0\0\0\0\0\0\x01", 8) != 0) {
+    return InvalidArgument("missing QOI end marker");
+  }
+  return image;
+}
+
+}  // namespace dimg

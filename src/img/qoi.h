@@ -1,0 +1,38 @@
+// QOI ("Quite OK Image") codec — the paper's image-compression application
+// transforms an 18 kB QOI image to PNG (§7.6). Implements the complete QOI
+// spec (qoiformat.org): RGB/RGBA, INDEX/DIFF/LUMA/RUN ops, 64-entry hash
+// index, 8-byte end marker.
+#ifndef SRC_IMG_QOI_H_
+#define SRC_IMG_QOI_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace dimg {
+
+struct Image {
+  uint32_t width = 0;
+  uint32_t height = 0;
+  uint8_t channels = 4;  // 3 = RGB, 4 = RGBA.
+  std::vector<uint8_t> pixels;  // Row-major, `channels` bytes per pixel.
+
+  size_t PixelCount() const { return static_cast<size_t>(width) * height; }
+  bool SizeConsistent() const { return pixels.size() == PixelCount() * channels; }
+
+  bool operator==(const Image& other) const = default;
+};
+
+// Deterministic procedural test image (soft gradients + structured noise —
+// compresses like a natural image, not like random bytes).
+Image MakeTestImage(uint32_t width, uint32_t height, uint8_t channels, uint64_t seed);
+
+std::string QoiEncode(const Image& image);
+dbase::Result<Image> QoiDecode(std::string_view data);
+
+}  // namespace dimg
+
+#endif  // SRC_IMG_QOI_H_

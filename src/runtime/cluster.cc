@@ -1,0 +1,111 @@
+#include "src/runtime/cluster.h"
+
+#include <limits>
+
+namespace dandelion {
+
+Cluster::Cluster(Config config) : config_(config) {
+  const int nodes = std::max(1, config.num_nodes);
+  nodes_.reserve(static_cast<size_t>(nodes));
+  for (int n = 0; n < nodes; ++n) {
+    nodes_.push_back(std::make_unique<Platform>(config.node_config));
+    served_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
+    inflight_.push_back(std::make_unique<std::atomic<int64_t>>(0));
+  }
+}
+
+dbase::Status Cluster::RegisterFunction(const dfunc::FunctionSpec& spec) {
+  for (auto& node : nodes_) {
+    RETURN_IF_ERROR(node->RegisterFunction(spec));
+  }
+  return dbase::OkStatus();
+}
+
+dbase::Status Cluster::RegisterCompositionDsl(std::string_view dsl_source) {
+  for (auto& node : nodes_) {
+    RETURN_IF_ERROR(node->RegisterCompositionDsl(dsl_source));
+  }
+  return dbase::OkStatus();
+}
+
+void Cluster::ForEachNode(const std::function<void(Platform&)>& setup) {
+  for (auto& node : nodes_) {
+    setup(*node);
+  }
+}
+
+double Cluster::NodeLoad(int index) const {
+  const auto& node = nodes_[static_cast<size_t>(index)];
+  const EngineStats stats = node->engine_stats();
+  const double queued =
+      static_cast<double>(stats.compute_queue_len + stats.comm_queue_len);
+  const double inflight =
+      static_cast<double>(inflight_[static_cast<size_t>(index)]->load(std::memory_order_relaxed));
+  return queued + inflight;
+}
+
+int Cluster::PickNode() {
+  if (config_.policy == LoadBalancePolicy::kRoundRobin || nodes_.size() == 1) {
+    return static_cast<int>(round_robin_.fetch_add(1, std::memory_order_relaxed) %
+                            nodes_.size());
+  }
+  int best = 0;
+  double best_load = std::numeric_limits<double>::max();
+  for (int n = 0; n < num_nodes(); ++n) {
+    const double load = NodeLoad(n);
+    if (load < best_load) {
+      best_load = load;
+      best = n;
+    }
+  }
+  return best;
+}
+
+void Cluster::InvokeAsync(const std::string& composition, dfunc::DataSetList args,
+                          std::function<void(dbase::Result<dfunc::DataSetList>, int)> callback) {
+  const int node = PickNode();
+  served_[static_cast<size_t>(node)]->fetch_add(1, std::memory_order_relaxed);
+  inflight_[static_cast<size_t>(node)]->fetch_add(1, std::memory_order_relaxed);
+  nodes_[static_cast<size_t>(node)]->InvokeAsync(
+      composition, std::move(args),
+      [this, node, callback = std::move(callback)](dbase::Result<dfunc::DataSetList> result) {
+        inflight_[static_cast<size_t>(node)]->fetch_sub(1, std::memory_order_relaxed);
+        callback(std::move(result), node);
+      });
+}
+
+Cluster::RoutedResult Cluster::Invoke(const std::string& composition,
+                                      dfunc::DataSetList args) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  RoutedResult routed;
+  InvokeAsync(composition, std::move(args),
+              [&](dbase::Result<dfunc::DataSetList> result, int node) {
+                std::lock_guard<std::mutex> lock(mu);
+                routed.result = std::move(result);
+                routed.node_index = node;
+                done = true;
+                cv.notify_one();
+              });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done; });
+  return routed;
+}
+
+std::vector<uint64_t> Cluster::InvocationsPerNode() const {
+  std::vector<uint64_t> counts;
+  counts.reserve(served_.size());
+  for (const auto& counter : served_) {
+    counts.push_back(counter->load(std::memory_order_relaxed));
+  }
+  return counts;
+}
+
+void Cluster::Shutdown() {
+  for (auto& node : nodes_) {
+    node->Shutdown();
+  }
+}
+
+}  // namespace dandelion

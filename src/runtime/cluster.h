@@ -1,0 +1,78 @@
+// Cluster manager (§5): "orchestrates multiple worker nodes and load
+// balances composition invocations across nodes. We extended Dirigent to
+// support Dandelion worker nodes." This is the single-process stand-in:
+// N Platform instances (worker nodes) behind a load-balancing invoke API.
+#ifndef SRC_RUNTIME_CLUSTER_H_
+#define SRC_RUNTIME_CLUSTER_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/runtime/platform.h"
+
+namespace dandelion {
+
+enum class LoadBalancePolicy {
+  kRoundRobin,
+  // Routes to the node with the fewest in-flight invocations + queued
+  // engine tasks.
+  kLeastLoaded,
+};
+
+class Cluster {
+ public:
+  struct Config {
+    int num_nodes = 2;
+    PlatformConfig node_config;
+    LoadBalancePolicy policy = LoadBalancePolicy::kRoundRobin;
+  };
+
+  explicit Cluster(Config config);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  Platform& node(int index) { return *nodes_[static_cast<size_t>(index)]; }
+
+  // Registration is cluster-wide: every node gets the function/composition
+  // (a node can only serve what it has registered).
+  dbase::Status RegisterFunction(const dfunc::FunctionSpec& spec);
+  dbase::Status RegisterCompositionDsl(std::string_view dsl_source);
+
+  // Applies `setup` to every node — e.g. registering mesh services.
+  void ForEachNode(const std::function<void(Platform&)>& setup);
+
+  // Load-balanced invocation. Returns the result plus which node served it
+  // (for tests and placement studies).
+  struct RoutedResult {
+    dbase::Result<dfunc::DataSetList> result;
+    int node_index = -1;
+    RoutedResult() : result(dbase::Internal("unset")) {}
+  };
+  RoutedResult Invoke(const std::string& composition, dfunc::DataSetList args);
+  void InvokeAsync(const std::string& composition, dfunc::DataSetList args,
+                   std::function<void(dbase::Result<dfunc::DataSetList>, int node)> callback);
+
+  // Per-node served-invocation counters.
+  std::vector<uint64_t> InvocationsPerNode() const;
+
+  void Shutdown();
+
+ private:
+  int PickNode();
+  double NodeLoad(int index) const;
+
+  Config config_;
+  std::vector<std::unique_ptr<Platform>> nodes_;
+  std::vector<std::unique_ptr<std::atomic<uint64_t>>> served_;
+  std::vector<std::unique_ptr<std::atomic<int64_t>>> inflight_;
+  std::atomic<uint64_t> round_robin_{0};
+};
+
+}  // namespace dandelion
+
+#endif  // SRC_RUNTIME_CLUSTER_H_

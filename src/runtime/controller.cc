@@ -1,0 +1,91 @@
+#include "src/runtime/controller.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace dandelion {
+
+double PiController::Update(double error) {
+  integral_ = std::clamp(integral_ + error, -gains_.integral_limit, gains_.integral_limit);
+  return gains_.kp * error + gains_.ki * integral_;
+}
+
+void PiController::Reset() { integral_ = 0.0; }
+
+ControlPlane::ControlPlane(WorkerSet* workers, Config config)
+    : workers_(workers), config_(config), pi_(config.gains) {}
+
+ControlPlane::~ControlPlane() { Stop(); }
+
+void ControlPlane::Start() {
+  if (running_.exchange(true)) {
+    return;
+  }
+  // Baseline the counters so the first interval measures only new growth.
+  last_compute_pushed_ = workers_->compute_pushed();
+  last_compute_popped_ = workers_->compute_popped();
+  last_comm_pushed_ = workers_->comm_pushed();
+  last_comm_popped_ = workers_->comm_popped();
+
+  thread_ = dbase::JoiningThread("ctrl-plane", [this] {
+    while (running_.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(config_.interval_us));
+      if (!running_.load(std::memory_order_relaxed)) {
+        break;
+      }
+      StepOnce();
+    }
+  });
+}
+
+void ControlPlane::Stop() {
+  running_.store(false);
+  thread_.Join();
+}
+
+ControlPlane::Decision ControlPlane::StepOnce() {
+  const uint64_t compute_pushed = workers_->compute_pushed();
+  const uint64_t compute_popped = workers_->compute_popped();
+  const uint64_t comm_pushed = workers_->comm_pushed();
+  const uint64_t comm_popped = workers_->comm_popped();
+
+  // Queue growth over the last interval: arrivals minus departures.
+  const double compute_growth = static_cast<double>(compute_pushed - last_compute_pushed_) -
+                                static_cast<double>(compute_popped - last_compute_popped_);
+  const double comm_growth = static_cast<double>(comm_pushed - last_comm_pushed_) -
+                             static_cast<double>(comm_popped - last_comm_popped_);
+  last_compute_pushed_ = compute_pushed;
+  last_compute_popped_ = compute_popped;
+  last_comm_pushed_ = comm_pushed;
+  last_comm_popped_ = comm_popped;
+
+  // Positive error: the compute queue is growing faster → compute engines
+  // need more cores (§5).
+  const double error = compute_growth - comm_growth;
+  const double signal = pi_.Update(error);
+
+  if (signal > config_.shift_threshold) {
+    workers_->ShiftWorkerToCompute();
+  } else if (signal < -config_.shift_threshold) {
+    workers_->ShiftWorkerToComm();
+  }
+
+  Decision decision;
+  decision.time_us = dbase::MonotonicClock::Get()->NowMicros();
+  decision.error = error;
+  decision.signal = signal;
+  decision.compute_workers = workers_->compute_workers();
+  decision.comm_workers = workers_->comm_workers();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    history_.push_back(decision);
+  }
+  return decision;
+}
+
+std::vector<ControlPlane::Decision> ControlPlane::History() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_;
+}
+
+}  // namespace dandelion

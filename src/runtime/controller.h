@@ -1,0 +1,94 @@
+// The worker control plane (§5): every interval (30 ms in the paper) it
+// measures the growth rate of the compute and communication queues, feeds
+// the difference into a Proportional-Integral controller, and re-assigns one
+// CPU core toward whichever engine type is falling behind.
+#ifndef SRC_RUNTIME_CONTROLLER_H_
+#define SRC_RUNTIME_CONTROLLER_H_
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/base/thread.h"
+#include "src/runtime/engine.h"
+
+namespace dandelion {
+
+// Textbook discrete PI controller with anti-windup clamping.
+class PiController {
+ public:
+  struct Gains {
+    double kp = 0.5;
+    double ki = 0.125;
+    double integral_limit = 64.0;  // Anti-windup bound on the integral term.
+  };
+
+  PiController() : gains_() {}
+  explicit PiController(Gains gains) : gains_(gains) {}
+
+  // Feeds one error sample; returns the control signal.
+  double Update(double error);
+  void Reset();
+
+  double integral() const { return integral_; }
+
+ private:
+  Gains gains_;
+  double integral_ = 0.0;
+};
+
+// Periodically samples a WorkerSet and shifts cores. Decisions are recorded
+// for tests and for the Figure 8 core-allocation traces.
+class ControlPlane {
+ public:
+  struct Config {
+    dbase::Micros interval_us = 30 * dbase::kMicrosPerMilli;  // Paper: 30 ms.
+    double shift_threshold = 0.5;  // |signal| must exceed this to act.
+    PiController::Gains gains;
+  };
+
+  struct Decision {
+    dbase::Micros time_us = 0;
+    double error = 0.0;
+    double signal = 0.0;
+    int compute_workers = 0;
+    int comm_workers = 0;
+  };
+
+  ControlPlane(WorkerSet* workers, Config config);
+  ~ControlPlane();
+
+  ControlPlane(const ControlPlane&) = delete;
+  ControlPlane& operator=(const ControlPlane&) = delete;
+
+  void Start();
+  void Stop();
+
+  // One sampling step; called by the background thread, and directly by
+  // unit tests for determinism.
+  Decision StepOnce();
+
+  std::vector<Decision> History() const;
+
+ private:
+  WorkerSet* workers_;
+  Config config_;
+  PiController pi_;
+
+  std::atomic<bool> running_{false};
+  dbase::JoiningThread thread_;
+
+  // Last cumulative queue counters, for growth-rate deltas.
+  uint64_t last_compute_pushed_ = 0;
+  uint64_t last_compute_popped_ = 0;
+  uint64_t last_comm_pushed_ = 0;
+  uint64_t last_comm_popped_ = 0;
+
+  mutable std::mutex mu_;
+  std::vector<Decision> history_;
+};
+
+}  // namespace dandelion
+
+#endif  // SRC_RUNTIME_CONTROLLER_H_

@@ -1,0 +1,554 @@
+#include "src/runtime/dispatcher.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <map>
+
+#include "src/base/log.h"
+#include "src/base/string_util.h"
+#include "src/runtime/comm_function.h"
+
+namespace dandelion {
+
+// ------------------------------------------------------------- Registry
+
+dbase::Status CompositionRegistry::Register(ddsl::CompositionGraph graph) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string name = graph.name();
+  auto [it, inserted] =
+      graphs_.emplace(name, std::make_shared<const ddsl::CompositionGraph>(std::move(graph)));
+  if (!inserted) {
+    return dbase::AlreadyExists("composition already registered: " + name);
+  }
+  return dbase::OkStatus();
+}
+
+dbase::Result<std::shared_ptr<const ddsl::CompositionGraph>> CompositionRegistry::Lookup(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = graphs_.find(name);
+  if (it == graphs_.end()) {
+    return dbase::NotFound("no registered composition named " + name);
+  }
+  return it->second;
+}
+
+bool CompositionRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return graphs_.count(name) > 0;
+}
+
+std::vector<std::string> CompositionRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(graphs_.size());
+  for (const auto& [name, graph] : graphs_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+// ------------------------------------------------------- Invocation state
+
+namespace {
+
+struct NodeRuntime {
+  // Input bindings whose source value is not yet available.
+  int deps_remaining = 0;
+  bool started = false;
+  bool merged = false;
+  // One DataSetList per instance, in deterministic instance order.
+  std::vector<dfunc::DataSetList> instance_outputs;
+  size_t instances_pending = 0;
+};
+
+}  // namespace
+
+struct Dispatcher::InvocationState {
+  std::shared_ptr<const ddsl::CompositionGraph> graph;
+  int depth = 0;
+
+  std::mutex mu;
+  std::map<std::string, dfunc::DataSet> values;  // Ready values by name.
+  std::vector<NodeRuntime> nodes;
+  size_t nodes_remaining = 0;
+  bool done = false;
+  ResultCallback callback;
+};
+
+// -------------------------------------------------------------- Dispatcher
+
+Dispatcher::Dispatcher(const dfunc::FunctionRegistry* functions,
+                       const CompositionRegistry* compositions,
+                       const CommFunctionRegistry* comm_functions, WorkerSet* workers,
+                       MemoryAccountant* accountant, Config config)
+    : functions_(functions),
+      compositions_(compositions),
+      comm_functions_(comm_functions),
+      workers_(workers),
+      accountant_(accountant),
+      config_(config) {}
+
+DispatcherStats Dispatcher::Stats() const {
+  DispatcherStats stats;
+  stats.invocations_started = invocations_started_.load(std::memory_order_relaxed);
+  stats.invocations_completed = invocations_completed_.load(std::memory_order_relaxed);
+  stats.invocations_failed = invocations_failed_.load(std::memory_order_relaxed);
+  stats.compute_instances = compute_instances_.load(std::memory_order_relaxed);
+  stats.comm_instances = comm_instances_.load(std::memory_order_relaxed);
+  stats.skipped_instances = skipped_instances_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void Dispatcher::InvokeAsync(const std::string& composition, dfunc::DataSetList args,
+                             ResultCallback callback) {
+  auto graph = compositions_->Lookup(composition);
+  if (!graph.ok()) {
+    callback(graph.status());
+    return;
+  }
+  InvokeGraphAsync(std::move(graph).value(), std::move(args), 0, std::move(callback));
+}
+
+dbase::Result<dfunc::DataSetList> Dispatcher::Invoke(const std::string& composition,
+                                                     dfunc::DataSetList args) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+  dbase::Result<dfunc::DataSetList> result = dbase::Internal("invocation never completed");
+  InvokeAsync(composition, std::move(args),
+              [&](dbase::Result<dfunc::DataSetList> r) {
+                std::lock_guard<std::mutex> lock(mu);
+                result = std::move(r);
+                ready = true;
+                cv.notify_one();
+              });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return ready; });
+  return result;
+}
+
+void Dispatcher::InvokeGraphAsync(std::shared_ptr<const ddsl::CompositionGraph> graph,
+                                  dfunc::DataSetList args, int depth, ResultCallback callback) {
+  if (depth >= config_.max_depth) {
+    callback(dbase::ResourceExhausted("composition nesting exceeds maximum depth"));
+    return;
+  }
+  invocations_started_.fetch_add(1, std::memory_order_relaxed);
+
+  auto inv = std::make_shared<InvocationState>();
+  inv->graph = std::move(graph);
+  inv->depth = depth;
+  inv->callback = std::move(callback);
+  inv->nodes.resize(inv->graph->nodes().size());
+  inv->nodes_remaining = inv->graph->nodes().size();
+
+  {
+    std::lock_guard<std::mutex> lock(inv->mu);
+    // Bind arguments to parameters. A missing argument set becomes an empty
+    // set — downstream conditional execution then decides what runs (§4.4).
+    for (const auto& param : inv->graph->params()) {
+      const dfunc::DataSet* arg = dfunc::FindSet(args, param);
+      dfunc::DataSet set;
+      set.name = param;
+      if (arg != nullptr) {
+        set.items = arg->items;
+      }
+      inv->values.emplace(param, std::move(set));
+    }
+
+    // Count dependencies, then start every node whose inputs are all
+    // parameters (or whose deps are already satisfied).
+    const auto& nodes = inv->graph->nodes();
+    for (size_t n = 0; n < nodes.size(); ++n) {
+      int deps = 0;
+      for (const auto& in : nodes[n].inputs) {
+        if (inv->values.count(in.source_value) == 0) {
+          ++deps;
+        }
+      }
+      inv->nodes[n].deps_remaining = deps;
+    }
+    for (size_t n = 0; n < nodes.size(); ++n) {
+      if (inv->nodes[n].deps_remaining == 0) {
+        StartNodeLocked(inv, n);
+      }
+    }
+    MaybeCompleteLocked(inv);
+  }
+}
+
+namespace {
+
+// Builds the input sets for one instance. `fanout_binding` is the index of
+// the each/key binding (or npos), and `fanout_items` the items for this
+// instance of that binding.
+dfunc::DataSetList BuildInstanceInputs(const ddsl::GraphNode& node,
+                                       const std::map<std::string, dfunc::DataSet>& values,
+                                       size_t fanout_binding,
+                                       const std::vector<dfunc::DataItem>& fanout_items) {
+  dfunc::DataSetList inputs;
+  inputs.reserve(node.inputs.size());
+  for (size_t b = 0; b < node.inputs.size(); ++b) {
+    const auto& binding = node.inputs[b];
+    dfunc::DataSet set;
+    set.name = binding.set_name;
+    if (b == fanout_binding) {
+      set.items = fanout_items;
+    } else {
+      set.items = values.at(binding.source_value).items;
+    }
+    inputs.push_back(std::move(set));
+  }
+  return inputs;
+}
+
+// §4.4: run only if every non-optional input set has at least one item.
+bool InstanceShouldRun(const ddsl::GraphNode& node, const dfunc::DataSetList& inputs) {
+  for (size_t b = 0; b < node.inputs.size(); ++b) {
+    if (!node.inputs[b].optional && inputs[b].items.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void Dispatcher::StartNodeLocked(const std::shared_ptr<InvocationState>& inv, size_t node_index) {
+  NodeRuntime& rt = inv->nodes[node_index];
+  if (rt.started || inv->done) {
+    return;
+  }
+  rt.started = true;
+
+  const ddsl::GraphNode& node = inv->graph->nodes()[node_index];
+
+  // Locate the fan-out binding (validation guarantees at most one).
+  size_t fanout_binding = static_cast<size_t>(-1);
+  for (size_t b = 0; b < node.inputs.size(); ++b) {
+    if (node.inputs[b].dist != ddsl::Distribution::kAll) {
+      fanout_binding = b;
+      break;
+    }
+  }
+
+  // Materialize per-instance item groups.
+  std::vector<std::vector<dfunc::DataItem>> groups;
+  if (fanout_binding == static_cast<size_t>(-1)) {
+    groups.emplace_back();  // Single instance; items unused.
+  } else {
+    const auto& binding = node.inputs[fanout_binding];
+    const dfunc::DataSet& source = inv->values.at(binding.source_value);
+    if (binding.dist == ddsl::Distribution::kEach) {
+      groups.reserve(source.items.size());
+      for (const auto& item : source.items) {
+        groups.push_back({item});
+      }
+    } else {  // kKey: group items by key, deterministic key order.
+      std::map<std::string, std::vector<dfunc::DataItem>> by_key;
+      for (const auto& item : source.items) {
+        by_key[item.key].push_back(item);
+      }
+      groups.reserve(by_key.size());
+      for (auto& [key, items] : by_key) {
+        groups.push_back(std::move(items));
+      }
+    }
+  }
+
+  // Build instances, applying the conditional-execution rule per instance.
+  struct PendingLaunch {
+    size_t instance;
+    dfunc::DataSetList inputs;
+  };
+  std::vector<PendingLaunch> launches;
+  rt.instance_outputs.resize(groups.size());
+  for (size_t g = 0; g < groups.size(); ++g) {
+    dfunc::DataSetList inputs =
+        BuildInstanceInputs(node, inv->values, fanout_binding, groups[g]);
+    if (!InstanceShouldRun(node, inputs)) {
+      skipped_instances_.fetch_add(1, std::memory_order_relaxed);
+      continue;  // Slot stays empty: contributes no output items.
+    }
+    launches.push_back(PendingLaunch{g, std::move(inputs)});
+  }
+  rt.instances_pending = launches.size();
+
+  if (launches.empty()) {
+    MergeNodeLocked(inv, node_index);
+    return;
+  }
+
+  // Resolve the callee once. Communication functions shadow everything —
+  // their names are platform-reserved.
+  enum class Kind { kComm, kCompute, kComposition } kind;
+  dfunc::FunctionSpec spec;
+  CommFunctionSpec comm_spec;
+  std::shared_ptr<const ddsl::CompositionGraph> subgraph;
+  if (auto comm = comm_functions_->Lookup(node.callee); comm.ok()) {
+    kind = Kind::kComm;
+    comm_spec = std::move(comm).value();
+  } else if (auto fn = functions_->Lookup(node.callee); fn.ok()) {
+    kind = Kind::kCompute;
+    spec = std::move(fn).value();
+  } else if (auto sub = compositions_->Lookup(node.callee); sub.ok()) {
+    kind = Kind::kComposition;
+    subgraph = std::move(sub).value();
+  } else {
+    FailLocked(inv, dbase::NotFound(dbase::StrFormat(
+                        "callee '%s' is neither a registered function, a platform "
+                        "communication function, nor a composition",
+                        node.callee.c_str())));
+    return;
+  }
+
+  // Launch outside the loop that mutated runtime state but still under the
+  // invocation lock; engine callbacks land on other threads and re-lock.
+  for (auto& launch : launches) {
+    switch (kind) {
+      case Kind::kComm:
+        LaunchCommInstance(inv, node_index, launch.instance, std::move(launch.inputs),
+                           comm_spec);
+        break;
+      case Kind::kCompute:
+        LaunchComputeInstance(inv, node_index, launch.instance, std::move(launch.inputs), spec);
+        break;
+      case Kind::kComposition:
+        LaunchNestedInstance(inv, node_index, launch.instance, std::move(launch.inputs), subgraph);
+        break;
+    }
+    if (inv->done) {
+      return;  // A synchronous failure aborted the invocation.
+    }
+  }
+}
+
+void Dispatcher::LaunchComputeInstance(const std::shared_ptr<InvocationState>& inv,
+                                       size_t node_index, size_t instance_index,
+                                       dfunc::DataSetList inputs,
+                                       const dfunc::FunctionSpec& spec) {
+  compute_instances_.fetch_add(1, std::memory_order_relaxed);
+
+  // Prepare the isolated memory context and copy the inputs in (§5:
+  // "ensures that the outputs from prior functions are copied as inputs
+  // into the new function's context").
+  auto context_result =
+      MemoryContext::Create(spec.context_bytes, accountant_, config_.shared_contexts);
+  if (!context_result.ok()) {
+    FailLocked(inv, context_result.status());
+    return;
+  }
+  std::shared_ptr<MemoryContext> context = std::move(context_result).value();
+  if (dbase::Status stored = context->StoreInputSets(inputs); !stored.ok()) {
+    FailLocked(inv, stored);
+    return;
+  }
+
+  ComputeTask task;
+  task.spec = spec;
+  task.context = context;
+  auto self = this;
+  task.done = [self, inv, node_index, instance_index, context](ExecOutcome outcome) {
+    if (!outcome.status.ok()) {
+      self->OnInstanceDone(inv, node_index, instance_index, outcome.status);
+    } else {
+      self->OnInstanceDone(inv, node_index, instance_index, std::move(outcome.outputs));
+    }
+  };
+  if (!workers_->SubmitCompute(std::move(task))) {
+    FailLocked(inv, dbase::Unavailable("compute engines are shut down"));
+  }
+}
+
+void Dispatcher::LaunchCommInstance(const std::shared_ptr<InvocationState>& inv,
+                                    size_t node_index, size_t instance_index,
+                                    dfunc::DataSetList inputs, const CommFunctionSpec& spec) {
+  comm_instances_.fetch_add(1, std::memory_order_relaxed);
+
+  // Communication functions take exactly one input set of requests;
+  // validation at registration enforces the shape, this is the runtime
+  // guard.
+  if (inputs.size() != 1) {
+    FailLocked(inv, dbase::InvalidArgument("communication function '" + spec.name +
+                                           "' takes exactly one input set"));
+    return;
+  }
+
+  // One sub-call per request item; the instance completes when all items
+  // have responses. Responses keep item order.
+  auto items = std::make_shared<std::vector<dfunc::DataItem>>(std::move(inputs[0].items));
+  if (items->empty()) {
+    // Optional empty request set: the instance runs vacuously and produces
+    // an empty response set. Resolved inline — we already hold the lock.
+    NodeRuntime& rt = inv->nodes[node_index];
+    rt.instance_outputs[instance_index].push_back(dfunc::DataSet{spec.response_set, {}});
+    if (--rt.instances_pending == 0) {
+      MergeNodeLocked(inv, node_index);
+    }
+    return;
+  }
+  auto responses = std::make_shared<std::vector<dfunc::DataItem>>(items->size());
+  auto remaining = std::make_shared<std::atomic<size_t>>(items->size());
+
+  auto self = this;
+  const std::string response_set = spec.response_set;
+  for (size_t i = 0; i < items->size(); ++i) {
+    CommTask task;
+    task.raw_request = (*items)[i].data;
+    task.handler = spec.handler;
+    task.done = [self, inv, node_index, instance_index, responses, remaining, response_set, i](
+                    dhttp::HttpResponse response, dbase::Micros latency_us) {
+      (*responses)[i] = dfunc::DataItem{"", response.Serialize()};
+      if (remaining->fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        dfunc::DataSetList outputs;
+        outputs.push_back(dfunc::DataSet{response_set, std::move(*responses)});
+        self->OnInstanceDone(inv, node_index, instance_index, std::move(outputs));
+      }
+    };
+    if (!workers_->SubmitComm(std::move(task))) {
+      FailLocked(inv, dbase::Unavailable("communication engines are shut down"));
+      return;
+    }
+  }
+}
+
+void Dispatcher::LaunchNestedInstance(const std::shared_ptr<InvocationState>& inv,
+                                      size_t node_index, size_t instance_index,
+                                      dfunc::DataSetList inputs,
+                                      std::shared_ptr<const ddsl::CompositionGraph> subgraph) {
+  if (inv->depth + 1 >= config_.max_depth) {
+    FailLocked(inv, dbase::ResourceExhausted("composition nesting exceeds maximum depth"));
+    return;
+  }
+  // Map instance input sets to sub-composition parameters by name; the DSL
+  // binding's set name must equal the parameter name.
+  //
+  // The nested invocation may complete (or fail) synchronously — e.g. when
+  // every inner node is skipped by conditional execution — in which case
+  // its callback re-enters OnInstanceDone for *this* invocation. Release
+  // our lock across the call so that re-entry cannot deadlock; the node's
+  // instances_pending count was fixed before any launches, so concurrent
+  // completions of sibling instances cannot prematurely merge the node.
+  auto self = this;
+  inv->mu.unlock();
+  InvokeGraphAsync(std::move(subgraph), std::move(inputs), inv->depth + 1,
+                   [self, inv, node_index, instance_index](
+                       dbase::Result<dfunc::DataSetList> result) {
+                     self->OnInstanceDone(inv, node_index, instance_index, std::move(result));
+                   });
+  inv->mu.lock();
+}
+
+void Dispatcher::OnInstanceDone(const std::shared_ptr<InvocationState>& inv, size_t node_index,
+                                size_t instance_index,
+                                dbase::Result<dfunc::DataSetList> outputs) {
+  std::unique_lock<std::mutex> lock(inv->mu);
+  if (inv->done) {
+    return;  // Invocation already failed or completed; late stragglers drop.
+  }
+  NodeRuntime& rt = inv->nodes[node_index];
+  if (!outputs.ok()) {
+    FailLocked(inv, outputs.status());
+    return;
+  }
+  rt.instance_outputs[instance_index] = std::move(outputs).value();
+  if (--rt.instances_pending == 0) {
+    MergeNodeLocked(inv, node_index);
+  }
+}
+
+void Dispatcher::MergeNodeLocked(const std::shared_ptr<InvocationState>& inv, size_t node_index) {
+  NodeRuntime& rt = inv->nodes[node_index];
+  if (rt.merged || inv->done) {
+    return;
+  }
+  rt.merged = true;
+  --inv->nodes_remaining;
+
+  const ddsl::GraphNode& node = inv->graph->nodes()[node_index];
+  for (const auto& out : node.outputs) {
+    dfunc::DataSet merged;
+    merged.name = out.value;
+    for (const auto& instance : rt.instance_outputs) {
+      const dfunc::DataSet* set = dfunc::FindSet(instance, out.set_name);
+      if (set != nullptr) {
+        merged.items.insert(merged.items.end(), set->items.begin(), set->items.end());
+      }
+    }
+    DeliverValueLocked(inv, out.value, std::move(merged));
+    if (inv->done) {
+      return;
+    }
+  }
+  rt.instance_outputs.clear();  // Release intermediate copies eagerly.
+  MaybeCompleteLocked(inv);
+}
+
+void Dispatcher::DeliverValueLocked(const std::shared_ptr<InvocationState>& inv,
+                                    const std::string& value, dfunc::DataSet set) {
+  inv->values.emplace(value, std::move(set));
+  const auto& nodes = inv->graph->nodes();
+  for (size_t n = 0; n < nodes.size(); ++n) {
+    NodeRuntime& rt = inv->nodes[n];
+    if (rt.started) {
+      continue;
+    }
+    for (const auto& in : nodes[n].inputs) {
+      if (in.source_value == value) {
+        --rt.deps_remaining;
+      }
+    }
+    if (rt.deps_remaining == 0) {
+      StartNodeLocked(inv, n);
+      if (inv->done) {
+        return;
+      }
+    }
+  }
+}
+
+void Dispatcher::FailLocked(const std::shared_ptr<InvocationState>& inv, dbase::Status status) {
+  if (inv->done) {
+    return;
+  }
+  inv->done = true;
+  invocations_failed_.fetch_add(1, std::memory_order_relaxed);
+  ResultCallback callback = std::move(inv->callback);
+  // The callback runs outside the lock: unlock responsibility lies with the
+  // caller's scope — we temporarily release here to avoid re-entrancy
+  // deadlocks when the callback immediately invokes more compositions.
+  inv->mu.unlock();
+  callback(std::move(status));
+  inv->mu.lock();
+}
+
+void Dispatcher::MaybeCompleteLocked(const std::shared_ptr<InvocationState>& inv) {
+  if (inv->done) {
+    return;
+  }
+  // Complete when every declared result value is available. (Some nodes may
+  // still be pending if their outputs feed nothing — with nodes_remaining
+  // they will be waited for only if they produce results.)
+  for (const auto& result : inv->graph->results()) {
+    if (inv->values.count(result) == 0) {
+      return;
+    }
+  }
+  inv->done = true;
+  invocations_completed_.fetch_add(1, std::memory_order_relaxed);
+
+  dfunc::DataSetList results;
+  results.reserve(inv->graph->results().size());
+  for (const auto& result : inv->graph->results()) {
+    dfunc::DataSet set = inv->values.at(result);
+    set.name = result;
+    results.push_back(std::move(set));
+  }
+  ResultCallback callback = std::move(inv->callback);
+  inv->mu.unlock();
+  callback(std::move(results));
+  inv->mu.lock();
+}
+
+}  // namespace dandelion

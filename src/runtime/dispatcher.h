@@ -1,0 +1,121 @@
+// The dispatcher (§5, §6.1): orchestrates composition invocations. It
+// tracks input/output dependencies, decides when each function is ready,
+// prepares an isolated memory context per compute instance, enqueues tasks
+// on the engine queues, fans instances out according to the all/each/key
+// distribution keywords, merges instance outputs, and applies the
+// conditional-execution rule (§4.4: a function runs only when every
+// non-optional input set contains at least one item).
+#ifndef SRC_RUNTIME_DISPATCHER_H_
+#define SRC_RUNTIME_DISPATCHER_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/dsl/graph.h"
+#include "src/func/data.h"
+#include "src/func/registry.h"
+#include "src/runtime/engine.h"
+#include "src/runtime/memory_context.h"
+
+namespace dandelion {
+
+// Thread-safe name → composition graph catalog (the "Function / DAG
+// Registry" box of Figure 4, composition half).
+class CompositionRegistry {
+ public:
+  dbase::Status Register(ddsl::CompositionGraph graph);
+  dbase::Result<std::shared_ptr<const ddsl::CompositionGraph>> Lookup(
+      const std::string& name) const;
+  bool Contains(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const ddsl::CompositionGraph>> graphs_;
+};
+
+// Aggregate counters exported by the dispatcher.
+struct DispatcherStats {
+  uint64_t invocations_started = 0;
+  uint64_t invocations_completed = 0;
+  uint64_t invocations_failed = 0;
+  uint64_t compute_instances = 0;
+  uint64_t comm_instances = 0;
+  uint64_t skipped_instances = 0;
+};
+
+class Dispatcher {
+ public:
+  struct Config {
+    // Process isolation requires MAP_SHARED contexts.
+    bool shared_contexts = false;
+    // Nested-composition recursion bound (compositions may invoke
+    // compositions, §4.1).
+    int max_depth = 16;
+  };
+
+  Dispatcher(const dfunc::FunctionRegistry* functions, const CompositionRegistry* compositions,
+             const CommFunctionRegistry* comm_functions, WorkerSet* workers,
+             MemoryAccountant* accountant, Config config);
+
+  using ResultCallback = std::function<void(dbase::Result<dfunc::DataSetList>)>;
+
+  // Asynchronous invocation; the callback fires exactly once, possibly on an
+  // engine thread.
+  void InvokeAsync(const std::string& composition, dfunc::DataSetList args,
+                   ResultCallback callback);
+
+  // Blocking convenience wrapper.
+  dbase::Result<dfunc::DataSetList> Invoke(const std::string& composition,
+                                           dfunc::DataSetList args);
+
+  DispatcherStats Stats() const;
+
+ private:
+  struct InvocationState;
+
+  void InvokeGraphAsync(std::shared_ptr<const ddsl::CompositionGraph> graph,
+                        dfunc::DataSetList args, int depth, ResultCallback callback);
+
+  void StartNodeLocked(const std::shared_ptr<InvocationState>& inv, size_t node_index);
+  void LaunchComputeInstance(const std::shared_ptr<InvocationState>& inv, size_t node_index,
+                             size_t instance_index, dfunc::DataSetList inputs,
+                             const dfunc::FunctionSpec& spec);
+  void LaunchCommInstance(const std::shared_ptr<InvocationState>& inv, size_t node_index,
+                          size_t instance_index, dfunc::DataSetList inputs,
+                          const CommFunctionSpec& spec);
+  void LaunchNestedInstance(const std::shared_ptr<InvocationState>& inv, size_t node_index,
+                            size_t instance_index, dfunc::DataSetList inputs,
+                            std::shared_ptr<const ddsl::CompositionGraph> subgraph);
+  void OnInstanceDone(const std::shared_ptr<InvocationState>& inv, size_t node_index,
+                      size_t instance_index, dbase::Result<dfunc::DataSetList> outputs);
+  void MergeNodeLocked(const std::shared_ptr<InvocationState>& inv, size_t node_index);
+  void DeliverValueLocked(const std::shared_ptr<InvocationState>& inv, const std::string& value,
+                          dfunc::DataSet set);
+  void FailLocked(const std::shared_ptr<InvocationState>& inv, dbase::Status status);
+  void MaybeCompleteLocked(const std::shared_ptr<InvocationState>& inv);
+
+  const dfunc::FunctionRegistry* functions_;
+  const CompositionRegistry* compositions_;
+  const CommFunctionRegistry* comm_functions_;
+  WorkerSet* workers_;
+  MemoryAccountant* accountant_;
+  Config config_;
+
+  std::atomic<uint64_t> invocations_started_{0};
+  std::atomic<uint64_t> invocations_completed_{0};
+  std::atomic<uint64_t> invocations_failed_{0};
+  std::atomic<uint64_t> compute_instances_{0};
+  std::atomic<uint64_t> comm_instances_{0};
+  std::atomic<uint64_t> skipped_instances_{0};
+};
+
+}  // namespace dandelion
+
+#endif  // SRC_RUNTIME_DISPATCHER_H_

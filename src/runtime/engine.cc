@@ -1,0 +1,242 @@
+#include "src/runtime/engine.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "src/base/log.h"
+#include "src/runtime/comm_function.h"
+
+namespace dandelion {
+
+WorkerSet::WorkerSet(Config config, dhttp::ServiceMesh* mesh)
+    : config_(config), mesh_(mesh), sandbox_(CreateSandboxExecutor(config.backend)) {
+  const int workers = std::max(1, config_.num_workers);
+  const int comm = std::clamp(config_.initial_comm_workers, workers > 1 ? 1 : 0, workers - 1);
+  roles_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    const EngineType role = i < comm ? EngineType::kCommunication : EngineType::kCompute;
+    roles_.push_back(std::make_unique<std::atomic<EngineType>>(role));
+  }
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back("engine-" + std::to_string(i), [this, i] { WorkerLoop(i); });
+  }
+}
+
+WorkerSet::~WorkerSet() { Shutdown(); }
+
+bool WorkerSet::SubmitCompute(ComputeTask task) {
+  task.enqueue_time_us = dbase::MonotonicClock::Get()->NowMicros();
+  return compute_queue_.Push(std::move(task));
+}
+
+bool WorkerSet::SubmitComm(CommTask task) {
+  task.enqueue_time_us = dbase::MonotonicClock::Get()->NowMicros();
+  return comm_queue_.Push(std::move(task));
+}
+
+bool WorkerSet::ShiftWorkerToCompute() {
+  // Find a communication worker to relabel, keeping at least one.
+  if (comm_workers() <= 1) {
+    return false;
+  }
+  for (auto& role : roles_) {
+    EngineType expected = EngineType::kCommunication;
+    if (role->compare_exchange_strong(expected, EngineType::kCompute)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool WorkerSet::ShiftWorkerToComm() {
+  if (compute_workers() <= 1) {
+    return false;
+  }
+  for (auto& role : roles_) {
+    EngineType expected = EngineType::kCompute;
+    if (role->compare_exchange_strong(expected, EngineType::kCommunication)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int WorkerSet::compute_workers() const {
+  int count = 0;
+  for (const auto& role : roles_) {
+    if (role->load(std::memory_order_relaxed) == EngineType::kCompute) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+int WorkerSet::comm_workers() const { return static_cast<int>(roles_.size()) - compute_workers(); }
+
+EngineStats WorkerSet::Stats() const {
+  EngineStats stats;
+  stats.compute_tasks = compute_done_.load(std::memory_order_relaxed);
+  stats.comm_tasks = comm_done_.load(std::memory_order_relaxed);
+  stats.compute_queue_len = compute_queue_.Size();
+  stats.comm_queue_len = comm_queue_.Size();
+  stats.compute_workers = compute_workers();
+  stats.comm_workers = comm_workers();
+  {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    stats.compute_wait_p50_us = compute_wait_us_.ApproxPercentile(50);
+    stats.compute_wait_p99_us = compute_wait_us_.ApproxPercentile(99);
+    stats.comm_wait_p50_us = comm_wait_us_.ApproxPercentile(50);
+    stats.comm_wait_p99_us = comm_wait_us_.ApproxPercentile(99);
+  }
+  return stats;
+}
+
+void WorkerSet::Shutdown() {
+  if (shutdown_.exchange(true)) {
+    return;
+  }
+  compute_queue_.Close();
+  comm_queue_.Close();
+  for (auto& worker : workers_) {
+    worker.Join();
+  }
+}
+
+void WorkerSet::RunComputeTask(ComputeTask task) {
+  {
+    const dbase::Micros wait =
+        dbase::MonotonicClock::Get()->NowMicros() - task.enqueue_time_us;
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    compute_wait_us_.Add(static_cast<uint64_t>(std::max<dbase::Micros>(0, wait)));
+  }
+  SandboxOptions options = task.options;
+  if (config_.binary_cold_fraction > 0.0) {
+    // Deterministic cache-miss pattern: every k-th task loads from disk.
+    const auto k = static_cast<uint64_t>(
+        std::max(1.0, 1.0 / config_.binary_cold_fraction));
+    if (cold_counter_.fetch_add(1, std::memory_order_relaxed) % k == 0) {
+      options.binary_cached = false;
+    }
+  }
+  ExecOutcome outcome = sandbox_->Execute(task.spec, *task.context, options);
+  compute_done_.fetch_add(1, std::memory_order_relaxed);
+  if (task.done) {
+    task.done(std::move(outcome));
+  }
+}
+
+void WorkerSet::StartCommTask(CommTask task, std::vector<InFlight>* inflight) {
+  {
+    const dbase::Micros wait =
+        dbase::MonotonicClock::Get()->NowMicros() - task.enqueue_time_us;
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    comm_wait_us_.Add(static_cast<uint64_t>(std::max<dbase::Micros>(0, wait)));
+  }
+  CommCallResult call = task.handler ? task.handler(*mesh_, task.raw_request)
+                                     : ExecuteHttpFunction(*mesh_, task.raw_request);
+  InFlight pending;
+  pending.response = std::move(call.response);
+  pending.latency_us = call.latency_us;
+  pending.done = std::move(task.done);
+  const dbase::Micros now = dbase::MonotonicClock::Get()->NowMicros();
+  pending.ready_at_us = sleep_latency_.load(std::memory_order_relaxed)
+                            ? now + call.latency_us
+                            : now;
+  inflight->push_back(std::move(pending));
+}
+
+void WorkerSet::CompleteDue(std::vector<InFlight>* inflight, dbase::Micros now) {
+  for (size_t i = 0; i < inflight->size();) {
+    if ((*inflight)[i].ready_at_us <= now) {
+      InFlight item = std::move((*inflight)[i]);
+      (*inflight)[i] = std::move(inflight->back());
+      inflight->pop_back();
+      if (item.done) {
+        item.done(std::move(item.response), item.latency_us);
+      }
+    } else {
+      ++i;
+    }
+  }
+}
+
+void WorkerSet::WorkerLoop(int index) {
+  if (config_.pin_threads) {
+    dbase::PinCurrentThreadToCpu(index);
+  }
+  // Pending comm completions owned by this worker — the cooperative
+  // runtime's outstanding network operations.
+  std::vector<InFlight> inflight;
+
+  while (true) {
+    const dbase::Micros now = dbase::MonotonicClock::Get()->NowMicros();
+    CompleteDue(&inflight, now);
+
+    const bool draining = shutdown_.load(std::memory_order_relaxed);
+    const EngineType role = roles_[static_cast<size_t>(index)]->load(std::memory_order_relaxed);
+
+    if (role == EngineType::kCommunication || draining) {
+      // Accept new requests up to the green-thread budget.
+      bool accepted = false;
+      while (static_cast<int>(inflight.size()) < config_.comm_parallelism) {
+        auto task = comm_queue_.TryPop();
+        if (!task.has_value()) {
+          break;
+        }
+        StartCommTask(std::move(*task), &inflight);
+        comm_done_.fetch_add(1, std::memory_order_relaxed);
+        accepted = true;
+      }
+      if (role == EngineType::kCommunication && !draining) {
+        if (inflight.empty() && !accepted) {
+          // Idle: block briefly on the queue so we wake on arrivals.
+          auto task = comm_queue_.PopWithTimeout(500);
+          if (task.has_value()) {
+            StartCommTask(std::move(*task), &inflight);
+            comm_done_.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else if (!inflight.empty()) {
+          // Sleep to the nearest completion (bounded so role flips and new
+          // arrivals are noticed promptly).
+          dbase::Micros nearest = INT64_MAX;
+          for (const auto& item : inflight) {
+            nearest = std::min(nearest, item.ready_at_us);
+          }
+          const dbase::Micros wait =
+              std::clamp<dbase::Micros>(nearest - now, 0, 200);
+          if (wait > 0) {
+            std::this_thread::sleep_for(std::chrono::microseconds(wait));
+          }
+        }
+        continue;
+      }
+    }
+
+    if (role == EngineType::kCompute && !draining) {
+      auto task = compute_queue_.PopWithTimeout(inflight.empty() ? 1000 : 100);
+      if (task.has_value()) {
+        RunComputeTask(std::move(*task));
+      }
+      continue;
+    }
+
+    if (draining) {
+      // Finish everything still queued, then exit once idle.
+      bool did_work = false;
+      if (auto task = compute_queue_.TryPop()) {
+        RunComputeTask(std::move(*task));
+        did_work = true;
+      }
+      if (!inflight.empty()) {
+        CompleteDue(&inflight, INT64_MAX);  // Flush without sleeping.
+        did_work = true;
+      }
+      if (!did_work && comm_queue_.Size() == 0 && compute_queue_.Size() == 0) {
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace dandelion

@@ -1,0 +1,152 @@
+// Engines (§5): compute engines run one sandboxed task at a time to
+// completion on a dedicated core; communication engines run many requests
+// cooperatively. A WorkerSet owns one worker thread per core; the control
+// plane re-labels workers between the two roles at runtime ("re-assigns a
+// CPU core from the communication engine type to the compute engine type").
+#ifndef SRC_RUNTIME_ENGINE_H_
+#define SRC_RUNTIME_ENGINE_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <mutex>
+
+#include "src/base/clock.h"
+#include "src/base/queue.h"
+#include "src/base/stats.h"
+#include "src/base/thread.h"
+#include "src/func/registry.h"
+#include "src/http/service_mesh.h"
+#include "src/runtime/comm_function.h"
+#include "src/runtime/memory_context.h"
+#include "src/runtime/sandbox.h"
+
+namespace dandelion {
+
+enum class EngineType { kCompute, kCommunication };
+
+// A unit of compute work: a prepared memory context plus metadata. The
+// engine invokes `done` exactly once with the outcome.
+struct ComputeTask {
+  dfunc::FunctionSpec spec;
+  std::shared_ptr<MemoryContext> context;
+  SandboxOptions options;
+  std::function<void(ExecOutcome)> done;
+  dbase::Micros enqueue_time_us = 0;
+};
+
+// A unit of communication work: raw request bytes produced by an untrusted
+// function. The engine sanitizes, dispatches to the service mesh, and
+// returns the serialized response (or an HTTP-level error — §4.4 failure
+// forwarding). `handler` selects the communication function (HTTP when
+// empty); handlers are trusted platform code.
+struct CommTask {
+  std::string raw_request;
+  std::function<CommCallResult(dhttp::ServiceMesh&, std::string_view)> handler;
+  std::function<void(dhttp::HttpResponse, dbase::Micros latency_us)> done;
+  dbase::Micros enqueue_time_us = 0;
+};
+
+struct EngineStats {
+  uint64_t compute_tasks = 0;
+  uint64_t comm_tasks = 0;
+  uint64_t compute_queue_len = 0;
+  uint64_t comm_queue_len = 0;
+  int compute_workers = 0;
+  int comm_workers = 0;
+  // Queue-wait (enqueue → dequeue) distribution, µs. Approximate (log2
+  // buckets); the control plane's growth signal is exact, this is for
+  // operators.
+  uint64_t compute_wait_p50_us = 0;
+  uint64_t compute_wait_p99_us = 0;
+  uint64_t comm_wait_p50_us = 0;
+  uint64_t comm_wait_p99_us = 0;
+};
+
+// The pool of engine workers. Task queues are shared — engines poll the
+// queue for their current role, giving late binding of tasks to cores (§5).
+class WorkerSet {
+ public:
+  struct Config {
+    int num_workers = 4;
+    int initial_comm_workers = 1;
+    IsolationBackend backend = IsolationBackend::kThread;
+    // Fraction of compute tasks whose binary misses the in-memory cache
+    // (Fig. 6 loads from disk for 3% of requests).
+    double binary_cold_fraction = 0.0;
+    bool pin_threads = false;
+    // Max in-flight requests per communication worker ("green threads").
+    int comm_parallelism = 64;
+  };
+
+  WorkerSet(Config config, dhttp::ServiceMesh* mesh);
+  ~WorkerSet();
+
+  WorkerSet(const WorkerSet&) = delete;
+  WorkerSet& operator=(const WorkerSet&) = delete;
+
+  bool SubmitCompute(ComputeTask task);
+  bool SubmitComm(CommTask task);
+
+  // Control-plane hooks: move one worker between roles. Returns false when
+  // the source role is at its minimum of one worker.
+  bool ShiftWorkerToCompute();
+  bool ShiftWorkerToComm();
+
+  int compute_workers() const;
+  int comm_workers() const;
+
+  // Cumulative queue counters for controller error signals.
+  uint64_t compute_pushed() const { return compute_queue_.total_pushed(); }
+  uint64_t compute_popped() const { return compute_queue_.total_popped(); }
+  uint64_t comm_pushed() const { return comm_queue_.total_pushed(); }
+  uint64_t comm_popped() const { return comm_queue_.total_popped(); }
+
+  EngineStats Stats() const;
+
+  // Latency the mesh modelled for completed comm calls is *slept* by the
+  // worker (real runtime) unless disabled (unit tests).
+  void set_sleep_for_modeled_latency(bool enabled) { sleep_latency_ = enabled; }
+
+  void Shutdown();
+
+ private:
+  // A comm request whose mesh call completed but whose modelled network
+  // latency has not yet elapsed — the cooperative runtime's pending I/O.
+  struct InFlight {
+    dbase::Micros ready_at_us = 0;
+    dhttp::HttpResponse response;
+    dbase::Micros latency_us = 0;
+    std::function<void(dhttp::HttpResponse, dbase::Micros)> done;
+  };
+
+  void WorkerLoop(int index);
+  void RunComputeTask(ComputeTask task);
+  // Issues the mesh call and appends the pending completion to `inflight`.
+  void StartCommTask(CommTask task, std::vector<InFlight>* inflight);
+  static void CompleteDue(std::vector<InFlight>* inflight, dbase::Micros now);
+
+  Config config_;
+  dhttp::ServiceMesh* mesh_;
+  std::unique_ptr<SandboxExecutor> sandbox_;
+  dbase::MpmcQueue<ComputeTask> compute_queue_;
+  dbase::MpmcQueue<CommTask> comm_queue_;
+  std::vector<std::unique_ptr<std::atomic<EngineType>>> roles_;
+  std::vector<dbase::JoiningThread> workers_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<bool> sleep_latency_{true};
+  std::atomic<uint64_t> compute_done_{0};
+  std::atomic<uint64_t> comm_done_{0};
+  std::atomic<uint64_t> cold_counter_{0};
+
+  mutable std::mutex wait_mu_;
+  dbase::LogHistogram compute_wait_us_;  // Guarded by wait_mu_.
+  dbase::LogHistogram comm_wait_us_;     // Guarded by wait_mu_.
+};
+
+}  // namespace dandelion
+
+#endif  // SRC_RUNTIME_ENGINE_H_

@@ -1,0 +1,197 @@
+#include "src/runtime/frontend.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "src/base/log.h"
+#include "src/base/string_util.h"
+#include "src/http/http_parser.h"
+
+namespace dandelion {
+namespace {
+
+// Reads one HTTP request from a connected socket: headers first, then the
+// Content-Length-many body bytes.
+dbase::Result<std::string> ReadHttpRequest(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  size_t header_end = std::string::npos;
+  while (header_end == std::string::npos) {
+    const ssize_t n = read(fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+      return dbase::Unavailable("client closed connection mid-request");
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    header_end = buffer.find("\r\n\r\n");
+    if (buffer.size() > 64 * 1024 * 1024) {
+      return dbase::ResourceExhausted("request header block too large");
+    }
+  }
+  // Find Content-Length to know how much body remains.
+  uint64_t content_length = 0;
+  {
+    const std::string head = buffer.substr(0, header_end);
+    for (auto line : dbase::SplitString(head, "\r\n")) {
+      const size_t colon = line.find(':');
+      if (colon == std::string_view::npos) {
+        continue;
+      }
+      if (dbase::EqualsIgnoreCase(dbase::TrimWhitespace(line.substr(0, colon)),
+                                  "Content-Length")) {
+        (void)dbase::ParseUint64(dbase::TrimWhitespace(line.substr(colon + 1)), &content_length);
+      }
+    }
+  }
+  const size_t body_start = header_end + 4;
+  while (buffer.size() - body_start < content_length) {
+    const ssize_t n = read(fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+      return dbase::Unavailable("client closed connection mid-body");
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+  return buffer;
+}
+
+void WriteAll(int fd, const std::string& data) {
+  size_t offset = 0;
+  while (offset < data.size()) {
+    const ssize_t n = write(fd, data.data() + offset, data.size() - offset);
+    if (n <= 0) {
+      return;
+    }
+    offset += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+HttpFrontend::HttpFrontend(Platform* platform, uint16_t port)
+    : platform_(platform), port_(port) {}
+
+HttpFrontend::~HttpFrontend() { Stop(); }
+
+dbase::Status HttpFrontend::Start() {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return dbase::Unavailable("socket() failed");
+  }
+  int reuse = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port_);
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return dbase::Unavailable("bind() failed (sandboxed environment?)");
+  }
+  if (listen(listen_fd_, 64) != 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return dbase::Unavailable("listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  running_.store(true);
+  accept_thread_ = dbase::JoiningThread("frontend", [this] { AcceptLoop(); });
+  return dbase::OkStatus();
+}
+
+void HttpFrontend::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    shutdown(listen_fd_, SHUT_RDWR);
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  accept_thread_.Join();
+}
+
+void HttpFrontend::AcceptLoop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    const int client = accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (!running_.load(std::memory_order_relaxed)) {
+        return;
+      }
+      continue;
+    }
+    // One connection at a time keeps the frontend simple; invocation work
+    // itself runs on the engines, so the frontend is not the bottleneck for
+    // the single-client examples/tests that use it.
+    HandleConnection(client);
+    close(client);
+  }
+}
+
+void HttpFrontend::HandleConnection(int client_fd) {
+  auto raw = ReadHttpRequest(client_fd);
+  if (!raw.ok()) {
+    return;
+  }
+  auto parsed = dhttp::ParseRequest(*raw);
+  dhttp::HttpResponse response;
+  if (!parsed.ok()) {
+    response = dhttp::HttpResponse::BadRequest(parsed.status().ToString());
+    WriteAll(client_fd, response.Serialize());
+    return;
+  }
+  const dhttp::HttpRequest& request = parsed.value();
+  const std::string& target = request.target;
+
+  if (request.method == dhttp::Method::kGet && target == "/healthz") {
+    response = dhttp::HttpResponse::Ok("ok\n");
+  } else if (request.method == dhttp::Method::kPost && target == "/register/composition") {
+    const dbase::Status status = platform_->RegisterCompositionDsl(request.body);
+    response = status.ok() ? dhttp::HttpResponse::Make(201, "Created", "registered\n")
+                           : dhttp::HttpResponse::BadRequest(status.ToString());
+  } else if (request.method == dhttp::Method::kPost && target.rfind("/invoke/", 0) == 0) {
+    const std::string composition = target.substr(std::strlen("/invoke/"));
+    dfunc::DataSetList args;
+    const bool raw_mode = request.headers.Get("X-Dandelion-Raw").has_value();
+    if (raw_mode) {
+      // Plain-text convenience: the body becomes the single item of a set
+      // named after the composition's first parameter.
+      auto graph = platform_->compositions().Lookup(composition);
+      if (!graph.ok() || graph.value()->params().empty()) {
+        WriteAll(client_fd, dhttp::HttpResponse::NotFound("unknown composition").Serialize());
+        return;
+      }
+      args.push_back(
+          dfunc::DataSet{graph.value()->params().front(), {dfunc::DataItem{"", request.body}}});
+    } else {
+      auto unmarshalled = dfunc::UnmarshalSets(request.body);
+      if (!unmarshalled.ok()) {
+        WriteAll(client_fd,
+                 dhttp::HttpResponse::BadRequest(unmarshalled.status().ToString()).Serialize());
+        return;
+      }
+      args = std::move(unmarshalled).value();
+    }
+    auto result = platform_->Invoke(composition, std::move(args));
+    if (result.ok()) {
+      response = dhttp::HttpResponse::Ok(dfunc::MarshalSets(result.value()));
+      response.headers.Set("Content-Type", "application/x-dandelion-sets");
+    } else {
+      const int code = result.status().code() == dbase::StatusCode::kNotFound ? 404 : 500;
+      response = dhttp::HttpResponse::Make(code, "Error", result.status().ToString());
+    }
+  } else {
+    response = dhttp::HttpResponse::NotFound("unknown endpoint: " + target);
+  }
+  WriteAll(client_fd, response.Serialize());
+}
+
+}  // namespace dandelion

@@ -1,0 +1,54 @@
+// HTTP frontend (Figure 4): "manages client communication, handling
+// requests for composition/function registration and invocation". This is a
+// minimal HTTP/1.1 server over a TCP listening socket:
+//
+//   POST /invoke/<composition>      body: marshalled DataSetList (binary) or
+//                                   plain text (becomes the first param's
+//                                   single item when X-Dandelion-Raw: 1)
+//   POST /register/composition     body: DSL source text
+//   GET  /healthz                  liveness probe
+//
+// Responses carry marshalled DataSetList bodies for invocations.
+#ifndef SRC_RUNTIME_FRONTEND_H_
+#define SRC_RUNTIME_FRONTEND_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "src/base/status.h"
+#include "src/base/thread.h"
+#include "src/runtime/platform.h"
+
+namespace dandelion {
+
+class HttpFrontend {
+ public:
+  // port 0 lets the kernel pick; the bound port is then readable via port().
+  HttpFrontend(Platform* platform, uint16_t port = 0);
+  ~HttpFrontend();
+
+  HttpFrontend(const HttpFrontend&) = delete;
+  HttpFrontend& operator=(const HttpFrontend&) = delete;
+
+  // Binds, listens, and starts the accept loop.
+  dbase::Status Start();
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int client_fd);
+
+  Platform* platform_;
+  uint16_t port_;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  dbase::JoiningThread accept_thread_;
+};
+
+}  // namespace dandelion
+
+#endif  // SRC_RUNTIME_FRONTEND_H_

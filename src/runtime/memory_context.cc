@@ -1,0 +1,173 @@
+#include "src/runtime/memory_context.h"
+
+#include <sys/mman.h>
+
+#include <cstring>
+
+#include "src/base/string_util.h"
+
+namespace dandelion {
+
+void MemoryAccountant::AttachClock(const dbase::Clock* clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_ = clock;
+}
+
+void MemoryAccountant::Acquire(uint64_t bytes) {
+  const uint64_t now = current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  total_acquired_.fetch_add(bytes, std::memory_order_relaxed);
+  uint64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak && !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  RecordPoint();
+}
+
+void MemoryAccountant::Release(uint64_t bytes) {
+  current_.fetch_sub(bytes, std::memory_order_relaxed);
+  RecordPoint();
+}
+
+void MemoryAccountant::RecordPoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (clock_ == nullptr) {
+    return;
+  }
+  timeline_.Add(clock_->NowMicros(),
+                static_cast<double>(current_.load(std::memory_order_relaxed)) / (1024.0 * 1024.0));
+}
+
+dbase::TimeSeries MemoryAccountant::TimelineSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return timeline_;
+}
+
+dbase::Result<std::unique_ptr<MemoryContext>> MemoryContext::Create(uint64_t capacity,
+                                                                    MemoryAccountant* accountant,
+                                                                    bool shared) {
+  if (capacity < kHeaderSize) {
+    return dbase::InvalidArgument("context capacity below header size");
+  }
+  const int visibility = shared ? MAP_SHARED : MAP_PRIVATE;
+  void* mem = mmap(nullptr, capacity, PROT_READ | PROT_WRITE,
+                   visibility | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (mem == MAP_FAILED) {
+    return dbase::ResourceExhausted(
+        dbase::StrFormat("mmap of %llu-byte context failed",
+                         static_cast<unsigned long long>(capacity)));
+  }
+  if (accountant != nullptr) {
+    accountant->Acquire(capacity);
+  }
+  return std::unique_ptr<MemoryContext>(
+      new MemoryContext(static_cast<char*>(mem), capacity, accountant, shared));
+}
+
+MemoryContext::~MemoryContext() {
+  if (data_ != nullptr) {
+    munmap(data_, capacity_);
+    if (accountant_ != nullptr) {
+      accountant_->Release(capacity_);
+    }
+  }
+}
+
+dbase::Status MemoryContext::WriteAt(uint64_t offset, std::string_view bytes) {
+  if (offset > capacity_ || bytes.size() > capacity_ - offset) {
+    return dbase::ResourceExhausted("write exceeds context bounds");
+  }
+  std::memcpy(data_ + offset, bytes.data(), bytes.size());
+  return dbase::OkStatus();
+}
+
+dbase::Result<std::string_view> MemoryContext::ReadAt(uint64_t offset, uint64_t size) const {
+  if (offset > capacity_ || size > capacity_ - offset) {
+    return dbase::InvalidArgument("read exceeds context bounds");
+  }
+  return std::string_view(data_ + offset, size);
+}
+
+dbase::Status MemoryContext::TransferFrom(const MemoryContext& source, uint64_t src_offset,
+                                          uint64_t dst_offset, uint64_t size) {
+  ASSIGN_OR_RETURN(std::string_view view, source.ReadAt(src_offset, size));
+  return WriteAt(dst_offset, view);
+}
+
+ContextHeader MemoryContext::ReadHeader() const {
+  ContextHeader header;
+  std::memcpy(&header.magic, data_, 4);
+  std::memcpy(&header.state, data_ + 4, 4);
+  std::memcpy(&header.payload_len, data_ + 8, 8);
+  return header;
+}
+
+void MemoryContext::WriteHeader(const ContextHeader& header) {
+  std::memcpy(data_, &header.magic, 4);
+  std::memcpy(data_ + 4, &header.state, 4);
+  std::memcpy(data_ + 8, &header.payload_len, 8);
+}
+
+dbase::Status MemoryContext::StoreInputSets(const dfunc::DataSetList& inputs) {
+  const std::string payload = dfunc::MarshalSets(inputs);
+  if (payload.size() > capacity_ - kHeaderSize) {
+    return dbase::ResourceExhausted(
+        dbase::StrFormat("inputs (%zu bytes) exceed context capacity (%llu bytes); raise the "
+                         "function's declared memory requirement",
+                         payload.size(), static_cast<unsigned long long>(capacity_)));
+  }
+  ContextHeader header;
+  header.state = ContextHeader::kStatePending;
+  header.payload_len = payload.size();
+  WriteHeader(header);
+  return WriteAt(kHeaderSize, payload);
+}
+
+dbase::Result<dfunc::DataSetList> MemoryContext::LoadInputSets() const {
+  const ContextHeader header = ReadHeader();
+  if (header.magic != ContextHeader::kMagic) {
+    return dbase::Internal("context header corrupted (bad magic)");
+  }
+  ASSIGN_OR_RETURN(std::string_view payload, ReadAt(kHeaderSize, header.payload_len));
+  return dfunc::UnmarshalSets(payload);
+}
+
+dbase::Status MemoryContext::StoreOutcome(const dbase::Status& status,
+                                          const dfunc::DataSetList& outputs) {
+  std::string payload;
+  if (status.ok()) {
+    payload = dfunc::MarshalSets(outputs);
+  } else {
+    payload = status.message();
+  }
+  if (payload.size() > capacity_ - kHeaderSize) {
+    // Outputs do not fit: report resource exhaustion instead.
+    ContextHeader header;
+    header.state = static_cast<int32_t>(dbase::StatusCode::kResourceExhausted);
+    const char* msg = "outputs exceed context capacity";
+    header.payload_len = std::strlen(msg);
+    WriteHeader(header);
+    return WriteAt(kHeaderSize, msg);
+  }
+  ContextHeader header;
+  header.state = static_cast<int32_t>(status.code());
+  header.payload_len = payload.size();
+  WriteHeader(header);
+  return WriteAt(kHeaderSize, payload);
+}
+
+dbase::Result<dfunc::DataSetList> MemoryContext::LoadOutputSets() const {
+  const ContextHeader header = ReadHeader();
+  if (header.magic != ContextHeader::kMagic) {
+    return dbase::Internal("context header corrupted (bad magic)");
+  }
+  if (header.state == ContextHeader::kStatePending) {
+    return dbase::Internal("function did not produce an outcome (state still pending)");
+  }
+  ASSIGN_OR_RETURN(std::string_view payload, ReadAt(kHeaderSize, header.payload_len));
+  const auto code = static_cast<dbase::StatusCode>(header.state);
+  if (code != dbase::StatusCode::kOk) {
+    return dbase::Status(code, std::string(payload));
+  }
+  return dfunc::UnmarshalSets(payload);
+}
+
+}  // namespace dandelion

@@ -1,0 +1,131 @@
+// Memory contexts (§5): "a bounded, contiguous memory region with methods to
+// read or write at particular offsets and methods to transfer data to other
+// contexts." The dispatcher prepares one per function instance; engines hand
+// it to the isolation backend; the accountant tracks platform-wide committed
+// bytes (the metric in Figures 1 and 10).
+//
+// Contexts are backed by anonymous mmap with MAP_NORESERVE, so the reserved
+// virtual size is the user-declared memory requirement while physical pages
+// appear on demand — exactly the paper's demand-paging behaviour.
+#ifndef SRC_RUNTIME_MEMORY_CONTEXT_H_
+#define SRC_RUNTIME_MEMORY_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "src/base/clock.h"
+#include "src/base/stats.h"
+#include "src/base/status.h"
+#include "src/func/data.h"
+
+namespace dandelion {
+
+// Tracks committed context memory across the platform. Thread-safe. When a
+// clock is attached, every change appends to a TimeSeries in MB — the
+// committed-memory curves of Figures 1/10.
+class MemoryAccountant {
+ public:
+  MemoryAccountant() = default;
+
+  // Attaching a clock enables timeline recording.
+  void AttachClock(const dbase::Clock* clock);
+
+  void Acquire(uint64_t bytes);
+  void Release(uint64_t bytes);
+
+  uint64_t current_bytes() const { return current_.load(std::memory_order_relaxed); }
+  uint64_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
+  uint64_t total_acquired() const { return total_acquired_.load(std::memory_order_relaxed); }
+
+  // Snapshot of the timeline (copies under lock).
+  dbase::TimeSeries TimelineSnapshot() const;
+
+ private:
+  void RecordPoint();
+
+  std::atomic<uint64_t> current_{0};
+  std::atomic<uint64_t> peak_{0};
+  std::atomic<uint64_t> total_acquired_{0};
+
+  mutable std::mutex mu_;
+  const dbase::Clock* clock_ = nullptr;  // Guarded by mu_.
+  dbase::TimeSeries timeline_;           // Guarded by mu_.
+};
+
+// Wire protocol inside a context, shared with sandboxed children:
+//   [u32 magic][i32 state][u64 payload_len][payload...]
+// state: kPending before execution; a dbase::StatusCode after. The payload
+// is a marshalled DataSetList (inputs before, outputs after) or an error
+// message when state != OK.
+struct ContextHeader {
+  static constexpr uint32_t kMagic = 0x43545831;  // "CTX1"
+  static constexpr int32_t kStatePending = -1;
+
+  uint32_t magic = kMagic;
+  int32_t state = kStatePending;
+  uint64_t payload_len = 0;
+};
+
+class MemoryContext {
+ public:
+  // `shared` selects MAP_SHARED so a forked child's writes are visible to
+  // the parent (process isolation backend); otherwise MAP_PRIVATE.
+  static dbase::Result<std::unique_ptr<MemoryContext>> Create(uint64_t capacity,
+                                                              MemoryAccountant* accountant,
+                                                              bool shared = false);
+  ~MemoryContext();
+
+  MemoryContext(const MemoryContext&) = delete;
+  MemoryContext& operator=(const MemoryContext&) = delete;
+
+  uint64_t capacity() const { return capacity_; }
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+  bool shared() const { return shared_; }
+
+  dbase::Status WriteAt(uint64_t offset, std::string_view bytes);
+  dbase::Result<std::string_view> ReadAt(uint64_t offset, uint64_t size) const;
+
+  // Copies a range from another context ("methods to transfer data to other
+  // contexts", §5). Ranges must be in bounds on both sides.
+  dbase::Status TransferFrom(const MemoryContext& source, uint64_t src_offset,
+                             uint64_t dst_offset, uint64_t size);
+
+  // --- Header + marshalled-payload protocol --------------------------------
+  // Serializes the sets after the header; fails with RESOURCE_EXHAUSTED when
+  // the declared context size is too small (the user under-declared their
+  // memory requirement).
+  dbase::Status StoreInputSets(const dfunc::DataSetList& inputs);
+
+  // Reads the header+payload the function left behind. Non-OK state becomes
+  // that error Status.
+  dbase::Result<dfunc::DataSetList> LoadOutputSets() const;
+
+  // Raw header access, used by sandbox children.
+  ContextHeader ReadHeader() const;
+  void WriteHeader(const ContextHeader& header);
+
+  // In-place execution protocol used inside sandboxes: read input payload,
+  // overwrite with output payload.
+  dbase::Result<dfunc::DataSetList> LoadInputSets() const;
+  dbase::Status StoreOutcome(const dbase::Status& status, const dfunc::DataSetList& outputs);
+
+ private:
+  MemoryContext(char* data, uint64_t capacity, MemoryAccountant* accountant, bool shared)
+      : data_(data), capacity_(capacity), accountant_(accountant), shared_(shared) {}
+
+  static constexpr uint64_t kHeaderSize = 16;
+
+  char* data_ = nullptr;
+  uint64_t capacity_ = 0;
+  MemoryAccountant* accountant_ = nullptr;
+  bool shared_ = false;
+};
+
+}  // namespace dandelion
+
+#endif  // SRC_RUNTIME_MEMORY_CONTEXT_H_

@@ -1,0 +1,101 @@
+// The Platform facade: one Dandelion worker node (Figure 4). Owns the
+// function/DAG registries, the service mesh, the engine worker set, the
+// dispatcher, and the control plane. This is the public API examples and
+// benchmarks program against.
+#ifndef SRC_RUNTIME_PLATFORM_H_
+#define SRC_RUNTIME_PLATFORM_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/base/status.h"
+#include "src/dsl/graph.h"
+#include "src/func/data.h"
+#include "src/func/registry.h"
+#include "src/http/service_mesh.h"
+#include "src/runtime/controller.h"
+#include "src/runtime/dispatcher.h"
+#include "src/runtime/engine.h"
+#include "src/runtime/memory_context.h"
+#include "src/runtime/sandbox.h"
+
+namespace dandelion {
+
+struct PlatformConfig {
+  // Engine workers ≈ CPU cores of the node.
+  int num_workers = 4;
+  int initial_comm_workers = 1;
+  IsolationBackend backend = IsolationBackend::kThread;
+  // Enable the PI control plane that re-balances cores (§5). Off by default
+  // so unit tests are deterministic; benchmarks switch it on.
+  bool enable_control_plane = false;
+  dbase::Micros control_interval_us = 30 * dbase::kMicrosPerMilli;
+  // Fraction of compute launches whose binary load misses the in-memory
+  // cache (Fig. 6 uses 3%).
+  double binary_cold_fraction = 0.0;
+  bool pin_threads = false;
+  // Sleep for modelled network latency on comm calls (disable for fast
+  // unit tests).
+  bool sleep_for_modeled_latency = true;
+  int comm_parallelism = 64;
+};
+
+class Platform {
+ public:
+  explicit Platform(PlatformConfig config = PlatformConfig{});
+  ~Platform();
+
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+
+  // --- Registration --------------------------------------------------------
+  dbase::Status RegisterFunction(dfunc::FunctionSpec spec);
+  // Registers an additional platform communication function (trusted code;
+  // "HTTP" is pre-registered). The name becomes reserved in compositions.
+  dbase::Status RegisterCommFunction(CommFunctionSpec spec);
+  // Parses DSL text (possibly several compositions) and registers each.
+  dbase::Status RegisterCompositionDsl(std::string_view dsl_source);
+  dbase::Status RegisterComposition(ddsl::CompositionGraph graph);
+
+  // --- Invocation ----------------------------------------------------------
+  dbase::Result<dfunc::DataSetList> Invoke(const std::string& composition,
+                                           dfunc::DataSetList args);
+  void InvokeAsync(const std::string& composition, dfunc::DataSetList args,
+                   Dispatcher::ResultCallback callback);
+
+  // --- Introspection -------------------------------------------------------
+  dhttp::ServiceMesh& mesh() { return mesh_; }
+  MemoryAccountant& accountant() { return accountant_; }
+  const dfunc::FunctionRegistry& functions() const { return functions_; }
+  const CompositionRegistry& compositions() const { return compositions_; }
+  const CommFunctionRegistry& comm_functions() const { return comm_functions_; }
+  EngineStats engine_stats() const { return workers_->Stats(); }
+  DispatcherStats dispatcher_stats() const { return dispatcher_->Stats(); }
+  ControlPlane* control_plane() { return control_plane_.get(); }
+  const PlatformConfig& config() const { return config_; }
+
+  // Graceful shutdown: drains queues and joins engines. Idempotent; the
+  // destructor calls it too.
+  void Shutdown();
+
+ private:
+  // Validates communication-function node shapes at registration time
+  // (§6.3): exactly one input set with the function's declared request-set
+  // name, exactly one output set with its response-set name.
+  dbase::Status ValidateCommNodes(const ddsl::CompositionGraph& graph) const;
+
+  PlatformConfig config_;
+  dfunc::FunctionRegistry functions_;
+  CompositionRegistry compositions_;
+  CommFunctionRegistry comm_functions_;
+  dhttp::ServiceMesh mesh_;
+  MemoryAccountant accountant_;
+  std::unique_ptr<WorkerSet> workers_;
+  std::unique_ptr<Dispatcher> dispatcher_;
+  std::unique_ptr<ControlPlane> control_plane_;
+};
+
+}  // namespace dandelion
+
+#endif  // SRC_RUNTIME_PLATFORM_H_

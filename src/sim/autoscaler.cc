@@ -1,0 +1,69 @@
+#include "src/sim/autoscaler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dsim {
+
+KnativeAutoscaler::KnativeAutoscaler(AutoscalerConfig config) : config_(config) {}
+
+double KnativeAutoscaler::WindowAverage(dbase::Micros now, dbase::Micros window) const {
+  double sum = 0.0;
+  int count = 0;
+  for (auto it = samples_.rbegin(); it != samples_.rend(); ++it) {
+    if (now - it->first > window) {
+      break;
+    }
+    sum += it->second;
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / count;
+}
+
+int KnativeAutoscaler::Tick(dbase::Micros now, double concurrency) {
+  last_tick_ = now;
+  samples_.emplace_back(now, concurrency);
+  while (!samples_.empty() && now - samples_.front().first > config_.stable_window_us) {
+    samples_.pop_front();
+  }
+  if (concurrency > 0.0) {
+    last_positive_us_ = now;
+  }
+
+  const double stable_avg = WindowAverage(now, config_.stable_window_us);
+  const double panic_avg = WindowAverage(now, config_.panic_window_us);
+  const int stable_desired =
+      static_cast<int>(std::ceil(stable_avg / config_.target_concurrency));
+  const int panic_desired = static_cast<int>(std::ceil(panic_avg / config_.target_concurrency));
+
+  // Enter panic mode when the short window demands far more than we have.
+  if (pods_ > 0 && panic_desired > static_cast<int>(config_.panic_threshold * pods_)) {
+    panic_until_ = now + config_.stable_window_us;
+    panic_floor_ = std::max(panic_floor_, pods_);
+  }
+
+  int desired;
+  if (now < panic_until_) {
+    // Panicking: only scale up, never down.
+    desired = std::max({stable_desired, panic_desired, panic_floor_});
+    panic_floor_ = desired;
+  } else {
+    panic_floor_ = 0;
+    desired = stable_desired;
+  }
+
+  // Scale-to-zero only after the grace period with no traffic.
+  if (desired == 0) {
+    const bool grace_expired = now - last_positive_us_ > config_.scale_to_zero_grace_us;
+    if (!grace_expired && pods_ > 0) {
+      desired = std::max(1, std::min(pods_, desired));
+      desired = std::max(desired, 1);
+    }
+  }
+
+  desired = std::clamp(desired, 0, config_.max_pods);
+  pods_ = desired;
+  return pods_;
+}
+
+}  // namespace dsim

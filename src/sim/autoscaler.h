@@ -1,0 +1,50 @@
+// Knative-style autoscaler (KPA) used in the Azure-trace experiments
+// (§7.8): per-function pod counts driven by windowed average concurrency,
+// with a short panic window for bursts and delayed scale-to-zero. Pure
+// decision logic — unit-testable without the event queue.
+#ifndef SRC_SIM_AUTOSCALER_H_
+#define SRC_SIM_AUTOSCALER_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "src/base/clock.h"
+
+namespace dsim {
+
+struct AutoscalerConfig {
+  dbase::Micros stable_window_us = 60 * dbase::kMicrosPerSecond;
+  dbase::Micros panic_window_us = 6 * dbase::kMicrosPerSecond;
+  // Panic when the panic-window desire exceeds 2x current pods.
+  double panic_threshold = 2.0;
+  double target_concurrency = 1.0;
+  dbase::Micros scale_to_zero_grace_us = 30 * dbase::kMicrosPerSecond;
+  int max_pods = 64;
+};
+
+class KnativeAutoscaler {
+ public:
+  explicit KnativeAutoscaler(AutoscalerConfig config = AutoscalerConfig{});
+
+  // Feeds a concurrency sample (in-flight requests at `now`); returns the
+  // recommended pod count.
+  int Tick(dbase::Micros now, double concurrency);
+
+  int current_pods() const { return pods_; }
+  bool in_panic_mode() const { return panic_until_ > last_tick_; }
+
+ private:
+  double WindowAverage(dbase::Micros now, dbase::Micros window) const;
+
+  AutoscalerConfig config_;
+  std::deque<std::pair<dbase::Micros, double>> samples_;
+  int pods_ = 0;
+  dbase::Micros panic_until_ = -1;
+  int panic_floor_ = 0;  // Pods may not drop below this while panicking.
+  dbase::Micros last_positive_us_ = 0;
+  dbase::Micros last_tick_ = 0;
+};
+
+}  // namespace dsim
+
+#endif  // SRC_SIM_AUTOSCALER_H_

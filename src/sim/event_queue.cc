@@ -1,0 +1,75 @@
+#include "src/sim/event_queue.h"
+
+#include <cassert>
+
+namespace dsim {
+
+void EventQueue::ScheduleAt(dbase::Micros at, EventFn fn) {
+  assert(at >= now_ && "cannot schedule into the past");
+  events_.push(Event{at < now_ ? now_ : at, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::RunNext() {
+  if (events_.empty()) {
+    return false;
+  }
+  // priority_queue::top returns const&; move out via const_cast is UB-free
+  // here because we pop immediately after copying the closure.
+  Event event = events_.top();
+  events_.pop();
+  now_ = event.time;
+  event.fn();
+  return true;
+}
+
+size_t EventQueue::RunAll(size_t max_events) {
+  size_t executed = 0;
+  while (executed < max_events && RunNext()) {
+    ++executed;
+  }
+  return executed;
+}
+
+void EventQueue::RunUntil(dbase::Micros end) {
+  while (!events_.empty() && events_.top().time <= end) {
+    RunNext();
+  }
+  if (now_ < end) {
+    now_ = end;
+  }
+}
+
+FifoServer::FifoServer(EventQueue* queue, int capacity) : queue_(queue), capacity_(capacity) {}
+
+void FifoServer::Submit(dbase::Micros service,
+                        std::function<void(dbase::Micros, dbase::Micros)> done) {
+  ++submitted_;
+  pending_.push_back(Job{service, std::move(done)});
+  TryDispatch();
+}
+
+void FifoServer::SetCapacity(int capacity) {
+  capacity_ = capacity;
+  TryDispatch();
+}
+
+void FifoServer::TryDispatch() {
+  while (busy_ < capacity_ && !pending_.empty()) {
+    Job job = std::move(pending_.front());
+    pending_.pop_front();
+    ++busy_;
+    ++started_;
+    const dbase::Micros start = queue_->now();
+    const dbase::Micros end = start + job.service;
+    queue_->ScheduleAt(end, [this, start, end, done = std::move(job.done)] {
+      --busy_;
+      ++completed_;
+      if (done) {
+        done(start, end);
+      }
+      TryDispatch();
+    });
+  }
+}
+
+}  // namespace dsim

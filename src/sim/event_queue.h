@@ -1,0 +1,100 @@
+// Discrete-event simulation core: a virtual-time event queue with stable
+// FIFO ordering for simultaneous events. All §7 experiments that need the
+// authors' testbed (Firecracker/gVisor/Wasmtime hosts, CloudLab nodes) run
+// against this in virtual time, calibrated by src/sim/calibration.h.
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/base/clock.h"
+
+namespace dsim {
+
+using EventFn = std::function<void()>;
+
+class EventQueue : public dbase::Clock {
+ public:
+  EventQueue() = default;
+
+  dbase::Micros now() const { return now_; }
+  dbase::Micros NowMicros() const override { return now_; }
+
+  // Schedules fn at absolute virtual time `at` (>= now). Events at equal
+  // times run in scheduling order.
+  void ScheduleAt(dbase::Micros at, EventFn fn);
+  void ScheduleAfter(dbase::Micros delay, EventFn fn) { ScheduleAt(now_ + delay, fn); }
+
+  bool empty() const { return events_.empty(); }
+  size_t pending() const { return events_.size(); }
+
+  // Runs the next event; returns false when none remain.
+  bool RunNext();
+  // Runs events until the queue is empty or `max_events` executed.
+  size_t RunAll(size_t max_events = SIZE_MAX);
+  // Runs events with time <= end.
+  void RunUntil(dbase::Micros end);
+
+ private:
+  struct Event {
+    dbase::Micros time;
+    uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  dbase::Micros now_ = 0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+};
+
+// A c-server FIFO queueing station over an EventQueue (the compute-core
+// pool, the serialized VMM-setup stage, the comm green-thread pool, ...).
+// Capacity may change at runtime (the PI controller moves cores).
+class FifoServer {
+ public:
+  FifoServer(EventQueue* queue, int capacity);
+
+  // Enqueues a job with the given service time. `done(start, end)` runs at
+  // the job's virtual completion time.
+  void Submit(dbase::Micros service, std::function<void(dbase::Micros, dbase::Micros)> done);
+
+  void SetCapacity(int capacity);
+  int capacity() const { return capacity_; }
+  int busy() const { return busy_; }
+  size_t queue_len() const { return pending_.size(); }
+  uint64_t total_submitted() const { return submitted_; }
+  uint64_t total_started() const { return started_; }
+  uint64_t total_completed() const { return completed_; }
+
+ private:
+  struct Job {
+    dbase::Micros service;
+    std::function<void(dbase::Micros, dbase::Micros)> done;
+  };
+
+  void TryDispatch();
+
+  EventQueue* queue_;
+  int capacity_;
+  int busy_ = 0;
+  std::deque<Job> pending_;
+  uint64_t submitted_ = 0;
+  uint64_t started_ = 0;
+  uint64_t completed_ = 0;
+};
+
+}  // namespace dsim
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,76 @@
+#include "src/sim/workload.h"
+
+#include <algorithm>
+
+namespace dsim {
+namespace {
+
+SimRequest MakeRequest(const AppShape& shape, dbase::Micros at, dbase::Rng& rng) {
+  SimRequest req;
+  req.arrival_us = at;
+  req.app_id = shape.app_id;
+  req.phases = shape.phases;
+  req.comm_us = shape.comm_us;
+  req.context_bytes = shape.context_bytes;
+  double jitter = 1.0;
+  if (shape.compute_jitter > 0.0) {
+    jitter = rng.LogNormal(0.0, shape.compute_jitter);
+  }
+  req.compute_us = std::max<dbase::Micros>(
+      1, static_cast<dbase::Micros>(static_cast<double>(shape.compute_us) * jitter));
+  return req;
+}
+
+}  // namespace
+
+std::vector<SimRequest> PoissonStream(const AppShape& shape, double rps,
+                                      dbase::Micros duration_us, uint64_t seed) {
+  std::vector<SimRequest> out;
+  if (rps <= 0.0) {
+    return out;
+  }
+  dbase::Rng rng(seed);
+  const double mean_gap_us = 1e6 / rps;
+  double t = rng.Exponential(mean_gap_us);
+  while (t < static_cast<double>(duration_us)) {
+    out.push_back(MakeRequest(shape, static_cast<dbase::Micros>(t), rng));
+    t += rng.Exponential(mean_gap_us);
+  }
+  return out;
+}
+
+std::vector<SimRequest> BurstyStream(const AppShape& shape,
+                                     const std::vector<RateSegment>& profile, uint64_t seed) {
+  std::vector<SimRequest> out;
+  dbase::Rng rng(seed);
+  dbase::Micros offset = 0;
+  for (const auto& segment : profile) {
+    if (segment.rps > 0.0) {
+      const double mean_gap_us = 1e6 / segment.rps;
+      double t = rng.Exponential(mean_gap_us);
+      while (t < static_cast<double>(segment.duration_us)) {
+        out.push_back(MakeRequest(shape, offset + static_cast<dbase::Micros>(t), rng));
+        t += rng.Exponential(mean_gap_us);
+      }
+    }
+    offset += segment.duration_us;
+  }
+  return out;
+}
+
+std::vector<SimRequest> MergeStreams(std::vector<std::vector<SimRequest>> streams) {
+  std::vector<SimRequest> out;
+  size_t total = 0;
+  for (const auto& stream : streams) {
+    total += stream.size();
+  }
+  out.reserve(total);
+  for (auto& stream : streams) {
+    out.insert(out.end(), stream.begin(), stream.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SimRequest& a, const SimRequest& b) { return a.arrival_us < b.arrival_us; });
+  return out;
+}
+
+}  // namespace dsim

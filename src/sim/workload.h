@@ -1,0 +1,57 @@
+// Workload generation for the simulator: open-loop Poisson request streams,
+// bursty multi-application mixes (Fig. 8), and the request shapes of the
+// paper's microbenchmarks (single compute, fetch-and-compute, N-phase
+// chains).
+#ifndef SRC_SIM_WORKLOAD_H_
+#define SRC_SIM_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/base/rng.h"
+
+namespace dsim {
+
+// A request is a chain of `phases` stages; each stage is compute_us of CPU
+// work followed by comm_us of remote-service latency (0 for pure compute).
+// Dandelion pays a sandbox creation per compute stage; a monolithic FaaS
+// function pays one sandbox for the whole chain.
+struct SimRequest {
+  dbase::Micros arrival_us = 0;
+  int app_id = 0;
+  int phases = 1;
+  dbase::Micros compute_us = 0;   // Per phase.
+  dbase::Micros comm_us = 0;      // Per phase (0 = compute-only).
+  uint64_t context_bytes = 16ull << 20;
+};
+
+struct AppShape {
+  int app_id = 0;
+  int phases = 1;
+  dbase::Micros compute_us = 0;
+  dbase::Micros comm_us = 0;
+  uint64_t context_bytes = 16ull << 20;
+  // ±fraction lognormal-ish jitter applied to compute_us per request.
+  double compute_jitter = 0.05;
+};
+
+// Open-loop Poisson arrivals at `rps` for `duration_us`.
+std::vector<SimRequest> PoissonStream(const AppShape& shape, double rps,
+                                      dbase::Micros duration_us, uint64_t seed);
+
+// A bursty rate profile: piecewise-constant RPS segments.
+struct RateSegment {
+  dbase::Micros duration_us = 0;
+  double rps = 0.0;
+};
+
+std::vector<SimRequest> BurstyStream(const AppShape& shape,
+                                     const std::vector<RateSegment>& profile, uint64_t seed);
+
+// Merges streams into one arrival-ordered vector.
+std::vector<SimRequest> MergeStreams(std::vector<std::vector<SimRequest>> streams);
+
+}  // namespace dsim
+
+#endif  // SRC_SIM_WORKLOAD_H_

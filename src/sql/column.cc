@@ -1,0 +1,246 @@
+#include "src/sql/column.h"
+
+#include "src/base/string_util.h"
+
+namespace dsql {
+
+std::string_view ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return "int64";
+    case ColumnType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+Column::Column(ColumnType type) : type_(type) {}
+
+Column Column::Ints(std::vector<int64_t> values) {
+  Column column(ColumnType::kInt64);
+  column.ints_ = std::move(values);
+  return column;
+}
+
+Column Column::Strings(std::vector<std::string> values) {
+  Column column(ColumnType::kString);
+  column.strings_ = std::move(values);
+  return column;
+}
+
+size_t Column::size() const {
+  return type_ == ColumnType::kInt64 ? ints_.size() : strings_.size();
+}
+
+void Column::AppendInt(int64_t value) { ints_.push_back(value); }
+void Column::AppendString(std::string value) { strings_.push_back(std::move(value)); }
+
+Column Column::Gather(const std::vector<uint32_t>& rows) const {
+  Column out(type_);
+  if (type_ == ColumnType::kInt64) {
+    out.ints_.reserve(rows.size());
+    for (uint32_t row : rows) {
+      out.ints_.push_back(ints_[row]);
+    }
+  } else {
+    out.strings_.reserve(rows.size());
+    for (uint32_t row : rows) {
+      out.strings_.push_back(strings_[row]);
+    }
+  }
+  return out;
+}
+
+dbase::Status Table::AddColumn(std::string name, Column column) {
+  if (HasColumn(name)) {
+    return dbase::AlreadyExists("duplicate column: " + name);
+  }
+  if (!columns_.empty() && column.size() != NumRows()) {
+    return dbase::InvalidArgument(
+        dbase::StrFormat("column '%s' has %zu rows, table has %zu", name.c_str(), column.size(),
+                         NumRows()));
+  }
+  columns_.emplace_back(std::move(name), std::move(column));
+  return dbase::OkStatus();
+}
+
+dbase::Result<const Column*> Table::GetColumn(std::string_view name) const {
+  for (const auto& [col_name, column] : columns_) {
+    if (col_name == name) {
+      return &column;
+    }
+  }
+  return dbase::NotFound("no column named " + std::string(name) + " in table " + name_);
+}
+
+bool Table::HasColumn(std::string_view name) const {
+  for (const auto& [col_name, column] : columns_) {
+    if (col_name == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+dbase::Status Table::Validate() const {
+  for (const auto& [name, column] : columns_) {
+    if (column.size() != NumRows()) {
+      return dbase::Internal("ragged table: column " + name);
+    }
+  }
+  return dbase::OkStatus();
+}
+
+Table Table::Gather(const std::vector<uint32_t>& rows) const {
+  Table out(name_);
+  for (const auto& [name, column] : columns_) {
+    (void)out.AddColumn(name, column.Gather(rows));
+  }
+  return out;
+}
+
+std::string Table::ToCsv(size_t max_rows) const {
+  std::string out;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (c > 0) {
+      out += ',';
+    }
+    out += columns_[c].first;
+  }
+  out += '\n';
+  const size_t rows = std::min(NumRows(), max_rows);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) {
+        out += ',';
+      }
+      const Column& column = columns_[c].second;
+      if (column.type() == ColumnType::kInt64) {
+        out += std::to_string(column.IntAt(r));
+      } else {
+        out += column.StringAt(r);
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+void AppendU32(std::string* out, uint32_t v) {
+  for (int b = 0; b < 4; ++b) {
+    out->push_back(static_cast<char>((v >> (8 * b)) & 0xff));
+  }
+}
+void AppendU64(std::string* out, uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    out->push_back(static_cast<char>((v >> (8 * b)) & 0xff));
+  }
+}
+void AppendStr(std::string* out, std::string_view s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+  dbase::Result<uint32_t> U32() {
+    if (data_.size() - pos_ < 4) {
+      return dbase::InvalidArgument("truncated table bytes (u32)");
+    }
+    uint32_t v = 0;
+    for (int b = 3; b >= 0; --b) {
+      v = (v << 8) | static_cast<uint8_t>(data_[pos_ + static_cast<size_t>(b)]);
+    }
+    pos_ += 4;
+    return v;
+  }
+  dbase::Result<uint64_t> U64() {
+    if (data_.size() - pos_ < 8) {
+      return dbase::InvalidArgument("truncated table bytes (u64)");
+    }
+    uint64_t v = 0;
+    for (int b = 7; b >= 0; --b) {
+      v = (v << 8) | static_cast<uint8_t>(data_[pos_ + static_cast<size_t>(b)]);
+    }
+    pos_ += 8;
+    return v;
+  }
+  dbase::Result<std::string_view> Str() {
+    ASSIGN_OR_RETURN(uint32_t len, U32());
+    if (data_.size() - pos_ < len) {
+      return dbase::InvalidArgument("truncated table bytes (string)");
+    }
+    std::string_view s = data_.substr(pos_, len);
+    pos_ += len;
+    return s;
+  }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+}  // namespace
+
+std::string SerializeTable(const Table& table) {
+  std::string out;
+  AppendU32(&out, 0x53514C31);  // "SQL1"
+  AppendStr(&out, table.name());
+  AppendU32(&out, static_cast<uint32_t>(table.NumColumns()));
+  AppendU64(&out, table.NumRows());
+  for (const auto& [name, column] : table.columns()) {
+    AppendStr(&out, name);
+    AppendU32(&out, static_cast<uint32_t>(column.type()));
+    if (column.type() == ColumnType::kInt64) {
+      for (int64_t v : column.ints()) {
+        AppendU64(&out, static_cast<uint64_t>(v));
+      }
+    } else {
+      for (const auto& s : column.strings()) {
+        AppendStr(&out, s);
+      }
+    }
+  }
+  return out;
+}
+
+dbase::Result<Table> DeserializeTable(std::string_view bytes) {
+  Cursor cursor(bytes);
+  ASSIGN_OR_RETURN(uint32_t magic, cursor.U32());
+  if (magic != 0x53514C31) {
+    return dbase::InvalidArgument("bad table magic");
+  }
+  ASSIGN_OR_RETURN(std::string_view name, cursor.Str());
+  Table table((std::string(name)));
+  ASSIGN_OR_RETURN(uint32_t num_columns, cursor.U32());
+  ASSIGN_OR_RETURN(uint64_t num_rows, cursor.U64());
+  for (uint32_t c = 0; c < num_columns; ++c) {
+    ASSIGN_OR_RETURN(std::string_view col_name, cursor.Str());
+    ASSIGN_OR_RETURN(uint32_t type_raw, cursor.U32());
+    if (type_raw > 1) {
+      return dbase::InvalidArgument("bad column type tag");
+    }
+    const auto type = static_cast<ColumnType>(type_raw);
+    Column column(type);
+    if (type == ColumnType::kInt64) {
+      for (uint64_t r = 0; r < num_rows; ++r) {
+        ASSIGN_OR_RETURN(uint64_t v, cursor.U64());
+        column.AppendInt(static_cast<int64_t>(v));
+      }
+    } else {
+      for (uint64_t r = 0; r < num_rows; ++r) {
+        ASSIGN_OR_RETURN(std::string_view s, cursor.Str());
+        column.AppendString(std::string(s));
+      }
+    }
+    RETURN_IF_ERROR(table.AddColumn(std::string(col_name), std::move(column)));
+  }
+  if (!cursor.AtEnd()) {
+    return dbase::InvalidArgument("trailing bytes after table");
+  }
+  return table;
+}
+
+}  // namespace dsql

@@ -1,0 +1,93 @@
+// Columnar table model for the analytical query engine — the stand-in for
+// the Apache Arrow Acero operators the paper ports to Dandelion for the
+// Star Schema Benchmark evaluation (§7.7).
+#ifndef SRC_SQL_COLUMN_H_
+#define SRC_SQL_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace dsql {
+
+enum class ColumnType { kInt64, kString };
+
+std::string_view ColumnTypeName(ColumnType type);
+
+// A typed column of values. SSB's numeric fields are integer cents/counts,
+// so kInt64 + kString cover the whole benchmark schema.
+class Column {
+ public:
+  explicit Column(ColumnType type = ColumnType::kInt64);
+  static Column Ints(std::vector<int64_t> values);
+  static Column Strings(std::vector<std::string> values);
+
+  ColumnType type() const { return type_; }
+  size_t size() const;
+
+  void AppendInt(int64_t value);
+  void AppendString(std::string value);
+
+  int64_t IntAt(size_t row) const { return ints_[row]; }
+  const std::string& StringAt(size_t row) const { return strings_[row]; }
+
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<std::string>& strings() const { return strings_; }
+
+  // Copies the given rows into a new column (selection materialization).
+  Column Gather(const std::vector<uint32_t>& rows) const;
+
+  bool operator==(const Column& other) const = default;
+
+ private:
+  ColumnType type_;
+  std::vector<int64_t> ints_;
+  std::vector<std::string> strings_;
+};
+
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // Columns must all have equal length; enforced on access via Validate().
+  dbase::Status AddColumn(std::string name, Column column);
+
+  size_t NumColumns() const { return columns_.size(); }
+  size_t NumRows() const { return columns_.empty() ? 0 : columns_.front().second.size(); }
+
+  dbase::Result<const Column*> GetColumn(std::string_view name) const;
+  bool HasColumn(std::string_view name) const;
+  const std::vector<std::pair<std::string, Column>>& columns() const { return columns_; }
+
+  // All columns same length?
+  dbase::Status Validate() const;
+
+  // Materializes the given rows into a new table.
+  Table Gather(const std::vector<uint32_t>& rows) const;
+
+  // CSV rendering (header + rows); for tests and human-readable output.
+  std::string ToCsv(size_t max_rows = SIZE_MAX) const;
+
+  bool operator==(const Table& other) const = default;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, Column>> columns_;
+};
+
+// Compact binary (de)serialization — used to store SSB partitions in the
+// simulated object store and to pass tables between Dandelion functions.
+std::string SerializeTable(const Table& table);
+dbase::Result<Table> DeserializeTable(std::string_view bytes);
+
+}  // namespace dsql
+
+#endif  // SRC_SQL_COLUMN_H_

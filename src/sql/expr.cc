@@ -1,0 +1,240 @@
+#include "src/sql/expr.h"
+
+#include <algorithm>
+
+#include "src/base/string_util.h"
+
+namespace dsql {
+
+bool Value::operator==(const Value& other) const {
+  if (kind != other.kind) {
+    return false;
+  }
+  return kind == Kind::kInt ? i == other.i : s == other.s;
+}
+
+bool Value::operator<(const Value& other) const {
+  if (kind != other.kind) {
+    return kind < other.kind;
+  }
+  return kind == Kind::kInt ? i < other.i : s < other.s;
+}
+
+namespace {
+std::shared_ptr<Expr> NewExpr() {
+  struct Accessible : Expr {};
+  return std::make_shared<Accessible>();
+}
+Expr* Mutable(const std::shared_ptr<Expr>& e) { return e.get(); }
+}  // namespace
+
+ExprPtr Expr::Column(std::string name) {
+  auto e = NewExpr();
+  Mutable(e)->op_ = ExprOp::kColumn;
+  Mutable(e)->column_ = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Literal(Value value) {
+  auto e = NewExpr();
+  Mutable(e)->op_ = ExprOp::kLiteral;
+  Mutable(e)->literal_ = std::move(value);
+  return e;
+}
+
+ExprPtr Expr::Unary(ExprOp op, ExprPtr operand) {
+  auto e = NewExpr();
+  Mutable(e)->op_ = op;
+  Mutable(e)->children_ = {std::move(operand)};
+  return e;
+}
+
+ExprPtr Expr::Binary(ExprOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = NewExpr();
+  Mutable(e)->op_ = op;
+  Mutable(e)->children_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::InSet(ExprPtr operand, std::vector<Value> candidates) {
+  auto e = NewExpr();
+  Mutable(e)->op_ = ExprOp::kInSet;
+  Mutable(e)->children_ = {std::move(operand)};
+  Mutable(e)->in_set_ = std::move(candidates);
+  return e;
+}
+
+dbase::Result<ExprPtr> Expr::Bind(const Table& table) const {
+  auto bound = NewExpr();
+  Expr* b = Mutable(bound);
+  b->op_ = op_;
+  b->column_ = column_;
+  b->literal_ = literal_;
+  b->in_set_ = in_set_;
+  for (const auto& child : children_) {
+    ASSIGN_OR_RETURN(ExprPtr bound_child, child->Bind(table));
+    b->children_.push_back(std::move(bound_child));
+  }
+  if (op_ == ExprOp::kColumn) {
+    const auto& columns = table.columns();
+    b->column_index_ = -1;
+    for (size_t c = 0; c < columns.size(); ++c) {
+      if (columns[c].first == column_) {
+        b->column_index_ = static_cast<int>(c);
+        b->column_type_ = columns[c].second.type();
+        break;
+      }
+    }
+    if (b->column_index_ < 0) {
+      return dbase::NotFound("expression references unknown column: " + column_);
+    }
+  }
+  return ExprPtr(bound);
+}
+
+Value Expr::Eval(const Table& table, size_t row) const {
+  switch (op_) {
+    case ExprOp::kColumn: {
+      // Qualified: plain `Column` resolves to the static factory member.
+      const ::dsql::Column& column = table.columns()[static_cast<size_t>(column_index_)].second;
+      if (column_type_ == ColumnType::kInt64) {
+        return Value::Int(column.IntAt(row));
+      }
+      return Value::Str(column.StringAt(row));
+    }
+    case ExprOp::kLiteral:
+      return literal_;
+    case ExprOp::kEq:
+      return Value::Int(children_[0]->Eval(table, row) == children_[1]->Eval(table, row) ? 1 : 0);
+    case ExprOp::kNe:
+      return Value::Int(children_[0]->Eval(table, row) == children_[1]->Eval(table, row) ? 0 : 1);
+    case ExprOp::kLt:
+      return Value::Int(children_[0]->Eval(table, row) < children_[1]->Eval(table, row) ? 1 : 0);
+    case ExprOp::kLe: {
+      const Value a = children_[0]->Eval(table, row);
+      const Value b = children_[1]->Eval(table, row);
+      return Value::Int(a < b || a == b ? 1 : 0);
+    }
+    case ExprOp::kGt: {
+      const Value a = children_[0]->Eval(table, row);
+      const Value b = children_[1]->Eval(table, row);
+      return Value::Int(!(a < b) && !(a == b) ? 1 : 0);
+    }
+    case ExprOp::kGe: {
+      const Value a = children_[0]->Eval(table, row);
+      const Value b = children_[1]->Eval(table, row);
+      return Value::Int(!(a < b) ? 1 : 0);
+    }
+    case ExprOp::kAnd:
+      return Value::Int(children_[0]->EvalBool(table, row) && children_[1]->EvalBool(table, row)
+                            ? 1
+                            : 0);
+    case ExprOp::kOr:
+      return Value::Int(children_[0]->EvalBool(table, row) || children_[1]->EvalBool(table, row)
+                            ? 1
+                            : 0);
+    case ExprOp::kNot:
+      return Value::Int(children_[0]->EvalBool(table, row) ? 0 : 1);
+    case ExprOp::kAdd:
+      return Value::Int(children_[0]->Eval(table, row).i + children_[1]->Eval(table, row).i);
+    case ExprOp::kSub:
+      return Value::Int(children_[0]->Eval(table, row).i - children_[1]->Eval(table, row).i);
+    case ExprOp::kMul:
+      return Value::Int(children_[0]->Eval(table, row).i * children_[1]->Eval(table, row).i);
+    case ExprOp::kInSet: {
+      const Value v = children_[0]->Eval(table, row);
+      for (const auto& candidate : in_set_) {
+        if (v == candidate) {
+          return Value::Int(1);
+        }
+      }
+      return Value::Int(0);
+    }
+  }
+  return Value::Int(0);
+}
+
+bool Expr::EvalBool(const Table& table, size_t row) const {
+  const Value v = Eval(table, row);
+  return v.kind == Value::Kind::kInt ? v.i != 0 : !v.s.empty();
+}
+
+std::string Expr::ToString() const {
+  switch (op_) {
+    case ExprOp::kColumn:
+      return column_;
+    case ExprOp::kLiteral:
+      return literal_.kind == Value::Kind::kInt ? std::to_string(literal_.i)
+                                                : "'" + literal_.s + "'";
+    case ExprOp::kEq:
+      return "(" + children_[0]->ToString() + " = " + children_[1]->ToString() + ")";
+    case ExprOp::kNe:
+      return "(" + children_[0]->ToString() + " != " + children_[1]->ToString() + ")";
+    case ExprOp::kLt:
+      return "(" + children_[0]->ToString() + " < " + children_[1]->ToString() + ")";
+    case ExprOp::kLe:
+      return "(" + children_[0]->ToString() + " <= " + children_[1]->ToString() + ")";
+    case ExprOp::kGt:
+      return "(" + children_[0]->ToString() + " > " + children_[1]->ToString() + ")";
+    case ExprOp::kGe:
+      return "(" + children_[0]->ToString() + " >= " + children_[1]->ToString() + ")";
+    case ExprOp::kAnd:
+      return "(" + children_[0]->ToString() + " AND " + children_[1]->ToString() + ")";
+    case ExprOp::kOr:
+      return "(" + children_[0]->ToString() + " OR " + children_[1]->ToString() + ")";
+    case ExprOp::kNot:
+      return "(NOT " + children_[0]->ToString() + ")";
+    case ExprOp::kAdd:
+      return "(" + children_[0]->ToString() + " + " + children_[1]->ToString() + ")";
+    case ExprOp::kSub:
+      return "(" + children_[0]->ToString() + " - " + children_[1]->ToString() + ")";
+    case ExprOp::kMul:
+      return "(" + children_[0]->ToString() + " * " + children_[1]->ToString() + ")";
+    case ExprOp::kInSet: {
+      std::string out = "(" + children_[0]->ToString() + " IN [";
+      for (size_t i = 0; i < in_set_.size(); ++i) {
+        if (i > 0) {
+          out += ", ";
+        }
+        out += in_set_[i].kind == Value::Kind::kInt ? std::to_string(in_set_[i].i)
+                                                    : "'" + in_set_[i].s + "'";
+      }
+      return out + "])";
+    }
+  }
+  return "?";
+}
+
+ExprPtr Col(std::string name) { return Expr::Column(std::move(name)); }
+ExprPtr Lit(int64_t v) { return Expr::Literal(Value::Int(v)); }
+ExprPtr Lit(const char* v) { return Expr::Literal(Value::Str(v)); }
+ExprPtr Lit(std::string v) { return Expr::Literal(Value::Str(std::move(v))); }
+ExprPtr Eq(ExprPtr a, ExprPtr b) { return Expr::Binary(ExprOp::kEq, std::move(a), std::move(b)); }
+ExprPtr Ne(ExprPtr a, ExprPtr b) { return Expr::Binary(ExprOp::kNe, std::move(a), std::move(b)); }
+ExprPtr Lt(ExprPtr a, ExprPtr b) { return Expr::Binary(ExprOp::kLt, std::move(a), std::move(b)); }
+ExprPtr Le(ExprPtr a, ExprPtr b) { return Expr::Binary(ExprOp::kLe, std::move(a), std::move(b)); }
+ExprPtr Gt(ExprPtr a, ExprPtr b) { return Expr::Binary(ExprOp::kGt, std::move(a), std::move(b)); }
+ExprPtr Ge(ExprPtr a, ExprPtr b) { return Expr::Binary(ExprOp::kGe, std::move(a), std::move(b)); }
+ExprPtr And(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(ExprOp::kAnd, std::move(a), std::move(b));
+}
+ExprPtr Or(ExprPtr a, ExprPtr b) { return Expr::Binary(ExprOp::kOr, std::move(a), std::move(b)); }
+ExprPtr Not(ExprPtr a) { return Expr::Unary(ExprOp::kNot, std::move(a)); }
+ExprPtr Add(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(ExprOp::kAdd, std::move(a), std::move(b));
+}
+ExprPtr Sub(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(ExprOp::kSub, std::move(a), std::move(b));
+}
+ExprPtr Mul(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(ExprOp::kMul, std::move(a), std::move(b));
+}
+ExprPtr Between(ExprPtr operand, int64_t lo, int64_t hi) {
+  ExprPtr shared = std::move(operand);  // Reused by both comparisons.
+  return And(Ge(shared, Lit(lo)), Le(shared, Lit(hi)));
+}
+ExprPtr In(ExprPtr operand, std::vector<Value> candidates) {
+  return Expr::InSet(std::move(operand), std::move(candidates));
+}
+
+}  // namespace dsql

@@ -1,0 +1,117 @@
+// Scalar and predicate expressions over table rows — the filter/projection
+// language of the query operators. Small tree of owned nodes with builder
+// helpers:
+//   auto pred = And(Between(Col("lo_discount"), 1, 3), Lt(Col("lo_quantity"), Lit(25)));
+#ifndef SRC_SQL_EXPR_H_
+#define SRC_SQL_EXPR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/sql/column.h"
+
+namespace dsql {
+
+// Runtime value: int64 or string.
+struct Value {
+  enum class Kind { kInt, kString } kind = Kind::kInt;
+  int64_t i = 0;
+  std::string s;
+
+  static Value Int(int64_t v) { return Value{Kind::kInt, v, ""}; }
+  static Value Str(std::string v) { return Value{Kind::kString, 0, std::move(v)}; }
+
+  bool operator==(const Value& other) const;
+  // Int < Int or lexicographic; comparing across kinds is an error handled
+  // at Expr::Bind time.
+  bool operator<(const Value& other) const;
+};
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+enum class ExprOp {
+  kColumn,
+  kLiteral,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kNot,
+  kAdd,
+  kSub,
+  kMul,
+  kInSet,
+};
+
+class Expr {
+ public:
+  // --- Construction (use the free builder functions below) -----------------
+  static ExprPtr Column(std::string name);
+  static ExprPtr Literal(Value value);
+  static ExprPtr Unary(ExprOp op, ExprPtr operand);
+  static ExprPtr Binary(ExprOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr InSet(ExprPtr operand, std::vector<Value> candidates);
+
+  ExprOp op() const { return op_; }
+  const std::string& column_name() const { return column_; }
+  const Value& literal() const { return literal_; }
+
+  // Type-checks against the table and resolves column indices. Must be
+  // called before Eval*; returns a bound copy.
+  dbase::Result<ExprPtr> Bind(const Table& table) const;
+
+  // Scalar evaluation at one row (expression must be bound).
+  Value Eval(const Table& table, size_t row) const;
+  // Predicate evaluation: non-zero int is true.
+  bool EvalBool(const Table& table, size_t row) const;
+
+  // Human-readable rendering for error messages and tests.
+  std::string ToString() const;
+
+ protected:
+  Expr() = default;
+
+ private:
+
+  ExprOp op_ = ExprOp::kLiteral;
+  std::string column_;
+  Value literal_;
+  std::vector<ExprPtr> children_;
+  std::vector<Value> in_set_;
+  // Bound state.
+  int column_index_ = -1;
+  ColumnType column_type_ = ColumnType::kInt64;
+};
+
+// Builder helpers.
+ExprPtr Col(std::string name);
+ExprPtr Lit(int64_t v);
+ExprPtr Lit(const char* v);
+ExprPtr Lit(std::string v);
+ExprPtr Eq(ExprPtr a, ExprPtr b);
+ExprPtr Ne(ExprPtr a, ExprPtr b);
+ExprPtr Lt(ExprPtr a, ExprPtr b);
+ExprPtr Le(ExprPtr a, ExprPtr b);
+ExprPtr Gt(ExprPtr a, ExprPtr b);
+ExprPtr Ge(ExprPtr a, ExprPtr b);
+ExprPtr And(ExprPtr a, ExprPtr b);
+ExprPtr Or(ExprPtr a, ExprPtr b);
+ExprPtr Not(ExprPtr a);
+ExprPtr Add(ExprPtr a, ExprPtr b);
+ExprPtr Sub(ExprPtr a, ExprPtr b);
+ExprPtr Mul(ExprPtr a, ExprPtr b);
+// lo <= col <= hi (inclusive, as in SSB's BETWEEN).
+ExprPtr Between(ExprPtr operand, int64_t lo, int64_t hi);
+ExprPtr In(ExprPtr operand, std::vector<Value> candidates);
+
+}  // namespace dsql
+
+#endif  // SRC_SQL_EXPR_H_

@@ -1,0 +1,279 @@
+#include "src/sql/operators.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+
+#include "src/base/string_util.h"
+
+namespace dsql {
+
+dbase::Result<Table> Filter(const Table& input, const ExprPtr& predicate) {
+  ASSIGN_OR_RETURN(ExprPtr bound, predicate->Bind(input));
+  std::vector<uint32_t> rows;
+  const size_t n = input.NumRows();
+  for (size_t r = 0; r < n; ++r) {
+    if (bound->EvalBool(input, r)) {
+      rows.push_back(static_cast<uint32_t>(r));
+    }
+  }
+  return input.Gather(rows);
+}
+
+dbase::Result<Table> Project(const Table& input, const std::vector<std::string>& columns) {
+  Table out(input.name());
+  for (const auto& name : columns) {
+    ASSIGN_OR_RETURN(const Column* column, input.GetColumn(name));
+    RETURN_IF_ERROR(out.AddColumn(name, *column));
+  }
+  return out;
+}
+
+dbase::Result<Table> WithComputedColumn(const Table& input, const std::string& name,
+                                        const ExprPtr& expr) {
+  ASSIGN_OR_RETURN(ExprPtr bound, expr->Bind(input));
+  Table out = input;
+  const size_t n = input.NumRows();
+  // Determine result type from row 0 (empty tables default to int).
+  if (n == 0) {
+    RETURN_IF_ERROR(out.AddColumn(name, Column(ColumnType::kInt64)));
+    return out;
+  }
+  const Value first = bound->Eval(input, 0);
+  Column column(first.kind == Value::Kind::kInt ? ColumnType::kInt64 : ColumnType::kString);
+  for (size_t r = 0; r < n; ++r) {
+    const Value v = bound->Eval(input, r);
+    if (v.kind == Value::Kind::kInt) {
+      column.AppendInt(v.i);
+    } else {
+      column.AppendString(v.s);
+    }
+  }
+  RETURN_IF_ERROR(out.AddColumn(name, std::move(column)));
+  return out;
+}
+
+dbase::Result<Table> HashJoin(const Table& probe, const std::string& probe_key,
+                              const Table& build, const std::string& build_key) {
+  ASSIGN_OR_RETURN(const Column* probe_col, probe.GetColumn(probe_key));
+  ASSIGN_OR_RETURN(const Column* build_col, build.GetColumn(build_key));
+  if (probe_col->type() != ColumnType::kInt64 || build_col->type() != ColumnType::kInt64) {
+    return dbase::InvalidArgument("hash join keys must be int64 columns");
+  }
+
+  // Build: key → row indices (keys may repeat).
+  std::unordered_map<int64_t, std::vector<uint32_t>> hash_table;
+  hash_table.reserve(build.NumRows());
+  for (size_t r = 0; r < build.NumRows(); ++r) {
+    hash_table[build_col->IntAt(r)].push_back(static_cast<uint32_t>(r));
+  }
+
+  std::vector<uint32_t> probe_rows;
+  std::vector<uint32_t> build_rows;
+  for (size_t r = 0; r < probe.NumRows(); ++r) {
+    auto it = hash_table.find(probe_col->IntAt(r));
+    if (it == hash_table.end()) {
+      continue;
+    }
+    for (uint32_t b : it->second) {
+      probe_rows.push_back(static_cast<uint32_t>(r));
+      build_rows.push_back(b);
+    }
+  }
+
+  Table out(probe.name() + "_join_" + build.name());
+  for (const auto& [name, column] : probe.columns()) {
+    RETURN_IF_ERROR(out.AddColumn(name, column.Gather(probe_rows)));
+  }
+  for (const auto& [name, column] : build.columns()) {
+    if (out.HasColumn(name)) {
+      continue;  // Probe side wins on name clashes (join keys overlap).
+    }
+    RETURN_IF_ERROR(out.AddColumn(name, column.Gather(build_rows)));
+  }
+  return out;
+}
+
+namespace {
+
+// Composite group key: rendered values joined with '\x1f' (unit separator).
+std::string GroupKey(const Table& table, const std::vector<const Column*>& group_cols,
+                     size_t row) {
+  std::string key;
+  for (const Column* column : group_cols) {
+    if (column->type() == ColumnType::kInt64) {
+      key += std::to_string(column->IntAt(row));
+    } else {
+      key += column->StringAt(row);
+    }
+    key += '\x1f';
+  }
+  return key;
+}
+
+struct AggState {
+  int64_t sum = 0;
+  int64_t count = 0;
+  int64_t min = std::numeric_limits<int64_t>::max();
+  int64_t max = std::numeric_limits<int64_t>::min();
+};
+
+}  // namespace
+
+dbase::Result<Table> GroupAggregate(const Table& input, const std::vector<std::string>& group_by,
+                                    const std::vector<AggSpec>& aggs) {
+  std::vector<const Column*> group_cols;
+  group_cols.reserve(group_by.size());
+  for (const auto& name : group_by) {
+    ASSIGN_OR_RETURN(const Column* column, input.GetColumn(name));
+    group_cols.push_back(column);
+  }
+  std::vector<const Column*> agg_cols;
+  agg_cols.reserve(aggs.size());
+  for (const auto& agg : aggs) {
+    if (agg.op == AggOp::kCount) {
+      agg_cols.push_back(nullptr);
+      continue;
+    }
+    ASSIGN_OR_RETURN(const Column* column, input.GetColumn(agg.column));
+    if (column->type() != ColumnType::kInt64) {
+      return dbase::InvalidArgument("aggregation over non-int64 column: " + agg.column);
+    }
+    agg_cols.push_back(column);
+  }
+
+  // Group index: key → dense group id; remember one representative row.
+  std::unordered_map<std::string, size_t> group_ids;
+  std::vector<uint32_t> representative_rows;
+  std::vector<std::vector<AggState>> states;
+
+  const size_t n = input.NumRows();
+  for (size_t r = 0; r < n; ++r) {
+    const std::string key = GroupKey(input, group_cols, r);
+    auto [it, inserted] = group_ids.emplace(key, group_ids.size());
+    if (inserted) {
+      representative_rows.push_back(static_cast<uint32_t>(r));
+      states.emplace_back(aggs.size());
+    }
+    auto& group_states = states[it->second];
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      AggState& state = group_states[a];
+      ++state.count;
+      if (agg_cols[a] != nullptr) {
+        const int64_t v = agg_cols[a]->IntAt(r);
+        state.sum += v;
+        state.min = std::min(state.min, v);
+        state.max = std::max(state.max, v);
+      }
+    }
+  }
+
+  // Full-table aggregation over empty input still yields one all-zero row —
+  // SQL semantics for SUM over empty is NULL, but SSB queries never hit it;
+  // we return 0 for simplicity.
+  if (group_by.empty() && states.empty()) {
+    representative_rows.push_back(0);
+    states.emplace_back(aggs.size());
+  }
+
+  Table out(input.name() + "_agg");
+  for (size_t g = 0; g < group_by.size(); ++g) {
+    Column column(group_cols[g]->type());
+    for (uint32_t row : representative_rows) {
+      if (group_cols[g]->type() == ColumnType::kInt64) {
+        column.AppendInt(group_cols[g]->IntAt(row));
+      } else {
+        column.AppendString(group_cols[g]->StringAt(row));
+      }
+    }
+    RETURN_IF_ERROR(out.AddColumn(group_by[g], std::move(column)));
+  }
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    Column column(ColumnType::kInt64);
+    for (size_t g = 0; g < states.size(); ++g) {
+      const AggState& state = states[g][a];
+      switch (aggs[a].op) {
+        case AggOp::kSum:
+          column.AppendInt(state.sum);
+          break;
+        case AggOp::kCount:
+          column.AppendInt(state.count);
+          break;
+        case AggOp::kMin:
+          column.AppendInt(state.count > 0 ? state.min : 0);
+          break;
+        case AggOp::kMax:
+          column.AppendInt(state.count > 0 ? state.max : 0);
+          break;
+      }
+    }
+    RETURN_IF_ERROR(out.AddColumn(aggs[a].output_name, std::move(column)));
+  }
+  return out;
+}
+
+dbase::Result<Table> SortBy(const Table& input, const std::vector<SortKey>& keys) {
+  std::vector<const Column*> key_cols;
+  key_cols.reserve(keys.size());
+  for (const auto& key : keys) {
+    ASSIGN_OR_RETURN(const Column* column, input.GetColumn(key.column));
+    key_cols.push_back(column);
+  }
+  std::vector<uint32_t> order(input.NumRows());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    for (size_t k = 0; k < keys.size(); ++k) {
+      const Column* column = key_cols[k];
+      int cmp = 0;
+      if (column->type() == ColumnType::kInt64) {
+        const int64_t va = column->IntAt(a);
+        const int64_t vb = column->IntAt(b);
+        cmp = va < vb ? -1 : (va > vb ? 1 : 0);
+      } else {
+        cmp = column->StringAt(a).compare(column->StringAt(b));
+      }
+      if (cmp != 0) {
+        return keys[k].descending ? cmp > 0 : cmp < 0;
+      }
+    }
+    return false;
+  });
+  return input.Gather(order);
+}
+
+dbase::Result<Table> Concat(const std::vector<Table>& tables) {
+  if (tables.empty()) {
+    return dbase::InvalidArgument("Concat requires at least one table");
+  }
+  Table out = tables.front();
+  for (size_t t = 1; t < tables.size(); ++t) {
+    const Table& next = tables[t];
+    if (next.NumColumns() != out.NumColumns()) {
+      return dbase::InvalidArgument("Concat schema mismatch (column count)");
+    }
+    Table merged(out.name());
+    for (size_t c = 0; c < out.NumColumns(); ++c) {
+      const auto& [name, column] = out.columns()[c];
+      const auto& [next_name, next_column] = next.columns()[c];
+      if (name != next_name || column.type() != next_column.type()) {
+        return dbase::InvalidArgument("Concat schema mismatch at column " + name);
+      }
+      Column combined(column.type());
+      if (column.type() == ColumnType::kInt64) {
+        std::vector<int64_t> values = column.ints();
+        values.insert(values.end(), next_column.ints().begin(), next_column.ints().end());
+        combined = Column::Ints(std::move(values));
+      } else {
+        std::vector<std::string> values = column.strings();
+        values.insert(values.end(), next_column.strings().begin(), next_column.strings().end());
+        combined = Column::Strings(std::move(values));
+      }
+      RETURN_IF_ERROR(merged.AddColumn(name, std::move(combined)));
+    }
+    out = std::move(merged);
+  }
+  return out;
+}
+
+}  // namespace dsql

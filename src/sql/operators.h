@@ -1,0 +1,59 @@
+// Materializing relational operators: filter, project, hash join, group-by
+// aggregation, sort, concat. These are the query-engine substrate for the
+// SSB evaluation (§7.7) — each operator takes tables and produces a table,
+// which maps 1:1 onto Dandelion compute functions exchanging serialized
+// tables as data items.
+#ifndef SRC_SQL_OPERATORS_H_
+#define SRC_SQL_OPERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/sql/column.h"
+#include "src/sql/expr.h"
+
+namespace dsql {
+
+// Rows where the predicate holds.
+dbase::Result<Table> Filter(const Table& input, const ExprPtr& predicate);
+
+// Keeps the named columns, in the given order.
+dbase::Result<Table> Project(const Table& input, const std::vector<std::string>& columns);
+
+// Appends a computed column.
+dbase::Result<Table> WithComputedColumn(const Table& input, const std::string& name,
+                                        const ExprPtr& expr);
+
+// Inner equi-join. Builds a hash table on `build` (usually the smaller
+// dimension table), probes with `probe` (the fact table). Output columns:
+// all probe columns, then build columns that do not clash by name.
+dbase::Result<Table> HashJoin(const Table& probe, const std::string& probe_key,
+                              const Table& build, const std::string& build_key);
+
+enum class AggOp { kSum, kCount, kMin, kMax };
+
+struct AggSpec {
+  AggOp op = AggOp::kSum;
+  std::string column;  // Ignored for kCount.
+  std::string output_name;
+};
+
+// Hash group-by. Empty `group_by` performs a full-table aggregation
+// producing exactly one row.
+dbase::Result<Table> GroupAggregate(const Table& input, const std::vector<std::string>& group_by,
+                                    const std::vector<AggSpec>& aggs);
+
+struct SortKey {
+  std::string column;
+  bool descending = false;
+};
+
+dbase::Result<Table> SortBy(const Table& input, const std::vector<SortKey>& keys);
+
+// Vertical union of same-schema tables (partition merging).
+dbase::Result<Table> Concat(const std::vector<Table>& tables);
+
+}  // namespace dsql
+
+#endif  // SRC_SQL_OPERATORS_H_

@@ -1,0 +1,225 @@
+#include "src/sql/ssb.h"
+
+#include "src/base/rng.h"
+#include "src/base/string_util.h"
+
+namespace dsql {
+namespace {
+
+constexpr int kFirstYear = 1992;
+constexpr int kNumYears = 7;  // 1992..1998, as in SSB.
+
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"};
+constexpr int kNumRegions = 5;
+// Five nations per region, SSB style.
+const char* kNations[kNumRegions][5] = {
+    {"ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE"},
+    {"ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES"},
+    {"CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM"},
+    {"FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM"},
+    {"EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA"},
+};
+
+// d_datekey encoded as yyyymmdd, 28-day months keep generation simple while
+// preserving the selectivity structure the queries rely on.
+constexpr int kDaysPerMonth = 28;
+constexpr int kMonthsPerYear = 12;
+
+struct GeoRow {
+  std::string region;
+  std::string nation;
+  std::string city;
+};
+
+GeoRow MakeGeo(dbase::Rng& rng) {
+  const int region = static_cast<int>(rng.NextBounded(kNumRegions));
+  const int nation = static_cast<int>(rng.NextBounded(5));
+  GeoRow geo;
+  geo.region = kRegions[region];
+  geo.nation = kNations[region][nation];
+  geo.city = geo.nation.substr(0, 9) + std::to_string(rng.NextBounded(10));
+  return geo;
+}
+
+}  // namespace
+
+SsbData GenerateSsb(const SsbConfig& config) {
+  dbase::Rng root(config.seed);
+  SsbData data;
+
+  // ---- date dimension ------------------------------------------------------
+  {
+    std::vector<int64_t> datekey;
+    std::vector<int64_t> year;
+    std::vector<int64_t> yearmonthnum;
+    std::vector<int64_t> weeknum;
+    for (int y = 0; y < kNumYears; ++y) {
+      for (int m = 1; m <= kMonthsPerYear; ++m) {
+        for (int d = 1; d <= kDaysPerMonth; ++d) {
+          datekey.push_back((kFirstYear + y) * 10000 + m * 100 + d);
+          year.push_back(kFirstYear + y);
+          yearmonthnum.push_back((kFirstYear + y) * 100 + m);
+          weeknum.push_back(((m - 1) * kDaysPerMonth + d - 1) / 7 + 1);
+        }
+      }
+    }
+    data.date.set_name("date");
+    (void)data.date.AddColumn("d_datekey", Column::Ints(std::move(datekey)));
+    (void)data.date.AddColumn("d_year", Column::Ints(std::move(year)));
+    (void)data.date.AddColumn("d_yearmonthnum", Column::Ints(std::move(yearmonthnum)));
+    (void)data.date.AddColumn("d_weeknuminyear", Column::Ints(std::move(weeknum)));
+  }
+
+  // ---- customer ------------------------------------------------------------
+  {
+    dbase::Rng rng = root.Fork();
+    std::vector<int64_t> key;
+    std::vector<std::string> region;
+    std::vector<std::string> nation;
+    std::vector<std::string> city;
+    for (uint32_t i = 0; i < config.customer_rows; ++i) {
+      key.push_back(i + 1);
+      GeoRow geo = MakeGeo(rng);
+      region.push_back(std::move(geo.region));
+      nation.push_back(std::move(geo.nation));
+      city.push_back(std::move(geo.city));
+    }
+    data.customer.set_name("customer");
+    (void)data.customer.AddColumn("c_custkey", Column::Ints(std::move(key)));
+    (void)data.customer.AddColumn("c_region", Column::Strings(std::move(region)));
+    (void)data.customer.AddColumn("c_nation", Column::Strings(std::move(nation)));
+    (void)data.customer.AddColumn("c_city", Column::Strings(std::move(city)));
+  }
+
+  // ---- supplier --------------------------------------------------------------
+  {
+    dbase::Rng rng = root.Fork();
+    std::vector<int64_t> key;
+    std::vector<std::string> region;
+    std::vector<std::string> nation;
+    std::vector<std::string> city;
+    for (uint32_t i = 0; i < config.supplier_rows; ++i) {
+      key.push_back(i + 1);
+      GeoRow geo = MakeGeo(rng);
+      region.push_back(std::move(geo.region));
+      nation.push_back(std::move(geo.nation));
+      city.push_back(std::move(geo.city));
+    }
+    data.supplier.set_name("supplier");
+    (void)data.supplier.AddColumn("s_suppkey", Column::Ints(std::move(key)));
+    (void)data.supplier.AddColumn("s_region", Column::Strings(std::move(region)));
+    (void)data.supplier.AddColumn("s_nation", Column::Strings(std::move(nation)));
+    (void)data.supplier.AddColumn("s_city", Column::Strings(std::move(city)));
+  }
+
+  // ---- part ------------------------------------------------------------------
+  {
+    dbase::Rng rng = root.Fork();
+    std::vector<int64_t> key;
+    std::vector<std::string> mfgr;
+    std::vector<std::string> category;
+    std::vector<std::string> brand;
+    for (uint32_t i = 0; i < config.part_rows; ++i) {
+      key.push_back(i + 1);
+      // MFGR#1..5, categories MFGR#<m><1..5>, brands MFGR#<m><c><1..40>.
+      const int m = static_cast<int>(rng.NextBounded(5)) + 1;
+      const int c = static_cast<int>(rng.NextBounded(5)) + 1;
+      const int b = static_cast<int>(rng.NextBounded(40)) + 1;
+      mfgr.push_back(dbase::StrFormat("MFGR#%d", m));
+      category.push_back(dbase::StrFormat("MFGR#%d%d", m, c));
+      brand.push_back(dbase::StrFormat("MFGR#%d%d%02d", m, c, b));
+    }
+    data.part.set_name("part");
+    (void)data.part.AddColumn("p_partkey", Column::Ints(std::move(key)));
+    (void)data.part.AddColumn("p_mfgr", Column::Strings(std::move(mfgr)));
+    (void)data.part.AddColumn("p_category", Column::Strings(std::move(category)));
+    (void)data.part.AddColumn("p_brand1", Column::Strings(std::move(brand)));
+  }
+
+  // ---- lineorder fact table ----------------------------------------------------
+  {
+    dbase::Rng rng = root.Fork();
+    std::vector<int64_t> orderkey;
+    std::vector<int64_t> custkey;
+    std::vector<int64_t> partkey;
+    std::vector<int64_t> suppkey;
+    std::vector<int64_t> orderdate;
+    std::vector<int64_t> quantity;
+    std::vector<int64_t> extendedprice;
+    std::vector<int64_t> discount;
+    std::vector<int64_t> revenue;
+    std::vector<int64_t> supplycost;
+    orderkey.reserve(config.lineorder_rows);
+    for (uint64_t i = 0; i < config.lineorder_rows; ++i) {
+      orderkey.push_back(static_cast<int64_t>(i / 4 + 1));  // ~4 lines/order.
+      custkey.push_back(rng.UniformInt(1, config.customer_rows));
+      partkey.push_back(rng.UniformInt(1, config.part_rows));
+      suppkey.push_back(rng.UniformInt(1, config.supplier_rows));
+      const int y = static_cast<int>(rng.NextBounded(kNumYears));
+      const int m = static_cast<int>(rng.NextBounded(kMonthsPerYear)) + 1;
+      const int d = static_cast<int>(rng.NextBounded(kDaysPerMonth)) + 1;
+      orderdate.push_back((kFirstYear + y) * 10000 + m * 100 + d);
+      const int64_t qty = rng.UniformInt(1, 50);
+      quantity.push_back(qty);
+      const int64_t price = rng.UniformInt(90000, 1100000);  // In cents.
+      extendedprice.push_back(price);
+      const int64_t disc = rng.UniformInt(0, 10);
+      discount.push_back(disc);
+      revenue.push_back(price * (100 - disc) / 100);
+      supplycost.push_back(price * 6 / 10);
+    }
+    data.lineorder.set_name("lineorder");
+    (void)data.lineorder.AddColumn("lo_orderkey", Column::Ints(std::move(orderkey)));
+    (void)data.lineorder.AddColumn("lo_custkey", Column::Ints(std::move(custkey)));
+    (void)data.lineorder.AddColumn("lo_partkey", Column::Ints(std::move(partkey)));
+    (void)data.lineorder.AddColumn("lo_suppkey", Column::Ints(std::move(suppkey)));
+    (void)data.lineorder.AddColumn("lo_orderdate", Column::Ints(std::move(orderdate)));
+    (void)data.lineorder.AddColumn("lo_quantity", Column::Ints(std::move(quantity)));
+    (void)data.lineorder.AddColumn("lo_extendedprice", Column::Ints(std::move(extendedprice)));
+    (void)data.lineorder.AddColumn("lo_discount", Column::Ints(std::move(discount)));
+    (void)data.lineorder.AddColumn("lo_revenue", Column::Ints(std::move(revenue)));
+    (void)data.lineorder.AddColumn("lo_supplycost", Column::Ints(std::move(supplycost)));
+  }
+
+  return data;
+}
+
+uint64_t SsbData::TotalBytes() const {
+  uint64_t total = 0;
+  for (const Table* table : {&lineorder, &date, &customer, &supplier, &part}) {
+    for (const auto& [name, column] : table->columns()) {
+      if (column.type() == ColumnType::kInt64) {
+        total += column.ints().size() * 8;
+      } else {
+        for (const auto& s : column.strings()) {
+          total += s.size() + 4;
+        }
+      }
+    }
+  }
+  return total;
+}
+
+std::vector<Table> PartitionLineorder(const Table& lineorder, int parts) {
+  std::vector<Table> out;
+  const size_t n = lineorder.NumRows();
+  const size_t per = (n + static_cast<size_t>(parts) - 1) / static_cast<size_t>(parts);
+  for (int p = 0; p < parts; ++p) {
+    const size_t begin = static_cast<size_t>(p) * per;
+    if (begin >= n) {
+      break;
+    }
+    const size_t end = std::min(n, begin + per);
+    std::vector<uint32_t> rows;
+    rows.reserve(end - begin);
+    for (size_t r = begin; r < end; ++r) {
+      rows.push_back(static_cast<uint32_t>(r));
+    }
+    Table partition = lineorder.Gather(rows);
+    partition.set_name(dbase::StrFormat("lineorder_p%d", p));
+    out.push_back(std::move(partition));
+  }
+  return out;
+}
+
+}  // namespace dsql

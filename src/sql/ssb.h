@@ -1,0 +1,46 @@
+// Star Schema Benchmark data generator (O'Neil et al.), scaled down from
+// the TPC-H-derived SF sizes. Deterministic for a given seed so tests can
+// compare against reference executors. Schema follows the SSB paper:
+// lineorder fact table + date, customer, supplier, part dimensions.
+#ifndef SRC_SQL_SSB_H_
+#define SRC_SQL_SSB_H_
+
+#include <cstdint>
+
+#include "src/base/status.h"
+#include "src/sql/column.h"
+
+namespace dsql {
+
+struct SsbConfig {
+  // Row counts (SF=1 would be 6,000,000 lineorders; scale to taste).
+  uint64_t lineorder_rows = 60000;
+  uint32_t customer_rows = 600;
+  uint32_t supplier_rows = 200;
+  uint32_t part_rows = 400;
+  uint64_t seed = 0x55B5EEDULL;
+};
+
+struct SsbData {
+  Table lineorder;  // lo_orderkey, lo_custkey, lo_partkey, lo_suppkey,
+                    // lo_orderdate, lo_quantity, lo_extendedprice,
+                    // lo_discount, lo_revenue, lo_supplycost
+  Table date;       // d_datekey, d_year, d_yearmonthnum, d_weeknuminyear
+  Table customer;   // c_custkey, c_region, c_nation, c_city
+  Table supplier;   // s_suppkey, s_region, s_nation, s_city
+  Table part;       // p_partkey, p_mfgr, p_category, p_brand1
+
+  uint64_t TotalBytes() const;
+};
+
+// Generates the full star schema. Foreign keys always resolve (referential
+// integrity is tested).
+SsbData GenerateSsb(const SsbConfig& config);
+
+// Splits lineorder into `parts` row-range partitions (for the parallel
+// Dandelion execution of Figure 9).
+std::vector<Table> PartitionLineorder(const Table& lineorder, int parts);
+
+}  // namespace dsql
+
+#endif  // SRC_SQL_SSB_H_

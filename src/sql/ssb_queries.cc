@@ -1,0 +1,131 @@
+#include "src/sql/ssb_queries.h"
+
+#include "src/sql/expr.h"
+#include "src/sql/operators.h"
+
+namespace dsql {
+namespace {
+
+// Shared plan bodies parameterized on the lineorder input so the whole-table
+// and partitioned runs are literally the same code.
+
+dbase::Result<Table> Q11Plan(const Table& lineorder, const SsbData& data) {
+  // Filter fact side first (cheap predicates), then join the date dim.
+  ASSIGN_OR_RETURN(Table filtered,
+                   Filter(lineorder, And(Between(Col("lo_discount"), 1, 3),
+                                         Lt(Col("lo_quantity"), Lit(25)))));
+  ASSIGN_OR_RETURN(Table dates_1993, Filter(data.date, Eq(Col("d_year"), Lit(1993))));
+  ASSIGN_OR_RETURN(Table joined, HashJoin(filtered, "lo_orderdate", dates_1993, "d_datekey"));
+  ASSIGN_OR_RETURN(Table with_rev,
+                   WithComputedColumn(joined, "rev",
+                                      Mul(Col("lo_extendedprice"), Col("lo_discount"))));
+  return GroupAggregate(with_rev, {}, {{AggOp::kSum, "rev", "revenue"}});
+}
+
+dbase::Result<Table> Q21Plan(const Table& lineorder, const SsbData& data) {
+  ASSIGN_OR_RETURN(Table parts, Filter(data.part, Eq(Col("p_category"), Lit("MFGR#12"))));
+  ASSIGN_OR_RETURN(Table supps, Filter(data.supplier, Eq(Col("s_region"), Lit("AMERICA"))));
+  ASSIGN_OR_RETURN(Table j1, HashJoin(lineorder, "lo_partkey", parts, "p_partkey"));
+  ASSIGN_OR_RETURN(Table j2, HashJoin(j1, "lo_suppkey", supps, "s_suppkey"));
+  ASSIGN_OR_RETURN(Table j3, HashJoin(j2, "lo_orderdate", data.date, "d_datekey"));
+  ASSIGN_OR_RETURN(Table agg, GroupAggregate(j3, {"d_year", "p_brand1"},
+                                             {{AggOp::kSum, "lo_revenue", "revenue"}}));
+  return SortBy(agg, {{"d_year", false}, {"p_brand1", false}});
+}
+
+dbase::Result<Table> Q31Plan(const Table& lineorder, const SsbData& data) {
+  ASSIGN_OR_RETURN(Table custs, Filter(data.customer, Eq(Col("c_region"), Lit("ASIA"))));
+  ASSIGN_OR_RETURN(Table supps, Filter(data.supplier, Eq(Col("s_region"), Lit("ASIA"))));
+  ASSIGN_OR_RETURN(Table dates, Filter(data.date, Between(Col("d_year"), 1992, 1997)));
+  ASSIGN_OR_RETURN(Table j1, HashJoin(lineorder, "lo_custkey", custs, "c_custkey"));
+  ASSIGN_OR_RETURN(Table j2, HashJoin(j1, "lo_suppkey", supps, "s_suppkey"));
+  ASSIGN_OR_RETURN(Table j3, HashJoin(j2, "lo_orderdate", dates, "d_datekey"));
+  ASSIGN_OR_RETURN(Table agg, GroupAggregate(j3, {"c_nation", "s_nation", "d_year"},
+                                             {{AggOp::kSum, "lo_revenue", "revenue"}}));
+  return SortBy(agg, {{"d_year", false}, {"revenue", true}});
+}
+
+dbase::Result<Table> Q41Plan(const Table& lineorder, const SsbData& data) {
+  ASSIGN_OR_RETURN(Table custs, Filter(data.customer, Eq(Col("c_region"), Lit("AMERICA"))));
+  ASSIGN_OR_RETURN(Table supps, Filter(data.supplier, Eq(Col("s_region"), Lit("AMERICA"))));
+  ASSIGN_OR_RETURN(Table parts,
+                   Filter(data.part, In(Col("p_mfgr"),
+                                        {Value::Str("MFGR#1"), Value::Str("MFGR#2")})));
+  ASSIGN_OR_RETURN(Table j1, HashJoin(lineorder, "lo_custkey", custs, "c_custkey"));
+  ASSIGN_OR_RETURN(Table j2, HashJoin(j1, "lo_suppkey", supps, "s_suppkey"));
+  ASSIGN_OR_RETURN(Table j3, HashJoin(j2, "lo_partkey", parts, "p_partkey"));
+  ASSIGN_OR_RETURN(Table j4, HashJoin(j3, "lo_orderdate", data.date, "d_datekey"));
+  ASSIGN_OR_RETURN(Table with_profit,
+                   WithComputedColumn(j4, "profit_term",
+                                      Sub(Col("lo_revenue"), Col("lo_supplycost"))));
+  ASSIGN_OR_RETURN(Table agg, GroupAggregate(with_profit, {"d_year", "c_nation"},
+                                             {{AggOp::kSum, "profit_term", "profit"}}));
+  return SortBy(agg, {{"d_year", false}, {"c_nation", false}});
+}
+
+}  // namespace
+
+dbase::Result<Table> RunQ11(const SsbData& data) { return Q11Plan(data.lineorder, data); }
+dbase::Result<Table> RunQ21(const SsbData& data) { return Q21Plan(data.lineorder, data); }
+dbase::Result<Table> RunQ31(const SsbData& data) { return Q31Plan(data.lineorder, data); }
+dbase::Result<Table> RunQ41(const SsbData& data) { return Q41Plan(data.lineorder, data); }
+
+dbase::Result<Table> RunQueryOnPartition(int query_id, const Table& lineorder_partition,
+                                         const SsbData& dims) {
+  switch (query_id) {
+    case 11:
+      return Q11Plan(lineorder_partition, dims);
+    case 21:
+      return Q21Plan(lineorder_partition, dims);
+    case 31:
+      return Q31Plan(lineorder_partition, dims);
+    case 41:
+      return Q41Plan(lineorder_partition, dims);
+    default:
+      return dbase::InvalidArgument("unknown SSB query id: " + std::to_string(query_id));
+  }
+}
+
+dbase::Result<Table> MergeQueryPartials(int query_id, const std::vector<Table>& partials) {
+  ASSIGN_OR_RETURN(Table unioned, Concat(partials));
+  switch (query_id) {
+    case 11:
+      return GroupAggregate(unioned, {}, {{AggOp::kSum, "revenue", "revenue"}});
+    case 21: {
+      ASSIGN_OR_RETURN(Table agg, GroupAggregate(unioned, {"d_year", "p_brand1"},
+                                                 {{AggOp::kSum, "revenue", "revenue"}}));
+      return SortBy(agg, {{"d_year", false}, {"p_brand1", false}});
+    }
+    case 31: {
+      ASSIGN_OR_RETURN(Table agg, GroupAggregate(unioned, {"c_nation", "s_nation", "d_year"},
+                                                 {{AggOp::kSum, "revenue", "revenue"}}));
+      return SortBy(agg, {{"d_year", false}, {"revenue", true}});
+    }
+    case 41: {
+      ASSIGN_OR_RETURN(Table agg, GroupAggregate(unioned, {"d_year", "c_nation"},
+                                                 {{AggOp::kSum, "profit", "profit"}}));
+      return SortBy(agg, {{"d_year", false}, {"c_nation", false}});
+    }
+    default:
+      return dbase::InvalidArgument("unknown SSB query id: " + std::to_string(query_id));
+  }
+}
+
+std::vector<int> SsbQueryIds() { return {11, 21, 31, 41}; }
+
+std::string SsbQueryName(int query_id) {
+  switch (query_id) {
+    case 11:
+      return "Query 1.1";
+    case 21:
+      return "Query 2.1";
+    case 31:
+      return "Query 3.1";
+    case 41:
+      return "Query 4.1";
+    default:
+      return "Query ?";
+  }
+}
+
+}  // namespace dsql

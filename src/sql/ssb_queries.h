@@ -1,0 +1,63 @@
+// Star Schema Benchmark queries Q1.1, Q2.1, Q3.1, Q4.1 — the four queries
+// of Figure 9 — composed from the materializing operators. Each query also
+// has a partitioned form: run the per-partition plan over a lineorder slice
+// (one Dandelion compute function per slice), then merge — that is exactly
+// how the paper spreads query execution across cores.
+#ifndef SRC_SQL_SSB_QUERIES_H_
+#define SRC_SQL_SSB_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/sql/ssb.h"
+
+namespace dsql {
+
+// --- Whole-table execution ---------------------------------------------
+
+// Q1.1: SELECT SUM(lo_extendedprice * lo_discount) AS revenue
+//       FROM lineorder, date
+//       WHERE lo_orderdate = d_datekey AND d_year = 1993
+//         AND lo_discount BETWEEN 1 AND 3 AND lo_quantity < 25;
+dbase::Result<Table> RunQ11(const SsbData& data);
+
+// Q2.1: SELECT SUM(lo_revenue) AS revenue, d_year, p_brand1
+//       FROM lineorder, date, part, supplier
+//       WHERE joins AND p_category = 'MFGR#12' AND s_region = 'AMERICA'
+//       GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1;
+dbase::Result<Table> RunQ21(const SsbData& data);
+
+// Q3.1: SELECT c_nation, s_nation, d_year, SUM(lo_revenue) AS revenue
+//       FROM customer, lineorder, supplier, date
+//       WHERE joins AND c_region = 'ASIA' AND s_region = 'ASIA'
+//         AND d_year BETWEEN 1992 AND 1997
+//       GROUP BY c_nation, s_nation, d_year
+//       ORDER BY d_year ASC, revenue DESC;
+dbase::Result<Table> RunQ31(const SsbData& data);
+
+// Q4.1: SELECT d_year, c_nation, SUM(lo_revenue - lo_supplycost) AS profit
+//       FROM date, customer, supplier, part, lineorder
+//       WHERE joins AND c_region = 'AMERICA' AND s_region = 'AMERICA'
+//         AND p_mfgr IN ('MFGR#1', 'MFGR#2')
+//       GROUP BY d_year, c_nation ORDER BY d_year, c_nation;
+dbase::Result<Table> RunQ41(const SsbData& data);
+
+// --- Partitioned execution -----------------------------------------------
+
+// Runs the query plan against one lineorder partition (dimensions are
+// broadcast). The partial result still needs MergeQueryPartials.
+dbase::Result<Table> RunQueryOnPartition(int query_id, const Table& lineorder_partition,
+                                         const SsbData& dims);
+
+// Merges per-partition partials: re-aggregates and re-sorts so the result
+// equals the whole-table run.
+dbase::Result<Table> MergeQueryPartials(int query_id, const std::vector<Table>& partials);
+
+// Query ids used across the benchmark harness: 11, 21, 31, 41.
+std::vector<int> SsbQueryIds();
+std::string SsbQueryName(int query_id);
+
+}  // namespace dsql
+
+#endif  // SRC_SQL_SSB_QUERIES_H_

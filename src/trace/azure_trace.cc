@@ -1,0 +1,107 @@
+#include "src/trace/azure_trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/rng.h"
+
+namespace dtrace {
+
+uint64_t TraceFunction::TotalInvocations() const {
+  uint64_t total = 0;
+  for (uint32_t count : invocations_per_minute) {
+    total += count;
+  }
+  return total;
+}
+
+uint64_t Trace::TotalInvocations() const {
+  uint64_t total = 0;
+  for (const auto& fn : functions) {
+    total += fn.TotalInvocations();
+  }
+  return total;
+}
+
+std::vector<Arrival> Trace::ToArrivals(uint64_t seed) const {
+  dbase::Rng rng(seed);
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(TotalInvocations());
+  for (const auto& fn : functions) {
+    dbase::Rng fn_rng = rng.Fork();
+    for (size_t minute = 0; minute < fn.invocations_per_minute.size(); ++minute) {
+      const dbase::Micros minute_start =
+          static_cast<dbase::Micros>(minute) * 60 * dbase::kMicrosPerSecond;
+      for (uint32_t i = 0; i < fn.invocations_per_minute[minute]; ++i) {
+        Arrival arrival;
+        arrival.time_us = minute_start + static_cast<dbase::Micros>(
+                                             fn_rng.NextDouble() * 60.0 * 1e6);
+        arrival.function_id = fn.function_id;
+        const double factor = fn_rng.LogNormal(0.0, fn.duration_sigma);
+        arrival.duration_us = std::max<dbase::Micros>(
+            1000, static_cast<dbase::Micros>(static_cast<double>(fn.mean_duration_us) * factor));
+        arrivals.push_back(arrival);
+      }
+    }
+  }
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const Arrival& a, const Arrival& b) { return a.time_us < b.time_us; });
+  return arrivals;
+}
+
+Trace SynthesizeAzureTrace(const AzureTraceConfig& config) {
+  dbase::Rng rng(config.seed);
+  Trace trace;
+  trace.duration_minutes = config.duration_minutes;
+  trace.functions.reserve(static_cast<size_t>(config.num_functions));
+
+  for (int f = 0; f < config.num_functions; ++f) {
+    TraceFunction fn;
+    fn.function_id = f;
+
+    // Popularity: bounded Pareto over mean invocations per minute — a few
+    // hot functions, a long tail of nearly-idle ones.
+    const double rate = rng.BoundedPareto(config.popularity_alpha, config.min_rate_per_minute,
+                                          config.max_rate_per_minute);
+
+    // Durations: most functions run well under a second, some run seconds
+    // (lognormal across functions, per Shahrad et al. Fig. 7).
+    const double mean_ms = std::min(10000.0, rng.LogNormal(std::log(180.0), 1.1));
+    fn.mean_duration_us = static_cast<dbase::Micros>(mean_ms * 1000.0);
+    fn.duration_sigma = rng.Uniform(0.2, 0.7);
+
+    // Memory: 64-512 MB app footprints.
+    fn.memory_bytes = (64ull << 20) + rng.NextBounded(448ull << 20);
+
+    // Arrival process: per-minute Poisson counts modulated by an on/off
+    // burst pattern (spiky load, §3 "target applications").
+    fn.invocations_per_minute.resize(static_cast<size_t>(config.duration_minutes));
+    bool on = rng.Bernoulli(config.on_fraction);
+    for (int m = 0; m < config.duration_minutes; ++m) {
+      // Flip the burst state with some stickiness.
+      if (rng.Bernoulli(0.25)) {
+        on = rng.Bernoulli(config.on_fraction);
+      }
+      const double effective_rate = on ? rate : rate * 0.02;
+      // Poisson sample via inversion for small rates, normal approx for big.
+      uint32_t count = 0;
+      if (effective_rate < 30.0) {
+        double l = std::exp(-effective_rate);
+        double p = 1.0;
+        do {
+          ++count;
+          p *= rng.NextDouble();
+        } while (p > l);
+        --count;
+      } else {
+        count = static_cast<uint32_t>(std::max(
+            0.0, rng.Normal(effective_rate, std::sqrt(effective_rate))));
+      }
+      fn.invocations_per_minute[static_cast<size_t>(m)] = count;
+    }
+    trace.functions.push_back(std::move(fn));
+  }
+  return trace;
+}
+
+}  // namespace dtrace

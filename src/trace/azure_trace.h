@@ -1,0 +1,70 @@
+// Synthetic stand-in for the Azure Functions production trace (Shahrad et
+// al., ATC'20) used in §7.8 / Figures 1 and 10. The real trace is not
+// shipped here; the synthesizer reproduces the characteristics those
+// experiments depend on:
+//   - heavy-tailed function popularity (a few functions dominate traffic,
+//     most are invoked rarely — the source of cold starts),
+//   - short executions (tens of ms median, lognormal tail),
+//   - per-function spiky arrival processes (on/off bursts),
+//   - per-function memory footprints in the 100s-of-MB range.
+#ifndef SRC_TRACE_AZURE_TRACE_H_
+#define SRC_TRACE_AZURE_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/clock.h"
+
+namespace dtrace {
+
+struct TraceFunction {
+  int function_id = 0;
+  // Mean execution duration and lognormal sigma for per-invocation draws.
+  dbase::Micros mean_duration_us = 100 * dbase::kMicrosPerMilli;
+  double duration_sigma = 0.5;
+  // Function (app) memory footprint when resident in a sandbox.
+  uint64_t memory_bytes = 128ull << 20;
+  // Invocations in each minute of the trace window.
+  std::vector<uint32_t> invocations_per_minute;
+
+  uint64_t TotalInvocations() const;
+};
+
+struct Arrival {
+  dbase::Micros time_us = 0;
+  int function_id = 0;
+  dbase::Micros duration_us = 0;  // Sampled execution time.
+};
+
+struct Trace {
+  std::vector<TraceFunction> functions;
+  int duration_minutes = 0;
+
+  uint64_t TotalInvocations() const;
+
+  // Flattens per-minute counts into a time-sorted arrival list. Within each
+  // minute, arrival offsets are uniform (Poisson-like given the counts);
+  // durations are lognormal around each function's mean.
+  std::vector<Arrival> ToArrivals(uint64_t seed) const;
+};
+
+struct AzureTraceConfig {
+  int num_functions = 100;
+  int duration_minutes = 20;         // The paper's Fig. 1/10 window.
+  double popularity_alpha = 0.8;      // Pareto shape of per-function rates;
+                                      // <1 gives the hot tail enough mass
+                                      // to dominate invocations (Shahrad et
+                                      // al. Fig. 3: top functions dominate,
+                                      // most functions are nearly idle).
+  double min_rate_per_minute = 0.02;  // Rare functions: ~1 call / 50 min.
+  double max_rate_per_minute = 240.0;
+  // Burstiness: probability a minute is "on"; off minutes get ~0 traffic.
+  double on_fraction = 0.4;
+  uint64_t seed = 0xA27BA5E;
+};
+
+Trace SynthesizeAzureTrace(const AzureTraceConfig& config);
+
+}  // namespace dtrace
+
+#endif  // SRC_TRACE_AZURE_TRACE_H_

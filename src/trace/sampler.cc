@@ -1,0 +1,91 @@
+#include "src/trace/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/rng.h"
+
+namespace dtrace {
+
+Trace SampleTrace(const Trace& source, const SamplerConfig& config) {
+  if (static_cast<int>(source.functions.size()) <= config.target_functions) {
+    return source;
+  }
+  dbase::Rng rng(config.seed);
+
+  // Order functions by total invocations.
+  std::vector<size_t> order(source.functions.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return source.functions[a].TotalInvocations() < source.functions[b].TotalInvocations();
+  });
+
+  // Stratify into rate quantiles; sample from each stratum proportionally
+  // so the sampled rate distribution matches the source distribution.
+  Trace out;
+  out.duration_minutes = source.duration_minutes;
+  const int strata = std::max(1, config.strata);
+  const size_t per_stratum_src = (order.size() + strata - 1) / static_cast<size_t>(strata);
+  const int per_stratum_target =
+      (config.target_functions + strata - 1) / strata;
+
+  int next_id = 0;
+  for (int s = 0; s < strata && next_id < config.target_functions; ++s) {
+    const size_t begin = static_cast<size_t>(s) * per_stratum_src;
+    if (begin >= order.size()) {
+      break;
+    }
+    const size_t end = std::min(order.size(), begin + per_stratum_src);
+    // Sample without replacement within the stratum.
+    std::vector<size_t> stratum(order.begin() + static_cast<long>(begin),
+                                order.begin() + static_cast<long>(end));
+    for (int k = 0; k < per_stratum_target && !stratum.empty() &&
+                    next_id < config.target_functions;
+         ++k) {
+      const size_t pick = rng.NextBounded(stratum.size());
+      TraceFunction fn = source.functions[stratum[pick]];
+      fn.function_id = next_id++;
+      out.functions.push_back(std::move(fn));
+      stratum.erase(stratum.begin() + static_cast<long>(pick));
+    }
+  }
+  return out;
+}
+
+double RateDistributionDistance(const Trace& a, const Trace& b) {
+  auto cdf_points = [](const Trace& trace) {
+    std::vector<double> rates;
+    rates.reserve(trace.functions.size());
+    for (const auto& fn : trace.functions) {
+      rates.push_back(static_cast<double>(fn.TotalInvocations()));
+    }
+    std::sort(rates.begin(), rates.end());
+    return rates;
+  };
+  const std::vector<double> ra = cdf_points(a);
+  const std::vector<double> rb = cdf_points(b);
+  if (ra.empty() || rb.empty()) {
+    return 1.0;
+  }
+  // Two-sample KS statistic over the union of sample points.
+  double max_gap = 0.0;
+  size_t ia = 0;
+  size_t ib = 0;
+  while (ia < ra.size() && ib < rb.size()) {
+    const double x = std::min(ra[ia], rb[ib]);
+    while (ia < ra.size() && ra[ia] <= x) {
+      ++ia;
+    }
+    while (ib < rb.size() && rb[ib] <= x) {
+      ++ib;
+    }
+    const double fa = static_cast<double>(ia) / static_cast<double>(ra.size());
+    const double fb = static_cast<double>(ib) / static_cast<double>(rb.size());
+    max_gap = std::max(max_gap, std::fabs(fa - fb));
+  }
+  return max_gap;
+}
+
+}  // namespace dtrace

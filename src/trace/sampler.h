@@ -1,0 +1,32 @@
+// InVitro-style trace sampler (Ustiugov et al., WORDS'23): selects a
+// representative subset of functions from a larger trace, preserving the
+// invocation-rate distribution by stratified sampling over rate quantiles.
+// The paper samples 100 functions from the Azure trace with it (§7.8).
+#ifndef SRC_TRACE_SAMPLER_H_
+#define SRC_TRACE_SAMPLER_H_
+
+#include <cstdint>
+
+#include "src/trace/azure_trace.h"
+
+namespace dtrace {
+
+struct SamplerConfig {
+  int target_functions = 100;
+  int strata = 10;  // Rate quantile buckets sampled proportionally.
+  uint64_t seed = 0x1417120;
+};
+
+// Returns a trace containing `target_functions` functions drawn from
+// `source` (function ids are re-numbered densely). If the source has fewer
+// functions, returns it unchanged.
+Trace SampleTrace(const Trace& source, const SamplerConfig& config);
+
+// Kolmogorov-Smirnov-style distance between the per-function total
+// invocation distributions of two traces (diagnostic; the sampler keeps
+// this small, which tests assert).
+double RateDistributionDistance(const Trace& a, const Trace& b);
+
+}  // namespace dtrace
+
+#endif  // SRC_TRACE_SAMPLER_H_

@@ -1,0 +1,172 @@
+#include "src/vfs/dlibc.h"
+
+#include <cstring>
+
+namespace dvfs {
+
+DFile::DFile(MemFs* fs, std::string path, bool writable)
+    : fs_(fs), path_(std::move(path)), writable_(writable) {}
+
+DFile::~DFile() {
+  if (dirty_) {
+    (void)Flush();
+  }
+}
+
+size_t DFile::Read(void* buffer, size_t size, size_t count) {
+  if (size == 0 || count == 0) {
+    return 0;
+  }
+  const size_t available = buffer_.size() > position_ ? buffer_.size() - position_ : 0;
+  const size_t elements = std::min(count, available / size);
+  const size_t bytes = elements * size;
+  std::memcpy(buffer, buffer_.data() + position_, bytes);
+  position_ += bytes;
+  return elements;
+}
+
+size_t DFile::Write(const void* buffer, size_t size, size_t count) {
+  if (!writable_ || size == 0 || count == 0) {
+    return 0;
+  }
+  const size_t bytes = size * count;
+  if (position_ + bytes > buffer_.size()) {
+    buffer_.resize(position_ + bytes);
+  }
+  std::memcpy(buffer_.data() + position_, buffer, bytes);
+  position_ += bytes;
+  dirty_ = true;
+  return count;
+}
+
+int DFile::GetChar() {
+  if (position_ >= buffer_.size()) {
+    return -1;
+  }
+  return static_cast<unsigned char>(buffer_[position_++]);
+}
+
+int DFile::PutChar(int c) {
+  const char byte = static_cast<char>(c);
+  if (Write(&byte, 1, 1) != 1) {
+    return -1;
+  }
+  return static_cast<unsigned char>(byte);
+}
+
+char* DFile::Gets(char* buffer, int n) {
+  if (n <= 1 || position_ >= buffer_.size()) {
+    return nullptr;
+  }
+  int written = 0;
+  while (written < n - 1 && position_ < buffer_.size()) {
+    const char c = buffer_[position_++];
+    buffer[written++] = c;
+    if (c == '\n') {
+      break;
+    }
+  }
+  buffer[written] = '\0';
+  return buffer;
+}
+
+int DFile::Puts(const char* s) {
+  const size_t len = std::strlen(s);
+  return Write(s, 1, len) == len ? static_cast<int>(len) : -1;
+}
+
+int DFile::Seek(long offset, DSeekWhence whence) {
+  long base = 0;
+  switch (whence) {
+    case DSeekWhence::kSet:
+      base = 0;
+      break;
+    case DSeekWhence::kCur:
+      base = static_cast<long>(position_);
+      break;
+    case DSeekWhence::kEnd:
+      base = static_cast<long>(buffer_.size());
+      break;
+  }
+  const long target = base + offset;
+  if (target < 0) {
+    return -1;
+  }
+  // Seeking past the end is allowed on writable streams (fills with NUL on
+  // the next write), like POSIX.
+  if (!writable_ && static_cast<size_t>(target) > buffer_.size()) {
+    return -1;
+  }
+  position_ = static_cast<size_t>(target);
+  return 0;
+}
+
+dbase::Status DFile::Flush() {
+  if (!writable_) {
+    return dbase::OkStatus();
+  }
+  dirty_ = false;
+  return fs_->WriteFile(path_, buffer_);
+}
+
+std::unique_ptr<DFile> DOpen(MemFs& fs, const std::string& path, const char* mode) {
+  const std::string mode_str(mode == nullptr ? "" : mode);
+  const bool read_only = mode_str == "r";
+  const bool truncate = mode_str == "w" || mode_str == "w+";
+  const bool append = mode_str == "a" || mode_str == "a+";
+  const bool update = mode_str == "r+";
+  if (!read_only && !truncate && !append && !update) {
+    return nullptr;
+  }
+
+  std::unique_ptr<DFile> file(new DFile(&fs, path, /*writable=*/!read_only));
+  if (read_only || update) {
+    auto data = fs.ReadFile(path);
+    if (!data.ok()) {
+      return nullptr;  // "r"/"r+" require the file to exist.
+    }
+    file->buffer_ = std::move(data).value();
+  } else if (append) {
+    auto data = fs.ReadFile(path);
+    if (data.ok()) {
+      file->buffer_ = std::move(data).value();
+    }
+    file->position_ = file->buffer_.size();
+    file->dirty_ = true;  // Ensure creation even without writes.
+  } else {  // truncate
+    file->dirty_ = true;
+  }
+  if (!read_only) {
+    // Creating under a missing parent must fail now, not at flush time.
+    if (!fs.Exists(path)) {
+      if (dbase::Status created = fs.WriteFile(path, ""); !created.ok()) {
+        return nullptr;
+      }
+    }
+  }
+  return file;
+}
+
+dbase::Status DWriteFile(MemFs& fs, const std::string& path, const std::string& data) {
+  auto file = DOpen(fs, path, "w");
+  if (file == nullptr) {
+    return dbase::InvalidArgument("DOpen failed for " + path);
+  }
+  if (file->Write(data.data(), 1, data.size()) != data.size()) {
+    return dbase::Internal("short write to " + path);
+  }
+  return file->Flush();
+}
+
+dbase::Result<std::string> DReadFile(MemFs& fs, const std::string& path) {
+  auto file = DOpen(fs, path, "r");
+  if (file == nullptr) {
+    return dbase::NotFound("DOpen failed for " + path);
+  }
+  std::string out;
+  out.resize(file->Size());
+  file->Read(out.data(), 1, out.size());
+  return out;
+}
+
+}  // namespace dvfs

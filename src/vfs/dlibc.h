@@ -1,0 +1,77 @@
+// dlibc: the C-style file interface compute functions link against (§4.1).
+// "These libraries provide a high-level interface with a userspace
+// in-memory virtual filesystem ... a compute function [can] read inputs and
+// write outputs as standard file operations without invoking system calls."
+//
+// The API mirrors <stdio.h> closely enough that porting POSIX code is
+// mechanical (fopen→DOpen, fread→DRead, ...), but every operation resolves
+// inside the function's MemFs — zero syscalls by construction.
+#ifndef SRC_VFS_DLIBC_H_
+#define SRC_VFS_DLIBC_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "src/vfs/memfs.h"
+
+namespace dvfs {
+
+// Stream positions for DSeek.
+enum class DSeekWhence { kSet, kCur, kEnd };
+
+// An open file stream over a MemFs. Obtained from DOpen; must be closed
+// with DClose (or let the unique_ptr run out of scope — writes flush on
+// destruction too).
+class DFile {
+ public:
+  ~DFile();
+
+  DFile(const DFile&) = delete;
+  DFile& operator=(const DFile&) = delete;
+
+  // Returns elements read (like fread).
+  size_t Read(void* buffer, size_t size, size_t count);
+  // Returns elements written (like fwrite).
+  size_t Write(const void* buffer, size_t size, size_t count);
+  // Reads one byte; -1 at EOF (like fgetc).
+  int GetChar();
+  // Writes one byte; returns it, or -1 on read-only streams.
+  int PutChar(int c);
+  // Reads a line up to n-1 bytes (like fgets); nullptr at EOF.
+  char* Gets(char* buffer, int n);
+  // Writes a NUL-terminated string; returns non-negative on success.
+  int Puts(const char* s);
+
+  int Seek(long offset, DSeekWhence whence);
+  long Tell() const { return static_cast<long>(position_); }
+  bool AtEof() const { return position_ >= buffer_.size(); }
+  size_t Size() const { return buffer_.size(); }
+
+  // Writes the buffer back to the filesystem (no-op for read-only).
+  dbase::Status Flush();
+
+ private:
+  friend std::unique_ptr<DFile> DOpen(MemFs& fs, const std::string& path, const char* mode);
+  DFile(MemFs* fs, std::string path, bool writable);
+
+  MemFs* fs_;
+  std::string path_;
+  std::string buffer_;
+  size_t position_ = 0;
+  bool writable_ = false;
+  bool dirty_ = false;
+};
+
+// Opens a stream. Modes: "r" (must exist), "w" (create/truncate),
+// "a" (create/append), "r+" (read/write, must exist). Returns nullptr on
+// failure, like fopen.
+std::unique_ptr<DFile> DOpen(MemFs& fs, const std::string& path, const char* mode);
+
+// Convenience one-shot helpers.
+dbase::Status DWriteFile(MemFs& fs, const std::string& path, const std::string& data);
+dbase::Result<std::string> DReadFile(MemFs& fs, const std::string& path);
+
+}  // namespace dvfs
+
+#endif  // SRC_VFS_DLIBC_H_

@@ -1,0 +1,265 @@
+#include "src/vfs/memfs.h"
+
+#include <utility>
+
+#include "src/vfs/path.h"
+
+namespace dvfs {
+
+MemFs::MemFs() : root_(std::make_unique<Node>()) { root_->is_dir = true; }
+
+MemFs::Node* MemFs::Find(std::string_view normalized) {
+  Node* node = root_.get();
+  for (auto part : SplitPath(normalized)) {
+    if (!node->is_dir) {
+      return nullptr;
+    }
+    auto it = node->children.find(std::string(part));
+    if (it == node->children.end()) {
+      return nullptr;
+    }
+    node = it->second.get();
+  }
+  return node;
+}
+
+const MemFs::Node* MemFs::Find(std::string_view normalized) const {
+  return const_cast<MemFs*>(this)->Find(normalized);
+}
+
+dbase::Result<MemFs::Node*> MemFs::FindParentDir(std::string_view normalized) {
+  ASSIGN_OR_RETURN(std::string parent, ParentPath(normalized));
+  Node* node = Find(parent);
+  if (node == nullptr) {
+    return dbase::NotFound("parent directory does not exist: " + parent);
+  }
+  if (!node->is_dir) {
+    return dbase::FailedPrecondition("parent is not a directory: " + parent);
+  }
+  return node;
+}
+
+dbase::Status MemFs::Mkdir(std::string_view path, bool recursive) {
+  ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  if (normalized == "/") {
+    return dbase::AlreadyExists("root always exists");
+  }
+  if (recursive) {
+    Node* node = root_.get();
+    for (auto part : SplitPath(normalized)) {
+      auto it = node->children.find(std::string(part));
+      if (it == node->children.end()) {
+        auto child = std::make_unique<Node>();
+        child->is_dir = true;
+        Node* raw = child.get();
+        node->children.emplace(std::string(part), std::move(child));
+        node = raw;
+      } else {
+        if (!it->second->is_dir) {
+          return dbase::FailedPrecondition("path component is a file: " + std::string(part));
+        }
+        node = it->second.get();
+      }
+    }
+    return dbase::OkStatus();
+  }
+  ASSIGN_OR_RETURN(Node * parent, FindParentDir(normalized));
+  ASSIGN_OR_RETURN(std::string name, BaseName(normalized));
+  if (parent->children.count(name) > 0) {
+    return dbase::AlreadyExists("entry already exists: " + normalized);
+  }
+  auto child = std::make_unique<Node>();
+  child->is_dir = true;
+  parent->children.emplace(std::move(name), std::move(child));
+  return dbase::OkStatus();
+}
+
+dbase::Status MemFs::WriteFile(std::string_view path, std::string data) {
+  ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  ASSIGN_OR_RETURN(Node * parent, FindParentDir(normalized));
+  ASSIGN_OR_RETURN(std::string name, BaseName(normalized));
+  auto it = parent->children.find(name);
+  if (it != parent->children.end()) {
+    if (it->second->is_dir) {
+      return dbase::FailedPrecondition("cannot overwrite directory with file: " + normalized);
+    }
+    total_bytes_ -= it->second->data.size();
+    total_bytes_ += data.size();
+    it->second->data = std::move(data);
+    return dbase::OkStatus();
+  }
+  auto node = std::make_unique<Node>();
+  node->is_dir = false;
+  total_bytes_ += data.size();
+  node->data = std::move(data);
+  parent->children.emplace(std::move(name), std::move(node));
+  return dbase::OkStatus();
+}
+
+dbase::Status MemFs::AppendFile(std::string_view path, std::string_view data) {
+  ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  Node* node = Find(normalized);
+  if (node == nullptr) {
+    return WriteFile(path, std::string(data));
+  }
+  if (node->is_dir) {
+    return dbase::FailedPrecondition("cannot append to directory: " + normalized);
+  }
+  node->data.append(data);
+  total_bytes_ += data.size();
+  return dbase::OkStatus();
+}
+
+dbase::Result<std::string> MemFs::ReadFile(std::string_view path) const {
+  ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  const Node* node = Find(normalized);
+  if (node == nullptr) {
+    return dbase::NotFound("no such file: " + normalized);
+  }
+  if (node->is_dir) {
+    return dbase::FailedPrecondition("is a directory: " + normalized);
+  }
+  return node->data;
+}
+
+dbase::Result<uint64_t> MemFs::FileSize(std::string_view path) const {
+  ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  const Node* node = Find(normalized);
+  if (node == nullptr) {
+    return dbase::NotFound("no such file: " + normalized);
+  }
+  if (node->is_dir) {
+    return dbase::FailedPrecondition("is a directory: " + normalized);
+  }
+  return static_cast<uint64_t>(node->data.size());
+}
+
+bool MemFs::Exists(std::string_view path) const {
+  auto normalized = NormalizePath(path);
+  return normalized.ok() && Find(normalized.value()) != nullptr;
+}
+
+bool MemFs::IsDirectory(std::string_view path) const {
+  auto normalized = NormalizePath(path);
+  if (!normalized.ok()) {
+    return false;
+  }
+  const Node* node = Find(normalized.value());
+  return node != nullptr && node->is_dir;
+}
+
+bool MemFs::IsFile(std::string_view path) const {
+  auto normalized = NormalizePath(path);
+  if (!normalized.ok()) {
+    return false;
+  }
+  const Node* node = Find(normalized.value());
+  return node != nullptr && !node->is_dir;
+}
+
+dbase::Result<std::vector<std::string>> MemFs::ListDir(std::string_view path) const {
+  ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  const Node* node = Find(normalized);
+  if (node == nullptr) {
+    return dbase::NotFound("no such directory: " + normalized);
+  }
+  if (!node->is_dir) {
+    return dbase::FailedPrecondition("not a directory: " + normalized);
+  }
+  std::vector<std::string> names;
+  names.reserve(node->children.size());
+  for (const auto& [name, child] : node->children) {
+    names.push_back(name);  // std::map iterates sorted.
+  }
+  return names;
+}
+
+uint64_t MemFs::SubtreeBytes(const Node& node) {
+  if (!node.is_dir) {
+    return node.data.size();
+  }
+  uint64_t total = 0;
+  for (const auto& [name, child] : node.children) {
+    total += SubtreeBytes(*child);
+  }
+  return total;
+}
+
+uint64_t MemFs::SubtreeFileCount(const Node& node) {
+  if (!node.is_dir) {
+    return 1;
+  }
+  uint64_t total = 0;
+  for (const auto& [name, child] : node.children) {
+    total += SubtreeFileCount(*child);
+  }
+  return total;
+}
+
+dbase::Status MemFs::Remove(std::string_view path) {
+  ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  if (normalized == "/") {
+    return dbase::InvalidArgument("cannot remove root");
+  }
+  ASSIGN_OR_RETURN(Node * parent, FindParentDir(normalized));
+  ASSIGN_OR_RETURN(std::string name, BaseName(normalized));
+  auto it = parent->children.find(name);
+  if (it == parent->children.end()) {
+    return dbase::NotFound("no such entry: " + normalized);
+  }
+  if (it->second->is_dir && !it->second->children.empty()) {
+    return dbase::FailedPrecondition("directory not empty: " + normalized);
+  }
+  total_bytes_ -= SubtreeBytes(*it->second);
+  parent->children.erase(it);
+  return dbase::OkStatus();
+}
+
+dbase::Status MemFs::RemoveAll(std::string_view path) {
+  ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  if (normalized == "/") {
+    return dbase::InvalidArgument("cannot remove root");
+  }
+  ASSIGN_OR_RETURN(Node * parent, FindParentDir(normalized));
+  ASSIGN_OR_RETURN(std::string name, BaseName(normalized));
+  auto it = parent->children.find(name);
+  if (it == parent->children.end()) {
+    return dbase::NotFound("no such entry: " + normalized);
+  }
+  total_bytes_ -= SubtreeBytes(*it->second);
+  parent->children.erase(it);
+  return dbase::OkStatus();
+}
+
+dbase::Status MemFs::Rename(std::string_view from, std::string_view to) {
+  ASSIGN_OR_RETURN(std::string from_norm, NormalizePath(from));
+  ASSIGN_OR_RETURN(std::string to_norm, NormalizePath(to));
+  if (from_norm == "/" || to_norm == "/") {
+    return dbase::InvalidArgument("cannot rename to or from root");
+  }
+  ASSIGN_OR_RETURN(Node * from_parent, FindParentDir(from_norm));
+  ASSIGN_OR_RETURN(std::string from_name, BaseName(from_norm));
+  auto it = from_parent->children.find(from_name);
+  if (it == from_parent->children.end()) {
+    return dbase::NotFound("no such entry: " + from_norm);
+  }
+  ASSIGN_OR_RETURN(Node * to_parent, FindParentDir(to_norm));
+  ASSIGN_OR_RETURN(std::string to_name, BaseName(to_norm));
+  if (to_parent->children.count(to_name) > 0) {
+    return dbase::AlreadyExists("destination already exists: " + to_norm);
+  }
+  // Moving a directory into its own subtree would detach it; prevent by
+  // prefix check on the normalized paths.
+  if (to_norm.size() > from_norm.size() && to_norm.compare(0, from_norm.size(), from_norm) == 0 &&
+      to_norm[from_norm.size()] == '/') {
+    return dbase::InvalidArgument("cannot move a directory into itself");
+  }
+  std::unique_ptr<Node> node = std::move(it->second);
+  from_parent->children.erase(it);
+  to_parent->children.emplace(std::move(to_name), std::move(node));
+  return dbase::OkStatus();
+}
+
+uint64_t MemFs::FileCount() const { return SubtreeFileCount(*root_); }
+
+}  // namespace dvfs

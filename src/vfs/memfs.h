@@ -1,0 +1,77 @@
+// In-memory virtual filesystem — the userspace filesystem that dlibc exposes
+// to compute functions (§4.1): "input sets and output sets as folders, with
+// items as files within these folders", letting functions do file I/O with
+// zero system calls.
+#ifndef SRC_VFS_MEMFS_H_
+#define SRC_VFS_MEMFS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace dvfs {
+
+// Single-threaded by design: each function execution owns its private
+// filesystem instance inside its memory context; there is nothing to share.
+class MemFs {
+ public:
+  MemFs();
+
+  // Creates a directory; parents must exist unless recursive. Creating an
+  // existing directory is an error (callers track their own layout).
+  dbase::Status Mkdir(std::string_view path, bool recursive = false);
+
+  // Creates or truncates a file. Parent directory must exist.
+  dbase::Status WriteFile(std::string_view path, std::string data);
+  dbase::Status AppendFile(std::string_view path, std::string_view data);
+
+  dbase::Result<std::string> ReadFile(std::string_view path) const;
+  dbase::Result<uint64_t> FileSize(std::string_view path) const;
+
+  bool Exists(std::string_view path) const;
+  bool IsDirectory(std::string_view path) const;
+  bool IsFile(std::string_view path) const;
+
+  // Names (not paths) of entries, sorted; error if not a directory.
+  dbase::Result<std::vector<std::string>> ListDir(std::string_view path) const;
+
+  // Removes a file or empty directory.
+  dbase::Status Remove(std::string_view path);
+  // Removes a directory tree (or single file).
+  dbase::Status RemoveAll(std::string_view path);
+
+  dbase::Status Rename(std::string_view from, std::string_view to);
+
+  // Total bytes held in files; the runtime charges this against the
+  // function's memory context budget.
+  uint64_t TotalBytes() const { return total_bytes_; }
+  uint64_t FileCount() const;
+
+ private:
+  struct Node {
+    bool is_dir = false;
+    std::string data;                                   // Files only.
+    std::map<std::string, std::unique_ptr<Node>> children;  // Dirs only.
+  };
+
+  // Walks to the node for a normalized path; nullptr if missing.
+  Node* Find(std::string_view normalized);
+  const Node* Find(std::string_view normalized) const;
+  // Walks to the parent dir node; error Status captures the failure mode.
+  dbase::Result<Node*> FindParentDir(std::string_view normalized);
+
+  static uint64_t SubtreeBytes(const Node& node);
+  static uint64_t SubtreeFileCount(const Node& node);
+
+  std::unique_ptr<Node> root_;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace dvfs
+
+#endif  // SRC_VFS_MEMFS_H_

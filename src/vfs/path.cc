@@ -1,0 +1,79 @@
+#include "src/vfs/path.h"
+
+namespace dvfs {
+
+dbase::Result<std::string> NormalizePath(std::string_view path) {
+  if (path.empty() || path.front() != '/') {
+    return dbase::InvalidArgument("path must be absolute: " + std::string(path));
+  }
+  std::string out;
+  out.reserve(path.size());
+  out.push_back('/');
+  for (size_t i = 1; i < path.size(); ++i) {
+    const char c = path[i];
+    if (c == '\0') {
+      return dbase::InvalidArgument("path contains NUL byte");
+    }
+    if (c == '/' && out.back() == '/') {
+      continue;  // Collapse runs of '/'.
+    }
+    out.push_back(c);
+  }
+  if (out.size() > 1 && out.back() == '/') {
+    out.pop_back();
+  }
+  // Reject '.' and '..' components: the sandboxed filesystem view is flat by
+  // construction and traversal would only ever be an escape attempt.
+  for (auto part : SplitPath(out)) {
+    if (part == "." || part == "..") {
+      return dbase::InvalidArgument("path may not contain '.' or '..' components");
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> SplitPath(std::string_view normalized) {
+  std::vector<std::string_view> parts;
+  size_t start = 1;  // Skip leading '/'.
+  while (start < normalized.size()) {
+    size_t end = normalized.find('/', start);
+    if (end == std::string_view::npos) {
+      end = normalized.size();
+    }
+    if (end > start) {
+      parts.push_back(normalized.substr(start, end - start));
+    }
+    start = end + 1;
+  }
+  return parts;
+}
+
+dbase::Result<std::string> ParentPath(std::string_view normalized) {
+  if (normalized == "/") {
+    return dbase::InvalidArgument("root has no parent");
+  }
+  const size_t slash = normalized.rfind('/');
+  if (slash == 0) {
+    return std::string("/");
+  }
+  return std::string(normalized.substr(0, slash));
+}
+
+dbase::Result<std::string> BaseName(std::string_view normalized) {
+  if (normalized == "/") {
+    return dbase::InvalidArgument("root has no base name");
+  }
+  const size_t slash = normalized.rfind('/');
+  return std::string(normalized.substr(slash + 1));
+}
+
+std::string JoinPath(std::string_view dir, std::string_view name) {
+  std::string out(dir);
+  if (out.empty() || out.back() != '/') {
+    out.push_back('/');
+  }
+  out.append(name);
+  return out;
+}
+
+}  // namespace dvfs

@@ -1,0 +1,36 @@
+// Path algebra for the in-memory virtual filesystem. Paths are absolute,
+// '/'-separated, with no '.'/'..' support — compute functions see a fixed
+// layout ("/in/<set>/<item>", "/out/<set>/<item>") and never need relative
+// navigation.
+#ifndef SRC_VFS_PATH_H_
+#define SRC_VFS_PATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace dvfs {
+
+// Normalizes an absolute path: collapses duplicate '/', strips the trailing
+// one. Returns an error for relative paths, empty paths, or components
+// containing NUL. "/" normalizes to "/".
+dbase::Result<std::string> NormalizePath(std::string_view path);
+
+// Splits a normalized path into components; "/" yields an empty vector.
+std::vector<std::string_view> SplitPath(std::string_view normalized);
+
+// Parent of a normalized path ("/a/b" → "/a", "/a" → "/"). "/" has no
+// parent and returns an error.
+dbase::Result<std::string> ParentPath(std::string_view normalized);
+
+// Final component ("/a/b" → "b"). Error for "/".
+dbase::Result<std::string> BaseName(std::string_view normalized);
+
+// Joins with exactly one '/' between the parts.
+std::string JoinPath(std::string_view dir, std::string_view name);
+
+}  // namespace dvfs
+
+#endif  // SRC_VFS_PATH_H_

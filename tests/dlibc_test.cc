@@ -1,0 +1,168 @@
+// Tests for dlibc — the stdio-like, syscall-free file interface compute
+// functions use (§4.1).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/vfs/dlibc.h"
+#include "src/vfs/memfs.h"
+
+namespace dvfs {
+namespace {
+
+class DlibcTest : public ::testing::Test {
+ protected:
+  MemFs fs_;
+};
+
+TEST_F(DlibcTest, OpenModes) {
+  EXPECT_EQ(DOpen(fs_, "/missing", "r"), nullptr);   // r requires existence.
+  EXPECT_EQ(DOpen(fs_, "/missing", "r+"), nullptr);  // r+ too.
+  EXPECT_NE(DOpen(fs_, "/new", "w"), nullptr);       // w creates.
+  EXPECT_TRUE(fs_.Exists("/new"));
+  EXPECT_NE(DOpen(fs_, "/appended", "a"), nullptr);  // a creates.
+  EXPECT_EQ(DOpen(fs_, "/x", "q"), nullptr);         // Unknown mode.
+  EXPECT_EQ(DOpen(fs_, "/x", nullptr), nullptr);
+  EXPECT_EQ(DOpen(fs_, "/no/parent/file", "w"), nullptr);  // Missing dir.
+}
+
+TEST_F(DlibcTest, WriteThenRead) {
+  {
+    auto file = DOpen(fs_, "/data", "w");
+    ASSERT_NE(file, nullptr);
+    EXPECT_EQ(file->Write("hello ", 1, 6), 6u);
+    EXPECT_EQ(file->Puts("world"), 5);
+    EXPECT_TRUE(file->Flush().ok());
+  }
+  auto file = DOpen(fs_, "/data", "r");
+  ASSERT_NE(file, nullptr);
+  char buffer[32] = {};
+  EXPECT_EQ(file->Read(buffer, 1, sizeof(buffer)), 11u);
+  EXPECT_STREQ(buffer, "hello world");
+  EXPECT_TRUE(file->AtEof());
+}
+
+TEST_F(DlibcTest, DestructorFlushes) {
+  {
+    auto file = DOpen(fs_, "/auto", "w");
+    ASSERT_NE(file, nullptr);
+    file->Puts("flushed by dtor");
+    // No explicit Flush.
+  }
+  EXPECT_EQ(fs_.ReadFile("/auto").value(), "flushed by dtor");
+}
+
+TEST_F(DlibcTest, TruncateVsAppend) {
+  ASSERT_TRUE(DWriteFile(fs_, "/f", "original").ok());
+  {
+    auto file = DOpen(fs_, "/f", "a");
+    ASSERT_NE(file, nullptr);
+    EXPECT_EQ(file->Tell(), 8);  // Positioned at end.
+    file->Puts("+more");
+  }
+  EXPECT_EQ(fs_.ReadFile("/f").value(), "original+more");
+  {
+    auto file = DOpen(fs_, "/f", "w");
+    ASSERT_NE(file, nullptr);
+    file->Puts("new");
+  }
+  EXPECT_EQ(fs_.ReadFile("/f").value(), "new");
+}
+
+TEST_F(DlibcTest, ReadOnlyStreamsRejectWrites) {
+  ASSERT_TRUE(DWriteFile(fs_, "/ro", "data").ok());
+  auto file = DOpen(fs_, "/ro", "r");
+  ASSERT_NE(file, nullptr);
+  EXPECT_EQ(file->Write("x", 1, 1), 0u);
+  EXPECT_EQ(file->PutChar('x'), -1);
+  EXPECT_EQ(file->Puts("x"), -1);
+}
+
+TEST_F(DlibcTest, SeekAndTell) {
+  ASSERT_TRUE(DWriteFile(fs_, "/s", "0123456789").ok());
+  auto file = DOpen(fs_, "/s", "r");
+  ASSERT_NE(file, nullptr);
+  EXPECT_EQ(file->Seek(4, DSeekWhence::kSet), 0);
+  EXPECT_EQ(file->GetChar(), '4');
+  EXPECT_EQ(file->Seek(2, DSeekWhence::kCur), 0);
+  EXPECT_EQ(file->GetChar(), '7');
+  EXPECT_EQ(file->Seek(-1, DSeekWhence::kEnd), 0);
+  EXPECT_EQ(file->GetChar(), '9');
+  EXPECT_EQ(file->Seek(-100, DSeekWhence::kSet), -1);   // Negative target.
+  EXPECT_EQ(file->Seek(100, DSeekWhence::kSet), -1);    // Past EOF, read-only.
+}
+
+TEST_F(DlibcTest, SeekPastEndOnWritableZeroFills) {
+  auto file = DOpen(fs_, "/sparse", "w");
+  ASSERT_NE(file, nullptr);
+  EXPECT_EQ(file->Seek(4, DSeekWhence::kSet), 0);
+  file->PutChar('X');
+  ASSERT_TRUE(file->Flush().ok());
+  const std::string data = fs_.ReadFile("/sparse").value();
+  ASSERT_EQ(data.size(), 5u);
+  EXPECT_EQ(data[0], '\0');
+  EXPECT_EQ(data[4], 'X');
+}
+
+TEST_F(DlibcTest, GetsReadsLines) {
+  ASSERT_TRUE(DWriteFile(fs_, "/lines", "first\nsecond\nlast").ok());
+  auto file = DOpen(fs_, "/lines", "r");
+  ASSERT_NE(file, nullptr);
+  char buffer[64];
+  EXPECT_STREQ(file->Gets(buffer, sizeof(buffer)), "first\n");
+  EXPECT_STREQ(file->Gets(buffer, sizeof(buffer)), "second\n");
+  EXPECT_STREQ(file->Gets(buffer, sizeof(buffer)), "last");
+  EXPECT_EQ(file->Gets(buffer, sizeof(buffer)), nullptr);  // EOF.
+}
+
+TEST_F(DlibcTest, GetsRespectsBufferSize) {
+  ASSERT_TRUE(DWriteFile(fs_, "/long", "abcdefghij").ok());
+  auto file = DOpen(fs_, "/long", "r");
+  char buffer[4];
+  EXPECT_STREQ(file->Gets(buffer, sizeof(buffer)), "abc");
+  EXPECT_STREQ(file->Gets(buffer, sizeof(buffer)), "def");
+}
+
+TEST_F(DlibcTest, GetPutChar) {
+  auto out = DOpen(fs_, "/c", "w");
+  EXPECT_EQ(out->PutChar('A'), 'A');
+  EXPECT_EQ(out->PutChar(0xFF), 0xFF);  // Bytes, not chars.
+  ASSERT_TRUE(out->Flush().ok());
+  auto in = DOpen(fs_, "/c", "r");
+  EXPECT_EQ(in->GetChar(), 'A');
+  EXPECT_EQ(in->GetChar(), 0xFF);
+  EXPECT_EQ(in->GetChar(), -1);
+}
+
+TEST_F(DlibcTest, ElementwiseReadWrite) {
+  auto out = DOpen(fs_, "/ints", "w");
+  const int values[3] = {10, 20, 30};
+  EXPECT_EQ(out->Write(values, sizeof(int), 3), 3u);
+  ASSERT_TRUE(out->Flush().ok());
+
+  auto in = DOpen(fs_, "/ints", "r");
+  int readback[4] = {};
+  // Only 3 complete elements available.
+  EXPECT_EQ(in->Read(readback, sizeof(int), 4), 3u);
+  EXPECT_EQ(readback[0], 10);
+  EXPECT_EQ(readback[2], 30);
+}
+
+TEST_F(DlibcTest, ReadPlusUpdateMode) {
+  ASSERT_TRUE(DWriteFile(fs_, "/u", "ABCDEF").ok());
+  auto file = DOpen(fs_, "/u", "r+");
+  ASSERT_NE(file, nullptr);
+  EXPECT_EQ(file->GetChar(), 'A');
+  EXPECT_EQ(file->PutChar('x'), 'x');  // Overwrites 'B'.
+  ASSERT_TRUE(file->Flush().ok());
+  EXPECT_EQ(fs_.ReadFile("/u").value(), "AxCDEF");
+}
+
+TEST_F(DlibcTest, OneShotHelpers) {
+  EXPECT_TRUE(DWriteFile(fs_, "/h", "payload").ok());
+  EXPECT_EQ(DReadFile(fs_, "/h").value(), "payload");
+  EXPECT_FALSE(DReadFile(fs_, "/missing").ok());
+}
+
+}  // namespace
+}  // namespace dvfs

@@ -1,0 +1,289 @@
+// Tests for the composition DSL: lexer, parser (good and bad inputs),
+// format round-trips, and graph validation/lowering.
+#include <gtest/gtest.h>
+
+#include "src/dsl/graph.h"
+#include "src/dsl/lexer.h"
+#include "src/dsl/parser.h"
+
+namespace ddsl {
+namespace {
+
+constexpr const char* kRenderLogs = R"(
+// The paper's Listing 2.
+composition RenderLogs(AccessToken) => HTMLOutput {
+  Access(AccessToken = all AccessToken) => (AuthRequest = HTTPRequest);
+  HTTP(Request = each AuthRequest) => (AuthResponse = Response);
+  FanOut(HTTPResponse = all AuthResponse) => (LogRequests = HTTPRequests);
+  HTTP(Request = each LogRequests) => (LogResponses = Response);
+  Render(HTTPResponses = all LogResponses) => (HTMLOutput = HTMLOutput);
+}
+)";
+
+// ------------------------------------------------------------------- Lexer
+
+TEST(LexerTest, TokenizesPunctuationAndKeywords) {
+  auto tokens = Tokenize("composition F(a) => b { all each key optional , ; = => ( ) }");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenKind> kinds;
+  for (const auto& t : *tokens) {
+    kinds.push_back(t.kind);
+  }
+  EXPECT_EQ(kinds.front(), TokenKind::kKwComposition);
+  EXPECT_EQ(kinds.back(), TokenKind::kEof);
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), TokenKind::kKwOptional), kinds.end());
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), TokenKind::kArrow), kinds.end());
+}
+
+TEST(LexerTest, TracksLineAndColumn) {
+  auto tokens = Tokenize("a\n  bb");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1);
+  EXPECT_EQ((*tokens)[0].column, 1);
+  EXPECT_EQ((*tokens)[1].line, 2);
+  EXPECT_EQ((*tokens)[1].column, 3);
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = Tokenize("a // comment\n# another\nb");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);  // a, b, EOF.
+  EXPECT_EQ((*tokens)[1].text, "b");
+}
+
+TEST(LexerTest, RejectsUnknownCharacters) {
+  EXPECT_FALSE(Tokenize("a @ b").ok());
+  EXPECT_FALSE(Tokenize("a $ b").ok());
+}
+
+TEST(LexerTest, IdentifiersWithDigitsAndUnderscores) {
+  auto tokens = Tokenize("_x9 y_2z");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "_x9");
+  EXPECT_EQ((*tokens)[1].text, "y_2z");
+}
+
+// ------------------------------------------------------------------ Parser
+
+TEST(ParserTest, ParsesListing2) {
+  auto ast = ParseSingleComposition(kRenderLogs);
+  ASSERT_TRUE(ast.ok()) << ast.status().ToString();
+  EXPECT_EQ(ast->name, "RenderLogs");
+  ASSERT_EQ(ast->params.size(), 1u);
+  EXPECT_EQ(ast->params[0], "AccessToken");
+  ASSERT_EQ(ast->results.size(), 1u);
+  EXPECT_EQ(ast->results[0], "HTMLOutput");
+  ASSERT_EQ(ast->nodes.size(), 5u);
+  EXPECT_EQ(ast->nodes[1].callee, "HTTP");
+  EXPECT_EQ(ast->nodes[1].inputs[0].dist, Distribution::kEach);
+  EXPECT_EQ(ast->nodes[2].inputs[0].dist, Distribution::kAll);
+  EXPECT_EQ(ast->nodes[4].outputs[0].alias, "HTMLOutput");
+  EXPECT_EQ(ast->nodes[4].outputs[0].set_name, "HTMLOutput");
+}
+
+TEST(ParserTest, MultipleCompositionsInOneFile) {
+  auto asts = ParseCompositions(R"(
+composition A(x) => y { F(i = all x) => (y = o); }
+composition B(x) => y { G(i = key x) => (y = o); }
+)");
+  ASSERT_TRUE(asts.ok());
+  ASSERT_EQ(asts->size(), 2u);
+  EXPECT_EQ((*asts)[0].name, "A");
+  EXPECT_EQ((*asts)[1].name, "B");
+  EXPECT_EQ((*asts)[1].nodes[0].inputs[0].dist, Distribution::kKey);
+}
+
+TEST(ParserTest, OptionalKeyword) {
+  auto ast = ParseSingleComposition(
+      "composition C(x, e) => y { F(a = all x, err = all optional e) => (y = o); }");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_FALSE(ast->nodes[0].inputs[0].optional);
+  EXPECT_TRUE(ast->nodes[0].inputs[1].optional);
+}
+
+TEST(ParserTest, MultipleOutputs) {
+  auto ast = ParseSingleComposition(
+      "composition C(x) => y, z { F(a = all x) => (y = oy, z = oz); }");
+  ASSERT_TRUE(ast.ok());
+  ASSERT_EQ(ast->nodes[0].outputs.size(), 2u);
+  EXPECT_EQ(ast->results, (std::vector<std::string>{"y", "z"}));
+}
+
+struct BadDslCase {
+  const char* name;
+  const char* source;
+};
+
+class ParserErrorTest : public ::testing::TestWithParam<BadDslCase> {};
+
+TEST_P(ParserErrorTest, Rejects) {
+  EXPECT_FALSE(ParseSingleComposition(GetParam().source).ok()) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadInputs, ParserErrorTest,
+    ::testing::Values(
+        BadDslCase{"empty", ""},
+        BadDslCase{"no_body", "composition C(x) => y"},
+        BadDslCase{"empty_body", "composition C(x) => y { }"},
+        BadDslCase{"missing_arrow", "composition C(x) y { F(a = all x) => (y = o); }"},
+        BadDslCase{"missing_semicolon", "composition C(x) => y { F(a = all x) => (y = o) }"},
+        BadDslCase{"bad_dist", "composition C(x) => y { F(a = some x) => (y = o); }"},
+        BadDslCase{"no_dist", "composition C(x) => y { F(a = x) => (y = o); }"},
+        BadDslCase{"unterminated", "composition C(x) => y { F(a = all x) => (y = o);"},
+        BadDslCase{"keyword_as_name", "composition all(x) => y { F(a = all x) => (y = o); }"},
+        BadDslCase{"missing_results", "composition C(x) => { F(a = all x) => (y = o); }"}),
+    [](const ::testing::TestParamInfo<BadDslCase>& info) { return info.param.name; });
+
+TEST(FormatTest, RoundTripThroughParser) {
+  auto ast = ParseSingleComposition(kRenderLogs);
+  ASSERT_TRUE(ast.ok());
+  const std::string formatted = FormatComposition(*ast);
+  auto reparsed = ParseSingleComposition(formatted);
+  ASSERT_TRUE(reparsed.ok()) << formatted;
+  EXPECT_EQ(FormatComposition(*reparsed), formatted);
+}
+
+TEST(FormatTest, OptionalRendered) {
+  auto ast = ParseSingleComposition(
+      "composition C(x) => y { F(a = each optional x) => (y = o); }");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_NE(FormatComposition(*ast).find("each optional x"), std::string::npos);
+}
+
+// ------------------------------------------------------------------- Graph
+
+TEST(GraphTest, LowersListing2) {
+  auto ast = ParseSingleComposition(kRenderLogs);
+  ASSERT_TRUE(ast.ok());
+  auto graph = CompositionGraph::FromAst(*ast);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph->name(), "RenderLogs");
+  EXPECT_EQ(graph->nodes().size(), 5u);
+  EXPECT_EQ(graph->topo_order().size(), 5u);
+
+  auto producer = graph->ProducerOf("AuthResponse");
+  ASSERT_TRUE(producer.ok());
+  EXPECT_EQ(producer->kind, ValueProducer::Kind::kNode);
+  EXPECT_EQ(producer->index, 1u);
+
+  auto param = graph->ProducerOf("AccessToken");
+  ASSERT_TRUE(param.ok());
+  EXPECT_EQ(param->kind, ValueProducer::Kind::kParam);
+
+  EXPECT_FALSE(graph->ProducerOf("Nonexistent").ok());
+}
+
+TEST(GraphTest, ConsumerCounts) {
+  auto ast = ParseSingleComposition(kRenderLogs);
+  auto graph = CompositionGraph::FromAst(*ast);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->ConsumerCount("AuthRequest"), 1);
+  EXPECT_EQ(graph->ConsumerCount("HTMLOutput"), 1);  // The client.
+  EXPECT_EQ(graph->ConsumerCount("unknown"), 0);
+}
+
+GraphNode MakeNode(std::string callee, std::vector<GraphInput> inputs,
+                   std::vector<GraphOutput> outputs) {
+  GraphNode node;
+  node.callee = std::move(callee);
+  node.inputs = std::move(inputs);
+  node.outputs = std::move(outputs);
+  return node;
+}
+
+TEST(GraphTest, RejectsUndefinedValue) {
+  auto graph = CompositionGraph::Create(
+      "C", {"x"}, {"y"},
+      {MakeNode("F", {{"a", Distribution::kAll, false, "ghost"}}, {{"y", "o"}})});
+  EXPECT_FALSE(graph.ok());
+  EXPECT_NE(graph.status().message().find("undefined value"), std::string::npos);
+}
+
+TEST(GraphTest, RejectsDuplicateAlias) {
+  auto graph = CompositionGraph::Create(
+      "C", {"x"}, {"y"},
+      {MakeNode("F", {{"a", Distribution::kAll, false, "x"}}, {{"y", "o"}}),
+       MakeNode("G", {{"a", Distribution::kAll, false, "x"}}, {{"y", "o"}})});
+  EXPECT_FALSE(graph.ok());
+}
+
+TEST(GraphTest, RejectsAliasShadowingParam) {
+  auto graph = CompositionGraph::Create(
+      "C", {"x"}, {"x"},
+      {MakeNode("F", {{"a", Distribution::kAll, false, "x"}}, {{"x", "o"}})});
+  EXPECT_FALSE(graph.ok());
+}
+
+TEST(GraphTest, RejectsUnproducedResult) {
+  auto graph = CompositionGraph::Create(
+      "C", {"x"}, {"nope"},
+      {MakeNode("F", {{"a", Distribution::kAll, false, "x"}}, {{"y", "o"}})});
+  EXPECT_FALSE(graph.ok());
+}
+
+TEST(GraphTest, RejectsSelfLoop) {
+  auto graph = CompositionGraph::Create(
+      "C", {"x"}, {"y"},
+      {MakeNode("F", {{"a", Distribution::kAll, false, "y"}}, {{"y", "o"}})});
+  EXPECT_FALSE(graph.ok());
+}
+
+TEST(GraphTest, RejectsCycle) {
+  auto graph = CompositionGraph::Create(
+      "C", {"x"}, {"u"},
+      {MakeNode("F", {{"a", Distribution::kAll, false, "v"}}, {{"u", "o"}}),
+       MakeNode("G", {{"a", Distribution::kAll, false, "u"}}, {{"v", "o"}})});
+  EXPECT_FALSE(graph.ok());
+  EXPECT_NE(graph.status().message().find("cycle"), std::string::npos);
+}
+
+TEST(GraphTest, RejectsTwoFanOutBindings) {
+  auto graph = CompositionGraph::Create(
+      "C", {"x", "y"}, {"z"},
+      {MakeNode("F",
+                {{"a", Distribution::kEach, false, "x"}, {"b", Distribution::kKey, false, "y"}},
+                {{"z", "o"}})});
+  EXPECT_FALSE(graph.ok());
+  EXPECT_NE(graph.status().message().find("at most one input"), std::string::npos);
+}
+
+TEST(GraphTest, RejectsDuplicateInputSet) {
+  auto graph = CompositionGraph::Create(
+      "C", {"x"}, {"z"},
+      {MakeNode("F",
+                {{"a", Distribution::kAll, false, "x"}, {"a", Distribution::kAll, false, "x"}},
+                {{"z", "o"}})});
+  EXPECT_FALSE(graph.ok());
+}
+
+TEST(GraphTest, RejectsNoNodesOrResults) {
+  EXPECT_FALSE(CompositionGraph::Create("C", {"x"}, {"y"}, {}).ok());
+  EXPECT_FALSE(CompositionGraph::Create(
+                   "C", {"x"}, {},
+                   {MakeNode("F", {{"a", Distribution::kAll, false, "x"}}, {{"y", "o"}})})
+                   .ok());
+}
+
+TEST(GraphTest, TopoOrderRespectsDependencies) {
+  // Build out of order: node 0 consumes node 1's output.
+  auto graph = CompositionGraph::Create(
+      "C", {"x"}, {"z"},
+      {MakeNode("Late", {{"a", Distribution::kAll, false, "mid"}}, {{"z", "o"}}),
+       MakeNode("Early", {{"a", Distribution::kAll, false, "x"}}, {{"mid", "o"}})});
+  ASSERT_TRUE(graph.ok());
+  const auto& order = graph->topo_order();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 0u);
+}
+
+TEST(GraphTest, DebugStringMentionsNodes) {
+  auto ast = ParseSingleComposition(kRenderLogs);
+  auto graph = CompositionGraph::FromAst(*ast);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_NE(graph->DebugString().find("FanOut"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ddsl

@@ -1,0 +1,234 @@
+// Tests for the image codecs: QOI encode/decode round-trips (property
+// sweeps over sizes/channels), QOI op coverage, CRC-32/Adler-32 vectors,
+// PNG structural validation, and the QOI→PNG transcode used by §7.6.
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/img/png.h"
+#include "src/img/qoi.h"
+
+namespace dimg {
+namespace {
+
+// --------------------------------------------------------------------- QOI
+
+TEST(QoiTest, HeaderAndMarker) {
+  Image image = MakeTestImage(8, 8, 4, 1);
+  const std::string encoded = QoiEncode(image);
+  ASSERT_GE(encoded.size(), 22u);
+  EXPECT_EQ(encoded.substr(0, 4), "qoif");
+  EXPECT_EQ(encoded.substr(encoded.size() - 8), std::string("\0\0\0\0\0\0\0\x01", 8));
+}
+
+TEST(QoiTest, RoundTripRgba) {
+  Image image = MakeTestImage(32, 24, 4, 7);
+  auto decoded = QoiDecode(QoiEncode(image));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, image);
+}
+
+TEST(QoiTest, RoundTripRgb) {
+  Image image = MakeTestImage(17, 9, 3, 8);
+  auto decoded = QoiDecode(QoiEncode(image));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, image);
+}
+
+TEST(QoiTest, RunsCompressWell) {
+  // A flat image is nearly all RUN ops: tiny output.
+  Image flat;
+  flat.width = 64;
+  flat.height = 64;
+  flat.channels = 4;
+  flat.pixels.assign(64 * 64 * 4, 200);
+  const std::string encoded = QoiEncode(flat);
+  EXPECT_LT(encoded.size(), 200u);
+  auto decoded = QoiDecode(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, flat);
+}
+
+TEST(QoiTest, AlphaChangesUseRgbaOp) {
+  Image image;
+  image.width = 4;
+  image.height = 1;
+  image.channels = 4;
+  image.pixels = {
+      255, 0,   0,   255,  // Opaque red.
+      255, 0,   0,   128,  // Alpha change → RGBA op.
+      0,   255, 0,   128,  //
+      0,   255, 0,   255,  // Alpha back up.
+  };
+  auto decoded = QoiDecode(QoiEncode(image));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, image);
+}
+
+TEST(QoiTest, RandomNoiseRoundTrip) {
+  dbase::Rng rng(99);
+  Image image;
+  image.width = 23;
+  image.height = 31;
+  image.channels = 4;
+  image.pixels.resize(23u * 31 * 4);
+  for (auto& b : image.pixels) {
+    b = static_cast<uint8_t>(rng.NextBounded(256));
+  }
+  auto decoded = QoiDecode(QoiEncode(image));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, image);
+}
+
+TEST(QoiTest, DecodeRejections) {
+  EXPECT_FALSE(QoiDecode("").ok());
+  EXPECT_FALSE(QoiDecode("short").ok());
+  const std::string good = QoiEncode(MakeTestImage(8, 8, 4, 1));
+  std::string bad_magic = good;
+  bad_magic[0] = 'x';
+  EXPECT_FALSE(QoiDecode(bad_magic).ok());
+  EXPECT_FALSE(QoiDecode(good.substr(0, good.size() / 2)).ok());  // Truncated.
+  std::string bad_channels = good;
+  bad_channels[12] = 7;
+  EXPECT_FALSE(QoiDecode(bad_channels).ok());
+}
+
+struct QoiDims {
+  uint32_t width;
+  uint32_t height;
+  uint8_t channels;
+};
+
+class QoiPropertyTest : public ::testing::TestWithParam<QoiDims> {};
+
+TEST_P(QoiPropertyTest, RoundTrip) {
+  const QoiDims dims = GetParam();
+  Image image = MakeTestImage(dims.width, dims.height, dims.channels,
+                              dims.width * 31 + dims.height);
+  auto decoded = QoiDecode(QoiEncode(image));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, image);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dims, QoiPropertyTest,
+    ::testing::Values(QoiDims{1, 1, 4}, QoiDims{1, 1, 3}, QoiDims{2, 3, 4}, QoiDims{64, 1, 4},
+                      QoiDims{1, 64, 3}, QoiDims{63, 63, 4}, QoiDims{96, 64, 4},
+                      QoiDims{128, 128, 3}),
+    [](const ::testing::TestParamInfo<QoiDims>& info) {
+      return std::to_string(info.param.width) + "x" + std::to_string(info.param.height) + "x" +
+             std::to_string(info.param.channels);
+    });
+
+TEST(QoiTest, PaperSizedImageIsAbout18kB) {
+  // §7.6 uses an 18 kB QOI image; our default test image at 96x64 lands in
+  // the same ballpark so Figure 8's compute time is representative.
+  Image image = MakeTestImage(96, 64, 4, 42);
+  const std::string encoded = QoiEncode(image);
+  EXPECT_GT(encoded.size(), 6u * 1024);
+  EXPECT_LT(encoded.size(), 40u * 1024);
+}
+
+// ---------------------------------------------------------------- Checksums
+
+TEST(ChecksumTest, Crc32KnownVectors) {
+  EXPECT_EQ(Crc32(""), 0x00000000u);
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);  // Classic check value.
+  EXPECT_EQ(Crc32("IEND"), 0xAE426082u);       // Every PNG's last 8 bytes.
+}
+
+TEST(ChecksumTest, Adler32KnownVectors) {
+  EXPECT_EQ(Adler32(""), 1u);
+  EXPECT_EQ(Adler32("Wikipedia"), 0x11E60398u);
+}
+
+TEST(ChecksumTest, Crc32Seeded) {
+  // Incremental == one-shot.
+  const std::string data = "hello world";
+  const uint32_t whole = Crc32(data);
+  const uint32_t split = Crc32(Crc32("hello"), " world");
+  EXPECT_EQ(whole, split);
+}
+
+// --------------------------------------------------------------------- PNG
+
+TEST(PngTest, EncodeStructure) {
+  Image image = MakeTestImage(16, 8, 4, 3);
+  auto png = PngEncode(image);
+  ASSERT_TRUE(png.ok());
+  EXPECT_EQ(png->substr(1, 3), "PNG");
+  EXPECT_NE(png->find("IHDR"), std::string::npos);
+  EXPECT_NE(png->find("IDAT"), std::string::npos);
+  EXPECT_NE(png->find("IEND"), std::string::npos);
+}
+
+TEST(PngTest, RoundTripRgbaAndRgb) {
+  for (uint8_t channels : {static_cast<uint8_t>(3), static_cast<uint8_t>(4)}) {
+    Image image = MakeTestImage(21, 13, channels, channels);
+    auto png = PngEncode(image);
+    ASSERT_TRUE(png.ok());
+    auto decoded = PngDecodeStored(*png);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(*decoded, image);
+  }
+}
+
+TEST(PngTest, LargeImageMultipleStoredBlocks) {
+  // > 64 KiB of scanlines forces several stored deflate blocks.
+  Image image = MakeTestImage(256, 128, 4, 5);
+  auto png = PngEncode(image);
+  ASSERT_TRUE(png.ok());
+  auto decoded = PngDecodeStored(*png);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, image);
+}
+
+TEST(PngTest, EncodeRejectsBadImages) {
+  Image bad;
+  bad.width = 4;
+  bad.height = 4;
+  bad.channels = 2;  // Unsupported.
+  bad.pixels.resize(32);
+  EXPECT_FALSE(PngEncode(bad).ok());
+
+  Image mismatched = MakeTestImage(4, 4, 4, 1);
+  mismatched.pixels.pop_back();
+  EXPECT_FALSE(PngEncode(mismatched).ok());
+}
+
+TEST(PngTest, DecodeDetectsCorruption) {
+  Image image = MakeTestImage(8, 8, 4, 9);
+  auto png = PngEncode(image);
+  ASSERT_TRUE(png.ok());
+  EXPECT_FALSE(PngDecodeStored("not a png").ok());
+  // Flip one byte inside IDAT payload → CRC mismatch.
+  std::string corrupted = *png;
+  const size_t idat = corrupted.find("IDAT");
+  ASSERT_NE(idat, std::string::npos);
+  corrupted[idat + 10] = static_cast<char>(corrupted[idat + 10] ^ 0xFF);
+  auto result = PngDecodeStored(corrupted);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("CRC"), std::string::npos);
+}
+
+TEST(PngTest, DecodeValidatesTruncation) {
+  Image image = MakeTestImage(8, 8, 4, 9);
+  auto png = PngEncode(image);
+  ASSERT_TRUE(png.ok());
+  EXPECT_FALSE(PngDecodeStored(png->substr(0, png->size() - 16)).ok());
+}
+
+// --------------------------------------------------------------- Transcode
+
+TEST(TranscodeTest, QoiToPngPreservesPixels) {
+  Image image = MakeTestImage(96, 64, 4, 42);  // The §7.6 workload.
+  auto png = TranscodeQoiToPng(QoiEncode(image));
+  ASSERT_TRUE(png.ok()) << png.status().ToString();
+  auto decoded = PngDecodeStored(*png);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, image);
+}
+
+TEST(TranscodeTest, RejectsBadQoi) { EXPECT_FALSE(TranscodeQoiToPng("garbage").ok()); }
+
+}  // namespace
+}  // namespace dimg

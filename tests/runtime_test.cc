@@ -1,0 +1,1088 @@
+// Tests for the runtime: memory contexts + accounting, the four sandbox
+// backends (including real process isolation and timeout preemption),
+// engines with role shifting, the PI control plane, and the dispatcher /
+// platform running full compositions (fan-out, key grouping, optional sets,
+// failure propagation, nesting).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+
+#include "src/base/clock.h"
+#include "src/http/http_parser.h"
+#include "src/func/builtins.h"
+#include "src/http/services.h"
+#include "src/runtime/comm_function.h"
+#include "src/runtime/controller.h"
+#include "src/runtime/dispatcher.h"
+#include "src/runtime/engine.h"
+#include "src/runtime/frontend.h"
+#include "src/runtime/memory_context.h"
+#include "src/runtime/platform.h"
+#include "src/runtime/sandbox.h"
+
+namespace dandelion {
+namespace {
+
+using dfunc::DataItem;
+using dfunc::DataSet;
+using dfunc::DataSetList;
+
+// --------------------------------------------------------------- Accountant
+
+TEST(MemoryAccountantTest, TracksCurrentAndPeak) {
+  MemoryAccountant accountant;
+  accountant.Acquire(100);
+  accountant.Acquire(50);
+  EXPECT_EQ(accountant.current_bytes(), 150u);
+  EXPECT_EQ(accountant.peak_bytes(), 150u);
+  accountant.Release(100);
+  EXPECT_EQ(accountant.current_bytes(), 50u);
+  EXPECT_EQ(accountant.peak_bytes(), 150u);
+  EXPECT_EQ(accountant.total_acquired(), 150u);
+}
+
+TEST(MemoryAccountantTest, TimelineWithClock) {
+  MemoryAccountant accountant;
+  dbase::ManualClock clock(1000);
+  accountant.AttachClock(&clock);
+  accountant.Acquire(1024 * 1024);
+  clock.Advance(500);
+  accountant.Release(1024 * 1024);
+  auto timeline = accountant.TimelineSnapshot();
+  ASSERT_EQ(timeline.points().size(), 2u);
+  EXPECT_EQ(timeline.points()[0].time_us, 1000);
+  EXPECT_DOUBLE_EQ(timeline.points()[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(timeline.points()[1].value, 0.0);
+}
+
+// ------------------------------------------------------------------ Context
+
+TEST(MemoryContextTest, CreateAndBounds) {
+  MemoryAccountant accountant;
+  auto ctx = MemoryContext::Create(4096, &accountant);
+  ASSERT_TRUE(ctx.ok());
+  EXPECT_EQ((*ctx)->capacity(), 4096u);
+  EXPECT_EQ(accountant.current_bytes(), 4096u);
+  EXPECT_TRUE((*ctx)->WriteAt(0, "abcd").ok());
+  EXPECT_TRUE((*ctx)->WriteAt(4092, "abcd").ok());
+  EXPECT_FALSE((*ctx)->WriteAt(4093, "abcd").ok());
+  EXPECT_FALSE((*ctx)->ReadAt(4096, 1).ok());
+  EXPECT_EQ((*ctx)->ReadAt(0, 4).value(), "abcd");
+  ctx->reset();
+  EXPECT_EQ(accountant.current_bytes(), 0u);
+}
+
+TEST(MemoryContextTest, RejectsTinyCapacity) {
+  EXPECT_FALSE(MemoryContext::Create(8, nullptr).ok());
+}
+
+TEST(MemoryContextTest, TransferBetweenContexts) {
+  auto a = MemoryContext::Create(4096, nullptr);
+  auto b = MemoryContext::Create(4096, nullptr);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE((*a)->WriteAt(100, "transfer me").ok());
+  ASSERT_TRUE((*b)->TransferFrom(**a, 100, 7, 11).ok());
+  EXPECT_EQ((*b)->ReadAt(7, 11).value(), "transfer me");
+  EXPECT_FALSE((*b)->TransferFrom(**a, 4090, 0, 100).ok());
+}
+
+TEST(MemoryContextTest, InputOutputProtocol) {
+  auto ctx = MemoryContext::Create(1 << 20, nullptr);
+  ASSERT_TRUE(ctx.ok());
+  DataSetList inputs;
+  inputs.push_back(DataSet{"in", {DataItem{"k", "v"}}});
+  ASSERT_TRUE((*ctx)->StoreInputSets(inputs).ok());
+  auto loaded = (*ctx)->LoadInputSets();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, inputs);
+
+  DataSetList outputs;
+  outputs.push_back(DataSet{"out", {DataItem{"", "result"}}});
+  ASSERT_TRUE((*ctx)->StoreOutcome(dbase::OkStatus(), outputs).ok());
+  auto read_back = (*ctx)->LoadOutputSets();
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_EQ(*read_back, outputs);
+}
+
+TEST(MemoryContextTest, ErrorOutcomePropagates) {
+  auto ctx = MemoryContext::Create(1 << 16, nullptr);
+  ASSERT_TRUE(ctx.ok());
+  ASSERT_TRUE((*ctx)->StoreOutcome(dbase::NotFound("boom"), {}).ok());
+  auto result = (*ctx)->LoadOutputSets();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), dbase::StatusCode::kNotFound);
+  EXPECT_EQ(result.status().message(), "boom");
+}
+
+TEST(MemoryContextTest, PendingStateIsError) {
+  auto ctx = MemoryContext::Create(1 << 16, nullptr);
+  ASSERT_TRUE(ctx.ok());
+  ASSERT_TRUE((*ctx)->StoreInputSets({}).ok());
+  EXPECT_FALSE((*ctx)->LoadOutputSets().ok());  // Still pending.
+}
+
+TEST(MemoryContextTest, InputsExceedingCapacityRejected) {
+  auto ctx = MemoryContext::Create(1024, nullptr);
+  ASSERT_TRUE(ctx.ok());
+  DataSetList inputs;
+  inputs.push_back(DataSet{"in", {DataItem{"", std::string(2000, 'x')}}});
+  EXPECT_EQ((*ctx)->StoreInputSets(inputs).code(), dbase::StatusCode::kResourceExhausted);
+}
+
+TEST(MemoryContextTest, OversizeOutputsReportExhaustion) {
+  auto ctx = MemoryContext::Create(1024, nullptr);
+  ASSERT_TRUE(ctx.ok());
+  DataSetList outputs;
+  outputs.push_back(DataSet{"out", {DataItem{"", std::string(5000, 'x')}}});
+  ASSERT_TRUE((*ctx)->StoreOutcome(dbase::OkStatus(), outputs).ok());
+  auto result = (*ctx)->LoadOutputSets();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), dbase::StatusCode::kResourceExhausted);
+}
+
+// ----------------------------------------------------------------- Sandbox
+
+dfunc::FunctionSpec EchoSpec() {
+  dfunc::FunctionSpec spec;
+  spec.name = "echo";
+  spec.body = dfunc::EchoFunction;
+  spec.context_bytes = 1 << 20;
+  return spec;
+}
+
+DataSetList EchoInputs(const std::string& payload) {
+  DataSetList inputs;
+  inputs.push_back(DataSet{"in", {DataItem{"key", payload}}});
+  return inputs;
+}
+
+class SandboxBackendTest : public ::testing::TestWithParam<IsolationBackend> {};
+
+TEST_P(SandboxBackendTest, ExecutesEcho) {
+  const IsolationBackend backend = GetParam();
+  auto executor = CreateSandboxExecutor(backend);
+  ASSERT_NE(executor, nullptr);
+  EXPECT_EQ(executor->backend(), backend);
+
+  auto ctx = MemoryContext::Create(1 << 20, nullptr,
+                                   /*shared=*/backend == IsolationBackend::kProcess);
+  ASSERT_TRUE(ctx.ok());
+  ASSERT_TRUE((*ctx)->StoreInputSets(EchoInputs("hello sandbox")).ok());
+
+  ExecOutcome outcome = executor->Execute(EchoSpec(), **ctx, SandboxOptions{});
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  ASSERT_EQ(outcome.outputs.size(), 1u);
+  EXPECT_EQ(outcome.outputs[0].name, "out");
+  EXPECT_EQ(outcome.outputs[0].items[0].data, "hello sandbox");
+  EXPECT_GE(outcome.timings.Total(), 0);
+}
+
+TEST_P(SandboxBackendTest, FunctionErrorPropagates) {
+  const IsolationBackend backend = GetParam();
+  auto executor = CreateSandboxExecutor(backend);
+  dfunc::FunctionSpec spec;
+  spec.name = "fail";
+  spec.body = dfunc::FailingFunction;
+  auto ctx = MemoryContext::Create(1 << 20, nullptr,
+                                   backend == IsolationBackend::kProcess);
+  ASSERT_TRUE(ctx.ok());
+  ASSERT_TRUE((*ctx)->StoreInputSets({}).ok());
+  ExecOutcome outcome = executor->Execute(spec, **ctx, SandboxOptions{});
+  EXPECT_FALSE(outcome.status.ok());
+  EXPECT_EQ(outcome.status.code(), dbase::StatusCode::kInternal);
+}
+
+TEST_P(SandboxBackendTest, TimeoutPreempts) {
+  const IsolationBackend backend = GetParam();
+  auto executor = CreateSandboxExecutor(backend);
+  dfunc::FunctionSpec spec;
+  spec.name = "spin";
+  spec.body = dfunc::InfiniteLoopFunction;
+  spec.timeout_us = 30 * dbase::kMicrosPerMilli;
+  auto ctx = MemoryContext::Create(1 << 20, nullptr,
+                                   backend == IsolationBackend::kProcess);
+  ASSERT_TRUE(ctx.ok());
+  ASSERT_TRUE((*ctx)->StoreInputSets({}).ok());
+  dbase::Stopwatch watch;
+  ExecOutcome outcome = executor->Execute(spec, **ctx, SandboxOptions{});
+  EXPECT_EQ(outcome.status.code(), dbase::StatusCode::kDeadlineExceeded)
+      << outcome.status.ToString();
+  EXPECT_LT(watch.ElapsedMicros(), 5 * dbase::kMicrosPerSecond);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, SandboxBackendTest,
+                         ::testing::Values(IsolationBackend::kThread,
+                                           IsolationBackend::kKvmSim,
+                                           IsolationBackend::kWasmSim,
+                                           IsolationBackend::kProcess),
+                         [](const ::testing::TestParamInfo<IsolationBackend>& info) {
+                           return std::string(IsolationBackendName(info.param));
+                         });
+
+TEST(SandboxTest, ProcessIsolationSurvivesCrash) {
+  auto executor = CreateSandboxExecutor(IsolationBackend::kProcess);
+  dfunc::FunctionSpec spec;
+  spec.name = "crasher";
+  spec.body = [](dfunc::FunctionCtx&) -> dbase::Status {
+    raise(SIGSEGV);  // Simulated wild write: only the child dies.
+    return dbase::OkStatus();
+  };
+  auto ctx = MemoryContext::Create(1 << 20, nullptr, /*shared=*/true);
+  ASSERT_TRUE(ctx.ok());
+  ASSERT_TRUE((*ctx)->StoreInputSets({}).ok());
+  ExecOutcome outcome = executor->Execute(spec, **ctx, SandboxOptions{});
+  EXPECT_FALSE(outcome.status.ok());
+  EXPECT_NE(outcome.status.message().find("signal"), std::string::npos);
+}
+
+TEST(SandboxTest, ProcessRequiresSharedContext) {
+  auto executor = CreateSandboxExecutor(IsolationBackend::kProcess);
+  auto ctx = MemoryContext::Create(1 << 20, nullptr, /*shared=*/false);
+  ASSERT_TRUE(ctx.ok());
+  ASSERT_TRUE((*ctx)->StoreInputSets({}).ok());
+  ExecOutcome outcome = executor->Execute(EchoSpec(), **ctx, SandboxOptions{});
+  EXPECT_EQ(outcome.status.code(), dbase::StatusCode::kFailedPrecondition);
+}
+
+TEST(SandboxTest, BackendNamesRoundTrip) {
+  for (auto backend : {IsolationBackend::kProcess, IsolationBackend::kThread,
+                       IsolationBackend::kKvmSim, IsolationBackend::kWasmSim}) {
+    auto parsed = IsolationBackendFromName(IsolationBackendName(backend));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, backend);
+  }
+  EXPECT_FALSE(IsolationBackendFromName("firecracker").ok());
+}
+
+TEST(SandboxTest, UncachedBinaryLoadsSlower) {
+  BackendCostModel costs = BackendCostModel::Defaults(IsolationBackend::kThread);
+  costs.load_disk_us_per_mb = 4000.0;
+  costs.load_cached_us_per_mb = 10.0;
+  auto executor = CreateSandboxExecutor(IsolationBackend::kThread, costs);
+  dfunc::FunctionSpec spec = EchoSpec();
+  spec.binary_bytes = 4 << 20;
+
+  auto run = [&](bool cached) {
+    auto ctx = MemoryContext::Create(1 << 20, nullptr);
+    EXPECT_TRUE(ctx.ok());
+    EXPECT_TRUE((*ctx)->StoreInputSets(EchoInputs("x")).ok());
+    SandboxOptions options;
+    options.binary_cached = cached;
+    return executor->Execute(spec, **ctx, options).timings.load_us;
+  };
+  EXPECT_GT(run(false), run(true) * 3);
+}
+
+// ----------------------------------------------------------------- Engines
+
+class WorkerSetTest : public ::testing::Test {
+ protected:
+  WorkerSetTest() {
+    mesh_.Register("echo.internal", std::make_shared<dhttp::EchoService>(),
+                   dhttp::LatencyModel{.base_us = 100, .per_kb_us = 0.0, .jitter_sigma = 0.0});
+    WorkerSet::Config config;
+    config.num_workers = 3;
+    config.initial_comm_workers = 1;
+    config.backend = IsolationBackend::kThread;
+    workers_ = std::make_unique<WorkerSet>(config, &mesh_);
+    workers_->set_sleep_for_modeled_latency(false);
+  }
+
+  dhttp::ServiceMesh mesh_;
+  std::unique_ptr<WorkerSet> workers_;
+};
+
+TEST_F(WorkerSetTest, RunsComputeTask) {
+  auto ctx_result = MemoryContext::Create(1 << 20, nullptr);
+  ASSERT_TRUE(ctx_result.ok());
+  std::shared_ptr<MemoryContext> ctx = std::move(ctx_result).value();
+  ASSERT_TRUE(ctx->StoreInputSets(EchoInputs("task")).ok());
+
+  dbase::Latch latch(1);
+  ExecOutcome outcome;
+  ComputeTask task;
+  task.spec = EchoSpec();
+  task.context = ctx;
+  task.done = [&](ExecOutcome result) {
+    outcome = std::move(result);
+    latch.CountDown();
+  };
+  ASSERT_TRUE(workers_->SubmitCompute(std::move(task)));
+  ASSERT_TRUE(latch.WaitFor(5 * dbase::kMicrosPerSecond));
+  EXPECT_TRUE(outcome.status.ok());
+  EXPECT_EQ(outcome.outputs[0].items[0].data, "task");
+  EXPECT_GE(workers_->Stats().compute_tasks, 1u);
+}
+
+TEST_F(WorkerSetTest, RunsCommTask) {
+  dhttp::HttpRequest req;
+  req.method = dhttp::Method::kPost;
+  req.target = "http://echo.internal/";
+  req.body = "ping";
+
+  dbase::Latch latch(1);
+  dhttp::HttpResponse response;
+  CommTask task;
+  task.raw_request = req.Serialize();
+  task.done = [&](dhttp::HttpResponse resp, dbase::Micros latency) {
+    response = std::move(resp);
+    latch.CountDown();
+  };
+  ASSERT_TRUE(workers_->SubmitComm(std::move(task)));
+  ASSERT_TRUE(latch.WaitFor(5 * dbase::kMicrosPerSecond));
+  EXPECT_EQ(response.status_code, 200);
+  EXPECT_EQ(response.body, "ping");
+}
+
+TEST_F(WorkerSetTest, MalformedCommRequestBecomes400) {
+  dbase::Latch latch(1);
+  dhttp::HttpResponse response;
+  CommTask task;
+  task.raw_request = "garbage";
+  task.done = [&](dhttp::HttpResponse resp, dbase::Micros) {
+    response = std::move(resp);
+    latch.CountDown();
+  };
+  ASSERT_TRUE(workers_->SubmitComm(std::move(task)));
+  ASSERT_TRUE(latch.WaitFor(5 * dbase::kMicrosPerSecond));
+  EXPECT_EQ(response.status_code, 400);
+}
+
+TEST_F(WorkerSetTest, RoleShifting) {
+  EXPECT_EQ(workers_->compute_workers(), 2);
+  EXPECT_EQ(workers_->comm_workers(), 1);
+  EXPECT_TRUE(workers_->ShiftWorkerToComm());
+  EXPECT_EQ(workers_->comm_workers(), 2);
+  EXPECT_FALSE(workers_->ShiftWorkerToComm());  // Min 1 compute worker.
+  EXPECT_TRUE(workers_->ShiftWorkerToCompute());
+  EXPECT_EQ(workers_->comm_workers(), 1);
+  EXPECT_FALSE(workers_->ShiftWorkerToCompute());  // Min 1 comm worker.
+}
+
+TEST_F(WorkerSetTest, SubmitAfterShutdownFails) {
+  workers_->Shutdown();
+  EXPECT_FALSE(workers_->SubmitCompute(ComputeTask{}));
+  EXPECT_FALSE(workers_->SubmitComm(CommTask{}));
+}
+
+// -------------------------------------------------------------- Controller
+
+TEST(PiControllerTest, ProportionalAndIntegralTerms) {
+  PiController::Gains gains;
+  gains.kp = 1.0;
+  gains.ki = 0.5;
+  gains.integral_limit = 100.0;
+  PiController pi(gains);
+  EXPECT_DOUBLE_EQ(pi.Update(2.0), 2.0 + 0.5 * 2.0);
+  EXPECT_DOUBLE_EQ(pi.Update(2.0), 2.0 + 0.5 * 4.0);
+  pi.Reset();
+  EXPECT_DOUBLE_EQ(pi.integral(), 0.0);
+}
+
+TEST(PiControllerTest, AntiWindupClamps) {
+  PiController::Gains gains;
+  gains.kp = 0.0;
+  gains.ki = 1.0;
+  gains.integral_limit = 10.0;
+  PiController pi(gains);
+  for (int i = 0; i < 100; ++i) {
+    pi.Update(5.0);
+  }
+  EXPECT_DOUBLE_EQ(pi.integral(), 10.0);
+  EXPECT_DOUBLE_EQ(pi.Update(0.0), 10.0);
+}
+
+TEST(ControlPlaneTest, ShiftsTowardBusyQueue) {
+  dhttp::ServiceMesh mesh;
+  WorkerSet::Config config;
+  config.num_workers = 4;
+  config.initial_comm_workers = 2;
+  WorkerSet workers(config, &mesh);
+  workers.set_sleep_for_modeled_latency(false);
+
+  ControlPlane::Config cp_config;
+  cp_config.gains.kp = 1.0;
+  cp_config.gains.ki = 0.0;
+  ControlPlane control(&workers, cp_config);
+
+  // Flood the compute queue with slow tasks so its growth dominates.
+  dbase::Latch latch(64);
+  for (int i = 0; i < 64; ++i) {
+    auto ctx_result = MemoryContext::Create(1 << 16, nullptr);
+    ASSERT_TRUE(ctx_result.ok());
+    std::shared_ptr<MemoryContext> ctx = std::move(ctx_result).value();
+    ASSERT_TRUE(ctx->StoreInputSets(EchoInputs("x")).ok());
+    ComputeTask task;
+    task.spec = EchoSpec();
+    task.spec.body = [](dfunc::FunctionCtx& fctx) {
+      dbase::SpinFor(2000);
+      return dfunc::EchoFunction(fctx);
+    };
+    task.context = ctx;
+    task.done = [&](ExecOutcome) { latch.CountDown(); };
+    ASSERT_TRUE(workers.SubmitCompute(std::move(task)));
+  }
+  auto decision = control.StepOnce();
+  EXPECT_GT(decision.error, 0.0);
+  EXPECT_EQ(workers.comm_workers(), 1);  // Shifted 2 → 1.
+  EXPECT_EQ(control.History().size(), 1u);
+  latch.Wait();
+}
+
+// ------------------------------------------------- Dispatcher / Platform
+
+PlatformConfig FastPlatformConfig(IsolationBackend backend = IsolationBackend::kThread) {
+  PlatformConfig config;
+  config.num_workers = 4;
+  config.backend = backend;
+  config.sleep_for_modeled_latency = false;
+  return config;
+}
+
+DataSetList SingleArg(const std::string& param, const std::string& value) {
+  DataSetList args;
+  args.push_back(DataSet{param, {DataItem{"", value}}});
+  return args;
+}
+
+TEST(PlatformTest, SingleFunctionComposition) {
+  Platform platform(FastPlatformConfig());
+  ASSERT_TRUE(platform.RegisterFunction({.name = "echo", .body = dfunc::EchoFunction}).ok());
+  ASSERT_TRUE(platform
+                  .RegisterCompositionDsl(
+                      "composition Id(in) => out { echo(in = all in) => (out = out); }")
+                  .ok());
+  auto result = platform.Invoke("Id", SingleArg("in", "ping"));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].name, "out");
+  EXPECT_EQ((*result)[0].items[0].data, "ping");
+}
+
+TEST(PlatformTest, MatMulComposition) {
+  Platform platform(FastPlatformConfig());
+  ASSERT_TRUE(dfunc::RegisterBuiltins(
+                  const_cast<dfunc::FunctionRegistry&>(platform.functions()))
+                  .ok());
+  ASSERT_TRUE(platform
+                  .RegisterCompositionDsl(
+                      "composition MM(A, B) => C { matmul(A = all A, B = all B) => (C = C); }")
+                  .ok());
+  const int n = 16;
+  const auto a = dfunc::MakeMatrix(n, 3);
+  const auto b = dfunc::MakeMatrix(n, 4);
+  DataSetList args;
+  args.push_back(DataSet{"A", {DataItem{"", dfunc::EncodeInt64Array(a)}}});
+  args.push_back(DataSet{"B", {DataItem{"", dfunc::EncodeInt64Array(b)}}});
+  auto result = platform.Invoke("MM", std::move(args));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(dfunc::DecodeInt64Array((*result)[0].items[0].data).value(),
+            dfunc::MultiplyMatrices(a, b, n));
+}
+
+// Splitter emits one item per byte; used for fan-out tests.
+dbase::Status SplitBytes(dfunc::FunctionCtx& ctx) {
+  ASSIGN_OR_RETURN(std::string payload, ctx.SingleInput("in"));
+  for (char c : payload) {
+    ctx.EmitOutput("parts", std::string(1, c), std::string(1, c));
+  }
+  return dbase::OkStatus();
+}
+
+// Tags each instance's input with a prefix (observes instance granularity).
+dbase::Status TagInstance(dfunc::FunctionCtx& ctx) {
+  const dfunc::DataSet* in = ctx.input_set("piece");
+  if (in == nullptr) {
+    return dbase::NotFound("no piece");
+  }
+  std::string joined;
+  for (const auto& item : in->items) {
+    joined += item.data;
+  }
+  ctx.EmitOutput("tagged", "[" + joined + "]");
+  return dbase::OkStatus();
+}
+
+TEST(PlatformTest, EachFanOutRunsOneInstancePerItem) {
+  Platform platform(FastPlatformConfig());
+  ASSERT_TRUE(platform.RegisterFunction({.name = "split", .body = SplitBytes}).ok());
+  ASSERT_TRUE(platform.RegisterFunction({.name = "tag", .body = TagInstance}).ok());
+  ASSERT_TRUE(platform
+                  .RegisterCompositionDsl(R"(
+composition Fan(in) => out {
+  split(in = all in) => (pieces = parts);
+  tag(piece = each pieces) => (out = tagged);
+}
+)")
+                  .ok());
+  auto result = platform.Invoke("Fan", SingleArg("in", "abc"));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ((*result)[0].items.size(), 3u);
+  EXPECT_EQ((*result)[0].items[0].data, "[a]");
+  EXPECT_EQ((*result)[0].items[2].data, "[c]");
+  EXPECT_EQ(platform.dispatcher_stats().compute_instances, 4u);  // 1 + 3.
+}
+
+TEST(PlatformTest, KeyGroupingGroupsByItemKey) {
+  Platform platform(FastPlatformConfig());
+  ASSERT_TRUE(platform.RegisterFunction({.name = "split", .body = SplitBytes}).ok());
+  ASSERT_TRUE(platform.RegisterFunction({.name = "tag", .body = TagInstance}).ok());
+  ASSERT_TRUE(platform
+                  .RegisterCompositionDsl(R"(
+composition Group(in) => out {
+  split(in = all in) => (pieces = parts);
+  tag(piece = key pieces) => (out = tagged);
+}
+)")
+                  .ok());
+  // "abca" → keys a (x2), b, c → 3 instances, deterministic key order.
+  auto result = platform.Invoke("Group", SingleArg("in", "abca"));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ((*result)[0].items.size(), 3u);
+  EXPECT_EQ((*result)[0].items[0].data, "[aa]");
+  EXPECT_EQ((*result)[0].items[1].data, "[b]");
+  EXPECT_EQ((*result)[0].items[2].data, "[c]");
+}
+
+TEST(PlatformTest, EmptyFanOutYieldsEmptyResult) {
+  Platform platform(FastPlatformConfig());
+  ASSERT_TRUE(platform.RegisterFunction({.name = "split", .body = SplitBytes}).ok());
+  ASSERT_TRUE(platform.RegisterFunction({.name = "tag", .body = TagInstance}).ok());
+  ASSERT_TRUE(platform
+                  .RegisterCompositionDsl(R"(
+composition Fan(in) => out {
+  split(in = all in) => (pieces = parts);
+  tag(piece = each pieces) => (out = tagged);
+}
+)")
+                  .ok());
+  auto result = platform.Invoke("Fan", SingleArg("in", ""));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE((*result)[0].items.empty());
+}
+
+TEST(PlatformTest, NonOptionalEmptyInputSkipsFunction) {
+  Platform platform(FastPlatformConfig());
+  ASSERT_TRUE(platform.RegisterFunction({.name = "echo", .body = dfunc::EchoFunction}).ok());
+  ASSERT_TRUE(platform
+                  .RegisterCompositionDsl(
+                      "composition Skip(in) => out { echo(in = all in) => (out = out); }")
+                  .ok());
+  DataSetList args;
+  args.push_back(DataSet{"in", {}});  // Empty set → function skipped (§4.4).
+  auto result = platform.Invoke("Skip", std::move(args));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE((*result)[0].items.empty());
+  EXPECT_EQ(platform.dispatcher_stats().skipped_instances, 1u);
+}
+
+// Counts items in optional set "maybe"; always runs thanks to `optional`.
+dbase::Status CountMaybe(dfunc::FunctionCtx& ctx) {
+  const dfunc::DataSet* maybe = ctx.input_set("maybe");
+  const size_t n = maybe == nullptr ? 0 : maybe->items.size();
+  ctx.EmitOutput("count", std::to_string(n));
+  return dbase::OkStatus();
+}
+
+TEST(PlatformTest, OptionalEmptyInputStillRuns) {
+  Platform platform(FastPlatformConfig());
+  ASSERT_TRUE(platform.RegisterFunction({.name = "count", .body = CountMaybe}).ok());
+  ASSERT_TRUE(platform
+                  .RegisterCompositionDsl(R"(
+composition Opt(trigger, maybe) => out {
+  count(go = all trigger, maybe = all optional maybe) => (out = count);
+}
+)")
+                  .ok());
+  DataSetList args = SingleArg("trigger", "go");
+  args.push_back(DataSet{"maybe", {}});
+  auto result = platform.Invoke("Opt", std::move(args));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ((*result)[0].items[0].data, "0");
+}
+
+TEST(PlatformTest, ComputeFailureFailsInvocation) {
+  Platform platform(FastPlatformConfig());
+  ASSERT_TRUE(platform.RegisterFunction({.name = "fail", .body = dfunc::FailingFunction}).ok());
+  ASSERT_TRUE(platform
+                  .RegisterCompositionDsl(
+                      "composition F(in) => out { fail(in = all in) => (out = o); }")
+                  .ok());
+  auto result = platform.Invoke("F", SingleArg("in", "x"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), dbase::StatusCode::kInternal);
+  EXPECT_EQ(platform.dispatcher_stats().invocations_failed, 1u);
+}
+
+TEST(PlatformTest, HttpNodeTalksToMesh) {
+  Platform platform(FastPlatformConfig());
+  platform.mesh().Register("echo.internal", std::make_shared<dhttp::EchoService>(),
+                           dhttp::LatencyModel{.base_us = 10, .per_kb_us = 0, .jitter_sigma = 0});
+  ASSERT_TRUE(platform.RegisterFunction({.name = "echo", .body = dfunc::EchoFunction}).ok());
+  ASSERT_TRUE(platform
+                  .RegisterCompositionDsl(R"(
+composition Call(req) => resp {
+  HTTP(Request = each req) => (responses = Response);
+  echo(in = all responses) => (resp = out);
+}
+)")
+                  .ok());
+  dhttp::HttpRequest req;
+  req.method = dhttp::Method::kPost;
+  req.target = "http://echo.internal/";
+  req.body = "payload";
+  auto result = platform.Invoke("Call", SingleArg("req", req.Serialize()));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto response = dhttp::ParseResponse((*result)[0].items[0].data);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status_code, 200);
+  EXPECT_EQ(response->body, "payload");
+}
+
+TEST(PlatformTest, HttpFailureForwardedAsResponseItem) {
+  Platform platform(FastPlatformConfig());  // No services registered.
+  ASSERT_TRUE(platform.RegisterFunction({.name = "echo", .body = dfunc::EchoFunction}).ok());
+  ASSERT_TRUE(platform
+                  .RegisterCompositionDsl(R"(
+composition Call(req) => resp {
+  HTTP(Request = each req) => (responses = Response);
+  echo(in = all responses) => (resp = out);
+}
+)")
+                  .ok());
+  dhttp::HttpRequest req;
+  req.target = "http://unknown.host/";
+  auto result = platform.Invoke("Call", SingleArg("req", req.Serialize()));
+  ASSERT_TRUE(result.ok());  // §4.4: failure forwarded, not raised.
+  auto response = dhttp::ParseResponse((*result)[0].items[0].data);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status_code, 502);
+}
+
+TEST(PlatformTest, NestedComposition) {
+  Platform platform(FastPlatformConfig());
+  ASSERT_TRUE(platform.RegisterFunction({.name = "echo", .body = dfunc::EchoFunction}).ok());
+  ASSERT_TRUE(platform.RegisterCompositionDsl(R"(
+composition Inner(in) => out { echo(in = all in) => (out = out); }
+composition Outer(x) => y {
+  Inner(in = all x) => (y = out);
+}
+)")
+                  .ok());
+  auto result = platform.Invoke("Outer", SingleArg("x", "nested"));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ((*result)[0].items[0].data, "nested");
+}
+
+TEST(PlatformTest, UnknownCalleeFails) {
+  Platform platform(FastPlatformConfig());
+  ASSERT_TRUE(platform
+                  .RegisterCompositionDsl(
+                      "composition G(in) => out { Ghost(in = all in) => (out = o); }")
+                  .ok());
+  auto result = platform.Invoke("G", SingleArg("in", "x"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), dbase::StatusCode::kNotFound);
+}
+
+TEST(PlatformTest, UnknownCompositionFails) {
+  Platform platform(FastPlatformConfig());
+  auto result = platform.Invoke("NoSuch", {});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(PlatformTest, RejectsBadHttpNodeShape) {
+  Platform platform(FastPlatformConfig());
+  EXPECT_FALSE(platform
+                   .RegisterCompositionDsl(
+                       "composition H(x) => y { HTTP(Req = each x) => (y = Response); }")
+                   .ok());
+  EXPECT_FALSE(platform
+                   .RegisterCompositionDsl(
+                       "composition H(x) => y { HTTP(Request = each x) => (y = Resp); }")
+                   .ok());
+}
+
+TEST(PlatformTest, RejectsReservedFunctionName) {
+  Platform platform(FastPlatformConfig());
+  EXPECT_FALSE(platform.RegisterFunction({.name = "HTTP", .body = dfunc::EchoFunction}).ok());
+}
+
+TEST(PlatformTest, ConcurrentInvocations) {
+  Platform platform(FastPlatformConfig());
+  ASSERT_TRUE(platform.RegisterFunction({.name = "echo", .body = dfunc::EchoFunction}).ok());
+  ASSERT_TRUE(platform
+                  .RegisterCompositionDsl(
+                      "composition Id(in) => out { echo(in = all in) => (out = out); }")
+                  .ok());
+  constexpr int kInvocations = 64;
+  dbase::Latch latch(kInvocations);
+  std::atomic<int> correct{0};
+  for (int i = 0; i < kInvocations; ++i) {
+    platform.InvokeAsync("Id", SingleArg("in", "v" + std::to_string(i)),
+                         [&, i](dbase::Result<DataSetList> result) {
+                           if (result.ok() &&
+                               (*result)[0].items[0].data == "v" + std::to_string(i)) {
+                             correct.fetch_add(1);
+                           }
+                           latch.CountDown();
+                         });
+  }
+  ASSERT_TRUE(latch.WaitFor(30 * dbase::kMicrosPerSecond));
+  EXPECT_EQ(correct.load(), kInvocations);
+  EXPECT_EQ(platform.dispatcher_stats().invocations_completed,
+            static_cast<uint64_t>(kInvocations));
+}
+
+TEST(PlatformTest, ProcessBackendEndToEnd) {
+  Platform platform(FastPlatformConfig(IsolationBackend::kProcess));
+  ASSERT_TRUE(platform.RegisterFunction({.name = "echo", .body = dfunc::EchoFunction}).ok());
+  ASSERT_TRUE(platform
+                  .RegisterCompositionDsl(
+                      "composition Id(in) => out { echo(in = all in) => (out = out); }")
+                  .ok());
+  auto result = platform.Invoke("Id", SingleArg("in", "forked"));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ((*result)[0].items[0].data, "forked");
+}
+
+TEST(PlatformTest, MemoryReleasedAfterInvocation) {
+  Platform platform(FastPlatformConfig());
+  ASSERT_TRUE(platform.RegisterFunction({.name = "echo", .body = dfunc::EchoFunction}).ok());
+  ASSERT_TRUE(platform
+                  .RegisterCompositionDsl(
+                      "composition Id(in) => out { echo(in = all in) => (out = out); }")
+                  .ok());
+  ASSERT_TRUE(platform.Invoke("Id", SingleArg("in", "x")).ok());
+  // The invocation callback fires from inside the engine's task completion;
+  // the context itself is released moments later when the task object is
+  // destroyed — poll briefly.
+  const dbase::Micros deadline = dbase::MonotonicClock::Get()->NowMicros() + 2000000;
+  while (platform.accountant().current_bytes() != 0 &&
+         dbase::MonotonicClock::Get()->NowMicros() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(platform.accountant().current_bytes(), 0u);
+  EXPECT_GT(platform.accountant().total_acquired(), 0u);
+}
+
+// ----------------------------------------------- Communication functions
+
+TEST(CommRegistryTest, HttpPreRegistered) {
+  CommFunctionRegistry registry;
+  EXPECT_TRUE(registry.Contains(kHttpFunctionName));
+  auto spec = registry.Lookup(kHttpFunctionName);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->request_set, kHttpRequestSet);
+  EXPECT_EQ(spec->response_set, kHttpResponseSet);
+}
+
+TEST(CommRegistryTest, RegistrationRules) {
+  CommFunctionRegistry registry;
+  CommFunctionSpec spec;
+  spec.name = "GRPC";
+  spec.handler = [](dhttp::ServiceMesh&, std::string_view) { return CommCallResult{}; };
+  EXPECT_TRUE(registry.Register(spec).ok());
+  EXPECT_FALSE(registry.Register(spec).ok());  // Duplicate.
+  CommFunctionSpec no_handler;
+  no_handler.name = "X";
+  EXPECT_FALSE(registry.Register(no_handler).ok());
+  CommFunctionSpec no_name;
+  no_name.handler = spec.handler;
+  no_name.name = "";
+  EXPECT_FALSE(registry.Register(no_name).ok());
+  EXPECT_EQ(registry.Names().size(), 2u);  // HTTP + GRPC.
+}
+
+TEST(PlatformTest, CustomCommFunctionRunsInComposition) {
+  Platform platform(FastPlatformConfig());
+  // A toy "REVERSE" protocol: trusted code that reverses the request bytes.
+  CommFunctionSpec reverse;
+  reverse.name = "REVERSE";
+  reverse.request_set = "Request";
+  reverse.response_set = "Response";
+  reverse.handler = [](dhttp::ServiceMesh&, std::string_view raw) {
+    CommCallResult result;
+    std::string body(raw.rbegin(), raw.rend());
+    result.response = dhttp::HttpResponse::Ok(std::move(body));
+    result.latency_us = 10;
+    return result;
+  };
+  ASSERT_TRUE(platform.RegisterCommFunction(std::move(reverse)).ok());
+  ASSERT_TRUE(platform.RegisterFunction({.name = "echo", .body = dfunc::EchoFunction}).ok());
+  ASSERT_TRUE(platform
+                  .RegisterCompositionDsl(R"(
+composition Rev(req) => resp {
+  REVERSE(Request = each req) => (responses = Response);
+  echo(in = all responses) => (resp = out);
+}
+)")
+                  .ok());
+  auto result = platform.Invoke("Rev", SingleArg("req", "abc"));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto response = dhttp::ParseResponse((*result)[0].items[0].data);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->body, "cba");
+}
+
+TEST(PlatformTest, CommFunctionNameCollisions) {
+  Platform platform(FastPlatformConfig());
+  ASSERT_TRUE(platform.RegisterFunction({.name = "taken", .body = dfunc::EchoFunction}).ok());
+  CommFunctionSpec clash;
+  clash.name = "taken";
+  clash.handler = [](dhttp::ServiceMesh&, std::string_view) { return CommCallResult{}; };
+  EXPECT_FALSE(platform.RegisterCommFunction(clash).ok());
+
+  CommFunctionSpec fine = clash;
+  fine.name = "FTP";
+  ASSERT_TRUE(platform.RegisterCommFunction(fine).ok());
+  EXPECT_FALSE(platform.RegisterFunction({.name = "FTP", .body = dfunc::EchoFunction}).ok());
+}
+
+TEST(PlatformTest, CustomCommNodeShapeValidated) {
+  Platform platform(FastPlatformConfig());
+  CommFunctionSpec spec;
+  spec.name = "PIPE";
+  spec.request_set = "In";
+  spec.response_set = "Out";
+  spec.handler = [](dhttp::ServiceMesh&, std::string_view) { return CommCallResult{}; };
+  ASSERT_TRUE(platform.RegisterCommFunction(std::move(spec)).ok());
+  // Wrong set names rejected at registration.
+  EXPECT_FALSE(platform
+                   .RegisterCompositionDsl(
+                       "composition P(x) => y { PIPE(Request = each x) => (y = Out); }")
+                   .ok());
+  EXPECT_TRUE(platform
+                  .RegisterCompositionDsl(
+                      "composition P(x) => y { PIPE(In = each x) => (y = Out); }")
+                  .ok());
+}
+
+// -------------------------------------------------- Dispatcher edge cases
+
+// Joins two input sets into one item "left|right".
+dbase::Status JoinPair(dfunc::FunctionCtx& ctx) {
+  ASSIGN_OR_RETURN(std::string left, ctx.SingleInput("left"));
+  ASSIGN_OR_RETURN(std::string right, ctx.SingleInput("right"));
+  ctx.EmitOutput("joined", left + "|" + right);
+  return dbase::OkStatus();
+}
+
+// Produces two output sets from one input.
+dbase::Status SplitCase(dfunc::FunctionCtx& ctx) {
+  ASSIGN_OR_RETURN(std::string in, ctx.SingleInput("in"));
+  std::string upper = in;
+  std::string lower = in;
+  for (char& c : upper) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  ctx.EmitOutput("upper", upper);
+  ctx.EmitOutput("lower", lower);
+  return dbase::OkStatus();
+}
+
+TEST(PlatformTest, DiamondDagJoinsBothBranches) {
+  Platform platform(FastPlatformConfig());
+  ASSERT_TRUE(platform.RegisterFunction({.name = "splitcase", .body = SplitCase}).ok());
+  ASSERT_TRUE(platform.RegisterFunction({.name = "join", .body = JoinPair}).ok());
+  ASSERT_TRUE(platform
+                  .RegisterCompositionDsl(R"(
+composition Diamond(in) => out {
+  splitcase(in = all in) => (ups = upper, lows = lower);
+  join(left = all ups, right = all lows) => (out = joined);
+}
+)")
+                  .ok());
+  auto result = platform.Invoke("Diamond", SingleArg("in", "MiXeD"));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ((*result)[0].items[0].data, "MIXED|mixed");
+}
+
+TEST(PlatformTest, ValueConsumedByTwoNodes) {
+  Platform platform(FastPlatformConfig());
+  ASSERT_TRUE(platform.RegisterFunction({.name = "echo", .body = dfunc::EchoFunction}).ok());
+  ASSERT_TRUE(platform.RegisterFunction({.name = "join", .body = JoinPair}).ok());
+  ASSERT_TRUE(platform
+                  .RegisterCompositionDsl(R"(
+composition Share(in) => out {
+  echo(in = all in) => (a = out);
+  echo2(in = all in) => (b = out);
+  join(left = all a, right = all b) => (out = joined);
+}
+)")
+                  .ok());
+  // "echo2" is not registered: expect failure naming the callee.
+  auto bad = platform.Invoke("Share", SingleArg("in", "x"));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("echo2"), std::string::npos);
+}
+
+TEST(PlatformTest, MultipleResults) {
+  Platform platform(FastPlatformConfig());
+  ASSERT_TRUE(platform.RegisterFunction({.name = "splitcase", .body = SplitCase}).ok());
+  ASSERT_TRUE(platform
+                  .RegisterCompositionDsl(R"(
+composition Both(in) => up, down {
+  splitcase(in = all in) => (up = upper, down = lower);
+}
+)")
+                  .ok());
+  auto result = platform.Invoke("Both", SingleArg("in", "AbC"));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ((*result)[0].name, "up");
+  EXPECT_EQ((*result)[0].items[0].data, "ABC");
+  EXPECT_EQ((*result)[1].name, "down");
+  EXPECT_EQ((*result)[1].items[0].data, "abc");
+}
+
+TEST(PlatformTest, NestingDepthLimited) {
+  Platform platform(FastPlatformConfig());
+  ASSERT_TRUE(platform.RegisterFunction({.name = "echo", .body = dfunc::EchoFunction}).ok());
+  // Mutually recursive compositions: A invokes B invokes A — must hit the
+  // depth bound instead of spinning forever. Registration order requires
+  // both to exist before invoke; each references the other by name only.
+  ASSERT_TRUE(platform.RegisterCompositionDsl(R"(
+composition A(in) => out { B(in = all in) => (out = out); }
+composition B(in) => out { A(in = all in) => (out = out); }
+)")
+                  .ok());
+  auto result = platform.Invoke("A", SingleArg("in", "x"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), dbase::StatusCode::kResourceExhausted);
+}
+
+TEST(PlatformTest, NestedCompositionCompletingSynchronously) {
+  // Regression test: a nested composition whose inner node is skipped by
+  // conditional execution completes synchronously, re-entering the parent
+  // invocation from the same call stack — this must not deadlock.
+  Platform platform(FastPlatformConfig());
+  ASSERT_TRUE(platform.RegisterFunction({.name = "echo", .body = dfunc::EchoFunction}).ok());
+  ASSERT_TRUE(platform.RegisterCompositionDsl(R"(
+composition Inner(in) => out { echo(in = all in) => (out = out); }
+composition Outer(x) => y { Inner(in = all optional x) => (y = out); }
+)")
+                  .ok());
+  DataSetList args;
+  args.push_back(DataSet{"x", {}});  // Empty: Inner's echo skips instantly.
+  auto result = platform.Invoke("Outer", std::move(args));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE((*result)[0].items.empty());
+}
+
+TEST(PlatformTest, FanOutOverNestedComposition) {
+  Platform platform(FastPlatformConfig());
+  ASSERT_TRUE(platform.RegisterFunction({.name = "split", .body = SplitBytes}).ok());
+  ASSERT_TRUE(platform.RegisterFunction({.name = "tag", .body = TagInstance}).ok());
+  ASSERT_TRUE(platform.RegisterCompositionDsl(R"(
+composition Wrap(piece) => out { tag(piece = all piece) => (out = tagged); }
+composition FanNested(in) => out {
+  split(in = all in) => (pieces = parts);
+  Wrap(piece = each pieces) => (out = out);
+}
+)")
+                  .ok());
+  auto result = platform.Invoke("FanNested", SingleArg("in", "xy"));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ((*result)[0].items.size(), 2u);
+  EXPECT_EQ((*result)[0].items[0].data, "[x]");
+  EXPECT_EQ((*result)[0].items[1].data, "[y]");
+}
+
+// A compute function using the dlibc filesystem view end to end.
+dbase::Status FsConcat(dfunc::FunctionCtx& ctx) {
+  auto& fs = ctx.fs();
+  ASSIGN_OR_RETURN(auto names, fs.ListDir("/in/docs"));
+  std::string all;
+  for (const auto& name : names) {
+    ASSIGN_OR_RETURN(std::string content, fs.ReadFile("/in/docs/" + name));
+    all += content;
+    all += ';';
+  }
+  RETURN_IF_ERROR(fs.Mkdir("/out/merged", /*recursive=*/true));
+  RETURN_IF_ERROR(fs.WriteFile("/out/merged/result", all));
+  return dbase::OkStatus();
+}
+
+TEST(PlatformTest, FilesystemViewFunctionEndToEnd) {
+  Platform platform(FastPlatformConfig());
+  ASSERT_TRUE(platform.RegisterFunction({.name = "fsconcat", .body = FsConcat}).ok());
+  ASSERT_TRUE(platform
+                  .RegisterCompositionDsl(
+                      "composition Cat(docs) => out { fsconcat(docs = all docs) => (out = "
+                      "merged); }")
+                  .ok());
+  DataSetList args;
+  args.push_back(DataSet{"docs", {DataItem{"b", "second"}, DataItem{"a", "first"}}});
+  auto result = platform.Invoke("Cat", std::move(args));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ((*result)[0].items.size(), 1u);
+  // ListDir is sorted, so "a" comes before "b".
+  EXPECT_EQ((*result)[0].items[0].data, "first;second;");
+  EXPECT_EQ((*result)[0].items[0].key, "result");
+}
+
+// ---------------------------------------------------------------- Frontend
+
+TEST(FrontendTest, InvokeOverLoopback) {
+  Platform platform(FastPlatformConfig());
+  ASSERT_TRUE(platform.RegisterFunction({.name = "echo", .body = dfunc::EchoFunction}).ok());
+  ASSERT_TRUE(platform
+                  .RegisterCompositionDsl(
+                      "composition Id(in) => out { echo(in = all in) => (out = out); }")
+                  .ok());
+  HttpFrontend frontend(&platform, 0);
+  auto started = frontend.Start();
+  if (!started.ok()) {
+    GTEST_SKIP() << "loopback sockets unavailable: " << started.ToString();
+  }
+
+  // Plain TCP client.
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(frontend.port());
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  dhttp::HttpRequest req;
+  req.method = dhttp::Method::kPost;
+  req.target = "/invoke/Id";
+  req.headers.Add("X-Dandelion-Raw", "1");
+  req.body = "over the wire";
+  const std::string wire = req.Serialize();
+  ASSERT_EQ(write(fd, wire.data(), wire.size()), static_cast<ssize_t>(wire.size()));
+
+  std::string response_wire;
+  char buf[4096];
+  ssize_t n;
+  while ((n = read(fd, buf, sizeof(buf))) > 0) {
+    response_wire.append(buf, static_cast<size_t>(n));
+    if (response_wire.find("\r\n\r\n") != std::string::npos &&
+        response_wire.size() > response_wire.find("\r\n\r\n") + 4) {
+      break;
+    }
+  }
+  close(fd);
+
+  auto response = dhttp::ParseResponse(response_wire);
+  ASSERT_TRUE(response.ok()) << response_wire;
+  EXPECT_EQ(response->status_code, 200);
+  auto sets = dfunc::UnmarshalSets(response->body);
+  ASSERT_TRUE(sets.ok());
+  EXPECT_EQ((*sets)[0].items[0].data, "over the wire");
+  frontend.Stop();
+}
+
+}  // namespace
+}  // namespace dandelion

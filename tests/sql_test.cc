@@ -1,0 +1,545 @@
+// Tests for the columnar query engine: column/table model, serialization,
+// expressions, every operator, the SSB generator, and the four SSB queries
+// verified against an independent naive row-store reference executor (also
+// whole-table vs. partitioned-and-merged equivalence).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/sql/column.h"
+#include "src/sql/expr.h"
+#include "src/sql/operators.h"
+#include "src/sql/ssb.h"
+#include "src/sql/ssb_queries.h"
+
+namespace dsql {
+namespace {
+
+Table MakeToyTable() {
+  Table t("toy");
+  EXPECT_TRUE(t.AddColumn("id", Column::Ints({1, 2, 3, 4, 5})).ok());
+  EXPECT_TRUE(t.AddColumn("group", Column::Strings({"a", "b", "a", "b", "a"})).ok());
+  EXPECT_TRUE(t.AddColumn("value", Column::Ints({10, 20, 30, 40, 50})).ok());
+  return t;
+}
+
+// ------------------------------------------------------------------ Column
+
+TEST(ColumnTest, TypedAppendAndAccess) {
+  Column ints(ColumnType::kInt64);
+  ints.AppendInt(7);
+  EXPECT_EQ(ints.size(), 1u);
+  EXPECT_EQ(ints.IntAt(0), 7);
+  Column strs(ColumnType::kString);
+  strs.AppendString("x");
+  EXPECT_EQ(strs.StringAt(0), "x");
+}
+
+TEST(ColumnTest, Gather) {
+  Column c = Column::Ints({10, 11, 12, 13});
+  Column picked = c.Gather({3, 1});
+  EXPECT_EQ(picked.ints(), (std::vector<int64_t>{13, 11}));
+}
+
+TEST(TableTest, AddColumnValidation) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn("a", Column::Ints({1, 2})).ok());
+  EXPECT_FALSE(t.AddColumn("a", Column::Ints({3, 4})).ok());  // Duplicate.
+  EXPECT_FALSE(t.AddColumn("b", Column::Ints({1})).ok());     // Length.
+  EXPECT_TRUE(t.AddColumn("b", Column::Strings({"x", "y"})).ok());
+  EXPECT_EQ(t.NumColumns(), 2u);
+  EXPECT_EQ(t.NumRows(), 2u);
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(TableTest, GetColumn) {
+  Table t = MakeToyTable();
+  ASSERT_TRUE(t.GetColumn("value").ok());
+  EXPECT_FALSE(t.GetColumn("missing").ok());
+  EXPECT_TRUE(t.HasColumn("group"));
+}
+
+TEST(TableTest, ToCsv) {
+  Table t = MakeToyTable();
+  const std::string csv = t.ToCsv(2);
+  EXPECT_EQ(csv, "id,group,value\n1,a,10\n2,b,20\n");
+}
+
+TEST(TableTest, SerializeRoundTrip) {
+  Table t = MakeToyTable();
+  auto round = DeserializeTable(SerializeTable(t));
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  EXPECT_EQ(*round, t);
+}
+
+TEST(TableTest, SerializeRejectsCorruption) {
+  const std::string bytes = SerializeTable(MakeToyTable());
+  EXPECT_FALSE(DeserializeTable(bytes.substr(0, bytes.size() / 2)).ok());
+  EXPECT_FALSE(DeserializeTable(bytes + "junk").ok());
+  std::string bad = bytes;
+  bad[0] = 'x';
+  EXPECT_FALSE(DeserializeTable(bad).ok());
+  EXPECT_FALSE(DeserializeTable("").ok());
+}
+
+// ---------------------------------------------------------------------- Expr
+
+TEST(ExprTest, LiteralAndColumnEval) {
+  Table t = MakeToyTable();
+  auto bound = Col("value")->Bind(t);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ((*bound)->Eval(t, 2).i, 30);
+  auto lit = Lit("hello")->Bind(t);
+  ASSERT_TRUE(lit.ok());
+  EXPECT_EQ((*lit)->Eval(t, 0).s, "hello");
+}
+
+TEST(ExprTest, BindRejectsUnknownColumn) {
+  Table t = MakeToyTable();
+  EXPECT_FALSE(Col("ghost")->Bind(t).ok());
+  EXPECT_FALSE(And(Eq(Col("id"), Lit(int64_t{1})), Eq(Col("ghost"), Lit(int64_t{2})))
+                   ->Bind(t)
+                   .ok());
+}
+
+TEST(ExprTest, Comparisons) {
+  Table t = MakeToyTable();
+  struct Case {
+    ExprPtr expr;
+    std::vector<bool> expected;  // Per row.
+  };
+  const std::vector<Case> cases = {
+      {Eq(Col("id"), Lit(int64_t{3})), {false, false, true, false, false}},
+      {Ne(Col("id"), Lit(int64_t{3})), {true, true, false, true, true}},
+      {Lt(Col("id"), Lit(int64_t{3})), {true, true, false, false, false}},
+      {Le(Col("id"), Lit(int64_t{3})), {true, true, true, false, false}},
+      {Gt(Col("id"), Lit(int64_t{3})), {false, false, false, true, true}},
+      {Ge(Col("id"), Lit(int64_t{3})), {false, false, true, true, true}},
+      {Eq(Col("group"), Lit("a")), {true, false, true, false, true}},
+  };
+  for (const auto& c : cases) {
+    auto bound = c.expr->Bind(t);
+    ASSERT_TRUE(bound.ok());
+    for (size_t r = 0; r < c.expected.size(); ++r) {
+      EXPECT_EQ((*bound)->EvalBool(t, r), c.expected[r]) << c.expr->ToString() << " row " << r;
+    }
+  }
+}
+
+TEST(ExprTest, LogicArithmeticInSet) {
+  Table t = MakeToyTable();
+  auto expr = And(Between(Col("id"), 2, 4), Not(Eq(Col("group"), Lit("b"))));
+  auto bound = expr->Bind(t);
+  ASSERT_TRUE(bound.ok());
+  // Rows with 2<=id<=4 and group != b → row 2 (id 3).
+  EXPECT_FALSE((*bound)->EvalBool(t, 0));
+  EXPECT_TRUE((*bound)->EvalBool(t, 2));
+  EXPECT_FALSE((*bound)->EvalBool(t, 3));
+
+  auto arith = Add(Mul(Col("id"), Lit(int64_t{100})), Sub(Col("value"), Lit(int64_t{10})));
+  auto arith_bound = arith->Bind(t);
+  ASSERT_TRUE(arith_bound.ok());
+  EXPECT_EQ((*arith_bound)->Eval(t, 1).i, 200 + 10);
+
+  auto in = In(Col("id"), {Value::Int(1), Value::Int(5)});
+  auto in_bound = in->Bind(t);
+  ASSERT_TRUE(in_bound.ok());
+  EXPECT_TRUE((*in_bound)->EvalBool(t, 0));
+  EXPECT_FALSE((*in_bound)->EvalBool(t, 1));
+  EXPECT_TRUE((*in_bound)->EvalBool(t, 4));
+
+  auto or_expr = Or(Eq(Col("id"), Lit(int64_t{1})), Eq(Col("id"), Lit(int64_t{2})));
+  auto or_bound = or_expr->Bind(t);
+  ASSERT_TRUE(or_bound.ok());
+  EXPECT_TRUE((*or_bound)->EvalBool(t, 0));
+  EXPECT_TRUE((*or_bound)->EvalBool(t, 1));
+  EXPECT_FALSE((*or_bound)->EvalBool(t, 2));
+}
+
+TEST(ExprTest, ToStringIsReadable) {
+  auto expr = And(Between(Col("d"), 1, 3), Lt(Col("q"), Lit(int64_t{25})));
+  EXPECT_EQ(expr->ToString(), "(((d >= 1) AND (d <= 3)) AND (q < 25))");
+}
+
+// ----------------------------------------------------------------- Operators
+
+TEST(OperatorTest, Filter) {
+  Table t = MakeToyTable();
+  auto filtered = Filter(t, Eq(Col("group"), Lit("a")));
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(filtered->NumRows(), 3u);
+  EXPECT_EQ(filtered->GetColumn("id").value()->ints(), (std::vector<int64_t>{1, 3, 5}));
+}
+
+TEST(OperatorTest, FilterEmptyResult) {
+  Table t = MakeToyTable();
+  auto filtered = Filter(t, Eq(Col("id"), Lit(int64_t{99})));
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(filtered->NumRows(), 0u);
+  EXPECT_EQ(filtered->NumColumns(), t.NumColumns());
+}
+
+TEST(OperatorTest, Project) {
+  Table t = MakeToyTable();
+  auto projected = Project(t, {"value", "id"});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected->NumColumns(), 2u);
+  EXPECT_EQ(projected->columns()[0].first, "value");
+  EXPECT_FALSE(Project(t, {"ghost"}).ok());
+}
+
+TEST(OperatorTest, WithComputedColumn) {
+  Table t = MakeToyTable();
+  auto computed = WithComputedColumn(t, "double_value", Mul(Col("value"), Lit(int64_t{2})));
+  ASSERT_TRUE(computed.ok());
+  EXPECT_EQ(computed->GetColumn("double_value").value()->ints(),
+            (std::vector<int64_t>{20, 40, 60, 80, 100}));
+}
+
+TEST(OperatorTest, HashJoinInner) {
+  Table left("facts");
+  ASSERT_TRUE(left.AddColumn("fk", Column::Ints({1, 2, 2, 9})).ok());
+  ASSERT_TRUE(left.AddColumn("x", Column::Ints({100, 200, 201, 900})).ok());
+  Table right("dim");
+  ASSERT_TRUE(right.AddColumn("pk", Column::Ints({1, 2, 3})).ok());
+  ASSERT_TRUE(right.AddColumn("label", Column::Strings({"one", "two", "three"})).ok());
+
+  auto joined = HashJoin(left, "fk", right, "pk");
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->NumRows(), 3u);  // fk=9 drops, fk=2 matches twice.
+  EXPECT_EQ(joined->GetColumn("label").value()->strings(),
+            (std::vector<std::string>{"one", "two", "two"}));
+  EXPECT_EQ(joined->GetColumn("x").value()->ints(), (std::vector<int64_t>{100, 200, 201}));
+}
+
+TEST(OperatorTest, HashJoinDuplicateBuildKeys) {
+  Table left("l");
+  ASSERT_TRUE(left.AddColumn("k", Column::Ints({1})).ok());
+  Table right("r");
+  ASSERT_TRUE(right.AddColumn("k2", Column::Ints({1, 1})).ok());
+  ASSERT_TRUE(right.AddColumn("v", Column::Ints({5, 6})).ok());
+  auto joined = HashJoin(left, "k", right, "k2");
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->NumRows(), 2u);
+}
+
+TEST(OperatorTest, HashJoinErrors) {
+  Table t = MakeToyTable();
+  EXPECT_FALSE(HashJoin(t, "ghost", t, "id").ok());
+  EXPECT_FALSE(HashJoin(t, "group", t, "id").ok());  // String key.
+}
+
+TEST(OperatorTest, GroupAggregate) {
+  Table t = MakeToyTable();
+  auto agg = GroupAggregate(t, {"group"},
+                            {{AggOp::kSum, "value", "total"},
+                             {AggOp::kCount, "", "n"},
+                             {AggOp::kMin, "value", "lo"},
+                             {AggOp::kMax, "value", "hi"}});
+  ASSERT_TRUE(agg.ok());
+  ASSERT_EQ(agg->NumRows(), 2u);
+  // First-seen group order: a then b.
+  EXPECT_EQ(agg->GetColumn("group").value()->strings(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(agg->GetColumn("total").value()->ints(), (std::vector<int64_t>{90, 60}));
+  EXPECT_EQ(agg->GetColumn("n").value()->ints(), (std::vector<int64_t>{3, 2}));
+  EXPECT_EQ(agg->GetColumn("lo").value()->ints(), (std::vector<int64_t>{10, 20}));
+  EXPECT_EQ(agg->GetColumn("hi").value()->ints(), (std::vector<int64_t>{50, 40}));
+}
+
+TEST(OperatorTest, FullTableAggregate) {
+  Table t = MakeToyTable();
+  auto agg = GroupAggregate(t, {}, {{AggOp::kSum, "value", "total"}});
+  ASSERT_TRUE(agg.ok());
+  ASSERT_EQ(agg->NumRows(), 1u);
+  EXPECT_EQ(agg->GetColumn("total").value()->IntAt(0), 150);
+
+  Table empty("e");
+  ASSERT_TRUE(empty.AddColumn("value", Column::Ints({})).ok());
+  auto empty_agg = GroupAggregate(empty, {}, {{AggOp::kSum, "value", "total"}});
+  ASSERT_TRUE(empty_agg.ok());
+  ASSERT_EQ(empty_agg->NumRows(), 1u);
+  EXPECT_EQ(empty_agg->GetColumn("total").value()->IntAt(0), 0);
+}
+
+TEST(OperatorTest, SortByMultipleKeys) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn("a", Column::Ints({2, 1, 2, 1})).ok());
+  ASSERT_TRUE(t.AddColumn("b", Column::Strings({"x", "y", "w", "z"})).ok());
+  auto sorted = SortBy(t, {{"a", false}, {"b", true}});
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ(sorted->GetColumn("a").value()->ints(), (std::vector<int64_t>{1, 1, 2, 2}));
+  EXPECT_EQ(sorted->GetColumn("b").value()->strings(),
+            (std::vector<std::string>{"z", "y", "x", "w"}));
+}
+
+TEST(OperatorTest, Concat) {
+  Table t = MakeToyTable();
+  auto doubled = Concat({t, t});
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_EQ(doubled->NumRows(), 10u);
+  EXPECT_FALSE(Concat({}).ok());
+
+  Table other("o");
+  ASSERT_TRUE(other.AddColumn("different", Column::Ints({1})).ok());
+  EXPECT_FALSE(Concat({t, other}).ok());
+}
+
+// --------------------------------------------------------------------- SSB
+
+class SsbTest : public ::testing::Test {
+ protected:
+  static SsbConfig SmallConfig() {
+    SsbConfig config;
+    config.lineorder_rows = 20000;
+    config.customer_rows = 200;
+    config.supplier_rows = 80;
+    config.part_rows = 150;
+    config.seed = 99;
+    return config;
+  }
+};
+
+TEST_F(SsbTest, GeneratorShapes) {
+  const SsbData data = GenerateSsb(SmallConfig());
+  EXPECT_EQ(data.lineorder.NumRows(), 20000u);
+  EXPECT_EQ(data.customer.NumRows(), 200u);
+  EXPECT_EQ(data.supplier.NumRows(), 80u);
+  EXPECT_EQ(data.part.NumRows(), 150u);
+  EXPECT_EQ(data.date.NumRows(), 7u * 12 * 28);
+  EXPECT_GT(data.TotalBytes(), 0u);
+}
+
+TEST_F(SsbTest, GeneratorDeterministic) {
+  const SsbData a = GenerateSsb(SmallConfig());
+  const SsbData b = GenerateSsb(SmallConfig());
+  EXPECT_EQ(a.lineorder, b.lineorder);
+  EXPECT_EQ(a.part, b.part);
+}
+
+TEST_F(SsbTest, ReferentialIntegrity) {
+  const SsbData data = GenerateSsb(SmallConfig());
+  std::map<int64_t, bool> date_keys;
+  for (int64_t k : data.date.GetColumn("d_datekey").value()->ints()) {
+    date_keys[k] = true;
+  }
+  const auto& custkeys = data.lineorder.GetColumn("lo_custkey").value()->ints();
+  const auto& suppkeys = data.lineorder.GetColumn("lo_suppkey").value()->ints();
+  const auto& partkeys = data.lineorder.GetColumn("lo_partkey").value()->ints();
+  const auto& orderdates = data.lineorder.GetColumn("lo_orderdate").value()->ints();
+  for (size_t r = 0; r < data.lineorder.NumRows(); ++r) {
+    ASSERT_GE(custkeys[r], 1);
+    ASSERT_LE(custkeys[r], 200);
+    ASSERT_GE(suppkeys[r], 1);
+    ASSERT_LE(suppkeys[r], 80);
+    ASSERT_GE(partkeys[r], 1);
+    ASSERT_LE(partkeys[r], 150);
+    ASSERT_TRUE(date_keys.count(orderdates[r])) << orderdates[r];
+  }
+}
+
+TEST_F(SsbTest, RevenueConsistentWithDiscount) {
+  const SsbData data = GenerateSsb(SmallConfig());
+  const auto& price = data.lineorder.GetColumn("lo_extendedprice").value()->ints();
+  const auto& discount = data.lineorder.GetColumn("lo_discount").value()->ints();
+  const auto& revenue = data.lineorder.GetColumn("lo_revenue").value()->ints();
+  for (size_t r = 0; r < 1000; ++r) {
+    EXPECT_EQ(revenue[r], price[r] * (100 - discount[r]) / 100);
+  }
+}
+
+TEST_F(SsbTest, PartitionCoversAllRows) {
+  const SsbData data = GenerateSsb(SmallConfig());
+  auto parts = PartitionLineorder(data.lineorder, 7);
+  size_t total = 0;
+  for (const auto& p : parts) {
+    total += p.NumRows();
+    EXPECT_EQ(p.NumColumns(), data.lineorder.NumColumns());
+  }
+  EXPECT_EQ(total, data.lineorder.NumRows());
+  auto merged = Concat(parts);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->GetColumn("lo_orderkey").value()->ints(),
+            data.lineorder.GetColumn("lo_orderkey").value()->ints());
+}
+
+// --- Reference executor: naive row-at-a-time implementations -------------
+
+int64_t ReferenceQ11(const SsbData& d) {
+  std::map<int64_t, int64_t> year_of;
+  const auto& datekey = d.date.GetColumn("d_datekey").value()->ints();
+  const auto& year = d.date.GetColumn("d_year").value()->ints();
+  for (size_t i = 0; i < datekey.size(); ++i) {
+    year_of[datekey[i]] = year[i];
+  }
+  const auto& orderdate = d.lineorder.GetColumn("lo_orderdate").value()->ints();
+  const auto& discount = d.lineorder.GetColumn("lo_discount").value()->ints();
+  const auto& quantity = d.lineorder.GetColumn("lo_quantity").value()->ints();
+  const auto& price = d.lineorder.GetColumn("lo_extendedprice").value()->ints();
+  int64_t revenue = 0;
+  for (size_t r = 0; r < d.lineorder.NumRows(); ++r) {
+    if (year_of[orderdate[r]] == 1993 && discount[r] >= 1 && discount[r] <= 3 &&
+        quantity[r] < 25) {
+      revenue += price[r] * discount[r];
+    }
+  }
+  return revenue;
+}
+
+// Reference Q4.1: map over joins by hand.
+std::map<std::pair<int64_t, std::string>, int64_t> ReferenceQ41(const SsbData& d) {
+  std::map<int64_t, int64_t> year_of;
+  {
+    const auto& k = d.date.GetColumn("d_datekey").value()->ints();
+    const auto& y = d.date.GetColumn("d_year").value()->ints();
+    for (size_t i = 0; i < k.size(); ++i) {
+      year_of[k[i]] = y[i];
+    }
+  }
+  std::map<int64_t, std::pair<std::string, std::string>> cust;  // key → (region, nation)
+  {
+    const auto& k = d.customer.GetColumn("c_custkey").value()->ints();
+    const auto& region = d.customer.GetColumn("c_region").value()->strings();
+    const auto& nation = d.customer.GetColumn("c_nation").value()->strings();
+    for (size_t i = 0; i < k.size(); ++i) {
+      cust[k[i]] = {region[i], nation[i]};
+    }
+  }
+  std::map<int64_t, std::string> supp_region;
+  {
+    const auto& k = d.supplier.GetColumn("s_suppkey").value()->ints();
+    const auto& region = d.supplier.GetColumn("s_region").value()->strings();
+    for (size_t i = 0; i < k.size(); ++i) {
+      supp_region[k[i]] = region[i];
+    }
+  }
+  std::map<int64_t, std::string> part_mfgr;
+  {
+    const auto& k = d.part.GetColumn("p_partkey").value()->ints();
+    const auto& mfgr = d.part.GetColumn("p_mfgr").value()->strings();
+    for (size_t i = 0; i < k.size(); ++i) {
+      part_mfgr[k[i]] = mfgr[i];
+    }
+  }
+  std::map<std::pair<int64_t, std::string>, int64_t> profit;
+  const auto& lo_cust = d.lineorder.GetColumn("lo_custkey").value()->ints();
+  const auto& lo_supp = d.lineorder.GetColumn("lo_suppkey").value()->ints();
+  const auto& lo_part = d.lineorder.GetColumn("lo_partkey").value()->ints();
+  const auto& lo_date = d.lineorder.GetColumn("lo_orderdate").value()->ints();
+  const auto& lo_rev = d.lineorder.GetColumn("lo_revenue").value()->ints();
+  const auto& lo_cost = d.lineorder.GetColumn("lo_supplycost").value()->ints();
+  for (size_t r = 0; r < d.lineorder.NumRows(); ++r) {
+    const auto& c = cust[lo_cust[r]];
+    if (c.first != "AMERICA" || supp_region[lo_supp[r]] != "AMERICA") {
+      continue;
+    }
+    const std::string& mfgr = part_mfgr[lo_part[r]];
+    if (mfgr != "MFGR#1" && mfgr != "MFGR#2") {
+      continue;
+    }
+    profit[{year_of[lo_date[r]], c.second}] += lo_rev[r] - lo_cost[r];
+  }
+  return profit;
+}
+
+TEST_F(SsbTest, Q11MatchesReference) {
+  const SsbData data = GenerateSsb(SmallConfig());
+  auto result = RunQ11(data);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->NumRows(), 1u);
+  EXPECT_EQ(result->GetColumn("revenue").value()->IntAt(0), ReferenceQ11(data));
+}
+
+TEST_F(SsbTest, Q21ShapeAndOrdering) {
+  const SsbData data = GenerateSsb(SmallConfig());
+  auto result = RunQ21(data);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->HasColumn("d_year"));
+  ASSERT_TRUE(result->HasColumn("p_brand1"));
+  ASSERT_TRUE(result->HasColumn("revenue"));
+  const auto& years = result->GetColumn("d_year").value()->ints();
+  const auto& brands = result->GetColumn("p_brand1").value()->strings();
+  for (size_t r = 1; r < result->NumRows(); ++r) {
+    ASSERT_TRUE(years[r - 1] < years[r] ||
+                (years[r - 1] == years[r] && brands[r - 1] <= brands[r]));
+  }
+}
+
+TEST_F(SsbTest, Q31OrderingYearAscRevenueDesc) {
+  const SsbData data = GenerateSsb(SmallConfig());
+  auto result = RunQ31(data);
+  ASSERT_TRUE(result.ok());
+  const auto& years = result->GetColumn("d_year").value()->ints();
+  const auto& revenue = result->GetColumn("revenue").value()->ints();
+  for (size_t r = 1; r < result->NumRows(); ++r) {
+    ASSERT_TRUE(years[r - 1] < years[r] ||
+                (years[r - 1] == years[r] && revenue[r - 1] >= revenue[r]));
+  }
+  // Only ASIA nations appear.
+  for (const auto& nation : result->GetColumn("c_nation").value()->strings()) {
+    EXPECT_TRUE(nation == "CHINA" || nation == "INDIA" || nation == "INDONESIA" ||
+                nation == "JAPAN" || nation == "VIETNAM")
+        << nation;
+  }
+}
+
+TEST_F(SsbTest, Q41MatchesReference) {
+  const SsbData data = GenerateSsb(SmallConfig());
+  auto result = RunQ41(data);
+  ASSERT_TRUE(result.ok());
+  const auto reference = ReferenceQ41(data);
+  ASSERT_EQ(result->NumRows(), reference.size());
+  const auto& years = result->GetColumn("d_year").value()->ints();
+  const auto& nations = result->GetColumn("c_nation").value()->strings();
+  const auto& profits = result->GetColumn("profit").value()->ints();
+  for (size_t r = 0; r < result->NumRows(); ++r) {
+    auto it = reference.find({years[r], nations[r]});
+    ASSERT_NE(it, reference.end());
+    EXPECT_EQ(profits[r], it->second) << years[r] << "/" << nations[r];
+  }
+}
+
+class SsbPartitionEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SsbPartitionEquivalenceTest, PartitionedEqualsWholeTable) {
+  SsbConfig config;
+  config.lineorder_rows = 12000;
+  config.customer_rows = 150;
+  config.supplier_rows = 60;
+  config.part_rows = 120;
+  config.seed = 1234;
+  const SsbData data = GenerateSsb(config);
+  const int query_id = GetParam();
+
+  auto whole = RunQueryOnPartition(query_id, data.lineorder, data);
+  ASSERT_TRUE(whole.ok());
+  auto merged_whole = MergeQueryPartials(query_id, {*whole});
+  ASSERT_TRUE(merged_whole.ok());
+
+  std::vector<Table> partials;
+  for (const auto& partition : PartitionLineorder(data.lineorder, 5)) {
+    auto partial = RunQueryOnPartition(query_id, partition, data);
+    ASSERT_TRUE(partial.ok());
+    partials.push_back(std::move(partial).value());
+  }
+  auto merged = MergeQueryPartials(query_id, partials);
+  ASSERT_TRUE(merged.ok());
+  // Compare by CSV so table names are ignored.
+  EXPECT_EQ(merged->ToCsv(), merged_whole->ToCsv());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, SsbPartitionEquivalenceTest,
+                         ::testing::ValuesIn(SsbQueryIds()),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "Q" + std::to_string(info.param);
+                         });
+
+TEST(SsbQueryTest, NamesAndIds) {
+  EXPECT_EQ(SsbQueryIds().size(), 4u);
+  EXPECT_EQ(SsbQueryName(11), "Query 1.1");
+  EXPECT_EQ(SsbQueryName(41), "Query 4.1");
+  EXPECT_FALSE(RunQueryOnPartition(99, Table("x"), SsbData{}).ok());
+  EXPECT_FALSE(MergeQueryPartials(99, {Table("x")}).ok());
+}
+
+}  // namespace
+}  // namespace dsql

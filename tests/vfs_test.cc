@@ -1,0 +1,211 @@
+// Tests for the in-memory virtual filesystem (dlibc's file interface, §4.1)
+// and its path algebra.
+#include <gtest/gtest.h>
+
+#include "src/vfs/memfs.h"
+#include "src/vfs/path.h"
+
+namespace dvfs {
+namespace {
+
+// -------------------------------------------------------------------- Path
+
+TEST(PathTest, NormalizeBasics) {
+  EXPECT_EQ(NormalizePath("/").value(), "/");
+  EXPECT_EQ(NormalizePath("/a/b").value(), "/a/b");
+  EXPECT_EQ(NormalizePath("//a///b//").value(), "/a/b");
+  EXPECT_EQ(NormalizePath("/a/").value(), "/a");
+}
+
+TEST(PathTest, NormalizeRejects) {
+  EXPECT_FALSE(NormalizePath("").ok());
+  EXPECT_FALSE(NormalizePath("relative/path").ok());
+  EXPECT_FALSE(NormalizePath("/a/../b").ok());
+  EXPECT_FALSE(NormalizePath("/a/./b").ok());
+  EXPECT_FALSE(NormalizePath(std::string("/a\0b", 4)).ok());
+}
+
+TEST(PathTest, SplitPath) {
+  EXPECT_TRUE(SplitPath("/").empty());
+  auto parts = SplitPath("/a/bb/ccc");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "ccc");
+}
+
+TEST(PathTest, ParentAndBase) {
+  EXPECT_EQ(ParentPath("/a/b").value(), "/a");
+  EXPECT_EQ(ParentPath("/a").value(), "/");
+  EXPECT_FALSE(ParentPath("/").ok());
+  EXPECT_EQ(BaseName("/a/b").value(), "b");
+  EXPECT_FALSE(BaseName("/").ok());
+}
+
+TEST(PathTest, Join) {
+  EXPECT_EQ(JoinPath("/a", "b"), "/a/b");
+  EXPECT_EQ(JoinPath("/a/", "b"), "/a/b");
+  EXPECT_EQ(JoinPath("/", "b"), "/b");
+}
+
+// ------------------------------------------------------------------- MemFs
+
+class MemFsTest : public ::testing::Test {
+ protected:
+  MemFs fs_;
+};
+
+TEST_F(MemFsTest, RootExists) {
+  EXPECT_TRUE(fs_.Exists("/"));
+  EXPECT_TRUE(fs_.IsDirectory("/"));
+  EXPECT_FALSE(fs_.IsFile("/"));
+}
+
+TEST_F(MemFsTest, MkdirAndList) {
+  ASSERT_TRUE(fs_.Mkdir("/in").ok());
+  ASSERT_TRUE(fs_.Mkdir("/in/set1").ok());
+  EXPECT_TRUE(fs_.IsDirectory("/in/set1"));
+  auto entries = fs_.ListDir("/in");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0], "set1");
+}
+
+TEST_F(MemFsTest, MkdirErrors) {
+  EXPECT_FALSE(fs_.Mkdir("/a/b").ok());  // Parent missing.
+  ASSERT_TRUE(fs_.Mkdir("/a").ok());
+  EXPECT_FALSE(fs_.Mkdir("/a").ok());  // Already exists.
+  EXPECT_FALSE(fs_.Mkdir("/").ok());
+}
+
+TEST_F(MemFsTest, MkdirRecursive) {
+  ASSERT_TRUE(fs_.Mkdir("/x/y/z", /*recursive=*/true).ok());
+  EXPECT_TRUE(fs_.IsDirectory("/x/y/z"));
+  // Recursive mkdir over an existing prefix is fine.
+  EXPECT_TRUE(fs_.Mkdir("/x/y/w", /*recursive=*/true).ok());
+  // But a file in the way is an error.
+  ASSERT_TRUE(fs_.WriteFile("/x/file", "f").ok());
+  EXPECT_FALSE(fs_.Mkdir("/x/file/sub", /*recursive=*/true).ok());
+}
+
+TEST_F(MemFsTest, WriteReadFile) {
+  ASSERT_TRUE(fs_.WriteFile("/data", "hello").ok());
+  EXPECT_EQ(fs_.ReadFile("/data").value(), "hello");
+  EXPECT_EQ(fs_.FileSize("/data").value(), 5u);
+  EXPECT_TRUE(fs_.IsFile("/data"));
+  // Overwrite truncates.
+  ASSERT_TRUE(fs_.WriteFile("/data", "x").ok());
+  EXPECT_EQ(fs_.ReadFile("/data").value(), "x");
+}
+
+TEST_F(MemFsTest, AppendFile) {
+  ASSERT_TRUE(fs_.AppendFile("/log", "a").ok());  // Creates.
+  ASSERT_TRUE(fs_.AppendFile("/log", "bc").ok());
+  EXPECT_EQ(fs_.ReadFile("/log").value(), "abc");
+  ASSERT_TRUE(fs_.Mkdir("/dir").ok());
+  EXPECT_FALSE(fs_.AppendFile("/dir", "x").ok());
+}
+
+TEST_F(MemFsTest, ReadErrors) {
+  EXPECT_FALSE(fs_.ReadFile("/missing").ok());
+  ASSERT_TRUE(fs_.Mkdir("/d").ok());
+  EXPECT_FALSE(fs_.ReadFile("/d").ok());
+  EXPECT_FALSE(fs_.FileSize("/d").ok());
+  EXPECT_FALSE(fs_.ListDir("/missing").ok());
+  ASSERT_TRUE(fs_.WriteFile("/f", "x").ok());
+  EXPECT_FALSE(fs_.ListDir("/f").ok());
+}
+
+TEST_F(MemFsTest, CannotOverwriteDirWithFile) {
+  ASSERT_TRUE(fs_.Mkdir("/d").ok());
+  EXPECT_FALSE(fs_.WriteFile("/d", "x").ok());
+}
+
+TEST_F(MemFsTest, RemoveSemantics) {
+  ASSERT_TRUE(fs_.Mkdir("/d").ok());
+  ASSERT_TRUE(fs_.WriteFile("/d/f", "x").ok());
+  EXPECT_FALSE(fs_.Remove("/d").ok());  // Not empty.
+  EXPECT_TRUE(fs_.Remove("/d/f").ok());
+  EXPECT_TRUE(fs_.Remove("/d").ok());
+  EXPECT_FALSE(fs_.Remove("/d").ok());  // Gone.
+  EXPECT_FALSE(fs_.Remove("/").ok());
+}
+
+TEST_F(MemFsTest, RemoveAll) {
+  ASSERT_TRUE(fs_.Mkdir("/d/e", /*recursive=*/true).ok());
+  ASSERT_TRUE(fs_.WriteFile("/d/e/f", "xyz").ok());
+  EXPECT_TRUE(fs_.RemoveAll("/d").ok());
+  EXPECT_FALSE(fs_.Exists("/d"));
+  EXPECT_EQ(fs_.TotalBytes(), 0u);
+}
+
+TEST_F(MemFsTest, Rename) {
+  ASSERT_TRUE(fs_.Mkdir("/a").ok());
+  ASSERT_TRUE(fs_.WriteFile("/a/f", "v").ok());
+  ASSERT_TRUE(fs_.Mkdir("/b").ok());
+  EXPECT_TRUE(fs_.Rename("/a/f", "/b/g").ok());
+  EXPECT_FALSE(fs_.Exists("/a/f"));
+  EXPECT_EQ(fs_.ReadFile("/b/g").value(), "v");
+  // Destination exists.
+  ASSERT_TRUE(fs_.WriteFile("/a/f", "w").ok());
+  EXPECT_FALSE(fs_.Rename("/a/f", "/b/g").ok());
+  // Directory into own subtree.
+  EXPECT_FALSE(fs_.Rename("/a", "/a/sub").ok());
+}
+
+TEST_F(MemFsTest, TotalBytesTracksWrites) {
+  EXPECT_EQ(fs_.TotalBytes(), 0u);
+  ASSERT_TRUE(fs_.WriteFile("/f1", "12345").ok());
+  EXPECT_EQ(fs_.TotalBytes(), 5u);
+  ASSERT_TRUE(fs_.WriteFile("/f1", "12").ok());  // Truncating overwrite.
+  EXPECT_EQ(fs_.TotalBytes(), 2u);
+  ASSERT_TRUE(fs_.AppendFile("/f1", "3456").ok());
+  EXPECT_EQ(fs_.TotalBytes(), 6u);
+  ASSERT_TRUE(fs_.Remove("/f1").ok());
+  EXPECT_EQ(fs_.TotalBytes(), 0u);
+}
+
+TEST_F(MemFsTest, FileCount) {
+  EXPECT_EQ(fs_.FileCount(), 0u);
+  ASSERT_TRUE(fs_.Mkdir("/d").ok());
+  ASSERT_TRUE(fs_.WriteFile("/d/a", "").ok());
+  ASSERT_TRUE(fs_.WriteFile("/d/b", "").ok());
+  EXPECT_EQ(fs_.FileCount(), 2u);
+}
+
+TEST_F(MemFsTest, ListDirSorted) {
+  ASSERT_TRUE(fs_.Mkdir("/d").ok());
+  for (const char* name : {"zeta", "alpha", "mid"}) {
+    ASSERT_TRUE(fs_.WriteFile(std::string("/d/") + name, "").ok());
+  }
+  auto entries = fs_.ListDir("/d");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(*entries, (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
+// Property-style sweep: many files round-trip through write/read.
+class MemFsPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MemFsPropertyTest, ManyFilesRoundTrip) {
+  MemFs fs;
+  const int n = GetParam();
+  ASSERT_TRUE(fs.Mkdir("/files").ok());
+  for (int i = 0; i < n; ++i) {
+    const std::string path = "/files/f" + std::to_string(i);
+    std::string content(static_cast<size_t>(i * 13 % 257), static_cast<char>('a' + i % 26));
+    ASSERT_TRUE(fs.WriteFile(path, content).ok());
+  }
+  uint64_t expected_bytes = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::string path = "/files/f" + std::to_string(i);
+    std::string content(static_cast<size_t>(i * 13 % 257), static_cast<char>('a' + i % 26));
+    EXPECT_EQ(fs.ReadFile(path).value(), content);
+    expected_bytes += content.size();
+  }
+  EXPECT_EQ(fs.TotalBytes(), expected_bytes);
+  EXPECT_EQ(fs.FileCount(), static_cast<uint64_t>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MemFsPropertyTest, ::testing::Values(1, 10, 100, 500));
+
+}  // namespace
+}  // namespace dvfs
