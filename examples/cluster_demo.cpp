@@ -41,7 +41,7 @@ int main() {
     args.push_back(dfunc::DataSet{
         "B", {dfunc::DataItem{"", dfunc::EncodeInt64Array(dfunc::MakeMatrix(n, 99))}}});
     cluster.InvokeAsync("MatMul", std::move(args),
-                        [&](dbase::Result<dfunc::DataSetList> result, int node) {
+                        [&](dbase::Result<dfunc::DataSetList> result, int) {
                           if (result.ok()) {
                             ok_count.fetch_add(1);
                           }

@@ -6,7 +6,7 @@
 //  3. Register a composition written in the DSL.
 //  4. Invoke it and read the outputs.
 //
-// Build & run:  ./build/examples/quickstart
+// Build & run:  cmake -B build -S . && cmake --build build -j && ./build/example_quickstart
 #include <cstdio>
 
 #include "src/base/clock.h"

@@ -112,7 +112,7 @@ dbase::Status EchoFunction(FunctionCtx& ctx) {
   return dbase::OkStatus();
 }
 
-dbase::Status FailingFunction(FunctionCtx& ctx) {
+dbase::Status FailingFunction(FunctionCtx&) {
   return dbase::Internal("deliberate failure (test function)");
 }
 

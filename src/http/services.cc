@@ -92,7 +92,7 @@ std::vector<std::string> LogShardService::GenerateLines(const std::string& shard
   return lines;
 }
 
-HttpResponse LogShardService::Handle(const HttpRequest& request, const Uri& uri) {
+HttpResponse LogShardService::Handle(const HttpRequest& request, const Uri&) {
   if (request.method != Method::kGet) {
     return HttpResponse::BadRequest("log shard expects GET");
   }
@@ -113,7 +113,7 @@ void LlmService::AddCannedCompletion(std::string prompt_substring, std::string c
   canned_.emplace_back(std::move(prompt_substring), std::move(completion));
 }
 
-HttpResponse LlmService::Handle(const HttpRequest& request, const Uri& uri) {
+HttpResponse LlmService::Handle(const HttpRequest& request, const Uri&) {
   if (request.method != Method::kPost) {
     return HttpResponse::BadRequest("LLM service expects POST");
   }
@@ -291,7 +291,7 @@ HttpResponse KeyValueDbService::Handle(const HttpRequest& request, const Uri& ur
 
 // ----------------------------------------------------------------------- Echo
 
-HttpResponse EchoService::Handle(const HttpRequest& request, const Uri& uri) {
+HttpResponse EchoService::Handle(const HttpRequest& request, const Uri&) {
   return HttpResponse::Ok(request.body);
 }
 

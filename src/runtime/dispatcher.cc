@@ -398,7 +398,7 @@ void Dispatcher::LaunchCommInstance(const std::shared_ptr<InvocationState>& inv,
     task.raw_request = (*items)[i].data;
     task.handler = spec.handler;
     task.done = [self, inv, node_index, instance_index, responses, remaining, response_set, i](
-                    dhttp::HttpResponse response, dbase::Micros latency_us) {
+                    dhttp::HttpResponse response, dbase::Micros) {
       (*responses)[i] = dfunc::DataItem{"", response.Serialize()};
       if (remaining->fetch_sub(1, std::memory_order_acq_rel) == 1) {
         dfunc::DataSetList outputs;

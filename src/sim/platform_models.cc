@@ -90,14 +90,14 @@ SimMetrics SimulateDandelion(const DandelionSimConfig& config,
           config.dispatch_us + config.sandbox_us +
           static_cast<double>(chain->req.compute_us) * config.compute_slowdown);
       memory.Add(chain->req.context_bytes);
-      compute.Submit(service, [&, chain](dbase::Micros start, dbase::Micros end) {
+      compute.Submit(service, [&, chain](dbase::Micros, dbase::Micros) {
         memory.Sub(chain->req.context_bytes);
         run_phase(chain);
       });
     };
     if (has_comm) {
       comm.Submit(chain->req.comm_us,
-                  [&, compute_stage](dbase::Micros start, dbase::Micros end) { compute_stage(); });
+                  [&, compute_stage](dbase::Micros, dbase::Micros) { compute_stage(); });
     } else {
       compute_stage();
     }
@@ -212,7 +212,7 @@ SimMetrics SimulateVmPlatform(const VmSimConfig& config,
       const auto service = static_cast<dbase::Micros>(
           static_cast<double>(chain->req.compute_us) * config.exec_overhead);
       cores.Submit(service,
-                   [&, chain](dbase::Micros start, dbase::Micros end) { run_phase(chain); });
+                   [&, chain](dbase::Micros, dbase::Micros) { run_phase(chain); });
     };
     if (chain->req.comm_us > 0) {
       queue.ScheduleAfter(chain->req.comm_us, compute_stage);
@@ -272,7 +272,7 @@ SimMetrics SimulateWasmtime(const WasmtimeSimConfig& config,
           config.sandbox_us + config.dispatch_us +
           static_cast<double>(chain->req.compute_us) * config.slowdown);
       cores.Submit(service,
-                   [&, chain](dbase::Micros start, dbase::Micros end) { run_phase(chain); });
+                   [&, chain](dbase::Micros, dbase::Micros) { run_phase(chain); });
     };
     if (chain->req.comm_us > 0) {
       queue.ScheduleAfter(chain->req.comm_us, compute_stage);
@@ -487,7 +487,7 @@ SimMetrics SimulateKnativeFirecrackerTrace(const TraceSimConfig& config,
     }
     const dbase::Micros service =
         req.duration_us + (req.cold ? config.pod_cold_paging_us : 0);
-    cores.Submit(service, [&, f, req](dbase::Micros start, dbase::Micros end) {
+    cores.Submit(service, [&, f, req](dbase::Micros, dbase::Micros end) {
       FunctionPool& p = pools[static_cast<size_t>(f)];
       p.UpdateIntegral(queue.now());
       --p.busy;
@@ -601,7 +601,7 @@ SimMetrics SimulateDandelionTrace(const TraceSimConfig& config, const dtrace::Tr
       record_memory();
       ++metrics.cold_starts;  // Per-request sandbox: every start is cold.
       cores.Submit(config.dandelion_sandbox_us + arrival.duration_us,
-                   [&, arrival, bytes](dbase::Micros start, dbase::Micros end) {
+                   [&, arrival, bytes](dbase::Micros, dbase::Micros end) {
                      committed_bytes -= bytes;
                      RecordLatency(&metrics, arrival.function_id, arrival.time_us, end);
                      record_memory();

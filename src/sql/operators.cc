@@ -98,8 +98,7 @@ dbase::Result<Table> HashJoin(const Table& probe, const std::string& probe_key,
 namespace {
 
 // Composite group key: rendered values joined with '\x1f' (unit separator).
-std::string GroupKey(const Table& table, const std::vector<const Column*>& group_cols,
-                     size_t row) {
+std::string GroupKey(const std::vector<const Column*>& group_cols, size_t row) {
   std::string key;
   for (const Column* column : group_cols) {
     if (column->type() == ColumnType::kInt64) {
@@ -150,7 +149,7 @@ dbase::Result<Table> GroupAggregate(const Table& input, const std::vector<std::s
 
   const size_t n = input.NumRows();
   for (size_t r = 0; r < n; ++r) {
-    const std::string key = GroupKey(input, group_cols, r);
+    const std::string key = GroupKey(group_cols, r);
     auto [it, inserted] = group_ids.emplace(key, group_ids.size());
     if (inserted) {
       representative_rows.push_back(static_cast<uint32_t>(r));

@@ -148,7 +148,7 @@ TEST(ClusterTest, ConcurrentInvocationsAcrossNodes) {
   std::atomic<int> correct{0};
   for (int i = 0; i < kTotal; ++i) {
     cluster.InvokeAsync("Id", EchoArgs("v" + std::to_string(i)),
-                        [&, i](dbase::Result<DataSetList> result, int node) {
+                        [&, i](dbase::Result<DataSetList> result, int) {
                           if (result.ok() &&
                               (*result)[0].items[0].data == "v" + std::to_string(i)) {
                             correct.fetch_add(1);

@@ -133,7 +133,7 @@ INSTANTIATE_TEST_SUITE_P(
         BadDslCase{"unterminated", "composition C(x) => y { F(a = all x) => (y = o);"},
         BadDslCase{"keyword_as_name", "composition all(x) => y { F(a = all x) => (y = o); }"},
         BadDslCase{"missing_results", "composition C(x) => { F(a = all x) => (y = o); }"}),
-    [](const ::testing::TestParamInfo<BadDslCase>& info) { return info.param.name; });
+    [](const ::testing::TestParamInfo<BadDslCase>& param_info) { return param_info.param.name; });
 
 TEST(FormatTest, RoundTripThroughParser) {
   auto ast = ParseSingleComposition(kRenderLogs);

@@ -123,7 +123,7 @@ INSTANTIATE_TEST_SUITE_P(
                        "GET http://h.x/ HTTP/1.1\r\nContent-Length: 1\r\n\r\nabc"},
         BadRequestCase{"content_length_not_number",
                        "GET http://h.x/ HTTP/1.1\r\nContent-Length: ten\r\n\r\n"}),
-    [](const ::testing::TestParamInfo<BadRequestCase>& info) { return info.param.name; });
+    [](const ::testing::TestParamInfo<BadRequestCase>& param_info) { return param_info.param.name; });
 
 TEST(ParserTest, ResponseRejectsBadStatusLine) {
   EXPECT_FALSE(ParseResponse("HTTP/1.1 999x OK\r\n\r\n").ok());
@@ -396,7 +396,7 @@ TEST(KeyValueDbTest, HandleOverHttp) {
 }
 
 TEST(LambdaServiceTest, Wraps) {
-  LambdaService svc([](const HttpRequest& req, const Uri& uri) {
+  LambdaService svc([](const HttpRequest&, const Uri& uri) {
     return HttpResponse::Ok("path=" + uri.path);
   });
   const std::string url = "http://x.y/abc";

@@ -114,9 +114,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(QoiDims{1, 1, 4}, QoiDims{1, 1, 3}, QoiDims{2, 3, 4}, QoiDims{64, 1, 4},
                       QoiDims{1, 64, 3}, QoiDims{63, 63, 4}, QoiDims{96, 64, 4},
                       QoiDims{128, 128, 3}),
-    [](const ::testing::TestParamInfo<QoiDims>& info) {
-      return std::to_string(info.param.width) + "x" + std::to_string(info.param.height) + "x" +
-             std::to_string(info.param.channels);
+    [](const ::testing::TestParamInfo<QoiDims>& param_info) {
+      return std::to_string(param_info.param.width) + "x" + std::to_string(param_info.param.height) + "x" +
+             std::to_string(param_info.param.channels);
     });
 
 TEST(QoiTest, PaperSizedImageIsAbout18kB) {

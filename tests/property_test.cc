@@ -8,7 +8,10 @@
 //  - marshalling composition (marshal ∘ unmarshal = id at several layers).
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <map>
+#include <string>
+#include <utility>
 
 #include "src/base/rng.h"
 #include "src/func/data.h"
@@ -30,40 +33,49 @@ using dsql::Value;
 
 // ------------------------------------------------------- Expression trees
 
-// Builds a random int-valued expression over columns {a, b, c}.
-ExprPtr RandomIntExpr(dbase::Rng& rng, int depth) {
+// A random int-valued expression over columns {a, b, c}, paired with a
+// reference evaluator built alongside it: plain int64 arithmetic and
+// by-name column lookup, sharing no code with Expr::Eval.
+using RefEval = std::function<int64_t(const Table&, size_t)>;
+
+struct IntExpr {
+  ExprPtr expr;
+  RefEval ref;
+};
+
+IntExpr RandomIntExpr(dbase::Rng& rng, int depth) {
   if (depth <= 0 || rng.Bernoulli(0.3)) {
     if (rng.Bernoulli(0.5)) {
       const char* names[] = {"a", "b", "c"};
-      return Col(names[rng.NextBounded(3)]);
+      const std::string name = names[rng.NextBounded(3)];
+      return {Col(name), [name](const Table& table, size_t row) {
+                return table.GetColumn(name).value()->IntAt(row);
+              }};
     }
-    return Lit(rng.UniformInt(-20, 20));
+    const int64_t v = rng.UniformInt(-20, 20);
+    return {Lit(v), [v](const Table&, size_t) { return v; }};
   }
-  ExprPtr left = RandomIntExpr(rng, depth - 1);
-  ExprPtr right = RandomIntExpr(rng, depth - 1);
-  switch (rng.NextBounded(3)) {
+  IntExpr left = RandomIntExpr(rng, depth - 1);
+  IntExpr right = RandomIntExpr(rng, depth - 1);
+  const uint64_t op = rng.NextBounded(3);
+  ExprPtr expr;
+  switch (op) {
     case 0:
-      return dsql::Add(std::move(left), std::move(right));
+      expr = dsql::Add(std::move(left.expr), std::move(right.expr));
+      break;
     case 1:
-      return dsql::Sub(std::move(left), std::move(right));
+      expr = dsql::Sub(std::move(left.expr), std::move(right.expr));
+      break;
     default:
-      return dsql::Mul(std::move(left), std::move(right));
-  }
-}
-
-// Reference interpreter: structural recursion with plain int64 arithmetic.
-int64_t ReferenceEval(const Expr& expr, const Table& table, size_t row) {
-  switch (expr.op()) {
-    case dsql::ExprOp::kColumn:
-      return table.GetColumn(expr.column_name()).value()->IntAt(row);
-    case dsql::ExprOp::kLiteral:
-      return expr.literal().i;
-    default:
+      expr = dsql::Mul(std::move(left.expr), std::move(right.expr));
       break;
   }
-  // The builders only produce Add/Sub/Mul in RandomIntExpr.
-  const Value v = expr.Eval(table, row);
-  return v.i;
+  return {std::move(expr),
+          [op, l = std::move(left.ref), r = std::move(right.ref)](const Table& table, size_t row) {
+            const int64_t a = l(table, row);
+            const int64_t b = r(table, row);
+            return op == 0 ? a + b : op == 1 ? a - b : a * b;
+          }};
 }
 
 Table RandomTable(dbase::Rng& rng, size_t rows) {
@@ -84,15 +96,18 @@ TEST_P(ExprPropertyTest, ArithmeticMatchesDirectEvaluation) {
   dbase::Rng rng(GetParam());
   Table table = RandomTable(rng, 64);
   for (int trial = 0; trial < 20; ++trial) {
-    ExprPtr expr = RandomIntExpr(rng, 3);
-    auto bound = expr->Bind(table);
+    IntExpr gen = RandomIntExpr(rng, 3);
+    auto bound = gen.expr->Bind(table);
     ASSERT_TRUE(bound.ok());
     for (size_t row = 0; row < table.NumRows(); row += 7) {
       // Direct evaluation through a second bound copy must agree — Bind
       // must be pure and evaluation deterministic.
-      auto bound2 = expr->Bind(table);
+      auto bound2 = gen.expr->Bind(table);
       ASSERT_TRUE(bound2.ok());
       EXPECT_EQ((*bound)->Eval(table, row).i, (*bound2)->Eval(table, row).i);
+      // The reference evaluator was built alongside the tree and shares no
+      // code with Expr::Eval — the two interpreters must agree.
+      EXPECT_EQ((*bound)->Eval(table, row).i, gen.ref(table, row));
     }
   }
 }
@@ -101,8 +116,8 @@ TEST_P(ExprPropertyTest, DeMorganHoldsForRandomPredicates) {
   dbase::Rng rng(GetParam() ^ 0xDEAD);
   Table table = RandomTable(rng, 64);
   for (int trial = 0; trial < 20; ++trial) {
-    ExprPtr p = dsql::Lt(RandomIntExpr(rng, 2), RandomIntExpr(rng, 2));
-    ExprPtr q = dsql::Ge(RandomIntExpr(rng, 2), RandomIntExpr(rng, 2));
+    ExprPtr p = dsql::Lt(RandomIntExpr(rng, 2).expr, RandomIntExpr(rng, 2).expr);
+    ExprPtr q = dsql::Ge(RandomIntExpr(rng, 2).expr, RandomIntExpr(rng, 2).expr);
     // !(p && q) == (!p || !q)
     ExprPtr lhs = dsql::Not(dsql::And(p, q));
     ExprPtr rhs = dsql::Or(dsql::Not(p), dsql::Not(q));
@@ -224,7 +239,7 @@ TEST(SimConservationTest, FifoStartOrderMatchesSubmitOrder) {
   std::vector<int> start_order;
   for (int i = 0; i < 20; ++i) {
     queue.ScheduleAt(0, [&, i] {
-      server.Submit(10 + i, [&, i](dbase::Micros start, dbase::Micros) {
+      server.Submit(10 + i, [&, i](dbase::Micros, dbase::Micros) {
         start_order.push_back(i);
       });
     });

@@ -221,8 +221,8 @@ INSTANTIATE_TEST_SUITE_P(Backends, SandboxBackendTest,
                                            IsolationBackend::kKvmSim,
                                            IsolationBackend::kWasmSim,
                                            IsolationBackend::kProcess),
-                         [](const ::testing::TestParamInfo<IsolationBackend>& info) {
-                           return std::string(IsolationBackendName(info.param));
+                         [](const ::testing::TestParamInfo<IsolationBackend>& param_info) {
+                           return std::string(IsolationBackendName(param_info.param));
                          });
 
 TEST(SandboxTest, ProcessIsolationSurvivesCrash) {
@@ -330,7 +330,7 @@ TEST_F(WorkerSetTest, RunsCommTask) {
   dhttp::HttpResponse response;
   CommTask task;
   task.raw_request = req.Serialize();
-  task.done = [&](dhttp::HttpResponse resp, dbase::Micros latency) {
+  task.done = [&](dhttp::HttpResponse resp, dbase::Micros) {
     response = std::move(resp);
     latch.CountDown();
   };

@@ -529,8 +529,8 @@ TEST_P(SsbPartitionEquivalenceTest, PartitionedEqualsWholeTable) {
 
 INSTANTIATE_TEST_SUITE_P(AllQueries, SsbPartitionEquivalenceTest,
                          ::testing::ValuesIn(SsbQueryIds()),
-                         [](const ::testing::TestParamInfo<int>& info) {
-                           return "Q" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<int>& param_info) {
+                           return "Q" + std::to_string(param_info.param);
                          });
 
 TEST(SsbQueryTest, NamesAndIds) {

@@ -146,7 +146,7 @@ TEST(FifoServerTest, SingleServerSerializes) {
   dsim::FifoServer server(&queue, 1);
   std::vector<Micros> ends;
   for (int i = 0; i < 3; ++i) {
-    server.Submit(100, [&](Micros start, Micros end) { ends.push_back(end); });
+    server.Submit(100, [&](Micros, Micros end) { ends.push_back(end); });
   }
   queue.RunAll();
   EXPECT_EQ(ends, (std::vector<Micros>{100, 200, 300}));
@@ -158,7 +158,7 @@ TEST(FifoServerTest, ParallelServersOverlap) {
   dsim::FifoServer server(&queue, 2);
   std::vector<Micros> ends;
   for (int i = 0; i < 4; ++i) {
-    server.Submit(100, [&](Micros start, Micros end) { ends.push_back(end); });
+    server.Submit(100, [&](Micros, Micros end) { ends.push_back(end); });
   }
   queue.RunAll();
   EXPECT_EQ(ends, (std::vector<Micros>{100, 100, 200, 200}));
