@@ -1,0 +1,329 @@
+// Sharded task queue with work stealing. One shard per engine worker
+// removes the single-mutex bottleneck of MpmcQueue under multi-core
+// dispatch (§5 elasticity depends on dispatch staying cheap as cores
+// scale): producers land on a shard in one lock crossing — a whole fan-out
+// batch per crossing via PushBatch — consumers pop their own shard free of
+// sibling contention and steal only when idle.
+//
+// Counter contract: pushes and pops are counted per shard under the same
+// lock as the queue operation; total_pushed()/total_popped() aggregate
+// across shards, so the PI controller's growth-rate deltas stay coherent
+// no matter which shard a task lands on or which worker steals it. A steal
+// counts as a pop. RehomeShard moves items between shards without touching
+// either counter — re-homing is neither an arrival nor a departure.
+#ifndef SRC_BASE_SHARDED_QUEUE_H_
+#define SRC_BASE_SHARDED_QUEUE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/base/clock.h"
+
+namespace dbase {
+
+template <typename T>
+class ShardedTaskQueue {
+ public:
+  explicit ShardedTaskQueue(size_t num_shards) {
+    const size_t count = num_shards == 0 ? 1 : num_shards;
+    shards_.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+  }
+
+  ShardedTaskQueue(const ShardedTaskQueue&) = delete;
+  ShardedTaskQueue& operator=(const ShardedTaskQueue&) = delete;
+
+  size_t shard_count() const { return shards_.size(); }
+
+  // Round-robin producer path. Returns false if the queue is closed.
+  bool Push(T item) {
+    return PushToShard(rr_.fetch_add(1, std::memory_order_relaxed) % shards_.size(),
+                       std::move(item));
+  }
+
+  // Targeted producer path (callers route to the shard of a worker whose
+  // role matches the task). Returns false if the queue is closed.
+  bool PushToShard(size_t shard, T item) {
+    Shard& s = *shards_[ShardIndex(shard)];
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      if (closed_.load(std::memory_order_relaxed)) {
+        return false;
+      }
+      s.items.push_back(std::move(item));
+      s.approx_size.store(s.items.size(), std::memory_order_relaxed);
+      ++s.pushed;
+    }
+    s.cv.notify_one();
+    return true;
+  }
+
+  // Lands an entire batch on one shard in a single lock crossing — the
+  // amortized path for each/key fan-outs. Every item still counts as one
+  // push. Returns false (dropping the batch) if the queue is closed.
+  bool PushBatch(std::vector<T> items, size_t shard) {
+    if (items.empty()) {
+      return !closed_.load(std::memory_order_relaxed);
+    }
+    Shard& s = *shards_[ShardIndex(shard)];
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      if (closed_.load(std::memory_order_relaxed)) {
+        return false;
+      }
+      s.pushed += items.size();
+      for (auto& item : items) {
+        s.items.push_back(std::move(item));
+      }
+      s.approx_size.store(s.items.size(), std::memory_order_relaxed);
+    }
+    s.cv.notify_all();
+    // A batch is more work than one worker: bump the push epoch and wake
+    // the siblings parked in PopWithTimeout so they steal instead of
+    // sleeping out their timeout. The notify is lock-free, so a waiter
+    // between its predicate check and its sleep can miss it — the bounded
+    // wait (worst case: pre-batching latency) is the backstop.
+    push_epoch_.fetch_add(1, std::memory_order_release);
+    for (auto& shard_ptr : shards_) {
+      if (shard_ptr.get() != &s) {
+        shard_ptr->cv.notify_one();
+      }
+    }
+    return true;
+  }
+
+  // Non-blocking pop from the caller's own shard (FIFO).
+  std::optional<T> TryPopLocal(size_t shard) {
+    Shard& s = *shards_[ShardIndex(shard)];
+    std::lock_guard<std::mutex> lock(s.mu);
+    return PopFrontLocked(s);
+  }
+
+  // Scans sibling shards (starting past the thief's own) and takes the
+  // oldest item of the first non-empty one. Counts as a pop plus a steal.
+  std::optional<T> TrySteal(size_t thief_shard) {
+    const size_t n = shards_.size();
+    const size_t thief = ShardIndex(thief_shard);
+    for (size_t offset = 1; offset < n; ++offset) {
+      Shard& victim = *shards_[(thief + offset) % n];
+      std::lock_guard<std::mutex> lock(victim.mu);
+      auto item = PopFrontLocked(victim);
+      if (item.has_value()) {
+        ++victim.stolen;
+        return item;
+      }
+    }
+    return std::nullopt;
+  }
+
+  // Local pop, then steal, then a bounded wait on the local shard — which a
+  // sibling-shard batch push cuts short (epoch bump + wake) so idle workers
+  // steal a fresh fan-out instead of sleeping out their timeout. May return
+  // nullopt before the timeout elapses (callers loop); returns nullopt when
+  // closed and the local shard is drained (siblings may still hold items —
+  // callers drain those via TryPop).
+  std::optional<T> PopWithTimeout(size_t shard, Micros timeout_us) {
+    if (auto item = TryPopLocal(shard)) {
+      return item;
+    }
+    if (auto item = TrySteal(shard)) {
+      return item;
+    }
+    const uint64_t seen_epoch = push_epoch_.load(std::memory_order_acquire);
+    Shard& s = *shards_[ShardIndex(shard)];
+    {
+      std::unique_lock<std::mutex> lock(s.mu);
+      s.cv.wait_for(lock, std::chrono::microseconds(timeout_us), [&] {
+        return !s.items.empty() || closed_.load(std::memory_order_relaxed) ||
+               push_epoch_.load(std::memory_order_relaxed) != seen_epoch;
+      });
+      if (auto item = PopFrontLocked(s)) {
+        return item;
+      }
+    }
+    // Woken by a batch landing on a sibling (or timed out): one more steal
+    // attempt before handing control back to the caller's loop.
+    return TrySteal(shard);
+  }
+
+  // Local pop falling back to a steal; never blocks.
+  std::optional<T> TryPop(size_t shard) {
+    if (auto item = TryPopLocal(shard)) {
+      return item;
+    }
+    return TrySteal(shard);
+  }
+
+  // Moves everything queued on `from` onto the `to` shards (round-robin)
+  // without touching the pushed/popped counters: used when a worker's role
+  // shift leaves residue on a shard no same-role worker calls home. With no
+  // eligible targets the items stay put — stealing is the safety net.
+  // Returns the number of items moved.
+  size_t RehomeShard(size_t from, const std::vector<size_t>& to) {
+    const size_t source = ShardIndex(from);
+    std::deque<T> residue;
+    {
+      Shard& s = *shards_[source];
+      std::lock_guard<std::mutex> lock(s.mu);
+      // Count the residue as in flight *before* it leaves the shard, so
+      // Size() never reads a false empty mid-move (a shutdown drain racing
+      // a role shift must keep seeing these tasks).
+      rehoming_.fetch_add(s.items.size(), std::memory_order_release);
+      residue.swap(s.items);
+      s.approx_size.store(0, std::memory_order_relaxed);
+    }
+    if (residue.empty()) {
+      return 0;
+    }
+    std::vector<size_t> targets;
+    for (size_t t : to) {
+      if (ShardIndex(t) != source) {
+        targets.push_back(ShardIndex(t));
+      }
+    }
+    if (targets.empty()) {
+      // Put the residue back; no same-role shard exists to receive it.
+      const size_t count = residue.size();
+      Shard& s = *shards_[source];
+      {
+        std::lock_guard<std::mutex> lock(s.mu);
+        for (auto& item : residue) {
+          s.items.push_back(std::move(item));
+        }
+        s.approx_size.store(s.items.size(), std::memory_order_relaxed);
+      }
+      rehoming_.fetch_sub(count, std::memory_order_release);
+      return 0;
+    }
+    const size_t moved = residue.size();
+    size_t next = 0;
+    while (!residue.empty()) {
+      Shard& s = *shards_[targets[next++ % targets.size()]];
+      {
+        std::lock_guard<std::mutex> lock(s.mu);
+        s.items.push_back(std::move(residue.front()));
+        s.approx_size.store(s.items.size(), std::memory_order_relaxed);
+      }
+      s.cv.notify_one();
+      // Decrement only after the item is visible on its new shard: Size()
+      // may transiently double-count, never undercount.
+      rehoming_.fetch_sub(1, std::memory_order_release);
+      residue.pop_front();
+    }
+    return moved;
+  }
+
+  // After Close(), pushes fail and pops drain remaining items then return
+  // nullopt. Wakes all waiters on every shard.
+  void Close() {
+    closed_.store(true, std::memory_order_relaxed);
+    // Take each shard lock once so no waiter can check the predicate
+    // between the store and the notify, then wake everyone.
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+    }
+    for (auto& shard : shards_) {
+      shard->cv.notify_all();
+    }
+  }
+
+  bool closed() const { return closed_.load(std::memory_order_relaxed); }
+
+  size_t ShardSize(size_t shard) const {
+    const Shard& s = *shards_[ShardIndex(shard)];
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.items.size();
+  }
+
+  // Lock-free approximate depth (maintained under the shard lock, read
+  // relaxed) — the submit path's load-balancing signal. May lag the exact
+  // size by a racing operation; never use it for drain/emptiness proofs.
+  size_t ApproxShardSize(size_t shard) const {
+    return shards_[ShardIndex(shard)]->approx_size.load(std::memory_order_relaxed);
+  }
+
+  size_t Size() const {
+    size_t total = rehoming_.load(std::memory_order_acquire);
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      total += ShardSize(i);
+    }
+    return total;
+  }
+
+  // Aggregate counters; the controller uses deltas of these between
+  // sampling periods as queue growth rates (arrivals − departures).
+  uint64_t total_pushed() const {
+    return SumOverShards([](const Shard& s) { return s.pushed; });
+  }
+  uint64_t total_popped() const {
+    return SumOverShards([](const Shard& s) { return s.popped; });
+  }
+  uint64_t total_stolen() const {
+    return SumOverShards([](const Shard& s) { return s.stolen; });
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::deque<T> items;
+    // Guarded by mu — counted under the same lock as the queue operation.
+    uint64_t pushed = 0;
+    uint64_t popped = 0;
+    uint64_t stolen = 0;
+    // Mirror of items.size(), written under mu, read lock-free by
+    // ApproxShardSize.
+    std::atomic<size_t> approx_size{0};
+  };
+
+  // Pops the front item and maintains popped/approx_size. Caller holds s.mu.
+  std::optional<T> PopFrontLocked(Shard& s) {
+    if (s.items.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(s.items.front());
+    s.items.pop_front();
+    s.approx_size.store(s.items.size(), std::memory_order_relaxed);
+    ++s.popped;
+    return item;
+  }
+
+  // Clamps a caller-supplied shard id without a division on the hot path
+  // (callers pass valid ids; the modulo is the safety net).
+  size_t ShardIndex(size_t shard) const {
+    return shard < shards_.size() ? shard : shard % shards_.size();
+  }
+
+  template <typename Field>
+  uint64_t SumOverShards(Field field) const {
+    uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      total += field(*shard);
+    }
+    return total;
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> closed_{false};
+  std::atomic<uint64_t> rr_{0};
+  // Bumped once per PushBatch; lets PopWithTimeout waiters notice work
+  // arriving on sibling shards and steal instead of sleeping.
+  std::atomic<uint64_t> push_epoch_{0};
+  // Items mid-RehomeShard: out of their source shard but not yet on a
+  // target. Included in Size() so drains never observe a false empty.
+  std::atomic<size_t> rehoming_{0};
+};
+
+}  // namespace dbase
+
+#endif  // SRC_BASE_SHARDED_QUEUE_H_

@@ -2,10 +2,95 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <functional>
+#include <mutex>
 
 #include "src/base/string_util.h"
 
 namespace dbench {
+namespace {
+
+std::string JsonEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += dbase::StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// The JSON report: one document per bench run, grouped into the sections
+// PrintHeader opens. Guarded by a mutex so multi-threaded benches that
+// print from workers stay well-formed.
+struct ReportSection {
+  std::string title;
+  std::vector<std::string> notes;
+  std::vector<std::string> table_json;  // Pre-rendered Table::ToJson().
+};
+
+struct Report {
+  std::mutex mu;
+  std::vector<ReportSection> sections;
+  bool flush_registered = false;
+};
+
+Report& GetReport() {
+  static Report* report = new Report();
+  return *report;
+}
+
+const char* JsonPath() { return std::getenv("DANDELION_BENCH_JSON"); }
+
+// Appends under the current (last) section, opening an untitled section for
+// benches that never call PrintHeader.
+ReportSection& CurrentSectionLocked(Report& report) {
+  if (report.sections.empty()) {
+    report.sections.push_back(ReportSection{});
+  }
+  return report.sections.back();
+}
+
+// Runs `mutate` on the locked report iff JSON output is enabled — callers
+// do all rendering inside the callback so a run without the env var pays
+// nothing — and registers the atexit flush on first use.
+void RecordForJson(const std::function<void(Report&)>& mutate) {
+  if (JsonPath() == nullptr) {
+    return;
+  }
+  Report& report = GetReport();
+  std::lock_guard<std::mutex> lock(report.mu);
+  mutate(report);
+  if (!report.flush_registered) {
+    report.flush_registered = true;
+    std::atexit(FlushJsonReport);
+  }
+}
+
+}  // namespace
 
 Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
 
@@ -74,16 +159,98 @@ std::string Table::ToCsv() const {
   return out;
 }
 
+std::string Table::ToJson() const {
+  auto join = [](const std::vector<std::string>& cells) {
+    std::string out = "[";
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) {
+        out += ',';
+      }
+      out += '"' + JsonEscape(cells[c]) + '"';
+    }
+    out += ']';
+    return out;
+  };
+  std::string out = "{\"columns\":" + join(columns_) + ",\"rows\":[";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (r > 0) {
+      out += ',';
+    }
+    out += join(rows_[r]);
+  }
+  out += "]}";
+  return out;
+}
+
 void Table::Print() const {
   std::fputs(ToString().c_str(), stdout);
   std::fputs(ToCsv().c_str(), stdout);
   std::fputs("\n", stdout);
+  RecordForJson([this](Report& report) {
+    CurrentSectionLocked(report).table_json.push_back(ToJson());
+  });
 }
 
 void PrintHeader(const std::string& title) {
   std::printf("\n== %s ==\n\n", title.c_str());
+  RecordForJson([&title](Report& report) {
+    report.sections.push_back(ReportSection{title, {}, {}});
+  });
 }
 
-void PrintNote(const std::string& note) { std::printf("note: %s\n", note.c_str()); }
+void PrintNote(const std::string& note) {
+  std::printf("note: %s\n", note.c_str());
+  RecordForJson([&note](Report& report) {
+    CurrentSectionLocked(report).notes.push_back(note);
+  });
+}
+
+void FlushJsonReport() {
+  const char* path = JsonPath();
+  if (path == nullptr) {
+    return;
+  }
+  Report& report = GetReport();
+  std::lock_guard<std::mutex> lock(report.mu);
+  if (report.sections.empty()) {
+    return;
+  }
+  std::string doc = "{\"schema\":\"dandelion-bench-v1\",\"unix_time_s\":" +
+                    std::to_string(static_cast<long long>(std::time(nullptr))) +
+                    ",\"sections\":[";
+  for (size_t s = 0; s < report.sections.size(); ++s) {
+    const ReportSection& section = report.sections[s];
+    if (s > 0) {
+      doc += ',';
+    }
+    doc += "{\"title\":\"" + JsonEscape(section.title) + "\",\"notes\":[";
+    for (size_t n = 0; n < section.notes.size(); ++n) {
+      if (n > 0) {
+        doc += ',';
+      }
+      doc += '"' + JsonEscape(section.notes[n]) + '"';
+    }
+    doc += "],\"tables\":[";
+    for (size_t t = 0; t < section.table_json.size(); ++t) {
+      if (t > 0) {
+        doc += ',';
+      }
+      doc += section.table_json[t];
+    }
+    doc += "]}";
+  }
+  doc += "]}\n";
+
+  std::FILE* out = std::string(path) == "-" ? stdout : std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "DANDELION_BENCH_JSON: cannot open %s\n", path);
+    return;
+  }
+  std::fputs(doc.c_str(), out);
+  if (out != stdout) {
+    std::fclose(out);
+  }
+  report.sections.clear();  // Idempotent: a second flush writes nothing.
+}
 
 }  // namespace dbench

@@ -303,6 +303,26 @@ void Dispatcher::StartNodeLocked(const std::shared_ptr<InvocationState>& inv, si
     return;
   }
 
+  // Compute fan-outs are prepared instance by instance but handed to the
+  // engines as one batch — a single queue crossing per each/key fan-out
+  // instead of one per instance.
+  if (kind == Kind::kCompute) {
+    std::vector<ComputeTask> batch;
+    batch.reserve(launches.size());
+    for (auto& launch : launches) {
+      auto task = BuildComputeTask(inv, node_index, launch.instance, std::move(launch.inputs),
+                                   spec);
+      if (!task.has_value()) {
+        return;  // BuildComputeTask already failed the invocation.
+      }
+      batch.push_back(std::move(*task));
+    }
+    if (!workers_->SubmitComputeBatch(std::move(batch))) {
+      FailLocked(inv, dbase::Unavailable("compute engines are shut down"));
+    }
+    return;
+  }
+
   // Launch outside the loop that mutated runtime state but still under the
   // invocation lock; engine callbacks land on other threads and re-lock.
   for (auto& launch : launches) {
@@ -312,8 +332,7 @@ void Dispatcher::StartNodeLocked(const std::shared_ptr<InvocationState>& inv, si
                            comm_spec);
         break;
       case Kind::kCompute:
-        LaunchComputeInstance(inv, node_index, launch.instance, std::move(launch.inputs), spec);
-        break;
+        break;  // Handled above as a batch.
       case Kind::kComposition:
         LaunchNestedInstance(inv, node_index, launch.instance, std::move(launch.inputs), subgraph);
         break;
@@ -324,10 +343,9 @@ void Dispatcher::StartNodeLocked(const std::shared_ptr<InvocationState>& inv, si
   }
 }
 
-void Dispatcher::LaunchComputeInstance(const std::shared_ptr<InvocationState>& inv,
-                                       size_t node_index, size_t instance_index,
-                                       dfunc::DataSetList inputs,
-                                       const dfunc::FunctionSpec& spec) {
+std::optional<ComputeTask> Dispatcher::BuildComputeTask(
+    const std::shared_ptr<InvocationState>& inv, size_t node_index, size_t instance_index,
+    dfunc::DataSetList inputs, const dfunc::FunctionSpec& spec) {
   compute_instances_.fetch_add(1, std::memory_order_relaxed);
 
   // Prepare the isolated memory context and copy the inputs in (§5:
@@ -337,12 +355,12 @@ void Dispatcher::LaunchComputeInstance(const std::shared_ptr<InvocationState>& i
       MemoryContext::Create(spec.context_bytes, accountant_, config_.shared_contexts);
   if (!context_result.ok()) {
     FailLocked(inv, context_result.status());
-    return;
+    return std::nullopt;
   }
   std::shared_ptr<MemoryContext> context = std::move(context_result).value();
   if (dbase::Status stored = context->StoreInputSets(inputs); !stored.ok()) {
     FailLocked(inv, stored);
-    return;
+    return std::nullopt;
   }
 
   ComputeTask task;
@@ -356,9 +374,7 @@ void Dispatcher::LaunchComputeInstance(const std::shared_ptr<InvocationState>& i
       self->OnInstanceDone(inv, node_index, instance_index, std::move(outcome.outputs));
     }
   };
-  if (!workers_->SubmitCompute(std::move(task))) {
-    FailLocked(inv, dbase::Unavailable("compute engines are shut down"));
-  }
+  return task;
 }
 
 void Dispatcher::LaunchCommInstance(const std::shared_ptr<InvocationState>& inv,

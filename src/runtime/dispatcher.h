@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -84,9 +85,13 @@ class Dispatcher {
                         dfunc::DataSetList args, int depth, ResultCallback callback);
 
   void StartNodeLocked(const std::shared_ptr<InvocationState>& inv, size_t node_index);
-  void LaunchComputeInstance(const std::shared_ptr<InvocationState>& inv, size_t node_index,
-                             size_t instance_index, dfunc::DataSetList inputs,
-                             const dfunc::FunctionSpec& spec);
+  // Prepares one compute instance (context + marshalled inputs + done
+  // callback) without submitting it; nullopt after a FailLocked. Instances
+  // of one fan-out are then handed to the engines as a single batch.
+  std::optional<ComputeTask> BuildComputeTask(const std::shared_ptr<InvocationState>& inv,
+                                              size_t node_index, size_t instance_index,
+                                              dfunc::DataSetList inputs,
+                                              const dfunc::FunctionSpec& spec);
   void LaunchCommInstance(const std::shared_ptr<InvocationState>& inv, size_t node_index,
                           size_t instance_index, dfunc::DataSetList inputs,
                           const CommFunctionSpec& spec);

@@ -1,6 +1,7 @@
 #include "src/runtime/engine.h"
 
 #include <algorithm>
+#include <iterator>
 #include <thread>
 
 #include "src/base/log.h"
@@ -9,7 +10,11 @@
 namespace dandelion {
 
 WorkerSet::WorkerSet(Config config, dhttp::ServiceMesh* mesh)
-    : config_(config), mesh_(mesh), sandbox_(CreateSandboxExecutor(config.backend)) {
+    : config_(config),
+      mesh_(mesh),
+      sandbox_(CreateSandboxExecutor(config.backend)),
+      compute_queue_(static_cast<size_t>(std::max(1, config.num_workers))),
+      comm_queue_(static_cast<size_t>(std::max(1, config.num_workers))) {
   const int workers = std::max(1, config_.num_workers);
   const int comm = std::clamp(config_.initial_comm_workers, workers > 1 ? 1 : 0, workers - 1);
   roles_.reserve(static_cast<size_t>(workers));
@@ -25,14 +30,58 @@ WorkerSet::WorkerSet(Config config, dhttp::ServiceMesh* mesh)
 
 WorkerSet::~WorkerSet() { Shutdown(); }
 
+std::vector<size_t> WorkerSet::ShardsWithRole(EngineType role, size_t excluding) const {
+  std::vector<size_t> shards;
+  for (size_t i = 0; i < roles_.size(); ++i) {
+    if (i != excluding && roles_[i]->load(std::memory_order_relaxed) == role) {
+      shards.push_back(i);
+    }
+  }
+  return shards;
+}
+
 bool WorkerSet::SubmitCompute(ComputeTask task) {
   task.enqueue_time_us = dbase::MonotonicClock::Get()->NowMicros();
-  return compute_queue_.Push(std::move(task));
+  const size_t shard = PickShard(EngineType::kCompute, compute_queue_);
+  return compute_queue_.PushToShard(shard, std::move(task));
+}
+
+bool WorkerSet::SubmitComputeBatch(std::vector<ComputeTask> tasks) {
+  const dbase::Micros now = dbase::MonotonicClock::Get()->NowMicros();
+  for (auto& task : tasks) {
+    task.enqueue_time_us = now;
+  }
+  // A fan-out bigger than one worker's bite is split into per-shard chunks:
+  // still one queue crossing per chunk, but the siblings consume their own
+  // chunks in parallel instead of serializing steals against one victim
+  // shard. Small fan-outs stay a single crossing on the least-loaded shard.
+  constexpr size_t kMinChunk = 16;
+  const std::vector<size_t> targets =
+      ShardsWithRole(EngineType::kCompute, roles_.size());  // Exclude none.
+  const size_t chunks =
+      targets.size() <= 1
+          ? 1
+          : std::min(targets.size(), std::max<size_t>(1, tasks.size() / kMinChunk));
+  if (chunks <= 1) {
+    const size_t shard = PickShard(EngineType::kCompute, compute_queue_);
+    return compute_queue_.PushBatch(std::move(tasks), shard);
+  }
+  const size_t per_chunk = (tasks.size() + chunks - 1) / chunks;
+  bool ok = true;
+  size_t target = 0;
+  for (size_t begin = 0; begin < tasks.size(); begin += per_chunk) {
+    const size_t end = std::min(begin + per_chunk, tasks.size());
+    std::vector<ComputeTask> chunk(std::make_move_iterator(tasks.begin() + begin),
+                                   std::make_move_iterator(tasks.begin() + end));
+    ok = compute_queue_.PushBatch(std::move(chunk), targets[target++ % targets.size()]) && ok;
+  }
+  return ok;
 }
 
 bool WorkerSet::SubmitComm(CommTask task) {
   task.enqueue_time_us = dbase::MonotonicClock::Get()->NowMicros();
-  return comm_queue_.Push(std::move(task));
+  const size_t shard = PickShard(EngineType::kCommunication, comm_queue_);
+  return comm_queue_.PushToShard(shard, std::move(task));
 }
 
 bool WorkerSet::ShiftWorkerToCompute() {
@@ -40,9 +89,12 @@ bool WorkerSet::ShiftWorkerToCompute() {
   if (comm_workers() <= 1) {
     return false;
   }
-  for (auto& role : roles_) {
+  for (size_t i = 0; i < roles_.size(); ++i) {
     EngineType expected = EngineType::kCommunication;
-    if (role->compare_exchange_strong(expected, EngineType::kCompute)) {
+    if (roles_[i]->compare_exchange_strong(expected, EngineType::kCompute)) {
+      // Comm tasks queued on the departed shard would otherwise wait for a
+      // sibling's idle steal; hand them to workers still doing comm.
+      comm_queue_.RehomeShard(i, ShardsWithRole(EngineType::kCommunication, i));
       return true;
     }
   }
@@ -53,9 +105,10 @@ bool WorkerSet::ShiftWorkerToComm() {
   if (compute_workers() <= 1) {
     return false;
   }
-  for (auto& role : roles_) {
+  for (size_t i = 0; i < roles_.size(); ++i) {
     EngineType expected = EngineType::kCompute;
-    if (role->compare_exchange_strong(expected, EngineType::kCommunication)) {
+    if (roles_[i]->compare_exchange_strong(expected, EngineType::kCommunication)) {
+      compute_queue_.RehomeShard(i, ShardsWithRole(EngineType::kCompute, i));
       return true;
     }
   }
@@ -82,6 +135,16 @@ EngineStats WorkerSet::Stats() const {
   stats.comm_queue_len = comm_queue_.Size();
   stats.compute_workers = compute_workers();
   stats.comm_workers = comm_workers();
+  stats.compute_shard_depths.reserve(compute_queue_.shard_count());
+  stats.comm_shard_depths.reserve(comm_queue_.shard_count());
+  for (size_t i = 0; i < compute_queue_.shard_count(); ++i) {
+    stats.compute_shard_depths.push_back(compute_queue_.ShardSize(i));
+  }
+  for (size_t i = 0; i < comm_queue_.shard_count(); ++i) {
+    stats.comm_shard_depths.push_back(comm_queue_.ShardSize(i));
+  }
+  stats.compute_steals = compute_queue_.total_stolen();
+  stats.comm_steals = comm_queue_.total_stolen();
   {
     std::lock_guard<std::mutex> lock(wait_mu_);
     stats.compute_wait_p50_us = compute_wait_us_.ApproxPercentile(50);
@@ -165,6 +228,9 @@ void WorkerSet::WorkerLoop(int index) {
   if (config_.pin_threads) {
     dbase::PinCurrentThreadToCpu(index);
   }
+  // This worker's home shard in both queues. Pops hit the shard first and
+  // steal from siblings only when it is empty.
+  const size_t shard = static_cast<size_t>(index);
   // Pending comm completions owned by this worker — the cooperative
   // runtime's outstanding network operations.
   std::vector<InFlight> inflight;
@@ -180,7 +246,7 @@ void WorkerSet::WorkerLoop(int index) {
       // Accept new requests up to the green-thread budget.
       bool accepted = false;
       while (static_cast<int>(inflight.size()) < config_.comm_parallelism) {
-        auto task = comm_queue_.TryPop();
+        auto task = comm_queue_.TryPop(shard);
         if (!task.has_value()) {
           break;
         }
@@ -190,8 +256,8 @@ void WorkerSet::WorkerLoop(int index) {
       }
       if (role == EngineType::kCommunication && !draining) {
         if (inflight.empty() && !accepted) {
-          // Idle: block briefly on the queue so we wake on arrivals.
-          auto task = comm_queue_.PopWithTimeout(500);
+          // Idle: block briefly on the home shard so we wake on arrivals.
+          auto task = comm_queue_.PopWithTimeout(shard, 500);
           if (task.has_value()) {
             StartCommTask(std::move(*task), &inflight);
             comm_done_.fetch_add(1, std::memory_order_relaxed);
@@ -214,7 +280,7 @@ void WorkerSet::WorkerLoop(int index) {
     }
 
     if (role == EngineType::kCompute && !draining) {
-      auto task = compute_queue_.PopWithTimeout(inflight.empty() ? 1000 : 100);
+      auto task = compute_queue_.PopWithTimeout(shard, inflight.empty() ? 1000 : 100);
       if (task.has_value()) {
         RunComputeTask(std::move(*task));
       }
@@ -224,7 +290,7 @@ void WorkerSet::WorkerLoop(int index) {
     if (draining) {
       // Finish everything still queued, then exit once idle.
       bool did_work = false;
-      if (auto task = compute_queue_.TryPop()) {
+      if (auto task = compute_queue_.TryPop(shard)) {
         RunComputeTask(std::move(*task));
         did_work = true;
       }

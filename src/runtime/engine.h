@@ -15,7 +15,7 @@
 #include <mutex>
 
 #include "src/base/clock.h"
-#include "src/base/queue.h"
+#include "src/base/sharded_queue.h"
 #include "src/base/stats.h"
 #include "src/base/thread.h"
 #include "src/func/registry.h"
@@ -57,6 +57,12 @@ struct EngineStats {
   uint64_t comm_queue_len = 0;
   int compute_workers = 0;
   int comm_workers = 0;
+  // Per-shard backlog (one entry per worker) and cumulative steals, so
+  // operators can see imbalance the aggregate depth hides.
+  std::vector<uint64_t> compute_shard_depths;
+  std::vector<uint64_t> comm_shard_depths;
+  uint64_t compute_steals = 0;
+  uint64_t comm_steals = 0;
   // Queue-wait (enqueue → dequeue) distribution, µs. Approximate (log2
   // buckets); the control plane's growth signal is exact, this is for
   // operators.
@@ -66,8 +72,11 @@ struct EngineStats {
   uint64_t comm_wait_p99_us = 0;
 };
 
-// The pool of engine workers. Task queues are shared — engines poll the
-// queue for their current role, giving late binding of tasks to cores (§5).
+// The pool of engine workers. Task queues are sharded per worker: a worker
+// pops its own shard first and steals from siblings before sleeping, so
+// dispatch scales past the single-mutex ceiling while keeping late binding
+// of tasks to cores (§5). Submissions route to a shard whose worker holds
+// the matching role; role shifts re-home the departed shard's residue.
 class WorkerSet {
  public:
   struct Config {
@@ -89,6 +98,10 @@ class WorkerSet {
   WorkerSet& operator=(const WorkerSet&) = delete;
 
   bool SubmitCompute(ComputeTask task);
+  // Lands the whole batch on one shard in a single queue crossing — the
+  // dispatcher's amortized path for each/key fan-outs. All-or-nothing:
+  // returns false (dropping the batch) when the engines are shut down.
+  bool SubmitComputeBatch(std::vector<ComputeTask> tasks);
   bool SubmitComm(CommTask task);
 
   // Control-plane hooks: move one worker between roles. Returns false when
@@ -124,6 +137,39 @@ class WorkerSet {
   };
 
   void WorkerLoop(int index);
+  // Shard of a worker currently holding `role`, preferring the least
+  // loaded by the queue's lock-free approximate depth — the submit path
+  // takes no shard lock beyond the final push; any shard when no worker
+  // matches (stealing then redistributes).
+  template <typename Task>
+  size_t PickShard(EngineType role, const dbase::ShardedTaskQueue<Task>& queue) const {
+    // The scan start rotates so depth ties (the common all-zero idle case)
+    // spread round-robin instead of funneling every submission onto the
+    // lowest-index shard — strict less-than keeps the first of a tie.
+    const size_t n = roles_.size();
+    const size_t start = submit_rr_.fetch_add(1, std::memory_order_relaxed);
+    size_t best = static_cast<size_t>(-1);
+    size_t best_depth = 0;
+    for (size_t k = 0; k < n; ++k) {
+      const size_t i = (start + k) % n;
+      if (roles_[i]->load(std::memory_order_relaxed) != role) {
+        continue;
+      }
+      const size_t depth = queue.ApproxShardSize(i);
+      if (best == static_cast<size_t>(-1) || depth < best_depth) {
+        best = i;
+        best_depth = depth;
+      }
+    }
+    if (best != static_cast<size_t>(-1)) {
+      return best;
+    }
+    // No worker currently holds the role (transient during shifts): any
+    // shard; stealing and re-homing redistribute.
+    return start % n;
+  }
+  // Shards of all workers currently holding `role`, except `excluding`.
+  std::vector<size_t> ShardsWithRole(EngineType role, size_t excluding) const;
   void RunComputeTask(ComputeTask task);
   // Issues the mesh call and appends the pending completion to `inflight`.
   void StartCommTask(CommTask task, std::vector<InFlight>* inflight);
@@ -132,8 +178,8 @@ class WorkerSet {
   Config config_;
   dhttp::ServiceMesh* mesh_;
   std::unique_ptr<SandboxExecutor> sandbox_;
-  dbase::MpmcQueue<ComputeTask> compute_queue_;
-  dbase::MpmcQueue<CommTask> comm_queue_;
+  dbase::ShardedTaskQueue<ComputeTask> compute_queue_;
+  dbase::ShardedTaskQueue<CommTask> comm_queue_;
   std::vector<std::unique_ptr<std::atomic<EngineType>>> roles_;
   std::vector<dbase::JoiningThread> workers_;
   std::atomic<bool> shutdown_{false};
@@ -141,6 +187,8 @@ class WorkerSet {
   std::atomic<uint64_t> compute_done_{0};
   std::atomic<uint64_t> comm_done_{0};
   std::atomic<uint64_t> cold_counter_{0};
+  // Fallback rotation for submissions racing a role shift.
+  mutable std::atomic<uint64_t> submit_rr_{0};
 
   mutable std::mutex wait_mu_;
   dbase::LogHistogram compute_wait_us_;  // Guarded by wait_mu_.

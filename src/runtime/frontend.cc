@@ -8,6 +8,7 @@
 #include <cstring>
 #include <string>
 
+#include "src/base/clock.h"
 #include "src/base/log.h"
 #include "src/base/string_util.h"
 #include "src/http/http_parser.h"
@@ -15,8 +16,13 @@
 namespace dandelion {
 namespace {
 
+// A hostile Content-Length must not balloon memory: bodies beyond this are
+// rejected with 413 before any body byte is buffered.
+constexpr uint64_t kMaxBodyBytes = 64ull * 1024 * 1024;
+
 // Reads one HTTP request from a connected socket: headers first, then the
-// Content-Length-many body bytes.
+// Content-Length-many body bytes. Oversized headers or bodies surface as
+// kResourceExhausted, which the connection handler answers with 413.
 dbase::Result<std::string> ReadHttpRequest(int fd) {
   std::string buffer;
   char chunk[4096];
@@ -43,9 +49,17 @@ dbase::Result<std::string> ReadHttpRequest(int fd) {
       }
       if (dbase::EqualsIgnoreCase(dbase::TrimWhitespace(line.substr(0, colon)),
                                   "Content-Length")) {
-        (void)dbase::ParseUint64(dbase::TrimWhitespace(line.substr(colon + 1)), &content_length);
+        // A value that doesn't parse (garbage, or past 2^64) must fail
+        // closed: treating it as 0 would sail past the body cap below.
+        // Malformed length is a 400, not a 413 (RFC 9110 §8.6).
+        if (!dbase::ParseUint64(dbase::TrimWhitespace(line.substr(colon + 1)), &content_length)) {
+          return dbase::InvalidArgument("unparseable Content-Length");
+        }
       }
     }
+  }
+  if (content_length > kMaxBodyBytes) {
+    return dbase::ResourceExhausted("request body too large");
   }
   const size_t body_start = header_end + 4;
   while (buffer.size() - body_start < content_length) {
@@ -66,6 +80,30 @@ void WriteAll(int fd, const std::string& data) {
       return;
     }
     offset += static_cast<size_t>(n);
+  }
+}
+
+// Writes an error response for a request whose body was never read. The
+// client may still be streaming it; closing with unread bytes in the
+// receive buffer sends RST, which discards the response before the client
+// reads it. Signal end-of-response, then drain — bounded in both bytes and
+// time (a hostile client that just holds the socket open must not stall
+// the accept thread) — so a well-behaved client gets the error instead of
+// a connection reset.
+void RespondAndDrain(int fd, const dhttp::HttpResponse& response) {
+  WriteAll(fd, response.Serialize());
+  shutdown(fd, SHUT_WR);
+  timeval timeout{};
+  timeout.tv_usec = 200 * 1000;  // Per-read bound.
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  const dbase::Stopwatch watch;  // Whole-drain bound.
+  char sink[4096];
+  for (size_t drained = 0; drained < (1u << 20);) {
+    const ssize_t n = read(fd, sink, sizeof(sink));
+    if (n <= 0 || watch.ElapsedMicros() > dbase::kMicrosPerSecond) {
+      break;
+    }
+    drained += static_cast<size_t>(n);
   }
 }
 
@@ -139,6 +177,12 @@ void HttpFrontend::AcceptLoop() {
 void HttpFrontend::HandleConnection(int client_fd) {
   auto raw = ReadHttpRequest(client_fd);
   if (!raw.ok()) {
+    if (raw.status().code() == dbase::StatusCode::kResourceExhausted) {
+      RespondAndDrain(client_fd, dhttp::HttpResponse::Make(413, "Payload Too Large",
+                                                           raw.status().ToString()));
+    } else if (raw.status().code() == dbase::StatusCode::kInvalidArgument) {
+      RespondAndDrain(client_fd, dhttp::HttpResponse::BadRequest(raw.status().ToString()));
+    }
     return;
   }
   auto parsed = dhttp::ParseRequest(*raw);

@@ -18,6 +18,7 @@
 #include "src/base/log.h"
 #include "src/base/queue.h"
 #include "src/base/rng.h"
+#include "src/base/sharded_queue.h"
 #include "src/base/stats.h"
 #include "src/base/status.h"
 #include "src/base/string_util.h"
@@ -373,6 +374,227 @@ TEST(MpmcQueueTest, ConcurrentProducersConsumers) {
   EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
   const int64_t n = kProducers * kPerProducer;
   EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+// ----------------------------------------------------------- Sharded queue
+
+TEST(ShardedTaskQueueTest, LocalFifoOrderPerShard) {
+  ShardedTaskQueue<int> queue(2);
+  EXPECT_EQ(queue.shard_count(), 2u);
+  queue.PushToShard(0, 1);
+  queue.PushToShard(0, 2);
+  queue.PushToShard(1, 3);
+  EXPECT_EQ(queue.TryPopLocal(0).value(), 1);
+  EXPECT_EQ(queue.TryPopLocal(0).value(), 2);
+  EXPECT_FALSE(queue.TryPopLocal(0).has_value());
+  EXPECT_EQ(queue.TryPopLocal(1).value(), 3);
+}
+
+TEST(ShardedTaskQueueTest, RoundRobinPushSpreadsShards) {
+  ShardedTaskQueue<int> queue(4);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(queue.Push(i));
+  }
+  for (size_t s = 0; s < queue.shard_count(); ++s) {
+    EXPECT_EQ(queue.ShardSize(s), 2u);
+  }
+  EXPECT_EQ(queue.Size(), 8u);
+}
+
+TEST(ShardedTaskQueueTest, StealTakesOldestFromSibling) {
+  ShardedTaskQueue<int> queue(3);
+  queue.PushToShard(2, 7);
+  queue.PushToShard(2, 8);
+  EXPECT_FALSE(queue.TryPopLocal(0).has_value());
+  EXPECT_EQ(queue.TrySteal(0).value(), 7);
+  EXPECT_EQ(queue.total_stolen(), 1u);
+  EXPECT_EQ(queue.total_popped(), 1u);  // A steal counts as a pop.
+  EXPECT_EQ(queue.TryPop(0).value(), 8);
+}
+
+TEST(ShardedTaskQueueTest, PushBatchLandsOnOneShard) {
+  ShardedTaskQueue<int> queue(4);
+  EXPECT_TRUE(queue.PushBatch({1, 2, 3, 4, 5}, 2));
+  EXPECT_EQ(queue.ShardSize(2), 5u);
+  EXPECT_EQ(queue.total_pushed(), 5u);  // Every batched item is one push.
+  EXPECT_EQ(queue.TryPopLocal(2).value(), 1);
+}
+
+TEST(ShardedTaskQueueTest, PopWithTimeoutStealsBeforeSleeping) {
+  ShardedTaskQueue<int> queue(2);
+  queue.PushToShard(1, 42);
+  const Stopwatch watch;
+  EXPECT_EQ(queue.PopWithTimeout(0, 100000).value(), 42);
+  EXPECT_LT(watch.ElapsedMicros(), 50000);
+  EXPECT_EQ(queue.total_stolen(), 1u);
+}
+
+TEST(ShardedTaskQueueTest, SiblingBatchWakesBlockedWaiter) {
+  // A worker parked in PopWithTimeout on its empty shard is woken by a
+  // batch landing on a sibling shard and steals from it, well before its
+  // timeout elapses. The wake is best-effort (the lock-free notify can race
+  // the waiter's sleep and lose, bounded by the timeout), so require a fast
+  // wake in any of a few attempts rather than flaking on one lost race.
+  constexpr Micros kTimeout = 2 * kMicrosPerSecond;
+  bool woke_fast = false;
+  for (int attempt = 0; attempt < 3 && !woke_fast; ++attempt) {
+    ShardedTaskQueue<int> queue(2);
+    std::optional<int> got;
+    Stopwatch watch;
+    std::thread waiter([&] { got = queue.PopWithTimeout(0, kTimeout); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ASSERT_TRUE(queue.PushBatch({7, 8}, 1));
+    waiter.join();
+    woke_fast = watch.ElapsedMicros() < kTimeout / 2;
+    if (got.has_value()) {
+      EXPECT_EQ(*got, 7);  // A steal takes the sibling's oldest item.
+    }
+  }
+  EXPECT_TRUE(woke_fast);
+}
+
+TEST(ShardedTaskQueueTest, ApproxShardSizeTracksOperations) {
+  ShardedTaskQueue<int> queue(3);
+  EXPECT_EQ(queue.ApproxShardSize(0), 0u);
+  queue.PushToShard(0, 1);
+  queue.PushBatch({2, 3}, 0);
+  EXPECT_EQ(queue.ApproxShardSize(0), 3u);
+  (void)queue.TryPopLocal(0);
+  EXPECT_EQ(queue.ApproxShardSize(0), 2u);
+  (void)queue.TrySteal(1);  // Steals from shard 0.
+  EXPECT_EQ(queue.ApproxShardSize(0), 1u);
+  queue.RehomeShard(0, {2});
+  EXPECT_EQ(queue.ApproxShardSize(0), 0u);
+  EXPECT_EQ(queue.ApproxShardSize(2), 1u);
+  EXPECT_EQ(queue.Size(), 1u);  // No residue left in flight after rehome.
+}
+
+TEST(ShardedTaskQueueTest, CloseDrainsThenEnds) {
+  ShardedTaskQueue<int> queue(2);
+  queue.PushToShard(0, 1);
+  queue.Close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.Push(2));
+  EXPECT_FALSE(queue.PushBatch({3, 4}, 0));
+  EXPECT_EQ(queue.TryPopLocal(0).value(), 1);
+  EXPECT_FALSE(queue.PopWithTimeout(0, 1000).has_value());
+}
+
+TEST(ShardedTaskQueueTest, RehomeMovesResidueWithoutCounting) {
+  ShardedTaskQueue<int> queue(4);
+  queue.PushToShard(0, 1);
+  queue.PushToShard(0, 2);
+  queue.PushToShard(0, 3);
+  EXPECT_EQ(queue.RehomeShard(0, {1, 2}), 3u);
+  EXPECT_EQ(queue.ShardSize(0), 0u);
+  EXPECT_EQ(queue.ShardSize(1) + queue.ShardSize(2), 3u);
+  // Re-homing is neither an arrival nor a departure.
+  EXPECT_EQ(queue.total_pushed(), 3u);
+  EXPECT_EQ(queue.total_popped(), 0u);
+}
+
+TEST(ShardedTaskQueueTest, RehomeWithNoTargetsLeavesItems) {
+  ShardedTaskQueue<int> queue(2);
+  queue.PushToShard(0, 1);
+  EXPECT_EQ(queue.RehomeShard(0, {}), 0u);
+  EXPECT_EQ(queue.RehomeShard(0, {0}), 0u);  // Self is not a target.
+  EXPECT_EQ(queue.ShardSize(0), 1u);
+}
+
+TEST(ShardedTaskQueueTest, CloseWhileStealingLosesNothing) {
+  // Stealer threads race Close(): every pushed item must surface exactly
+  // once and the counters must balance.
+  ShardedTaskQueue<int> queue(4);
+  constexpr int kItems = 4000;
+  std::atomic<int64_t> sum{0};
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> stealers;
+  for (size_t c = 0; c < 4; ++c) {
+    stealers.emplace_back([&queue, &sum, &consumed, c] {
+      while (true) {
+        auto v = queue.TryPop(c);  // Local pop, then steal.
+        if (v.has_value()) {
+          sum.fetch_add(*v);
+          consumed.fetch_add(1);
+          continue;
+        }
+        if (queue.closed()) {
+          // No pushes can land after close: a full scan (own shard plus
+          // every sibling) that starts after observing closed and finds
+          // nothing proves the queue is drained.
+          v = queue.TryPop(c);
+          if (!v.has_value()) {
+            return;
+          }
+          sum.fetch_add(*v);
+          consumed.fetch_add(1);
+          continue;
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_TRUE(queue.Push(i));
+  }
+  queue.Close();
+  for (auto& thread : stealers) {
+    thread.join();
+  }
+  EXPECT_EQ(consumed.load(), kItems);
+  const int64_t n = kItems;
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+  EXPECT_EQ(queue.total_pushed(), static_cast<uint64_t>(kItems));
+  EXPECT_EQ(queue.total_popped(), static_cast<uint64_t>(kItems));
+  EXPECT_EQ(queue.Size(), 0u);
+}
+
+TEST(ShardedTaskQueueTest, CounterCoherenceUnderConcurrency) {
+  // Producers round-robin across shards while consumers pop-and-steal;
+  // aggregate pushed/popped (the PI controller's inputs) must agree with
+  // the ground truth even mid-flight: popped never exceeds pushed.
+  ShardedTaskQueue<int> queue(4);
+  constexpr int kPerProducer = 2000;
+  constexpr int kProducers = 3;
+  std::vector<std::thread> threads;
+  std::atomic<bool> done{false};
+  std::atomic<int> consumed{0};
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&queue] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.Push(i));
+      }
+    });
+  }
+  threads.emplace_back([&queue, &done] {
+    while (!done.load()) {
+      const uint64_t popped = queue.total_popped();
+      const uint64_t pushed = queue.total_pushed();
+      EXPECT_LE(popped, pushed);
+      std::this_thread::yield();
+    }
+  });
+  for (size_t c = 0; c < 3; ++c) {
+    threads.emplace_back([&queue, &consumed, &done, c] {
+      while (consumed.load() < kProducers * kPerProducer && !done.load()) {
+        if (queue.TryPop(c).has_value()) {
+          consumed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    threads[static_cast<size_t>(p)].join();
+  }
+  while (consumed.load() < kProducers * kPerProducer) {
+    std::this_thread::yield();
+  }
+  done.store(true);
+  for (size_t t = kProducers; t < threads.size(); ++t) {
+    threads[t].join();
+  }
+  EXPECT_EQ(queue.total_pushed(), static_cast<uint64_t>(kProducers * kPerProducer));
+  EXPECT_EQ(queue.total_popped(), static_cast<uint64_t>(kProducers * kPerProducer));
 }
 
 // ------------------------------------------------------------------ Thread

@@ -368,7 +368,85 @@ TEST_F(WorkerSetTest, RoleShifting) {
 TEST_F(WorkerSetTest, SubmitAfterShutdownFails) {
   workers_->Shutdown();
   EXPECT_FALSE(workers_->SubmitCompute(ComputeTask{}));
+  EXPECT_FALSE(workers_->SubmitComputeBatch({ComputeTask{}}));
   EXPECT_FALSE(workers_->SubmitComm(CommTask{}));
+}
+
+TEST_F(WorkerSetTest, BatchSubmitRunsEveryTask) {
+  // 48 tasks crosses the chunking threshold (16 per chunk, 2 compute
+  // workers), so this also exercises the split-across-shards path.
+  constexpr int kTasks = 48;
+  dbase::Latch latch(kTasks);
+  std::atomic<int> completed{0};
+  std::vector<ComputeTask> batch;
+  for (int i = 0; i < kTasks; ++i) {
+    auto ctx_result = MemoryContext::Create(1 << 16, nullptr);
+    ASSERT_TRUE(ctx_result.ok());
+    std::shared_ptr<MemoryContext> ctx = std::move(ctx_result).value();
+    ASSERT_TRUE(ctx->StoreInputSets(EchoInputs("b" + std::to_string(i))).ok());
+    ComputeTask task;
+    task.spec = EchoSpec();
+    task.context = ctx;
+    task.done = [&](ExecOutcome outcome) {
+      if (outcome.status.ok()) {
+        completed.fetch_add(1);
+      }
+      latch.CountDown();
+    };
+    batch.push_back(std::move(task));
+  }
+  ASSERT_TRUE(workers_->SubmitComputeBatch(std::move(batch)));
+  ASSERT_TRUE(latch.WaitFor(10 * dbase::kMicrosPerSecond));
+  EXPECT_EQ(completed.load(), kTasks);
+  // The whole batch was one arrival burst; counters must balance.
+  EXPECT_EQ(workers_->compute_pushed(), static_cast<uint64_t>(kTasks));
+  EXPECT_EQ(workers_->compute_popped(), static_cast<uint64_t>(kTasks));
+}
+
+TEST_F(WorkerSetTest, StatsExposeShardDepthsAndSteals) {
+  const EngineStats stats = workers_->Stats();
+  ASSERT_EQ(stats.compute_shard_depths.size(), 3u);  // One shard per worker.
+  ASSERT_EQ(stats.comm_shard_depths.size(), 3u);
+  uint64_t total = 0;
+  for (uint64_t depth : stats.compute_shard_depths) {
+    total += depth;
+  }
+  EXPECT_EQ(total, stats.compute_queue_len);  // Aggregate = sum of shards.
+}
+
+TEST_F(WorkerSetTest, RoleShiftWithBackloggedShardLosesNoTask) {
+  // Flood the compute side so every compute shard has residue, then shift a
+  // compute worker to comm while the backlog is live: the departed shard's
+  // tasks must be re-homed or stolen, never stranded.
+  constexpr int kTasks = 64;
+  dbase::Latch latch(kTasks);
+  std::atomic<int> completed{0};
+  for (int i = 0; i < kTasks; ++i) {
+    auto ctx_result = MemoryContext::Create(1 << 16, nullptr);
+    ASSERT_TRUE(ctx_result.ok());
+    std::shared_ptr<MemoryContext> ctx = std::move(ctx_result).value();
+    ASSERT_TRUE(ctx->StoreInputSets(EchoInputs("x")).ok());
+    ComputeTask task;
+    task.spec = EchoSpec();
+    task.spec.body = [](dfunc::FunctionCtx& fctx) {
+      dbase::SpinFor(500);
+      return dfunc::EchoFunction(fctx);
+    };
+    task.context = ctx;
+    task.done = [&](ExecOutcome outcome) {
+      if (outcome.status.ok()) {
+        completed.fetch_add(1);
+      }
+      latch.CountDown();
+    };
+    ASSERT_TRUE(workers_->SubmitCompute(std::move(task)));
+  }
+  ASSERT_TRUE(workers_->ShiftWorkerToComm());  // 2 compute → 1, mid-backlog.
+  EXPECT_EQ(workers_->compute_workers(), 1);
+  ASSERT_TRUE(latch.WaitFor(30 * dbase::kMicrosPerSecond));
+  EXPECT_EQ(completed.load(), kTasks);
+  EXPECT_EQ(workers_->compute_pushed(), static_cast<uint64_t>(kTasks));
+  EXPECT_EQ(workers_->compute_popped(), static_cast<uint64_t>(kTasks));
 }
 
 // -------------------------------------------------------------- Controller
@@ -1081,6 +1159,53 @@ TEST(FrontendTest, InvokeOverLoopback) {
   auto sets = dfunc::UnmarshalSets(response->body);
   ASSERT_TRUE(sets.ok());
   EXPECT_EQ((*sets)[0].items[0].data, "over the wire");
+  frontend.Stop();
+}
+
+TEST(FrontendTest, HostileContentLengthRejected) {
+  Platform platform(FastPlatformConfig());
+  HttpFrontend frontend(&platform, 0);
+  auto started = frontend.Start();
+  if (!started.ok()) {
+    GTEST_SKIP() << "loopback sockets unavailable: " << started.ToString();
+  }
+
+  // Hostile Content-Length values, answered from the header alone instead
+  // of buffering gigabytes of body: huge-but-parseable gets 413, while an
+  // unparseable value (garbage, or past 2^64) fails closed with 400 per
+  // RFC 9110 §8.6 — an ignored parse failure would default the length to 0
+  // and sail past the cap.
+  struct Case {
+    const char* content_length;
+    int expected_status;
+  };
+  for (const Case c : {Case{"99999999999", 413}, Case{"18446744073709551616", 400},
+                       Case{"abc", 400}}) {
+    const char* hostile_length = c.content_length;
+    int fd = socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(frontend.port());
+    ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+    const std::string wire = std::string("POST /invoke/Id HTTP/1.1\r\nContent-Length: ") +
+                             hostile_length + "\r\n\r\n";
+    ASSERT_EQ(write(fd, wire.data(), wire.size()), static_cast<ssize_t>(wire.size()));
+
+    std::string response_wire;
+    char buf[4096];
+    ssize_t n;
+    while ((n = read(fd, buf, sizeof(buf))) > 0) {
+      response_wire.append(buf, static_cast<size_t>(n));
+    }
+    close(fd);
+
+    auto response = dhttp::ParseResponse(response_wire);
+    ASSERT_TRUE(response.ok()) << response_wire;
+    EXPECT_EQ(response->status_code, c.expected_status) << hostile_length;
+  }
   frontend.Stop();
 }
 
