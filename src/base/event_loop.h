@@ -1,0 +1,105 @@
+// Epoll-based event loop: the reactor under the async HTTP frontend. One
+// thread calls Run(); it multiplexes socket readiness, one-shot timers, and
+// closures posted from other threads (woken through an eventfd). All fd and
+// timer registration is expected to happen on the loop thread except Post()
+// and Stop(), which are safe from anywhere — async work (engine completions)
+// re-enters the loop by posting a closure rather than touching loop state.
+#ifndef SRC_BASE_EVENT_LOOP_H_
+#define SRC_BASE_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/base/status.h"
+
+namespace dbase {
+
+class EventLoop {
+ public:
+  // Receives the EPOLLIN/EPOLLOUT/EPOLLHUP/... bitmask that fired.
+  using FdCallback = std::function<void(uint32_t events)>;
+  using TimerId = uint64_t;
+
+  // Creates the epoll instance and the wakeup eventfd; fails (Unavailable)
+  // only when the kernel refuses the descriptors.
+  static Result<std::unique_ptr<EventLoop>> Create();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Dispatches events until Stop(). Runs posted closures and due timers
+  // between epoll waits.
+  void Run();
+  // Thread-safe; wakes the loop and makes Run() return after the current
+  // iteration finishes. Idempotent.
+  void Stop();
+
+  // Registers fd for the given EPOLL* interest set (level-triggered unless
+  // EPOLLET is included). The callback stays attached until Remove().
+  Status Add(int fd, uint32_t events, FdCallback callback);
+  // Changes the interest set of an fd previously Add()ed.
+  Status Modify(int fd, uint32_t events);
+  // Deregisters fd. Pending events already harvested for this fd are
+  // discarded (the dispatch loop re-checks registration per event). Does
+  // not close the fd.
+  void Remove(int fd);
+
+  // Thread-safe: enqueues fn to run on the loop thread and wakes the loop.
+  // Closures posted after Stop() are retained but never run.
+  void Post(std::function<void()> fn);
+
+  // One-shot timer: fn runs on the loop thread once, ~delay from now.
+  // Returns an id usable with CancelTimer; ids are never reused.
+  TimerId AddTimer(Micros delay, std::function<void()> fn);
+  void CancelTimer(TimerId id);
+
+  // True when called from inside Run() on the loop thread.
+  bool IsLoopThread() const { return std::this_thread::get_id() == loop_thread_id_; }
+
+ private:
+  EventLoop(int epoll_fd, int wakeup_fd);
+
+  void RunPosted();
+  void RunDueTimers(Micros now);
+  // Milliseconds until the next timer is due (for epoll_wait), or -1 to
+  // block indefinitely.
+  int NextTimeoutMillis(Micros now) const;
+
+  const int epoll_fd_;
+  const int wakeup_fd_;
+
+  // Loop-thread-only state. Callbacks are held by shared_ptr so dispatch
+  // can pin one across its own Remove() without deep-copying the closure
+  // per event.
+  std::map<int, std::shared_ptr<const FdCallback>> fd_callbacks_;
+  struct Timer {
+    Micros deadline;
+    std::function<void()> fn;
+  };
+  std::map<TimerId, Timer> timers_;
+  // Min-heap of (deadline, id); stale entries (cancelled / re-armed ids)
+  // are skipped because the id is gone from timers_.
+  using TimerKey = std::pair<Micros, TimerId>;
+  std::priority_queue<TimerKey, std::vector<TimerKey>, std::greater<TimerKey>> timer_heap_;
+  TimerId next_timer_id_ = 1;
+  std::thread::id loop_thread_id_;
+
+  // Cross-thread state.
+  std::mutex posted_mu_;
+  std::vector<std::function<void()>> posted_;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace dbase
+
+#endif  // SRC_BASE_EVENT_LOOP_H_

@@ -67,16 +67,42 @@ dbase::Status ParseHeaders(std::string_view block, HeaderList* headers) {
   return dbase::OkStatus();
 }
 
+// Folds one Content-Length header value into the accumulated framing
+// length — the single home of the RFC 9112 §6.3 policy shared by the full
+// parser and the incremental scanner: a value that doesn't parse (garbage,
+// or past 2^64) fails closed (treating it as 0 would sail past body caps
+// downstream — and per RFC 9110 §8.6 that's a 400, not a 413), duplicate
+// headers with conflicting values are rejected, identical repeats are
+// tolerated.
+dbase::Status AccumulateContentLength(std::string_view value, bool* seen, uint64_t* length) {
+  uint64_t parsed = 0;
+  if (!dbase::ParseUint64(dbase::TrimWhitespace(value), &parsed)) {
+    return InvalidArgument("unparseable Content-Length");
+  }
+  if (*seen && parsed != *length) {
+    return InvalidArgument("conflicting duplicate Content-Length headers");
+  }
+  *seen = true;
+  *length = parsed;
+  return dbase::OkStatus();
+}
+
 // Returns the expected body length, or error. A missing Content-Length is
-// interpreted as zero-length body (we never support chunked encoding).
+// interpreted as zero-length body — and because of that default, a
+// Transfer-Encoding header MUST be rejected (RFC 9112 §6.1): framing a
+// chunked message as zero-body would leave its body bytes in the buffer to
+// be parsed as the next pipelined request (request smuggling/desync).
 Result<uint64_t> ExpectedBodyLength(const HeaderList& headers) {
-  auto value = headers.Get("Content-Length");
-  if (!value.has_value()) {
-    return uint64_t{0};
+  if (headers.Has("Transfer-Encoding")) {
+    return InvalidArgument("Transfer-Encoding is not supported");
   }
   uint64_t length = 0;
-  if (!dbase::ParseUint64(dbase::TrimWhitespace(*value), &length)) {
-    return InvalidArgument("unparseable Content-Length");
+  bool seen = false;
+  for (const auto& [name, value] : headers.entries()) {
+    if (!dbase::EqualsIgnoreCase(name, "Content-Length")) {
+      continue;
+    }
+    RETURN_IF_ERROR(AccumulateContentLength(value, &seen, &length));
   }
   return length;
 }
@@ -92,6 +118,46 @@ dbase::Status CheckBody(std::string_view body, const HeaderList& headers) {
 }
 
 }  // namespace
+
+Result<std::optional<MessageHead>> ScanMessageHead(std::string_view buffer,
+                                                   size_t max_head_bytes) {
+  const size_t head_end = buffer.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    // No terminator within the first max_head_bytes means the complete head
+    // (terminator included) can only end past the cap — fail now instead of
+    // buffering an unbounded header block.
+    if (buffer.size() >= max_head_bytes) {
+      return dbase::ResourceExhausted("header block too large");
+    }
+    return std::optional<MessageHead>{};
+  }
+  if (head_end + 4 > max_head_bytes) {
+    return dbase::ResourceExhausted("header block too large");
+  }
+
+  MessageHead head;
+  head.head_bytes = head_end + 4;
+  bool seen_length = false;
+  for (std::string_view line : dbase::SplitString(buffer.substr(0, head_end), "\r\n")) {
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      continue;  // Start line, or a malformed header left to ParseRequest.
+    }
+    const std::string_view name = dbase::TrimWhitespace(line.substr(0, colon));
+    // Unimplemented framing must fail here, not default to zero-body: a
+    // chunked message scanned as zero-body would desync the pipelined
+    // stream (its body becomes the "next request" — request smuggling).
+    if (dbase::EqualsIgnoreCase(name, "Transfer-Encoding")) {
+      return InvalidArgument("Transfer-Encoding is not supported");
+    }
+    if (!dbase::EqualsIgnoreCase(name, "Content-Length")) {
+      continue;
+    }
+    RETURN_IF_ERROR(AccumulateContentLength(line.substr(colon + 1), &seen_length,
+                                            &head.content_length));
+  }
+  return std::optional<MessageHead>(head);
+}
 
 Result<HttpRequest> ParseRequest(std::string_view wire) {
   ASSIGN_OR_RETURN(HeadSplit parts, SplitMessage(wire));

@@ -4,6 +4,8 @@
 #ifndef SRC_HTTP_HTTP_PARSER_H_
 #define SRC_HTTP_HTTP_PARSER_H_
 
+#include <cstdint>
+#include <optional>
 #include <string_view>
 
 #include "src/base/status.h"
@@ -18,6 +20,28 @@ namespace dhttp {
 dbase::Result<HttpRequest> ParseRequest(std::string_view wire);
 
 dbase::Result<HttpResponse> ParseResponse(std::string_view wire);
+
+// Result of an incremental head scan over a partially-received message.
+struct MessageHead {
+  size_t head_bytes = 0;         // Offset of the first body byte (past CRLFCRLF).
+  uint64_t content_length = 0;   // 0 when the header is absent.
+};
+
+// Incremental entry point for streaming servers: inspects the buffered
+// prefix of an HTTP/1.x message as bytes arrive, without requiring the full
+// message. Returns
+//   - nullopt while the header block's terminating CRLFCRLF has not arrived
+//     yet (read more and call again),
+//   - a MessageHead once the head is complete,
+//   - kResourceExhausted when the head exceeds max_head_bytes before
+//     terminating (a slowloris / oversized-header guard),
+//   - kInvalidArgument for an unparseable Content-Length or duplicate
+//     Content-Length headers with conflicting values (RFC 9112 §6.3;
+//     repeats with the identical value are tolerated).
+// Works for requests and responses alike: it only locates the head and the
+// framing length — full validation stays with Parse{Request,Response}.
+dbase::Result<std::optional<MessageHead>> ScanMessageHead(std::string_view buffer,
+                                                          size_t max_head_bytes);
 
 }  // namespace dhttp
 

@@ -52,6 +52,15 @@ dbase::Result<CommFunctionSpec> CommFunctionRegistry::Lookup(const std::string& 
   return it->second;
 }
 
+std::optional<CommFunctionSpec> CommFunctionRegistry::TryLookup(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = functions_.find(name);
+  if (it == functions_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
 bool CommFunctionRegistry::Contains(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   return functions_.count(name) > 0;

@@ -9,6 +9,7 @@
 #include <functional>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -59,6 +60,9 @@ class CommFunctionRegistry {
 
   dbase::Status Register(CommFunctionSpec spec);
   dbase::Result<CommFunctionSpec> Lookup(const std::string& name) const;
+  // Like Lookup but allocation-free on a miss — for callers probing every
+  // composition callee, where misses are the common case.
+  std::optional<CommFunctionSpec> TryLookup(const std::string& name) const;
   bool Contains(const std::string& name) const;
   std::vector<std::string> Names() const;
 

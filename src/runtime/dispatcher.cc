@@ -286,9 +286,11 @@ void Dispatcher::StartNodeLocked(const std::shared_ptr<InvocationState>& inv, si
   dfunc::FunctionSpec spec;
   CommFunctionSpec comm_spec;
   std::shared_ptr<const ddsl::CompositionGraph> subgraph;
-  if (auto comm = comm_functions_->Lookup(node.callee); comm.ok()) {
+  // TryLookup: a Lookup miss allocates a NotFound message, and the common
+  // (compute) case would pay that on every node start.
+  if (auto comm = comm_functions_->TryLookup(node.callee); comm.has_value()) {
     kind = Kind::kComm;
-    comm_spec = std::move(comm).value();
+    comm_spec = std::move(*comm);
   } else if (auto fn = functions_->Lookup(node.callee); fn.ok()) {
     kind = Kind::kCompute;
     spec = std::move(fn).value();

@@ -2,13 +2,17 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 #include <string>
+#include <utility>
 
-#include "src/base/clock.h"
 #include "src/base/log.h"
 #include "src/base/string_util.h"
 #include "src/http/http_parser.h"
@@ -19,103 +23,94 @@ namespace {
 // A hostile Content-Length must not balloon memory: bodies beyond this are
 // rejected with 413 before any body byte is buffered.
 constexpr uint64_t kMaxBodyBytes = 64ull * 1024 * 1024;
+// Header blocks are far smaller than bodies; an unterminated or oversized
+// head is rejected at 64 KiB (slowloris / header-bomb guard).
+constexpr size_t kMaxHeaderBytes = 64 * 1024;
+// Bytes a draining connection will discard before giving up on the client.
+constexpr size_t kMaxDrainBytes = 1u << 20;
 
-// Reads one HTTP request from a connected socket: headers first, then the
-// Content-Length-many body bytes. Oversized headers or bodies surface as
-// kResourceExhausted, which the connection handler answers with 413.
-dbase::Result<std::string> ReadHttpRequest(int fd) {
-  std::string buffer;
-  char chunk[4096];
-  size_t header_end = std::string::npos;
-  while (header_end == std::string::npos) {
-    const ssize_t n = read(fd, chunk, sizeof(chunk));
-    if (n <= 0) {
-      return dbase::Unavailable("client closed connection mid-request");
-    }
-    buffer.append(chunk, static_cast<size_t>(n));
-    header_end = buffer.find("\r\n\r\n");
-    if (buffer.size() > 64 * 1024 * 1024) {
-      return dbase::ResourceExhausted("request header block too large");
-    }
-  }
-  // Find Content-Length to know how much body remains.
-  uint64_t content_length = 0;
-  {
-    const std::string head = buffer.substr(0, header_end);
-    for (auto line : dbase::SplitString(head, "\r\n")) {
-      const size_t colon = line.find(':');
-      if (colon == std::string_view::npos) {
-        continue;
-      }
-      if (dbase::EqualsIgnoreCase(dbase::TrimWhitespace(line.substr(0, colon)),
-                                  "Content-Length")) {
-        // A value that doesn't parse (garbage, or past 2^64) must fail
-        // closed: treating it as 0 would sail past the body cap below.
-        // Malformed length is a 400, not a 413 (RFC 9110 §8.6).
-        if (!dbase::ParseUint64(dbase::TrimWhitespace(line.substr(colon + 1)), &content_length)) {
-          return dbase::InvalidArgument("unparseable Content-Length");
-        }
-      }
-    }
-  }
-  if (content_length > kMaxBodyBytes) {
-    return dbase::ResourceExhausted("request body too large");
-  }
-  const size_t body_start = header_end + 4;
-  while (buffer.size() - body_start < content_length) {
-    const ssize_t n = read(fd, chunk, sizeof(chunk));
-    if (n <= 0) {
-      return dbase::Unavailable("client closed connection mid-body");
-    }
-    buffer.append(chunk, static_cast<size_t>(n));
-  }
-  return buffer;
-}
-
+// Blocking-style full write with EINTR retry; on EAGAIN (non-blocking fd,
+// or SO_SNDTIMEO) it polls for writability instead of silently truncating
+// the response. Bounded in time so a hostile zero-window client cannot
+// pin the caller. Used outside the per-connection state machine (e.g. the
+// over-capacity 503 written straight from accept).
 void WriteAll(int fd, const std::string& data) {
+  const dbase::Stopwatch watch;
   size_t offset = 0;
-  while (offset < data.size()) {
+  while (offset < data.size() && watch.ElapsedMicros() < dbase::kMicrosPerSecond) {
     const ssize_t n = write(fd, data.data() + offset, data.size() - offset);
-    if (n <= 0) {
-      return;
+    if (n > 0) {
+      offset += static_cast<size_t>(n);
+      continue;
     }
-    offset += static_cast<size_t>(n);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd, POLLOUT, 0};
+      poll(&pfd, 1, 100);
+      continue;
+    }
+    return;  // Hard error (EPIPE, ...): the response is undeliverable.
   }
 }
 
-// Writes an error response for a request whose body was never read. The
-// client may still be streaming it; closing with unread bytes in the
-// receive buffer sends RST, which discards the response before the client
-// reads it. Signal end-of-response, then drain — bounded in both bytes and
-// time (a hostile client that just holds the socket open must not stall
-// the accept thread) — so a well-behaved client gets the error instead of
-// a connection reset.
-void RespondAndDrain(int fd, const dhttp::HttpResponse& response) {
-  WriteAll(fd, response.Serialize());
-  shutdown(fd, SHUT_WR);
-  timeval timeout{};
-  timeout.tv_usec = 200 * 1000;  // Per-read bound.
-  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
-  const dbase::Stopwatch watch;  // Whole-drain bound.
-  char sink[4096];
-  for (size_t drained = 0; drained < (1u << 20);) {
-    const ssize_t n = read(fd, sink, sizeof(sink));
-    if (n <= 0 || watch.ElapsedMicros() > dbase::kMicrosPerSecond) {
-      break;
+// True when `token` appears in the comma-separated Connection header value
+// (RFC 9110 §7.6.1 — e.g. "close, te" contains "close").
+bool ConnectionHeaderHasToken(std::string_view value, std::string_view token) {
+  for (std::string_view part : dbase::SplitString(value, ',')) {
+    if (dbase::EqualsIgnoreCase(dbase::TrimWhitespace(part), token)) {
+      return true;
     }
-    drained += static_cast<size_t>(n);
   }
+  return false;
+}
+
+// Keep-alive decision per RFC 9112 §9.3: HTTP/1.1 persists unless the
+// client says "Connection: close"; HTTP/1.0 closes unless it says
+// "Connection: keep-alive".
+bool WantsKeepAlive(const dhttp::HttpRequest& request) {
+  const auto connection = request.headers.Get("Connection");
+  if (request.version == "HTTP/1.0") {
+    return connection.has_value() && ConnectionHeaderHasToken(*connection, "keep-alive");
+  }
+  return !(connection.has_value() && ConnectionHeaderHasToken(*connection, "close"));
+}
+
+// Serialized wire form of an invocation's response. The success path is
+// built directly — it runs once per invocation on an engine thread, and
+// going through HttpResponse/HeaderList would cost several allocations for
+// a fixed header block.
+std::string InvocationResponseWire(dbase::Result<dfunc::DataSetList> result) {
+  if (result.ok()) {
+    const std::string payload = dfunc::MarshalSets(result.value());
+    std::string out;
+    out.reserve(96 + payload.size());
+    out.append(
+        "HTTP/1.1 200 OK\r\n"
+        "Content-Type: application/x-dandelion-sets\r\n"
+        "Content-Length: ");
+    out.append(std::to_string(payload.size()));
+    out.append("\r\n\r\n");
+    out.append(payload);
+    return out;
+  }
+  const int code = result.status().code() == dbase::StatusCode::kNotFound ? 404 : 500;
+  return dhttp::HttpResponse::Make(code, "Error", result.status().ToString()).Serialize();
 }
 
 }  // namespace
 
+HttpFrontend::HttpFrontend(Platform* platform, FrontendConfig config)
+    : platform_(platform), config_(config), port_(config.port) {}
+
 HttpFrontend::HttpFrontend(Platform* platform, uint16_t port)
-    : platform_(platform), port_(port) {}
+    : HttpFrontend(platform, FrontendConfig{.port = port}) {}
 
 HttpFrontend::~HttpFrontend() { Stop(); }
 
 dbase::Status HttpFrontend::Start() {
-  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) {
     return dbase::Unavailable("socket() failed");
   }
@@ -131,7 +126,7 @@ dbase::Status HttpFrontend::Start() {
     listen_fd_ = -1;
     return dbase::Unavailable("bind() failed (sandboxed environment?)");
   }
-  if (listen(listen_fd_, 64) != 0) {
+  if (listen(listen_fd_, 128) != 0) {
     close(listen_fd_);
     listen_fd_ = -1;
     return dbase::Unavailable("listen() failed");
@@ -140,8 +135,30 @@ dbase::Status HttpFrontend::Start() {
   getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
 
+  auto loop = dbase::EventLoop::Create();
+  if (!loop.ok()) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return loop.status();
+  }
+  loop_ = std::move(loop).value();
+  const dbase::Status added = loop_->Add(listen_fd_, EPOLLIN, [this](uint32_t) { OnAcceptable(); });
+  if (!added.ok()) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    loop_.reset();
+    return added;
+  }
+
+  int dispatch_threads = config_.dispatch_threads;
+  if (dispatch_threads < 0) {
+    dispatch_threads = std::thread::hardware_concurrency() > 2 ? 2 : 0;
+  }
+  if (dispatch_threads > 0) {
+    dispatch_pool_ = std::make_unique<dbase::WorkerPool>(dispatch_threads, "frontend-dispatch");
+  }
   running_.store(true);
-  accept_thread_ = dbase::JoiningThread("frontend", [this] { AcceptLoop(); });
+  loop_thread_ = dbase::JoiningThread("frontend", [loop = loop_] { loop->Run(); });
   return dbase::OkStatus();
 }
 
@@ -149,93 +166,632 @@ void HttpFrontend::Stop() {
   if (!running_.exchange(false)) {
     return;
   }
+  loop_->Stop();
+  loop_thread_.Join();
+  if (dispatch_pool_ != nullptr) {
+    // Drains queued dispatches; their completions post into the (stopped)
+    // loop and are simply never run.
+    dispatch_pool_->Shutdown();
+    dispatch_pool_.reset();
+  }
+  // The loop thread is gone; tear the remaining sockets down directly.
+  for (auto& [fd, conn] : connections_) {
+    close(fd);
+    conn->fd = -1;
+  }
+  connections_.clear();
   if (listen_fd_ >= 0) {
-    shutdown(listen_fd_, SHUT_RDWR);
     close(listen_fd_);
     listen_fd_ = -1;
   }
-  accept_thread_.Join();
 }
 
-void HttpFrontend::AcceptLoop() {
-  while (running_.load(std::memory_order_relaxed)) {
-    const int client = accept(listen_fd_, nullptr, nullptr);
-    if (client < 0) {
-      if (!running_.load(std::memory_order_relaxed)) {
+void HttpFrontend::OnAcceptable() {
+  while (true) {
+    const int fd = accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return;  // Backlog drained.
+      }
+      if (errno != EMFILE && errno != ENFILE) {
+        // Transient per-connection failures (ECONNABORTED: client RST'd
+        // while queued; EPROTO, network errors) — skip that connection and
+        // keep accepting, per accept(2).
+        continue;
+      }
+      // Out of file descriptors: the pending connection stays in the
+      // backlog, so level-triggered EPOLLIN would re-fire every wait and
+      // spin the loop at 100% CPU. Mute the listener briefly and retry
+      // once descriptors may have freed.
+      (void)loop_->Modify(listen_fd_, 0);
+      loop_->AddTimer(50 * dbase::kMicrosPerMilli, [this] {
+        if (running_.load(std::memory_order_relaxed)) {
+          (void)loop_->Modify(listen_fd_, EPOLLIN);
+        }
+      });
+      return;
+    }
+    if (connections_.size() >= config_.max_connections) {
+      WriteAll(fd, dhttp::HttpResponse::Make(503, "Service Unavailable", "connection limit\n")
+                       .Serialize());
+      // Respond-then-drain, non-blocking flavour: signal end-of-response,
+      // then clear whatever request bytes already arrived so close() does
+      // not RST the 503 out of the client's receive buffer. Bytes still in
+      // flight can race the close; blocking the accept path to wait for
+      // them is not worth it on an already-overloaded node.
+      shutdown(fd, SHUT_WR);
+      char sink[4096];
+      while (read(fd, sink, sizeof(sink)) > 0) {
+      }
+      close(fd);
+      continue;
+    }
+    int nodelay = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conn->armed_events = EPOLLIN;
+    conn->last_activity = dbase::MonotonicClock::Get()->NowMicros();
+    connections_[fd] = conn;
+    const dbase::Status added =
+        loop_->Add(fd, EPOLLIN, [this, conn](uint32_t events) { OnConnectionEvent(conn, events); });
+    if (!added.ok()) {
+      connections_.erase(fd);
+      close(fd);
+      continue;
+    }
+    ArmIdleTimer(conn);
+  }
+}
+
+void HttpFrontend::OnConnectionEvent(const ConnectionPtr& conn, uint32_t events) {
+  if (conn->fd < 0) {
+    return;
+  }
+  if (events & EPOLLERR) {
+    CloseConnection(conn);
+    return;
+  }
+  if (events & (EPOLLIN | EPOLLHUP)) {
+    OnReadable(conn);
+    if (conn->fd < 0) {
+      return;
+    }
+  }
+  if (events & EPOLLOUT) {
+    TryWrite(conn);
+  }
+}
+
+void HttpFrontend::OnReadable(const ConnectionPtr& conn) {
+  // Per-callback read budget: a fast sender (loopback, 10GbE) can keep the
+  // socket non-empty indefinitely; without a bound, one connection's
+  // upload would monopolize the loop thread and buffer unboundedly ahead
+  // of the pipeline-depth backpressure. Level-triggered epoll re-fires for
+  // the remainder, interleaving other connections' events.
+  constexpr size_t kReadBudget = 256 * 1024;
+  size_t budget_used = 0;
+  char chunk[16384];
+  bool got_bytes = false;
+  bool saw_eof = false;
+  while (budget_used < kReadBudget) {
+    const ssize_t n = read(conn->fd, chunk, sizeof(chunk));
+    if (n > 0) {
+      got_bytes = true;
+      budget_used += static_cast<size_t>(n);
+      if (conn->state == Connection::State::kDraining) {
+        conn->drained_bytes += static_cast<size_t>(n);
+        if (conn->drained_bytes > kMaxDrainBytes) {
+          CloseConnection(conn);
+          return;
+        }
+        continue;  // Discard: only waiting for the client to finish/close.
+      }
+      conn->in.append(chunk, static_cast<size_t>(n));
+      total_buffered_bytes_ += static_cast<size_t>(n);
+      if (total_buffered_bytes_ > config_.max_total_buffered_bytes) {
+        // Platform-wide buffering budget breached: this connection's
+        // bytes are the ones that tipped it, so it takes the 503.
+        FailConnection(conn, dhttp::HttpResponse::Make(503, "Service Unavailable",
+                                                       "request buffers full"));
+        ReleaseDeadInput(conn);
         return;
       }
       continue;
     }
-    // One connection at a time keeps the frontend simple; invocation work
-    // itself runs on the engines, so the frontend is not the bottleneck for
-    // the single-client examples/tests that use it.
-    HandleConnection(client);
-    close(client);
+    if (n == 0) {
+      if (conn->state == Connection::State::kDraining) {
+        CloseConnection(conn);  // Drain complete.
+        return;
+      }
+      saw_eof = true;
+      break;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    }
+    CloseConnection(conn);
+    return;
+  }
+  if (got_bytes) {
+    conn->last_activity = dbase::MonotonicClock::Get()->NowMicros();
+  }
+  // Parse BEFORE acting on EOF: a client may legitimately half-close right
+  // after its (complete) requests and still expects every response —
+  // including requests parked in `in` behind the pipeline-depth limit,
+  // which get parsed later as slots free up.
+  if (saw_eof) {
+    conn->saw_eof = true;
+  }
+  if (conn->state == Connection::State::kReading) {
+    ProcessInput(conn);
+  }
+  if (saw_eof && conn->fd >= 0) {
+    MaybeFinishEof(conn);
+    if (conn->fd >= 0) {
+      UpdateInterest(conn);  // Drop EPOLLIN: nothing more will arrive.
+    }
   }
 }
 
-void HttpFrontend::HandleConnection(int client_fd) {
-  auto raw = ReadHttpRequest(client_fd);
-  if (!raw.ok()) {
-    if (raw.status().code() == dbase::StatusCode::kResourceExhausted) {
-      RespondAndDrain(client_fd, dhttp::HttpResponse::Make(413, "Payload Too Large",
-                                                           raw.status().ToString()));
-    } else if (raw.status().code() == dbase::StatusCode::kInvalidArgument) {
-      RespondAndDrain(client_fd, dhttp::HttpResponse::BadRequest(raw.status().ToString()));
+void HttpFrontend::ProcessInput(const ConnectionPtr& conn) {
+  // Outer loop: FlushPipeline pops inline-answered (already-ready) slots,
+  // which can re-open pipeline capacity for requests still buffered in
+  // `in` — without it, a burst of, say, 65 pipelined /healthz requests
+  // would strand number 65 unparsed forever (no further EPOLLIN fires for
+  // bytes already read). Progress is monotone (each pass consumes bytes),
+  // so this terminates.
+  bool progressed = true;
+  size_t total_consumed = 0;
+  while (progressed && conn->state == Connection::State::kReading) {
+    progressed = false;
+    size_t consumed = 0;
+    while (conn->state == Connection::State::kReading &&
+           conn->pipeline.size() < config_.max_pipeline_depth) {
+      const std::string_view pending = std::string_view(conn->in).substr(consumed);
+      auto head = dhttp::ScanMessageHead(pending, kMaxHeaderBytes);
+      if (!head.ok()) {
+        if (head.status().code() == dbase::StatusCode::kResourceExhausted) {
+          FailConnection(conn, dhttp::HttpResponse::Make(413, "Payload Too Large",
+                                                         head.status().ToString()));
+        } else {
+          FailConnection(conn, dhttp::HttpResponse::BadRequest(head.status().ToString()));
+        }
+        break;
+      }
+      if (!head->has_value()) {
+        break;  // Incomplete head: wait for more bytes.
+      }
+      const dhttp::MessageHead& framing = head->value();
+      if (framing.content_length > kMaxBodyBytes) {
+        FailConnection(conn, dhttp::HttpResponse::Make(413, "Payload Too Large",
+                                                       "request body too large"));
+        break;
+      }
+      const size_t total = framing.head_bytes + static_cast<size_t>(framing.content_length);
+      if (pending.size() < total) {
+        break;  // Incomplete body: wait for more bytes.
+      }
+      const std::string_view wire = pending.substr(0, total);
+      consumed += total;
+      if (!HandleRequest(conn, wire)) {
+        break;
+      }
     }
-    return;
+    if (conn->fd < 0) {
+      return;
+    }
+    if (consumed > 0) {
+      conn->in.erase(0, consumed);
+      total_buffered_bytes_ -= consumed;
+      total_consumed += consumed;
+    }
+    const size_t slots_before = conn->pipeline.size();
+    FlushPipeline(conn);  // Answer everything completed inline in one write.
+    if (conn->fd < 0) {
+      return;
+    }
+    // Consumed bytes and popped slots are both monotone, so requiring one
+    // of them per pass guarantees termination.
+    progressed = consumed > 0 || conn->pipeline.size() < slots_before;
+    if (conn->in.empty() || conn->pipeline.size() >= config_.max_pipeline_depth) {
+      break;  // Nothing left, or genuinely backpressured on async slots.
+    }
   }
-  auto parsed = dhttp::ParseRequest(*raw);
-  dhttp::HttpResponse response;
+  if (conn->fd >= 0) {
+    if (conn->state != Connection::State::kReading) {
+      // Parsing stopped (error drain, Connection: close): leftover input
+      // can never be consumed — drop it and free its budget share now.
+      ReleaseDeadInput(conn);
+    }
+    // Track how long the buffered partial request has been pending (the
+    // request_timeout trickle-slowloris bound). Completing a request is
+    // progress and restarts the clock — a healthy pipelining client whose
+    // buffer never drains to an exact request boundary must not age out.
+    if (conn->in.empty()) {
+      conn->partial_since = 0;
+    } else if (conn->partial_since == 0 || total_consumed > 0) {
+      conn->partial_since = dbase::MonotonicClock::Get()->NowMicros();
+    }
+    UpdateInterest(conn);
+  }
+}
+
+bool HttpFrontend::HandleRequest(const ConnectionPtr& conn, std::string_view wire) {
+  auto parsed = dhttp::ParseRequest(wire);
   if (!parsed.ok()) {
-    response = dhttp::HttpResponse::BadRequest(parsed.status().ToString());
-    WriteAll(client_fd, response.Serialize());
-    return;
+    // The framing was consistent but the request itself is malformed;
+    // answer 400 and close (resynchronizing a pipelined stream after a bad
+    // request is not worth the ambiguity).
+    FailConnection(conn, dhttp::HttpResponse::BadRequest(parsed.status().ToString()));
+    return false;
   }
   const dhttp::HttpRequest& request = parsed.value();
   const std::string& target = request.target;
 
+  auto slot = std::make_shared<Connection::ResponseSlot>();
+  conn->pipeline.push_back(slot);
+  if (!WantsKeepAlive(request)) {
+    conn->state = Connection::State::kStopped;  // Flush, then close.
+  }
+
   if (request.method == dhttp::Method::kGet && target == "/healthz") {
-    response = dhttp::HttpResponse::Ok("ok\n");
+    FinishSlot(conn, slot, dhttp::HttpResponse::Ok("ok\n"));
   } else if (request.method == dhttp::Method::kPost && target == "/register/composition") {
     const dbase::Status status = platform_->RegisterCompositionDsl(request.body);
-    response = status.ok() ? dhttp::HttpResponse::Make(201, "Created", "registered\n")
-                           : dhttp::HttpResponse::BadRequest(status.ToString());
+    FinishSlot(conn, slot,
+               status.ok() ? dhttp::HttpResponse::Make(201, "Created", "registered\n")
+                           : dhttp::HttpResponse::BadRequest(status.ToString()));
   } else if (request.method == dhttp::Method::kPost && target.rfind("/invoke/", 0) == 0) {
-    const std::string composition = target.substr(std::strlen("/invoke/"));
-    dfunc::DataSetList args;
-    const bool raw_mode = request.headers.Get("X-Dandelion-Raw").has_value();
-    if (raw_mode) {
-      // Plain-text convenience: the body becomes the single item of a set
-      // named after the composition's first parameter.
-      auto graph = platform_->compositions().Lookup(composition);
-      if (!graph.ok() || graph.value()->params().empty()) {
-        WriteAll(client_fd, dhttp::HttpResponse::NotFound("unknown composition").Serialize());
-        return;
-      }
-      args.push_back(
-          dfunc::DataSet{graph.value()->params().front(), {dfunc::DataItem{"", request.body}}});
-    } else {
-      auto unmarshalled = dfunc::UnmarshalSets(request.body);
-      if (!unmarshalled.ok()) {
-        WriteAll(client_fd,
-                 dhttp::HttpResponse::BadRequest(unmarshalled.status().ToString()).Serialize());
-        return;
-      }
-      args = std::move(unmarshalled).value();
-    }
-    auto result = platform_->Invoke(composition, std::move(args));
-    if (result.ok()) {
-      response = dhttp::HttpResponse::Ok(dfunc::MarshalSets(result.value()));
-      response.headers.Set("Content-Type", "application/x-dandelion-sets");
-    } else {
-      const int code = result.status().code() == dbase::StatusCode::kNotFound ? 404 : 500;
-      response = dhttp::HttpResponse::Make(code, "Error", result.status().ToString());
+    // Hand the dispatch itself (argument resolution, memory-context
+    // creation, input marshalling inside the dispatcher) to the pool so the
+    // loop thread moves on to the next connection immediately — unless the
+    // pool is disabled (small machines), where dispatching inline avoids a
+    // thread hop. Either way the engine work itself is asynchronous.
+    std::weak_ptr<Connection> weak_conn = conn;
+    if (dispatch_pool_ == nullptr) {
+      DispatchInvoke(weak_conn, slot, std::move(parsed).value());
+    } else if (!dispatch_pool_->Submit(
+                   [this, weak_conn, slot, request = std::move(parsed).value()]() mutable {
+                     DispatchInvoke(weak_conn, slot, std::move(request));
+                   })) {
+      FinishSlot(conn, slot,
+                 dhttp::HttpResponse::Make(503, "Service Unavailable", "shutting down"));
     }
   } else {
-    response = dhttp::HttpResponse::NotFound("unknown endpoint: " + target);
+    FinishSlot(conn, slot, dhttp::HttpResponse::NotFound("unknown endpoint: " + target));
   }
-  WriteAll(client_fd, response.Serialize());
+  return conn->fd >= 0 && conn->state == Connection::State::kReading;
+}
+
+void HttpFrontend::DispatchInvoke(const std::weak_ptr<Connection>& weak_conn, const SlotPtr& slot,
+                                  dhttp::HttpRequest request) {
+  const std::string composition = request.target.substr(std::strlen("/invoke/"));
+  dfunc::DataSetList args;
+  if (request.headers.Get("X-Dandelion-Raw").has_value()) {
+    // Plain-text convenience: the body becomes the single item of a set
+    // named after the composition's first parameter.
+    auto graph = platform_->compositions().Lookup(composition);
+    if (!graph.ok() || graph.value()->params().empty()) {
+      PostSlotCompletion(weak_conn, slot,
+                         dhttp::HttpResponse::NotFound("unknown composition").Serialize());
+      return;
+    }
+    args.push_back(dfunc::DataSet{graph.value()->params().front(),
+                                  {dfunc::DataItem{"", std::move(request.body)}}});
+  } else {
+    auto unmarshalled = dfunc::UnmarshalSets(request.body);
+    if (!unmarshalled.ok()) {
+      PostSlotCompletion(
+          weak_conn, slot,
+          dhttp::HttpResponse::BadRequest(unmarshalled.status().ToString()).Serialize());
+      return;
+    }
+    args = std::move(unmarshalled).value();
+  }
+
+  // The completion runs on an engine thread, possibly after Stop() — it
+  // captures the loop shared_ptr itself (keeping the reactor alive until
+  // the last completion lands) and must not read frontend members. The
+  // posted closure only ever runs on a live loop, which implies a live
+  // frontend (Stop() joins the loop thread before destruction).
+  platform_->InvokeAsync(
+      composition, std::move(args),
+      [this, loop = loop_, weak_conn, slot](dbase::Result<dfunc::DataSetList> result) {
+        std::string bytes = InvocationResponseWire(std::move(result));
+        loop->Post([this, weak_conn, slot, bytes = std::move(bytes)]() mutable {
+          ApplySlotCompletion(weak_conn, slot, std::move(bytes));
+        });
+      });
+}
+
+void HttpFrontend::PostSlotCompletion(const std::weak_ptr<Connection>& weak_conn,
+                                      const SlotPtr& slot, std::string bytes) {
+  loop_->Post([this, weak_conn, slot, bytes = std::move(bytes)]() mutable {
+    ApplySlotCompletion(weak_conn, slot, std::move(bytes));
+  });
+}
+
+void HttpFrontend::ApplySlotCompletion(const std::weak_ptr<Connection>& weak_conn,
+                                       const SlotPtr& slot, std::string bytes) {
+  slot->ready = true;
+  slot->bytes = std::move(bytes);
+  const ConnectionPtr locked = weak_conn.lock();
+  if (locked == nullptr || locked->fd < 0) {
+    return;  // Connection died first; the slot was never budget-counted.
+  }
+  if (!AccountResponseBytes(locked, slot->bytes.size())) {
+    return;
+  }
+  if (locked->flush_queued) {
+    return;
+  }
+  // Defer the actual socket work one loop turn: completions that land in
+  // the same posted batch coalesce into one flush (and one write) per
+  // connection.
+  locked->flush_queued = true;
+  dirty_connections_.push_back(locked);
+  if (!flush_scheduled_) {
+    flush_scheduled_ = true;
+    loop_->Post([this] { FlushDirtyConnections(); });
+  }
+}
+
+void HttpFrontend::FlushDirtyConnections() {
+  flush_scheduled_ = false;
+  std::vector<ConnectionPtr> batch;
+  batch.swap(dirty_connections_);
+  for (const ConnectionPtr& conn : batch) {
+    conn->flush_queued = false;
+    if (conn->fd < 0) {
+      continue;
+    }
+    FlushPipeline(conn);
+    // Popping slots may have lifted pipelining backpressure; any requests
+    // already buffered in `in` get no further EPOLLIN edge, so resume
+    // parsing them here.
+    if (conn->fd >= 0 && conn->state == Connection::State::kReading && !conn->in.empty()) {
+      ProcessInput(conn);
+    }
+    if (conn->fd >= 0) {
+      MaybeFinishEof(conn);
+    }
+  }
+}
+
+void HttpFrontend::FinishSlot(const ConnectionPtr& conn, const SlotPtr& slot,
+                              const dhttp::HttpResponse& response) {
+  // Mark-only: the caller (ProcessInput) flushes once after consuming the
+  // whole read buffer, so a burst of inline-handled pipelined requests is
+  // answered with one write.
+  slot->ready = true;
+  slot->bytes = response.Serialize();
+  AccountResponseBytes(conn, slot->bytes.size());
+}
+
+void HttpFrontend::ReleaseDeadInput(const ConnectionPtr& conn) {
+  total_buffered_bytes_ -= conn->in.size();
+  conn->in.clear();
+  conn->partial_since = 0;
+}
+
+bool HttpFrontend::AccountResponseBytes(const ConnectionPtr& conn, size_t bytes) {
+  total_response_bytes_ += bytes;
+  if (total_response_bytes_ > config_.max_total_response_bytes) {
+    // A reader this far behind has clogged its own write path; an error
+    // response could not reach it. Closing releases its share.
+    CloseConnection(conn);
+    return false;
+  }
+  return true;
+}
+
+void HttpFrontend::FailConnection(const ConnectionPtr& conn, dhttp::HttpResponse response) {
+  if (conn->state == Connection::State::kDraining || conn->fd < 0) {
+    return;
+  }
+  auto slot = std::make_shared<Connection::ResponseSlot>();
+  slot->ready = true;
+  slot->bytes = response.Serialize();
+  conn->pipeline.push_back(slot);
+  conn->state = Connection::State::kStopped;
+  conn->drain_requested = true;
+  if (!AccountResponseBytes(conn, slot->bytes.size())) {
+    return;  // Budget breach closed the connection outright.
+  }
+  FlushPipeline(conn);
+}
+
+void HttpFrontend::FlushPipeline(const ConnectionPtr& conn) {
+  while (!conn->pipeline.empty() && conn->pipeline.front()->ready) {
+    conn->out.append(conn->pipeline.front()->bytes);
+    conn->pipeline.pop_front();
+  }
+  TryWrite(conn);
+}
+
+void HttpFrontend::TryWrite(const ConnectionPtr& conn) {
+  while (conn->HasPendingOut()) {
+    const ssize_t n = write(conn->fd, conn->out.data() + conn->out_offset,
+                            conn->out.size() - conn->out_offset);
+    if (n > 0) {
+      conn->out_offset += static_cast<size_t>(n);
+      total_response_bytes_ -= static_cast<size_t>(n);
+      // Write progress counts as liveness for the idle timer: a client
+      // consuming a large response slowly is slow, not stalled.
+      conn->last_activity = dbase::MonotonicClock::Get()->NowMicros();
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;
+    }
+    CloseConnection(conn);  // Hard error: the peer is gone.
+    return;
+  }
+  if (!conn->HasPendingOut()) {
+    conn->out.clear();
+    conn->out_offset = 0;
+  }
+  if (!conn->HasPendingOut() && conn->pipeline.empty() &&
+      conn->state == Connection::State::kStopped) {
+    if (conn->drain_requested) {
+      BeginDrain(conn);
+    } else {
+      CloseConnection(conn);
+    }
+    return;
+  }
+  // The EPOLLOUT-driven drain of a half-closed connection's last response
+  // ends here, with no FlushDirtyConnections pass behind it to finish up.
+  MaybeFinishEof(conn);
+  if (conn->fd >= 0) {
+    UpdateInterest(conn);
+  }
+}
+
+void HttpFrontend::MaybeFinishEof(const ConnectionPtr& conn) {
+  // Only while kReading: kStopped/kDraining have their own close paths.
+  if (conn->fd < 0 || !conn->saw_eof || conn->state != Connection::State::kReading ||
+      !conn->pipeline.empty() || conn->HasPendingOut()) {
+    return;
+  }
+  if (!conn->in.empty()) {
+    // Buffered bytes remain. This can be a still-parseable request parked
+    // behind the backpressure limit when the EOF arrived (every caller
+    // runs ProcessInput right after us — it must get its chance, the
+    // client fully delivered it) — only an incomplete tail, which can
+    // never finish arriving now, closes the connection here.
+    auto head = dhttp::ScanMessageHead(conn->in, kMaxHeaderBytes);
+    const bool incomplete =
+        head.ok() && (!head->has_value() ||
+                      conn->in.size() < (*head)->head_bytes +
+                                            static_cast<size_t>((*head)->content_length));
+    if (!incomplete) {
+      return;
+    }
+  }
+  CloseConnection(conn);
+}
+
+void HttpFrontend::UpdateInterest(const ConnectionPtr& conn) {
+  if (conn->fd < 0) {
+    return;
+  }
+  uint32_t events = 0;
+  switch (conn->state) {
+    case Connection::State::kReading:
+      // Backpressure: stop reading while the pipeline is full. After a
+      // half-close there is nothing left to read either.
+      if (!conn->saw_eof && conn->pipeline.size() < config_.max_pipeline_depth) {
+        events |= EPOLLIN;
+      }
+      break;
+    case Connection::State::kStopped:
+      // No further requests will be accepted; reading more would only
+      // buffer hostile bytes unboundedly. Responses still flush out.
+      break;
+    case Connection::State::kDraining:
+      events |= EPOLLIN;  // Discarding the client's in-flight body.
+      break;
+  }
+  if (conn->HasPendingOut()) {
+    events |= EPOLLOUT;
+  }
+  if (events == conn->armed_events) {
+    return;
+  }
+  conn->armed_events = events;
+  if (!loop_->Modify(conn->fd, events).ok()) {
+    CloseConnection(conn);
+  }
+}
+
+void HttpFrontend::ArmIdleTimer(const ConnectionPtr& conn) {
+  std::weak_ptr<Connection> weak_conn = conn;
+  conn->idle_timer = loop_->AddTimer(config_.idle_timeout, [this, weak_conn] {
+    const ConnectionPtr locked = weak_conn.lock();
+    if (locked == nullptr || locked->fd < 0) {
+      return;
+    }
+    // A connection whose invocation is still running in the engines is
+    // working, not idle — a slow composition must not be reaped out from
+    // under its client (engine deadlines bound that state). Everything
+    // else falls through to the inactivity check: reads AND write
+    // progress refresh last_activity, so a stalled reader that never
+    // drains its response is reaped just like a stalled sender.
+    if (!locked->pipeline.empty()) {
+      ArmIdleTimer(locked);
+      return;
+    }
+    const dbase::Micros now = dbase::MonotonicClock::Get()->NowMicros();
+    // Absolute per-request deadline: a trickle-slowloris client feeding
+    // one header byte per idle_timeout defeats the inactivity check below
+    // forever, but not this bound on the partial request's total age.
+    if (locked->partial_since != 0 && now - locked->partial_since >= config_.request_timeout) {
+      CloseConnection(locked);
+      return;
+    }
+    if (now - locked->last_activity >= config_.idle_timeout) {
+      CloseConnection(locked);  // Slowloris / stale keep-alive reap.
+      return;
+    }
+    ArmIdleTimer(locked);  // Activity since arming: sleep out the remainder.
+  });
+}
+
+void HttpFrontend::BeginDrain(const ConnectionPtr& conn) {
+  conn->state = Connection::State::kDraining;
+  conn->drained_bytes = 0;
+  shutdown(conn->fd, SHUT_WR);  // Signal end-of-response to the client.
+  // Make sure reads are on (backpressure may have paused them) so the
+  // client's unread body bytes keep draining until EOF, the byte cap, or
+  // the drain timer closes the socket.
+  UpdateInterest(conn);
+  if (conn->fd < 0) {
+    return;  // The interest change failed and closed the connection.
+  }
+  std::weak_ptr<Connection> weak_conn = conn;
+  loop_->AddTimer(config_.drain_timeout, [this, weak_conn] {
+    const ConnectionPtr locked = weak_conn.lock();
+    if (locked != nullptr && locked->fd >= 0) {
+      CloseConnection(locked);
+    }
+  });
+}
+
+void HttpFrontend::CloseConnection(const ConnectionPtr& conn) {
+  if (conn->fd < 0) {
+    return;
+  }
+  total_buffered_bytes_ -= conn->in.size();
+  conn->in.clear();
+  // Release this connection's share of the response budget: the unsent
+  // `out` tail plus every completed slot (not-yet-completed slots were
+  // never counted, and their completions see the dead connection).
+  total_response_bytes_ -= conn->out.size() - conn->out_offset;
+  for (const SlotPtr& slot : conn->pipeline) {
+    if (slot->ready) {
+      total_response_bytes_ -= slot->bytes.size();
+    }
+  }
+  loop_->CancelTimer(conn->idle_timer);
+  loop_->Remove(conn->fd);
+  close(conn->fd);
+  connections_.erase(conn->fd);
+  conn->fd = -1;
+  // In-flight async completions hold the slots; with the connection gone
+  // their posted flushes become no-ops.
+  conn->pipeline.clear();
 }
 
 }  // namespace dandelion

@@ -1,6 +1,6 @@
 // HTTP frontend (Figure 4): "manages client communication, handling
-// requests for composition/function registration and invocation". This is a
-// minimal HTTP/1.1 server over a TCP listening socket:
+// requests for composition/function registration and invocation". An
+// epoll-driven HTTP/1.1 server on a single event-loop thread:
 //
 //   POST /invoke/<composition>      body: marshalled DataSetList (binary) or
 //                                   plain text (becomes the first param's
@@ -8,30 +8,81 @@
 //   POST /register/composition     body: DSL source text
 //   GET  /healthz                  liveness probe
 //
+// Connections are non-blocking with keep-alive and pipelining: requests are
+// parsed incrementally as bytes arrive, invocations are dispatched through
+// Platform::InvokeAsync, and each completion is posted back to the loop and
+// written out in request order — the loop thread never blocks on engine
+// work, so one slow invocation cannot stall other connections.
 // Responses carry marshalled DataSetList bodies for invocations.
 #ifndef SRC_RUNTIME_FRONTEND_H_
 #define SRC_RUNTIME_FRONTEND_H_
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
 
+#include "src/base/clock.h"
+#include "src/base/event_loop.h"
 #include "src/base/status.h"
 #include "src/base/thread.h"
+#include "src/http/http_message.h"
 #include "src/runtime/platform.h"
 
 namespace dandelion {
 
+struct FrontendConfig {
+  // port 0 lets the kernel pick; the bound port is then readable via port().
+  uint16_t port = 0;
+  // A connection that makes no read progress for this long is closed
+  // (slowloris guard; also reaps idle keep-alive connections).
+  dbase::Micros idle_timeout = 10 * dbase::kMicrosPerSecond;
+  // Absolute bound on how long one request may take to arrive once its
+  // first byte is in: defeats trickle-slowloris clients that keep beating
+  // the inactivity check with one byte per idle_timeout. Enforced with up
+  // to idle_timeout of lag (the reaper shares the idle timer).
+  dbase::Micros request_timeout = 30 * dbase::kMicrosPerSecond;
+  // Bound on the respond-then-drain window after a request-framing error.
+  dbase::Micros drain_timeout = dbase::kMicrosPerSecond;
+  // Beyond this many open connections, new accepts get an immediate 503.
+  size_t max_connections = 1024;
+  // Aggregate cap on not-yet-consumed request bytes across ALL
+  // connections: the per-request 64 MiB body cap times max_connections
+  // would otherwise let a fleet of hostile clients buffer tens of GiB. A
+  // connection whose read would breach the budget is failed with 503.
+  size_t max_total_buffered_bytes = 256 * 1024 * 1024;
+  // Same idea on the response side: completed responses waiting in slots
+  // or in write buffers, across ALL connections. A client that sends
+  // requests but never reads the answers accumulates here; the connection
+  // that breaches the budget is closed (its write path is clogged, so no
+  // error response could reach it anyway).
+  size_t max_total_response_bytes = 256 * 1024 * 1024;
+  // Pipelining backpressure: stop reading from a connection once this many
+  // requests are awaiting responses on it.
+  size_t max_pipeline_depth = 64;
+  // Threads that run Platform::InvokeAsync dispatch (dependency setup,
+  // memory-context creation, input marshalling) so the loop thread stays on
+  // socket work. -1 auto-sizes: 2 when the machine has cores to spare,
+  // 0 (dispatch inline on the loop thread) otherwise — on a 1-core box the
+  // extra thread hop costs more than it hides. Response ordering is
+  // unaffected (slots are queued at parse time); only invocation start
+  // order across one connection's pipelined requests becomes best-effort.
+  int dispatch_threads = -1;
+};
+
 class HttpFrontend {
  public:
-  // port 0 lets the kernel pick; the bound port is then readable via port().
+  explicit HttpFrontend(Platform* platform, FrontendConfig config);
   HttpFrontend(Platform* platform, uint16_t port = 0);
   ~HttpFrontend();
 
   HttpFrontend(const HttpFrontend&) = delete;
   HttpFrontend& operator=(const HttpFrontend&) = delete;
 
-  // Binds, listens, and starts the accept loop.
+  // Binds, listens, and starts the event-loop thread.
   dbase::Status Start();
   void Stop();
 
@@ -39,14 +90,124 @@ class HttpFrontend {
   bool running() const { return running_.load(std::memory_order_relaxed); }
 
  private:
-  void AcceptLoop();
-  void HandleConnection(int client_fd);
+  // Per-connection state machine, mutated only on the loop thread. Held by
+  // shared_ptr so async completions can hold a weak_ptr that expires when
+  // the connection closes first.
+  struct Connection {
+    int fd = -1;
+    enum class State {
+      kReading,   // Parsing pipelined requests out of `in`.
+      kStopped,   // No further requests accepted (Connection: close, a
+                  // framing error queued, or the client half-closed);
+                  // pending responses still flush in order.
+      kDraining,  // Error response flushed, SHUT_WR done; discarding the
+                  // client's in-flight body so the response isn't RST-lost.
+    };
+    State state = State::kReading;
+    std::string in;   // Received, not-yet-consumed bytes.
+    // Serialized responses awaiting write; [out_offset, out.size()) is the
+    // unsent tail (a cursor, so partial writes of a large response don't
+    // memmove the remainder quadratically).
+    std::string out;
+    size_t out_offset = 0;
+    bool HasPendingOut() const { return out_offset < out.size(); }
+    // One slot per accepted request, in arrival order; a slot's response
+    // may complete out of order but is written only at the queue head.
+    struct ResponseSlot {
+      bool ready = false;
+      std::string bytes;
+    };
+    std::deque<std::shared_ptr<ResponseSlot>> pipeline;
+    uint32_t armed_events = 0;  // Interest set currently registered.
+    bool flush_queued = false;  // Already on the deferred-flush list.
+    // Client half-closed. Unlike kStopped, already-buffered complete
+    // requests are still parsed and answered (as backpressure slots free
+    // up); the connection closes once nothing parseable remains.
+    bool saw_eof = false;
+    // When the buffered partial request's first byte arrived (0 = no
+    // partial pending); drives FrontendConfig::request_timeout.
+    dbase::Micros partial_since = 0;
+    // After everything flushed: drain before closing (framing-error path).
+    bool drain_requested = false;
+    dbase::Micros last_activity = 0;  // For the idle timer.
+    dbase::EventLoop::TimerId idle_timer = 0;
+    size_t drained_bytes = 0;
+  };
+  using ConnectionPtr = std::shared_ptr<Connection>;
+  using SlotPtr = std::shared_ptr<Connection::ResponseSlot>;
+
+  // All of the below run on the loop thread.
+  void OnAcceptable();
+  void OnConnectionEvent(const ConnectionPtr& conn, uint32_t events);
+  void OnReadable(const ConnectionPtr& conn);
+  void ProcessInput(const ConnectionPtr& conn);
+  // Consumes one complete request's bytes. Returns false when the
+  // connection stopped accepting further requests.
+  bool HandleRequest(const ConnectionPtr& conn, std::string_view wire);
+  // POST /invoke/<composition>: resolves the arguments and hands the work
+  // to Platform::InvokeAsync; the completion posts back to the loop. Runs
+  // on a dispatch-pool thread when the pool is enabled, inline on the loop
+  // thread otherwise — so it must never block (engine work is async either
+  // way; only the dispatch setup happens here).
+  void DispatchInvoke(const std::weak_ptr<Connection>& weak_conn, const SlotPtr& slot,
+                      dhttp::HttpRequest request);
+  void FinishSlot(const ConnectionPtr& conn, const SlotPtr& slot,
+                  const dhttp::HttpResponse& response);
+  // Accounts a newly-completed response against the response budget;
+  // closes the connection (and returns false) when it tips the total over
+  // max_total_response_bytes.
+  bool AccountResponseBytes(const ConnectionPtr& conn, size_t bytes);
+  // Thread-safe slot completion: fills the slot and posts the flush (and
+  // any backpressure-resumed parsing) onto the loop thread. Safe from
+  // dispatch-pool threads (drained before the frontend dies); engine-side
+  // callers that may outlive Stop() capture loop_ themselves instead.
+  void PostSlotCompletion(const std::weak_ptr<Connection>& weak_conn, const SlotPtr& slot,
+                          std::string bytes);
+  // Loop-thread half of a completion: marks the slot ready and queues the
+  // connection for a deferred flush, so a burst of completions costs one
+  // write() per connection instead of one per response.
+  void ApplySlotCompletion(const std::weak_ptr<Connection>& weak_conn, const SlotPtr& slot,
+                           std::string bytes);
+  void FlushDirtyConnections();
+  // Queues an error response for a request whose body was never consumed,
+  // then transitions to respond → SHUT_WR → bounded drain → close, so a
+  // well-behaved client reads the error instead of a connection reset.
+  void FailConnection(const ConnectionPtr& conn, dhttp::HttpResponse response);
+  void FlushPipeline(const ConnectionPtr& conn);
+  // Once a connection stops parsing (kStopped/kDraining), its buffered
+  // input is dead weight: release it and its budget share immediately so
+  // one failed upload cannot 503-cascade onto other connections for the
+  // whole drain window. Callers must hold no views into conn->in.
+  void ReleaseDeadInput(const ConnectionPtr& conn);
+  void TryWrite(const ConnectionPtr& conn);
+  void UpdateInterest(const ConnectionPtr& conn);
+  void ArmIdleTimer(const ConnectionPtr& conn);
+  // Closes a half-closed (saw_eof) connection once everything answerable
+  // has been answered and flushed.
+  void MaybeFinishEof(const ConnectionPtr& conn);
+  void BeginDrain(const ConnectionPtr& conn);
+  void CloseConnection(const ConnectionPtr& conn);
 
   Platform* platform_;
+  FrontendConfig config_;
   uint16_t port_;
   int listen_fd_ = -1;
   std::atomic<bool> running_{false};
-  dbase::JoiningThread accept_thread_;
+  // Shared with async completion callbacks: they Post() into the loop and
+  // must keep it alive even if the frontend is torn down first.
+  std::shared_ptr<dbase::EventLoop> loop_;
+  std::unordered_map<int, ConnectionPtr> connections_;  // Loop thread only.
+  std::vector<ConnectionPtr> dirty_connections_;        // Loop thread only.
+  bool flush_scheduled_ = false;                        // Loop thread only.
+  // Sum of all connections' `in` buffers (loop thread only); enforces
+  // FrontendConfig::max_total_buffered_bytes.
+  size_t total_buffered_bytes_ = 0;
+  // Sum of completed-but-unsent response bytes (ready slots + unsent
+  // `out` tails) across connections (loop thread only); enforces
+  // FrontendConfig::max_total_response_bytes.
+  size_t total_response_bytes_ = 0;
+  std::unique_ptr<dbase::WorkerPool> dispatch_pool_;
+  dbase::JoiningThread loop_thread_;
 };
 
 }  // namespace dandelion

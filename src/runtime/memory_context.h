@@ -7,6 +7,16 @@
 // Contexts are backed by anonymous mmap with MAP_NORESERVE, so the reserved
 // virtual size is the user-declared memory requirement while physical pages
 // appear on demand — exactly the paper's demand-paging behaviour.
+//
+// Creating and destroying one mmap per instance serializes every invocation
+// on the kernel's per-process mmap_lock (~30 µs each, flat across threads —
+// the whole node caps near 33k instances/s regardless of cores). Private
+// contexts therefore recycle their virtual regions through a bounded
+// process-wide ContextPool: on release the touched extent is uncommitted
+// with madvise(MADV_DONTNEED) — committed memory still tracks demand and
+// the next user reads fresh zero pages, so no state survives between
+// instances — while the VMA itself is reused, keeping mmap_lock off the
+// hot path. Shared (MAP_SHARED, process-isolation) contexts are not pooled.
 #ifndef SRC_RUNTIME_MEMORY_CONTEXT_H_
 #define SRC_RUNTIME_MEMORY_CONTEXT_H_
 
@@ -16,6 +26,8 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <vector>
 
 #include "src/base/clock.h"
 #include "src/base/stats.h"
@@ -54,6 +66,47 @@ class MemoryAccountant {
   mutable std::mutex mu_;
   const dbase::Clock* clock_ = nullptr;  // Guarded by mu_.
   dbase::TimeSeries timeline_;           // Guarded by mu_.
+};
+
+// Process-wide recycler of private context regions, keyed by capacity.
+// Returned regions have had their touched extent MADV_DONTNEED'd, so a
+// reused region is indistinguishable from a fresh mapping (zero pages,
+// uncommitted) without paying mmap/munmap under the process mmap_lock.
+class ContextPool {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t recycled = 0;
+    uint64_t dropped = 0;
+  };
+
+  // Never destroyed (contexts may be released during static teardown).
+  static ContextPool* Get();
+
+  // A region of exactly `capacity` bytes, or nullptr on miss.
+  char* Take(uint64_t capacity);
+  // Uncommits [0, touched) and shelves the region for reuse. Returns false
+  // when the pool is full — the caller munmaps as before.
+  bool Put(char* region, uint64_t capacity, uint64_t touched);
+
+  Stats stats() const;
+  // Bounds the number of shelved regions (virtual address space, plus up
+  // to kZeroExtentBytes of committed-but-zeroed pages each). 0 disables
+  // pooling.
+  void set_max_entries(size_t n);
+
+  // Touched extents up to this size are zeroed in place on release instead
+  // of uncommitted — cheaper than re-faulting the pages on reuse, with
+  // committed-memory retention bounded by this × max_entries.
+  static constexpr uint64_t kZeroExtentBytes = 64 * 1024;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::vector<char*>> free_by_capacity_;
+  size_t entries_ = 0;
+  size_t max_entries_ = 64;
+  Stats stats_;
 };
 
 // Wire protocol inside a context, shared with sandboxed children:
@@ -124,6 +177,11 @@ class MemoryContext {
   uint64_t capacity_ = 0;
   MemoryAccountant* accountant_ = nullptr;
   bool shared_ = false;
+  // High-water mark of bytes written through this object; on release only
+  // this extent needs uncommitting. Writes that bypass WriteAt (a forked
+  // child's stores into a MAP_SHARED region) are invisible here, which is
+  // why shared contexts are never pooled.
+  uint64_t touched_ = 0;
 };
 
 }  // namespace dandelion

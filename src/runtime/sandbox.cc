@@ -129,7 +129,14 @@ class DeadlineWatchdog {
     std::lock_guard<std::mutex> lock(mu_);
     const uint64_t ticket = next_ticket_++;
     entries_[ticket] = Entry{deadline, flag};
-    cv_.notify_one();
+    // Wake the watchdog only when this deadline is sooner than the one it
+    // is already sleeping toward. Arming is on every sandbox execution's
+    // critical path; an unconditional notify would cost a futex wake (and,
+    // on one core, a context switch) per function instance.
+    if (deadline < sleeping_until_) {
+      sleeping_until_ = deadline;
+      cv_.notify_one();
+    }
     return ticket;
   }
 
@@ -153,6 +160,7 @@ class DeadlineWatchdog {
     std::unique_lock<std::mutex> lock(mu_);
     while (true) {
       if (entries_.empty()) {
+        sleeping_until_ = INT64_MAX;
         cv_.wait(lock);
         continue;
       }
@@ -168,6 +176,7 @@ class DeadlineWatchdog {
         }
       }
       if (nearest != INT64_MAX) {
+        sleeping_until_ = nearest;
         cv_.wait_for(lock, std::chrono::microseconds(nearest - now + 100));
       }
     }
@@ -177,6 +186,10 @@ class DeadlineWatchdog {
   std::condition_variable cv_;
   std::map<uint64_t, Entry> entries_;
   uint64_t next_ticket_ = 1;
+  // Earliest deadline the loop is currently sleeping toward (guarded by
+  // mu_); INT64_MAX while idle. May run stale-early after a Disarm, which
+  // only causes a harmless spurious wake.
+  dbase::Micros sleeping_until_ = INT64_MAX;
   std::thread thread_;
 };
 

@@ -1,0 +1,454 @@
+// Tests for the epoll-based HTTP frontend: keep-alive reuse, pipelining
+// with in-order responses, concurrent clients, slowloris/idle timeouts,
+// non-blocking invocation, and the preserved 413/400 error contracts.
+#include "src/runtime/frontend.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/func/builtins.h"
+#include "src/http/http_parser.h"
+#include "src/runtime/platform.h"
+
+namespace dandelion {
+namespace {
+
+using dfunc::DataItem;
+using dfunc::DataSet;
+using dfunc::DataSetList;
+
+PlatformConfig FastPlatformConfig() {
+  PlatformConfig config;
+  config.num_workers = 4;
+  config.backend = IsolationBackend::kThread;
+  config.sleep_for_modeled_latency = false;
+  return config;
+}
+
+// Plain blocking TCP client socket connected to the frontend, with a read
+// timeout so a frontend bug fails the test instead of hanging it.
+int ConnectTo(uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  timeval timeout{};
+  timeout.tv_sec = 5;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  return fd;
+}
+
+void SendAll(int fd, const std::string& data) {
+  size_t offset = 0;
+  while (offset < data.size()) {
+    const ssize_t n = write(fd, data.data() + offset, data.size() - offset);
+    ASSERT_GT(n, 0);
+    offset += static_cast<size_t>(n);
+  }
+}
+
+// Reads exactly one response off a keep-alive socket, leaving any pipelined
+// extra bytes in *carry for the next call.
+dbase::Result<dhttp::HttpResponse> ReadOneResponse(int fd, std::string* carry) {
+  char buffer[8192];
+  while (true) {
+    auto head = dhttp::ScanMessageHead(*carry, 1 << 20);
+    if (!head.ok()) {
+      return head.status();
+    }
+    if (head->has_value()) {
+      const size_t total = (*head)->head_bytes + static_cast<size_t>((*head)->content_length);
+      if (carry->size() >= total) {
+        auto response = dhttp::ParseResponse(std::string_view(*carry).substr(0, total));
+        carry->erase(0, total);
+        return response;
+      }
+    }
+    const ssize_t n = read(fd, buffer, sizeof(buffer));
+    if (n <= 0) {
+      return dbase::Unavailable("connection closed mid-response");
+    }
+    carry->append(buffer, static_cast<size_t>(n));
+  }
+}
+
+std::string RawInvoke(const std::string& composition, const std::string& body) {
+  dhttp::HttpRequest request;
+  request.method = dhttp::Method::kPost;
+  request.target = "/invoke/" + composition;
+  request.headers.Add("X-Dandelion-Raw", "1");
+  request.body = body;
+  return request.Serialize();
+}
+
+std::string Healthz() { return "GET /healthz HTTP/1.1\r\n\r\n"; }
+
+// Echo body for invocation responses: unmarshal and return the first item.
+std::string FirstItem(const dhttp::HttpResponse& response) {
+  auto sets = dfunc::UnmarshalSets(response.body);
+  if (!sets.ok() || sets->empty() || (*sets)[0].items.empty()) {
+    return "<unmarshal failed>";
+  }
+  return (*sets)[0].items[0].data;
+}
+
+// A compute function that holds an engine worker for a while before
+// echoing — stands in for a genuinely slow invocation.
+dbase::Status SlowEcho(dfunc::FunctionCtx& ctx) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  return dfunc::EchoFunction(ctx);
+}
+
+class FrontendFixture {
+ public:
+  explicit FrontendFixture(FrontendConfig config = FrontendConfig{})
+      : platform_(FastPlatformConfig()), frontend_(&platform_, config) {
+    EXPECT_TRUE(platform_.RegisterFunction({.name = "echo", .body = dfunc::EchoFunction}).ok());
+    EXPECT_TRUE(platform_.RegisterFunction({.name = "slow", .body = SlowEcho}).ok());
+    EXPECT_TRUE(platform_
+                    .RegisterCompositionDsl(R"(
+composition Id(in) => out { echo(in = all in) => (out = out); }
+composition Slow(in) => out { slow(in = all in) => (out = out); }
+)")
+                    .ok());
+    started_ = frontend_.Start();
+  }
+
+  bool skipped() const { return !started_.ok(); }
+  std::string skip_reason() const { return started_.ToString(); }
+  uint16_t port() const { return frontend_.port(); }
+
+ private:
+  Platform platform_;
+  HttpFrontend frontend_;
+  dbase::Status started_;
+};
+
+#define SKIP_WITHOUT_LOOPBACK(fixture)                                   \
+  if ((fixture).skipped()) {                                             \
+    GTEST_SKIP() << "loopback sockets unavailable: " << (fixture).skip_reason(); \
+  }
+
+TEST(FrontendTest, KeepAliveReusesOneSocket) {
+  FrontendFixture fixture;
+  SKIP_WITHOUT_LOOPBACK(fixture);
+
+  const int fd = ConnectTo(fixture.port());
+  std::string carry;
+  SendAll(fd, RawInvoke("Id", "first"));
+  auto first = ReadOneResponse(fd, &carry);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->status_code, 200);
+  EXPECT_EQ(FirstItem(*first), "first");
+
+  // Same socket, second request: the connection survived the first
+  // response instead of being closed per-request.
+  SendAll(fd, RawInvoke("Id", "second"));
+  auto second = ReadOneResponse(fd, &carry);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->status_code, 200);
+  EXPECT_EQ(FirstItem(*second), "second");
+  close(fd);
+}
+
+TEST(FrontendTest, PipelinedRequestsAnsweredInOrder) {
+  FrontendFixture fixture;
+  SKIP_WITHOUT_LOOPBACK(fixture);
+
+  const int fd = ConnectTo(fixture.port());
+  // All requests on the wire before any response is read. The first runs
+  // on the slow path, so later completions finish first internally — the
+  // responses must still come back in request order.
+  std::string burst = RawInvoke("Slow", "a");
+  for (const char* payload : {"b", "c", "d"}) {
+    burst += RawInvoke("Id", payload);
+  }
+  SendAll(fd, burst);
+
+  std::string carry;
+  for (const char* expected : {"a", "b", "c", "d"}) {
+    auto response = ReadOneResponse(fd, &carry);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->status_code, 200);
+    EXPECT_EQ(FirstItem(*response), expected);
+  }
+  close(fd);
+}
+
+TEST(FrontendTest, PipelineDeeperThanBackpressureLimitFullyAnswered) {
+  // Pipeline more inline-answered requests than the backpressure depth in
+  // one write: capacity re-opens as slots complete inline, and every
+  // buffered request must still be parsed and answered (no EPOLLIN edge
+  // will fire again for bytes already read).
+  FrontendConfig config;
+  config.max_pipeline_depth = 4;
+  FrontendFixture fixture(config);
+  SKIP_WITHOUT_LOOPBACK(fixture);
+
+  constexpr int kRequests = 11;
+  const int fd = ConnectTo(fixture.port());
+  std::string burst;
+  for (int i = 0; i < kRequests; ++i) {
+    burst += Healthz();
+  }
+  SendAll(fd, burst);
+  std::string carry;
+  for (int i = 0; i < kRequests; ++i) {
+    auto response = ReadOneResponse(fd, &carry);
+    ASSERT_TRUE(response.ok()) << "response " << i << ": " << response.status().ToString();
+    EXPECT_EQ(response->status_code, 200);
+  }
+  close(fd);
+}
+
+TEST(FrontendTest, ConcurrentClientsEachGetTheirOwnResponses) {
+  FrontendFixture fixture;
+  SKIP_WITHOUT_LOOPBACK(fixture);
+
+  constexpr int kClients = 16;
+  constexpr int kRequestsPerClient = 4;
+  std::vector<int> failures(kClients, 0);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&fixture, &failures, c] {
+      const int fd = ConnectTo(fixture.port());
+      std::string carry;
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const std::string payload =
+            "client-" + std::to_string(c) + "-req-" + std::to_string(r);
+        SendAll(fd, RawInvoke("Id", payload));
+        auto response = ReadOneResponse(fd, &carry);
+        if (!response.ok() || response->status_code != 200 ||
+            FirstItem(*response) != payload) {
+          ++failures[c];
+        }
+      }
+      close(fd);
+    });
+  }
+  for (auto& t : clients) {
+    t.join();
+  }
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], 0) << "client " << c;
+  }
+}
+
+TEST(FrontendTest, SlowInvocationDoesNotDelayHealthzOnAnotherConnection) {
+  FrontendFixture fixture;
+  SKIP_WITHOUT_LOOPBACK(fixture);
+
+  // Start a slow invocation but do not read its response yet.
+  const int slow_fd = ConnectTo(fixture.port());
+  SendAll(slow_fd, RawInvoke("Slow", "held"));
+
+  // While it runs on an engine worker, /healthz on a second connection
+  // must answer immediately — the loop thread never blocks on engine work.
+  const int health_fd = ConnectTo(fixture.port());
+  const dbase::Stopwatch watch;
+  SendAll(health_fd, Healthz());
+  std::string health_carry;
+  auto health = ReadOneResponse(health_fd, &health_carry);
+  const dbase::Micros health_latency = watch.ElapsedMicros();
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(health->status_code, 200);
+  // The slow function holds its worker for 400 ms; well under half of that
+  // proves /healthz was not serialized behind it.
+  EXPECT_LT(health_latency, 200 * dbase::kMicrosPerMilli);
+  close(health_fd);
+
+  std::string slow_carry;
+  auto slow = ReadOneResponse(slow_fd, &slow_carry);
+  ASSERT_TRUE(slow.ok()) << slow.status().ToString();
+  EXPECT_EQ(slow->status_code, 200);
+  EXPECT_EQ(FirstItem(*slow), "held");
+  close(slow_fd);
+}
+
+TEST(FrontendTest, SlowlorisConnectionTimedOutWithoutStallingHealthz) {
+  FrontendConfig config;
+  config.idle_timeout = 150 * dbase::kMicrosPerMilli;
+  FrontendFixture fixture(config);
+  SKIP_WITHOUT_LOOPBACK(fixture);
+
+  // A client that sends a partial header and then goes silent.
+  const int slow_fd = ConnectTo(fixture.port());
+  SendAll(slow_fd, "GET /hea");
+
+  // Healthy traffic is unaffected while the slow client idles.
+  const int health_fd = ConnectTo(fixture.port());
+  SendAll(health_fd, Healthz());
+  std::string carry;
+  auto health = ReadOneResponse(health_fd, &carry);
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(health->status_code, 200);
+  close(health_fd);
+
+  // The idle timer reaps the stalled connection: the next read sees EOF
+  // (no response bytes were owed). SO_RCVTIMEO bounds the wait at 5 s.
+  char buffer[64];
+  const ssize_t n = read(slow_fd, buffer, sizeof(buffer));
+  EXPECT_EQ(n, 0) << "slowloris connection was not closed";
+  close(slow_fd);
+}
+
+TEST(FrontendTest, OversizedHeaderBlockRejectedWith413) {
+  FrontendFixture fixture;
+  SKIP_WITHOUT_LOOPBACK(fixture);
+
+  const int fd = ConnectTo(fixture.port());
+  // 80 KiB of headers without a terminating blank line: over the 64 KiB
+  // header cap (the 64 MiB limit applies to bodies only).
+  std::string wire = "GET /healthz HTTP/1.1\r\n";
+  while (wire.size() < 80 * 1024) {
+    wire += "X-Filler: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n";
+  }
+  SendAll(fd, wire);
+  std::string carry;
+  auto response = ReadOneResponse(fd, &carry);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status_code, 413);
+  close(fd);
+}
+
+TEST(FrontendTest, ConflictingContentLengthRejectedWith400) {
+  FrontendFixture fixture;
+  SKIP_WITHOUT_LOOPBACK(fixture);
+
+  const int fd = ConnectTo(fixture.port());
+  SendAll(fd,
+          "POST /invoke/Id HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\nhello");
+  std::string carry;
+  auto response = ReadOneResponse(fd, &carry);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status_code, 400);
+  close(fd);
+}
+
+TEST(FrontendTest, IdenticalDuplicateContentLengthTolerated) {
+  FrontendFixture fixture;
+  SKIP_WITHOUT_LOOPBACK(fixture);
+
+  const int fd = ConnectTo(fixture.port());
+  SendAll(fd,
+          "POST /invoke/Id HTTP/1.1\r\nX-Dandelion-Raw: 1\r\n"
+          "Content-Length: 4\r\nContent-Length: 4\r\n\r\nping");
+  std::string carry;
+  auto response = ReadOneResponse(fd, &carry);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status_code, 200);
+  EXPECT_EQ(FirstItem(*response), "ping");
+  close(fd);
+}
+
+TEST(FrontendTest, HalfClosedClientStillGetsItsResponse) {
+  FrontendFixture fixture;
+  SKIP_WITHOUT_LOOPBACK(fixture);
+
+  // Send a complete request, then half-close: the request bytes and the
+  // EOF may arrive in the same readable event, and the buffered request
+  // must still be answered before the server closes.
+  const int fd = ConnectTo(fixture.port());
+  SendAll(fd, RawInvoke("Id", "fire-and-shutdown"));
+  ASSERT_EQ(shutdown(fd, SHUT_WR), 0);
+
+  std::string carry;
+  auto response = ReadOneResponse(fd, &carry);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status_code, 200);
+  EXPECT_EQ(FirstItem(*response), "fire-and-shutdown");
+  char buffer[16];
+  EXPECT_EQ(read(fd, buffer, sizeof(buffer)), 0);  // Server closed after it.
+  close(fd);
+}
+
+TEST(FrontendTest, HalfCloseAfterBurstDeeperThanBackpressureAnswersEverything) {
+  // The client's data and EOF can arrive together with more requests
+  // buffered than the pipeline depth admits; the parked tail must still be
+  // answered after slots free up — EOF only means "no more requests", not
+  // "drop the ones already delivered".
+  FrontendConfig config;
+  config.max_pipeline_depth = 2;
+  FrontendFixture fixture(config);
+  SKIP_WITHOUT_LOOPBACK(fixture);
+
+  constexpr int kRequests = 5;
+  const int fd = ConnectTo(fixture.port());
+  std::string burst;
+  for (int i = 0; i < kRequests; ++i) {
+    burst += RawInvoke("Id", "r" + std::to_string(i));
+  }
+  SendAll(fd, burst);
+  ASSERT_EQ(shutdown(fd, SHUT_WR), 0);
+
+  std::string carry;
+  for (int i = 0; i < kRequests; ++i) {
+    auto response = ReadOneResponse(fd, &carry);
+    ASSERT_TRUE(response.ok()) << "response " << i << ": " << response.status().ToString();
+    EXPECT_EQ(response->status_code, 200);
+    EXPECT_EQ(FirstItem(*response), "r" + std::to_string(i));
+  }
+  char buffer[16];
+  EXPECT_EQ(read(fd, buffer, sizeof(buffer)), 0);
+  close(fd);
+}
+
+TEST(FrontendTest, TrickleSlowlorisHitsAbsoluteRequestDeadline) {
+  // One header byte per interval shorter than idle_timeout defeats a pure
+  // inactivity check; the absolute request deadline still reaps it.
+  FrontendConfig config;
+  config.idle_timeout = 150 * dbase::kMicrosPerMilli;
+  config.request_timeout = 400 * dbase::kMicrosPerMilli;
+  FrontendFixture fixture(config);
+  SKIP_WITHOUT_LOOPBACK(fixture);
+
+  const int fd = ConnectTo(fixture.port());
+  const std::string_view drip = "GET /healthz HTT";  // Never completes.
+  bool closed = false;
+  const dbase::Stopwatch watch;
+  for (size_t i = 0; watch.ElapsedMicros() < 3 * dbase::kMicrosPerSecond; i = (i + 1) % drip.size()) {
+    // MSG_NOSIGNAL: a write after the server closes must surface as EPIPE,
+    // not kill the test binary with SIGPIPE.
+    if (send(fd, &drip[i], 1, MSG_NOSIGNAL) <= 0) {
+      closed = true;  // Server reaped us despite steady trickling.
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(75));
+  }
+  EXPECT_TRUE(closed) << "trickling client was never reaped";
+  // Deadline (400 ms) + reaper lag (≤ idle_timeout) + slack, not 3 s.
+  EXPECT_LT(watch.ElapsedMicros(), 2 * dbase::kMicrosPerSecond);
+  close(fd);
+}
+
+TEST(FrontendTest, ConnectionCloseHonored) {
+  FrontendFixture fixture;
+  SKIP_WITHOUT_LOOPBACK(fixture);
+
+  const int fd = ConnectTo(fixture.port());
+  SendAll(fd, "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+  std::string carry;
+  auto response = ReadOneResponse(fd, &carry);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status_code, 200);
+  // The server closes its side after the response.
+  char buffer[16];
+  EXPECT_EQ(read(fd, buffer, sizeof(buffer)), 0);
+  close(fd);
+}
+
+}  // namespace
+}  // namespace dandelion

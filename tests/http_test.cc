@@ -125,6 +125,88 @@ INSTANTIATE_TEST_SUITE_P(
                        "GET http://h.x/ HTTP/1.1\r\nContent-Length: ten\r\n\r\n"}),
     [](const ::testing::TestParamInfo<BadRequestCase>& param_info) { return param_info.param.name; });
 
+TEST(ParserTest, ConflictingDuplicateContentLengthRejected) {
+  EXPECT_FALSE(
+      ParseRequest("POST http://h.x/ HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 4\r\n\r\nabc")
+          .ok());
+  // Identical repeats are tolerated (RFC 9112 §6.3).
+  EXPECT_TRUE(
+      ParseRequest("POST http://h.x/ HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 3\r\n\r\nabc")
+          .ok());
+}
+
+TEST(ScanMessageHeadTest, IncompleteHeadWantsMoreBytes) {
+  auto head = ScanMessageHead("POST /x HTTP/1.1\r\nContent-Len", 64 * 1024);
+  ASSERT_TRUE(head.ok());
+  EXPECT_FALSE(head->has_value());
+}
+
+TEST(ScanMessageHeadTest, CompleteHeadReportsFraming) {
+  const std::string wire = "POST /x HTTP/1.1\r\nContent-Length: 11\r\n\r\npartial-bod";
+  auto head = ScanMessageHead(wire, 64 * 1024);
+  ASSERT_TRUE(head.ok());
+  ASSERT_TRUE(head->has_value());
+  EXPECT_EQ((*head)->head_bytes, wire.size() - 11);
+  EXPECT_EQ((*head)->content_length, 11u);
+  // Works on partially-received bodies: framing is known before the body.
+  auto early = ScanMessageHead(wire.substr(0, wire.size() - 5), 64 * 1024);
+  ASSERT_TRUE(early.ok());
+  ASSERT_TRUE(early->has_value());
+  EXPECT_EQ((*early)->content_length, 11u);
+}
+
+TEST(ScanMessageHeadTest, MissingContentLengthMeansZero) {
+  auto head = ScanMessageHead("GET /healthz HTTP/1.1\r\n\r\n", 64 * 1024);
+  ASSERT_TRUE(head.ok());
+  ASSERT_TRUE(head->has_value());
+  EXPECT_EQ((*head)->content_length, 0u);
+}
+
+TEST(ScanMessageHeadTest, OversizedHeadRejected) {
+  // Terminated but over the cap.
+  std::string big = "GET / HTTP/1.1\r\n";
+  big.append(200, 'a');
+  big += ": b\r\n\r\n";
+  auto head = ScanMessageHead(big, 64);
+  ASSERT_FALSE(head.ok());
+  EXPECT_EQ(head.status().code(), dbase::StatusCode::kResourceExhausted);
+  // Unterminated and already past the cap: fails without waiting for more.
+  auto unterminated = ScanMessageHead(std::string(65, 'a'), 64);
+  ASSERT_FALSE(unterminated.ok());
+  EXPECT_EQ(unterminated.status().code(), dbase::StatusCode::kResourceExhausted);
+  // Under the cap and unterminated: still incomplete, not an error.
+  auto pending = ScanMessageHead(std::string(40, 'a'), 64);
+  ASSERT_TRUE(pending.ok());
+  EXPECT_FALSE(pending->has_value());
+}
+
+TEST(ScanMessageHeadTest, TransferEncodingRejected) {
+  // Chunked framing is unimplemented; defaulting it to zero-body would
+  // leave the chunk bytes to be parsed as the next pipelined request
+  // (request smuggling), so both the scanner and the full parser refuse.
+  const char* wire =
+      "POST /invoke/Id HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n";
+  auto head = ScanMessageHead(wire, 64 * 1024);
+  ASSERT_FALSE(head.ok());
+  EXPECT_EQ(head.status().code(), dbase::StatusCode::kInvalidArgument);
+  EXPECT_FALSE(ParseRequest("POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").ok());
+}
+
+TEST(ScanMessageHeadTest, BadContentLengthFailsClosed) {
+  auto garbage = ScanMessageHead("POST /x HTTP/1.1\r\nContent-Length: ten\r\n\r\n", 64 * 1024);
+  ASSERT_FALSE(garbage.ok());
+  EXPECT_EQ(garbage.status().code(), dbase::StatusCode::kInvalidArgument);
+  auto conflicting = ScanMessageHead(
+      "POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\n", 64 * 1024);
+  ASSERT_FALSE(conflicting.ok());
+  EXPECT_EQ(conflicting.status().code(), dbase::StatusCode::kInvalidArgument);
+  auto identical = ScanMessageHead(
+      "POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\n", 64 * 1024);
+  ASSERT_TRUE(identical.ok());
+  ASSERT_TRUE(identical->has_value());
+  EXPECT_EQ((*identical)->content_length, 5u);
+}
+
 TEST(ParserTest, ResponseRejectsBadStatusLine) {
   EXPECT_FALSE(ParseResponse("HTTP/1.1 999x OK\r\n\r\n").ok());
   EXPECT_FALSE(ParseResponse("HTTP/1.1 99 Low\r\n\r\n").ok());

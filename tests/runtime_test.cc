@@ -82,6 +82,54 @@ TEST(MemoryContextTest, RejectsTinyCapacity) {
   EXPECT_FALSE(MemoryContext::Create(8, nullptr).ok());
 }
 
+// Private contexts recycle their mmap regions through the process-wide
+// ContextPool; a reused region must be indistinguishable from a fresh
+// mapping — no bytes from the previous instance may survive.
+TEST(MemoryContextTest, PooledReuseReadsAsZeros) {
+  // A capacity distinct from every other test's, so this test observes its
+  // own recycling rather than another test's leftovers.
+  constexpr uint64_t kCapacity = (1 << 20) + 3 * 4096;
+
+  // Small touched extent: the pool zeroes it in place.
+  {
+    auto ctx = MemoryContext::Create(kCapacity, nullptr);
+    ASSERT_TRUE(ctx.ok());
+    ASSERT_TRUE((*ctx)->WriteAt(0, "secret-small").ok());
+  }
+  const auto after_small = ContextPool::Get()->stats();
+  EXPECT_GT(after_small.recycled, 0u);
+  {
+    auto ctx = MemoryContext::Create(kCapacity, nullptr);
+    ASSERT_TRUE(ctx.ok());
+    auto view = (*ctx)->ReadAt(0, 64);
+    ASSERT_TRUE(view.ok());
+    EXPECT_EQ(view->find_first_not_of('\0'), std::string_view::npos);
+
+    // Large touched extent (past ContextPool::kZeroExtentBytes): the pool
+    // uncommits with MADV_DONTNEED instead.
+    const std::string big(ContextPool::kZeroExtentBytes + 4096, 'X');
+    ASSERT_TRUE((*ctx)->WriteAt(0, big).ok());
+  }
+  {
+    auto ctx = MemoryContext::Create(kCapacity, nullptr);
+    ASSERT_TRUE(ctx.ok());
+    auto view = (*ctx)->ReadAt(0, ContextPool::kZeroExtentBytes + 4096);
+    ASSERT_TRUE(view.ok());
+    EXPECT_EQ(view->find_first_not_of('\0'), std::string_view::npos);
+  }
+
+  // set_max_entries(0) disables pooling and drains shelved regions.
+  ContextPool::Get()->set_max_entries(0);
+  {
+    auto ctx = MemoryContext::Create(kCapacity, nullptr);
+    ASSERT_TRUE(ctx.ok());
+    ASSERT_TRUE((*ctx)->WriteAt(0, "dropped").ok());
+  }
+  const auto drained = ContextPool::Get()->stats();
+  EXPECT_GT(drained.dropped, 0u);
+  ContextPool::Get()->set_max_entries(64);
+}
+
 TEST(MemoryContextTest, TransferBetweenContexts) {
   auto a = MemoryContext::Create(4096, nullptr);
   auto b = MemoryContext::Create(4096, nullptr);
