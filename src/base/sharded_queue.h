@@ -11,6 +11,11 @@
 // no matter which shard a task lands on or which worker steals it. A steal
 // counts as a pop. RehomeShard moves items between shards without touching
 // either counter — re-homing is neither an arrival nor a departure.
+//
+// Priority: each shard carries two FIFO lanes. Items pushed urgent pop
+// before any normal-lane item on the same shard (pops, steals, and
+// re-homing all respect the lanes), so interactive work overtakes batch
+// backlog without a separate queue or extra lock crossings.
 #ifndef SRC_BASE_SHARDED_QUEUE_H_
 #define SRC_BASE_SHARDED_QUEUE_H_
 
@@ -45,22 +50,22 @@ class ShardedTaskQueue {
   size_t shard_count() const { return shards_.size(); }
 
   // Round-robin producer path. Returns false if the queue is closed.
-  bool Push(T item) {
+  bool Push(T item, bool urgent = false) {
     return PushToShard(rr_.fetch_add(1, std::memory_order_relaxed) % shards_.size(),
-                       std::move(item));
+                       std::move(item), urgent);
   }
 
   // Targeted producer path (callers route to the shard of a worker whose
   // role matches the task). Returns false if the queue is closed.
-  bool PushToShard(size_t shard, T item) {
+  bool PushToShard(size_t shard, T item, bool urgent = false) {
     Shard& s = *shards_[ShardIndex(shard)];
     {
       std::lock_guard<std::mutex> lock(s.mu);
       if (closed_.load(std::memory_order_relaxed)) {
         return false;
       }
-      s.items.push_back(std::move(item));
-      s.approx_size.store(s.items.size(), std::memory_order_relaxed);
+      (urgent ? s.urgent : s.items).push_back(std::move(item));
+      s.approx_size.store(s.items.size() + s.urgent.size(), std::memory_order_relaxed);
       ++s.pushed;
     }
     s.cv.notify_one();
@@ -70,7 +75,7 @@ class ShardedTaskQueue {
   // Lands an entire batch on one shard in a single lock crossing — the
   // amortized path for each/key fan-outs. Every item still counts as one
   // push. Returns false (dropping the batch) if the queue is closed.
-  bool PushBatch(std::vector<T> items, size_t shard) {
+  bool PushBatch(std::vector<T> items, size_t shard, bool urgent = false) {
     if (items.empty()) {
       return !closed_.load(std::memory_order_relaxed);
     }
@@ -81,10 +86,11 @@ class ShardedTaskQueue {
         return false;
       }
       s.pushed += items.size();
+      std::deque<T>& lane = urgent ? s.urgent : s.items;
       for (auto& item : items) {
-        s.items.push_back(std::move(item));
+        lane.push_back(std::move(item));
       }
-      s.approx_size.store(s.items.size(), std::memory_order_relaxed);
+      s.approx_size.store(s.items.size() + s.urgent.size(), std::memory_order_relaxed);
     }
     s.cv.notify_all();
     // A batch is more work than one worker: bump the push epoch and wake
@@ -143,7 +149,8 @@ class ShardedTaskQueue {
     {
       std::unique_lock<std::mutex> lock(s.mu);
       s.cv.wait_for(lock, std::chrono::microseconds(timeout_us), [&] {
-        return !s.items.empty() || closed_.load(std::memory_order_relaxed) ||
+        return !s.items.empty() || !s.urgent.empty() ||
+               closed_.load(std::memory_order_relaxed) ||
                push_epoch_.load(std::memory_order_relaxed) != seen_epoch;
       });
       if (auto item = PopFrontLocked(s)) {
@@ -170,18 +177,20 @@ class ShardedTaskQueue {
   // Returns the number of items moved.
   size_t RehomeShard(size_t from, const std::vector<size_t>& to) {
     const size_t source = ShardIndex(from);
-    std::deque<T> residue;
+    std::deque<T> residue;         // Normal lane.
+    std::deque<T> urgent_residue;  // Urgent lane (keeps its lane on arrival).
     {
       Shard& s = *shards_[source];
       std::lock_guard<std::mutex> lock(s.mu);
       // Count the residue as in flight *before* it leaves the shard, so
       // Size() never reads a false empty mid-move (a shutdown drain racing
       // a role shift must keep seeing these tasks).
-      rehoming_.fetch_add(s.items.size(), std::memory_order_release);
+      rehoming_.fetch_add(s.items.size() + s.urgent.size(), std::memory_order_release);
       residue.swap(s.items);
+      urgent_residue.swap(s.urgent);
       s.approx_size.store(0, std::memory_order_relaxed);
     }
-    if (residue.empty()) {
+    if (residue.empty() && urgent_residue.empty()) {
       return 0;
     }
     std::vector<size_t> targets;
@@ -192,33 +201,40 @@ class ShardedTaskQueue {
     }
     if (targets.empty()) {
       // Put the residue back; no same-role shard exists to receive it.
-      const size_t count = residue.size();
+      const size_t count = residue.size() + urgent_residue.size();
       Shard& s = *shards_[source];
       {
         std::lock_guard<std::mutex> lock(s.mu);
         for (auto& item : residue) {
           s.items.push_back(std::move(item));
         }
-        s.approx_size.store(s.items.size(), std::memory_order_relaxed);
+        for (auto& item : urgent_residue) {
+          s.urgent.push_back(std::move(item));
+        }
+        s.approx_size.store(s.items.size() + s.urgent.size(), std::memory_order_relaxed);
       }
       rehoming_.fetch_sub(count, std::memory_order_release);
       return 0;
     }
-    const size_t moved = residue.size();
+    const size_t moved = residue.size() + urgent_residue.size();
     size_t next = 0;
-    while (!residue.empty()) {
-      Shard& s = *shards_[targets[next++ % targets.size()]];
-      {
-        std::lock_guard<std::mutex> lock(s.mu);
-        s.items.push_back(std::move(residue.front()));
-        s.approx_size.store(s.items.size(), std::memory_order_relaxed);
+    const auto distribute = [&](std::deque<T>* lane_residue, bool urgent) {
+      while (!lane_residue->empty()) {
+        Shard& s = *shards_[targets[next++ % targets.size()]];
+        {
+          std::lock_guard<std::mutex> lock(s.mu);
+          (urgent ? s.urgent : s.items).push_back(std::move(lane_residue->front()));
+          s.approx_size.store(s.items.size() + s.urgent.size(), std::memory_order_relaxed);
+        }
+        s.cv.notify_one();
+        // Decrement only after the item is visible on its new shard: Size()
+        // may transiently double-count, never undercount.
+        rehoming_.fetch_sub(1, std::memory_order_release);
+        lane_residue->pop_front();
       }
-      s.cv.notify_one();
-      // Decrement only after the item is visible on its new shard: Size()
-      // may transiently double-count, never undercount.
-      rehoming_.fetch_sub(1, std::memory_order_release);
-      residue.pop_front();
-    }
+    };
+    distribute(&urgent_residue, /*urgent=*/true);
+    distribute(&residue, /*urgent=*/false);
     return moved;
   }
 
@@ -241,7 +257,7 @@ class ShardedTaskQueue {
   size_t ShardSize(size_t shard) const {
     const Shard& s = *shards_[ShardIndex(shard)];
     std::lock_guard<std::mutex> lock(s.mu);
-    return s.items.size();
+    return s.items.size() + s.urgent.size();
   }
 
   // Lock-free approximate depth (maintained under the shard lock, read
@@ -275,7 +291,8 @@ class ShardedTaskQueue {
   struct Shard {
     mutable std::mutex mu;
     std::condition_variable cv;
-    std::deque<T> items;
+    std::deque<T> items;   // Normal lane.
+    std::deque<T> urgent;  // Pops ahead of `items` (interactive class).
     // Guarded by mu — counted under the same lock as the queue operation.
     uint64_t pushed = 0;
     uint64_t popped = 0;
@@ -285,14 +302,16 @@ class ShardedTaskQueue {
     std::atomic<size_t> approx_size{0};
   };
 
-  // Pops the front item and maintains popped/approx_size. Caller holds s.mu.
+  // Pops the front item — urgent lane first — and maintains
+  // popped/approx_size. Caller holds s.mu.
   std::optional<T> PopFrontLocked(Shard& s) {
-    if (s.items.empty()) {
+    std::deque<T>* lane = !s.urgent.empty() ? &s.urgent : &s.items;
+    if (lane->empty()) {
       return std::nullopt;
     }
-    T item = std::move(s.items.front());
-    s.items.pop_front();
-    s.approx_size.store(s.items.size(), std::memory_order_relaxed);
+    T item = std::move(lane->front());
+    lane->pop_front();
+    s.approx_size.store(s.items.size() + s.urgent.size(), std::memory_order_relaxed);
     ++s.popped;
     return item;
   }

@@ -28,6 +28,7 @@ enum class StatusCode {
   kUnimplemented,
   kPermissionDenied,
   kAborted,
+  kCancelled,
 };
 
 // Human-readable name for a StatusCode ("OK", "NOT_FOUND", ...).
@@ -85,6 +86,9 @@ inline Status PermissionDenied(std::string msg) {
   return Status(StatusCode::kPermissionDenied, std::move(msg));
 }
 inline Status Aborted(std::string msg) { return Status(StatusCode::kAborted, std::move(msg)); }
+inline Status Cancelled(std::string msg) {
+  return Status(StatusCode::kCancelled, std::move(msg));
+}
 
 // Result<T>: either a T or a non-OK Status. Accessing value() on an error is
 // a programming bug and asserts in debug builds.
@@ -179,6 +183,8 @@ inline std::string_view StatusCodeName(StatusCode code) {
       return "PERMISSION_DENIED";
     case StatusCode::kAborted:
       return "ABORTED";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
   }
   return "UNKNOWN";
 }

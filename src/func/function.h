@@ -51,8 +51,15 @@ class FunctionCtx {
   // loops should poll cancelled() — the stand-in for the paper's preemption
   // of over-deadline tasks (§5 footnote 2).
   void set_cancel_flag(const std::atomic<bool>* flag) { cancel_ = flag; }
+  // Second kill switch: the invocation-wide cancel flag (client cancel /
+  // invocation deadline), independent of the per-execution timeout flag.
+  void set_invocation_cancel_flag(const std::atomic<bool>* flag) {
+    invocation_cancel_ = flag;
+  }
   bool cancelled() const {
-    return cancel_ != nullptr && cancel_->load(std::memory_order_relaxed);
+    return (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) ||
+           (invocation_cancel_ != nullptr &&
+            invocation_cancel_->load(std::memory_order_relaxed));
   }
 
  private:
@@ -60,6 +67,7 @@ class FunctionCtx {
   DataSetList outputs_;
   std::unique_ptr<dvfs::MemFs> fs_;  // Lazily created.
   const std::atomic<bool>* cancel_ = nullptr;
+  const std::atomic<bool>* invocation_cancel_ = nullptr;
 };
 
 // A compute function body. Returning a non-OK status fails the instance;

@@ -1,6 +1,10 @@
 #include "src/runtime/cluster.h"
 
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
 #include <limits>
+#include <mutex>
 
 namespace dandelion {
 
@@ -44,8 +48,12 @@ double Cluster::NodeLoad(int index) const {
   return queued + inflight;
 }
 
-int Cluster::PickNode() {
-  if (config_.policy == LoadBalancePolicy::kRoundRobin || nodes_.size() == 1) {
+int Cluster::PickNode(PriorityClass priority) {
+  // Batch work tolerates queueing: under kLeastLoaded it still spreads
+  // round-robin (backlog smoothing) while interactive requests pay the
+  // load scan for the quietest node.
+  if (config_.policy == LoadBalancePolicy::kRoundRobin || nodes_.size() == 1 ||
+      priority == PriorityClass::kBatch) {
     return static_cast<int>(round_robin_.fetch_add(1, std::memory_order_relaxed) %
                             nodes_.size());
   }
@@ -61,36 +69,81 @@ int Cluster::PickNode() {
   return best;
 }
 
-void Cluster::InvokeAsync(const std::string& composition, dfunc::DataSetList args,
-                          std::function<void(dbase::Result<dfunc::DataSetList>, int)> callback) {
-  const int node = PickNode();
+InvocationHandle Cluster::InvokeAsync(
+    InvocationRequest request,
+    std::function<void(dbase::Result<dfunc::DataSetList>, int)> callback) {
+  const int node = PickNode(request.priority);
   served_[static_cast<size_t>(node)]->fetch_add(1, std::memory_order_relaxed);
   inflight_[static_cast<size_t>(node)]->fetch_add(1, std::memory_order_relaxed);
-  nodes_[static_cast<size_t>(node)]->InvokeAsync(
-      composition, std::move(args),
+  return nodes_[static_cast<size_t>(node)]->Submit(
+      std::move(request),
       [this, node, callback = std::move(callback)](dbase::Result<dfunc::DataSetList> result) {
         inflight_[static_cast<size_t>(node)]->fetch_sub(1, std::memory_order_relaxed);
         callback(std::move(result), node);
       });
 }
 
+void Cluster::InvokeAsync(const std::string& composition, dfunc::DataSetList args,
+                          std::function<void(dbase::Result<dfunc::DataSetList>, int)> callback) {
+  InvocationRequest request;
+  request.composition = composition;
+  request.args = std::move(args);
+  (void)InvokeAsync(std::move(request), std::move(callback));
+}
+
+Cluster::RoutedResult Cluster::Invoke(InvocationRequest request) {
+  struct WaitState {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    RoutedResult routed;
+  };
+  auto state = std::make_shared<WaitState>();
+  // Deadline-aware wait with the same never-hang backstop as
+  // Dispatcher::Invoke: a lost callback surfaces as kDeadlineExceeded, it
+  // does not block the caller forever.
+  constexpr dbase::Micros kBlockingWaitCapUs = 120 * dbase::kMicrosPerSecond;
+  const dbase::Micros now = dbase::MonotonicClock::Get()->NowMicros();
+  dbase::Micros wait_deadline = now + kBlockingWaitCapUs;
+  if (request.deadline_us > 0) {
+    wait_deadline = std::min(wait_deadline, request.deadline_us);
+  }
+  InvocationHandle handle =
+      InvokeAsync(std::move(request),
+                  [state](dbase::Result<dfunc::DataSetList> result, int node) {
+                    std::lock_guard<std::mutex> lock(state->mu);
+                    state->routed.result = std::move(result);
+                    state->routed.node_index = node;
+                    state->done = true;
+                    state->cv.notify_one();
+                  });
+  std::unique_lock<std::mutex> lock(state->mu);
+  while (!state->done) {
+    const dbase::Micros remaining =
+        wait_deadline - dbase::MonotonicClock::Get()->NowMicros();
+    if (remaining <= 0) {
+      // The serving node's reaper owes us a terminal callback imminently;
+      // one bounded grace wait covers scheduling skew before giving up.
+      if (!state->cv.wait_for(lock, std::chrono::seconds(5), [&] { return state->done; })) {
+        lock.unlock();
+        handle.Cancel();
+        RoutedResult routed;
+        routed.result = dbase::DeadlineExceeded("routed invoke timed out");
+        return routed;
+      }
+      break;
+    }
+    state->cv.wait_for(lock, std::chrono::microseconds(remaining));
+  }
+  return std::move(state->routed);
+}
+
 Cluster::RoutedResult Cluster::Invoke(const std::string& composition,
                                       dfunc::DataSetList args) {
-  std::mutex mu;
-  std::condition_variable cv;
-  bool done = false;
-  RoutedResult routed;
-  InvokeAsync(composition, std::move(args),
-              [&](dbase::Result<dfunc::DataSetList> result, int node) {
-                std::lock_guard<std::mutex> lock(mu);
-                routed.result = std::move(result);
-                routed.node_index = node;
-                done = true;
-                cv.notify_one();
-              });
-  std::unique_lock<std::mutex> lock(mu);
-  cv.wait(lock, [&] { return done; });
-  return routed;
+  InvocationRequest request;
+  request.composition = composition;
+  request.args = std::move(args);
+  return Invoke(std::move(request));
 }
 
 std::vector<uint64_t> Cluster::InvocationsPerNode() const {

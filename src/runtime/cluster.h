@@ -53,6 +53,17 @@ class Cluster {
     int node_index = -1;
     RoutedResult() : result(dbase::Internal("unset")) {}
   };
+  // Routed invokes take first-class requests: the deadline and cancel flag
+  // travel with the invocation to whichever node serves it, and placement
+  // can consider the request class (under kLeastLoaded, interactive
+  // requests pay the load scan while batch spreads round-robin — backlog
+  // smoothing is enough for work that tolerates queueing).
+  RoutedResult Invoke(InvocationRequest request);
+  InvocationHandle InvokeAsync(
+      InvocationRequest request,
+      std::function<void(dbase::Result<dfunc::DataSetList>, int node)> callback);
+
+  // Legacy shims over the request API.
   RoutedResult Invoke(const std::string& composition, dfunc::DataSetList args);
   void InvokeAsync(const std::string& composition, dfunc::DataSetList args,
                    std::function<void(dbase::Result<dfunc::DataSetList>, int node)> callback);
@@ -63,7 +74,7 @@ class Cluster {
   void Shutdown();
 
  private:
-  int PickNode();
+  int PickNode(PriorityClass priority);
   double NodeLoad(int index) const;
 
   Config config_;

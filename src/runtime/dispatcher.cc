@@ -1,7 +1,7 @@
 #include "src/runtime/dispatcher.h"
 
 #include <algorithm>
-#include <condition_variable>
+#include <chrono>
 #include <map>
 
 #include "src/base/log.h"
@@ -67,6 +67,9 @@ struct NodeRuntime {
 struct Dispatcher::InvocationState {
   std::shared_ptr<const ddsl::CompositionGraph> graph;
   int depth = 0;
+  // Shared across nesting levels: the root's deadline, class, and cancel
+  // flag govern the whole invocation tree.
+  std::shared_ptr<InvocationControl> control;
 
   std::mutex mu;
   std::map<std::string, dfunc::DataSet> values;  // Ready values by name.
@@ -89,56 +92,170 @@ Dispatcher::Dispatcher(const dfunc::FunctionRegistry* functions,
       accountant_(accountant),
       config_(config) {}
 
+Dispatcher::~Dispatcher() {
+  {
+    std::lock_guard<std::mutex> lock(reaper_mu_);
+    reaper_stop_ = true;
+  }
+  reaper_cv_.notify_all();
+  reaper_thread_.Join();
+}
+
 DispatcherStats Dispatcher::Stats() const {
   DispatcherStats stats;
   stats.invocations_started = invocations_started_.load(std::memory_order_relaxed);
   stats.invocations_completed = invocations_completed_.load(std::memory_order_relaxed);
   stats.invocations_failed = invocations_failed_.load(std::memory_order_relaxed);
+  stats.invocations_cancelled = invocations_cancelled_.load(std::memory_order_relaxed);
+  stats.invocations_deadline_exceeded =
+      invocations_deadline_exceeded_.load(std::memory_order_relaxed);
   stats.compute_instances = compute_instances_.load(std::memory_order_relaxed);
   stats.comm_instances = comm_instances_.load(std::memory_order_relaxed);
   stats.skipped_instances = skipped_instances_.load(std::memory_order_relaxed);
+  const auto gauge = [&](PriorityClass priority) {
+    const int64_t value =
+        inflight_by_class_[static_cast<size_t>(priority)].load(std::memory_order_relaxed);
+    return static_cast<uint64_t>(std::max<int64_t>(0, value));
+  };
+  stats.inflight_interactive = gauge(PriorityClass::kInteractive);
+  stats.inflight_batch = gauge(PriorityClass::kBatch);
   return stats;
+}
+
+InvocationHandle Dispatcher::Submit(InvocationRequest request, ResultCallback callback) {
+  const dbase::Micros now = dbase::MonotonicClock::Get()->NowMicros();
+  const uint64_t id =
+      request.id != 0 ? request.id : next_invocation_id_.fetch_add(1, std::memory_order_relaxed);
+  auto control =
+      std::make_shared<InvocationControl>(id, request.priority, request.deadline_us, now);
+  const auto class_index = static_cast<size_t>(request.priority);
+  inflight_by_class_[class_index].fetch_add(1, std::memory_order_relaxed);
+
+  // Root-terminal bookkeeping wraps the user callback so it runs no matter
+  // which path (completion, failure, cancel, reaper) finishes first.
+  ResultCallback wrapped = [this, control, class_index, cb = std::move(callback)](
+                               dbase::Result<dfunc::DataSetList> result) mutable {
+    InvocationPhase phase = InvocationPhase::kSucceeded;
+    if (!result.ok()) {
+      switch (result.status().code()) {
+        case dbase::StatusCode::kCancelled:
+          phase = InvocationPhase::kCancelled;
+          break;
+        case dbase::StatusCode::kDeadlineExceeded:
+          phase = InvocationPhase::kDeadlineExceeded;
+          break;
+        default:
+          phase = InvocationPhase::kFailed;
+      }
+    }
+    control->MarkDone(phase, dbase::MonotonicClock::Get()->NowMicros());
+    inflight_by_class_[class_index].fetch_sub(1, std::memory_order_relaxed);
+    DisarmReaper(control.get());
+    if (cb) {
+      cb(std::move(result));
+    }
+  };
+
+  auto graph = compositions_->Lookup(request.composition);
+  if (!graph.ok()) {
+    wrapped(graph.status());
+    return InvocationHandle(std::move(control));
+  }
+  auto inv = InvokeGraphAsync(std::move(graph).value(), std::move(request.args), 0,
+                              std::move(wrapped), control);
+  if (inv != nullptr && request.deadline_us > 0 && !control->done()) {
+    ArmReaper(control.get(), request.deadline_us, inv);
+  }
+  return InvocationHandle(std::move(control));
+}
+
+dbase::Result<dfunc::DataSetList> Dispatcher::Invoke(InvocationRequest request) {
+  // Heap-shared wait state: on timeout this frame returns while the
+  // (cancelled) invocation's callback may still fire later.
+  struct WaitState {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool ready = false;
+    dbase::Result<dfunc::DataSetList> result = dbase::Internal("invocation never completed");
+  };
+  auto state = std::make_shared<WaitState>();
+
+  const dbase::Micros now = dbase::MonotonicClock::Get()->NowMicros();
+  const dbase::Micros deadline_us = request.deadline_us;
+  dbase::Micros wait_deadline = INT64_MAX;
+  if (deadline_us > 0) {
+    wait_deadline = deadline_us;
+  }
+  if (config_.max_blocking_wait_us > 0) {
+    wait_deadline = std::min(wait_deadline, now + config_.max_blocking_wait_us);
+  }
+
+  InvocationHandle handle =
+      Submit(std::move(request), [state](dbase::Result<dfunc::DataSetList> result) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->result = std::move(result);
+        state->ready = true;
+        state->cv.notify_all();
+      });
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  while (!state->ready) {
+    const dbase::Micros remaining = wait_deadline - dbase::MonotonicClock::Get()->NowMicros();
+    if (remaining <= 0) {
+      break;
+    }
+    // Bound each wait so an effectively-infinite deadline cannot overflow
+    // the chrono conversion.
+    state->cv.wait_for(lock,
+                       std::chrono::microseconds(std::min<dbase::Micros>(
+                           remaining, 3600 * dbase::kMicrosPerSecond)));
+  }
+  if (!state->ready) {
+    lock.unlock();
+    // The engines owe us a callback we are no longer waiting for; stop the
+    // invocation so it sheds its remaining compute instead of running
+    // orphaned. When the request's own deadline caused the timeout, the
+    // recorded reason is the deadline — every observer (counters, report,
+    // HTTP mapping) then agrees on kDeadlineExceeded.
+    if (handle.control() != nullptr) {
+      handle.control()->RequestStop(wait_deadline == deadline_us
+                                        ? dbase::StatusCode::kDeadlineExceeded
+                                        : dbase::StatusCode::kCancelled);
+    }
+    return dbase::DeadlineExceeded("blocking invoke timed out");
+  }
+  return std::move(state->result);
 }
 
 void Dispatcher::InvokeAsync(const std::string& composition, dfunc::DataSetList args,
                              ResultCallback callback) {
-  auto graph = compositions_->Lookup(composition);
-  if (!graph.ok()) {
-    callback(graph.status());
-    return;
-  }
-  InvokeGraphAsync(std::move(graph).value(), std::move(args), 0, std::move(callback));
+  InvocationRequest request;
+  request.composition = composition;
+  request.args = std::move(args);
+  (void)Submit(std::move(request), std::move(callback));
 }
 
 dbase::Result<dfunc::DataSetList> Dispatcher::Invoke(const std::string& composition,
                                                      dfunc::DataSetList args) {
-  std::mutex mu;
-  std::condition_variable cv;
-  bool ready = false;
-  dbase::Result<dfunc::DataSetList> result = dbase::Internal("invocation never completed");
-  InvokeAsync(composition, std::move(args),
-              [&](dbase::Result<dfunc::DataSetList> r) {
-                std::lock_guard<std::mutex> lock(mu);
-                result = std::move(r);
-                ready = true;
-                cv.notify_one();
-              });
-  std::unique_lock<std::mutex> lock(mu);
-  cv.wait(lock, [&] { return ready; });
-  return result;
+  InvocationRequest request;
+  request.composition = composition;
+  request.args = std::move(args);
+  return Invoke(std::move(request));
 }
 
-void Dispatcher::InvokeGraphAsync(std::shared_ptr<const ddsl::CompositionGraph> graph,
-                                  dfunc::DataSetList args, int depth, ResultCallback callback) {
+std::shared_ptr<Dispatcher::InvocationState> Dispatcher::InvokeGraphAsync(
+    std::shared_ptr<const ddsl::CompositionGraph> graph, dfunc::DataSetList args, int depth,
+    ResultCallback callback, std::shared_ptr<InvocationControl> control) {
   if (depth >= config_.max_depth) {
     callback(dbase::ResourceExhausted("composition nesting exceeds maximum depth"));
-    return;
+    return nullptr;
   }
   invocations_started_.fetch_add(1, std::memory_order_relaxed);
 
   auto inv = std::make_shared<InvocationState>();
   inv->graph = std::move(graph);
   inv->depth = depth;
+  inv->control = std::move(control);
   inv->callback = std::move(callback);
   inv->nodes.resize(inv->graph->nodes().size());
   inv->nodes_remaining = inv->graph->nodes().size();
@@ -172,10 +289,14 @@ void Dispatcher::InvokeGraphAsync(std::shared_ptr<const ddsl::CompositionGraph> 
     for (size_t n = 0; n < nodes.size(); ++n) {
       if (inv->nodes[n].deps_remaining == 0) {
         StartNodeLocked(inv, n);
+        if (inv->done) {
+          return inv;
+        }
       }
     }
     MaybeCompleteLocked(inv);
   }
+  return inv;
 }
 
 namespace {
@@ -219,6 +340,16 @@ void Dispatcher::StartNodeLocked(const std::shared_ptr<InvocationState>& inv, si
   NodeRuntime& rt = inv->nodes[node_index];
   if (rt.started || inv->done) {
     return;
+  }
+  // A dead invocation launches nothing further: this is the earliest seam
+  // where a cancel or a passed deadline stops the graph walk.
+  if (inv->control != nullptr) {
+    const dbase::Status dead =
+        inv->control->RetireStatus(dbase::MonotonicClock::Get()->NowMicros());
+    if (!dead.ok()) {
+      FailLocked(inv, dead);
+      return;
+    }
   }
   rt.started = true;
 
@@ -368,10 +499,24 @@ std::optional<ComputeTask> Dispatcher::BuildComputeTask(
   ComputeTask task;
   task.spec = spec;
   task.context = context;
+  task.control = inv->control;
   auto self = this;
-  task.done = [self, inv, node_index, instance_index, context](ExecOutcome outcome) {
-    if (!outcome.status.ok()) {
-      self->OnInstanceDone(inv, node_index, instance_index, outcome.status);
+  task.done = [self, inv, node_index, instance_index, context,
+               control = inv->control](ExecOutcome outcome) {
+    dbase::Status status = outcome.status;
+    // The sandbox reports any external-flag preemption as kCancelled — it
+    // cannot know whether the flag meant a client cancel or the invocation
+    // deadline. The control block recorded the reason; make it
+    // authoritative so counters, report, and the HTTP status agree.
+    if (status.code() == dbase::StatusCode::kCancelled && control != nullptr) {
+      const dbase::Status dead =
+          control->RetireStatus(dbase::MonotonicClock::Get()->NowMicros());
+      if (!dead.ok()) {
+        status = dead;
+      }
+    }
+    if (!status.ok()) {
+      self->OnInstanceDone(inv, node_index, instance_index, std::move(status));
     } else {
       self->OnInstanceDone(inv, node_index, instance_index, std::move(outcome.outputs));
     }
@@ -415,6 +560,7 @@ void Dispatcher::LaunchCommInstance(const std::shared_ptr<InvocationState>& inv,
     CommTask task;
     task.raw_request = (*items)[i].data;
     task.handler = spec.handler;
+    task.control = inv->control;
     task.done = [self, inv, node_index, instance_index, responses, remaining, response_set, i](
                     dhttp::HttpResponse response, dbase::Micros) {
       (*responses)[i] = dfunc::DataItem{"", response.Serialize()};
@@ -448,13 +594,17 @@ void Dispatcher::LaunchNestedInstance(const std::shared_ptr<InvocationState>& in
   // our lock across the call so that re-entry cannot deadlock; the node's
   // instances_pending count was fixed before any launches, so concurrent
   // completions of sibling instances cannot prematurely merge the node.
+  //
+  // The nested graph shares this invocation's control block: cancelling or
+  // timing out the root stops the whole tree.
   auto self = this;
   inv->mu.unlock();
   InvokeGraphAsync(std::move(subgraph), std::move(inputs), inv->depth + 1,
                    [self, inv, node_index, instance_index](
                        dbase::Result<dfunc::DataSetList> result) {
                      self->OnInstanceDone(inv, node_index, instance_index, std::move(result));
-                   });
+                   },
+                   inv->control);
   inv->mu.lock();
 }
 
@@ -531,7 +681,26 @@ void Dispatcher::FailLocked(const std::shared_ptr<InvocationState>& inv, dbase::
     return;
   }
   inv->done = true;
-  invocations_failed_.fetch_add(1, std::memory_order_relaxed);
+  switch (status.code()) {
+    case dbase::StatusCode::kCancelled:
+      invocations_cancelled_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case dbase::StatusCode::kDeadlineExceeded: {
+      // Only the invocation-level deadline feeds the deadline counter. A
+      // per-function spec timeout also surfaces as kDeadlineExceeded, but
+      // that is a workload failure, not a client-deadline kill — the
+      // monitoring signal must not conflate the two.
+      const bool invocation_deadline =
+          inv->control != nullptr &&
+          inv->control->RetireStatus(dbase::MonotonicClock::Get()->NowMicros()).code() ==
+              dbase::StatusCode::kDeadlineExceeded;
+      (invocation_deadline ? invocations_deadline_exceeded_ : invocations_failed_)
+          .fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    default:
+      invocations_failed_.fetch_add(1, std::memory_order_relaxed);
+  }
   ResultCallback callback = std::move(inv->callback);
   // The callback runs outside the lock: unlock responsibility lies with the
   // caller's scope — we temporarily release here to avoid re-entrancy
@@ -553,6 +722,17 @@ void Dispatcher::MaybeCompleteLocked(const std::shared_ptr<InvocationState>& inv
       return;
     }
   }
+  // A cancel (or a deadline) that landed before the last merge wins over
+  // the completed results: the caller was promised a terminal kCancelled /
+  // kDeadlineExceeded once the handle said so.
+  if (inv->control != nullptr) {
+    const dbase::Status dead =
+        inv->control->RetireStatus(dbase::MonotonicClock::Get()->NowMicros());
+    if (!dead.ok()) {
+      FailLocked(inv, dead);
+      return;
+    }
+  }
   inv->done = true;
   invocations_completed_.fetch_add(1, std::memory_order_relaxed);
 
@@ -567,6 +747,71 @@ void Dispatcher::MaybeCompleteLocked(const std::shared_ptr<InvocationState>& inv
   inv->mu.unlock();
   callback(std::move(results));
   inv->mu.lock();
+}
+
+// ---------------------------------------------------------------- Reaper
+
+void Dispatcher::ArmReaper(const InvocationControl* key, dbase::Micros deadline_us,
+                           const std::shared_ptr<InvocationState>& inv) {
+  bool spawn = false;
+  {
+    std::lock_guard<std::mutex> lock(reaper_mu_);
+    if (reaper_stop_) {
+      return;
+    }
+    reaper_entries_[key] = ReaperEntry{deadline_us, inv};
+    spawn = !reaper_thread_.joinable();
+    if (spawn) {
+      reaper_thread_ = dbase::JoiningThread("invocation-reaper", [this] { ReaperLoop(); });
+    }
+  }
+  reaper_cv_.notify_one();
+}
+
+void Dispatcher::DisarmReaper(const InvocationControl* key) {
+  std::lock_guard<std::mutex> lock(reaper_mu_);
+  reaper_entries_.erase(key);
+}
+
+void Dispatcher::ReaperLoop() {
+  std::unique_lock<std::mutex> lock(reaper_mu_);
+  while (!reaper_stop_) {
+    if (reaper_entries_.empty()) {
+      reaper_cv_.wait(lock);
+      continue;
+    }
+    const dbase::Micros now = dbase::MonotonicClock::Get()->NowMicros();
+    dbase::Micros nearest = INT64_MAX;
+    std::vector<std::shared_ptr<InvocationState>> expired;
+    for (auto it = reaper_entries_.begin(); it != reaper_entries_.end();) {
+      if (it->second.deadline_us <= now) {
+        if (auto inv = it->second.inv.lock()) {
+          expired.push_back(std::move(inv));
+        }
+        it = reaper_entries_.erase(it);
+      } else {
+        nearest = std::min(nearest, it->second.deadline_us);
+        ++it;
+      }
+    }
+    if (!expired.empty()) {
+      // Fire outside the reaper lock: FailLocked runs the invocation
+      // callback, which re-enters DisarmReaper.
+      lock.unlock();
+      for (const auto& inv : expired) {
+        std::unique_lock<std::mutex> inv_lock(inv->mu);
+        if (!inv->done) {
+          if (inv->control != nullptr) {
+            inv->control->RequestStop(dbase::StatusCode::kDeadlineExceeded);
+          }
+          FailLocked(inv, dbase::DeadlineExceeded("invocation deadline exceeded"));
+        }
+      }
+      lock.lock();
+      continue;
+    }
+    reaper_cv_.wait_for(lock, std::chrono::microseconds(nearest - now + 500));
+  }
 }
 
 }  // namespace dandelion

@@ -5,10 +5,19 @@
 // distribution keywords, merges instance outputs, and applies the
 // conditional-execution rule (§4.4: a function runs only when every
 // non-optional input set contains at least one item).
+//
+// Invocations are first-class (src/runtime/invocation.h): Submit() takes an
+// InvocationRequest (deadline, priority class, id) and returns an
+// InvocationHandle. The shared InvocationControl propagates the deadline
+// and the cancel flag into nested compositions, queued engine tasks, and
+// running sandboxes; a dead invocation launches no further instances. A
+// deadline reaper thread terminates past-deadline invocations even when
+// they are parked on slow communication calls.
 #ifndef SRC_RUNTIME_DISPATCHER_H_
 #define SRC_RUNTIME_DISPATCHER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
@@ -18,10 +27,12 @@
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/base/thread.h"
 #include "src/dsl/graph.h"
 #include "src/func/data.h"
 #include "src/func/registry.h"
 #include "src/runtime/engine.h"
+#include "src/runtime/invocation.h"
 #include "src/runtime/memory_context.h"
 
 namespace dandelion {
@@ -41,14 +52,20 @@ class CompositionRegistry {
   std::map<std::string, std::shared_ptr<const ddsl::CompositionGraph>> graphs_;
 };
 
-// Aggregate counters exported by the dispatcher.
+// Aggregate counters exported by the dispatcher. The invocation counters
+// count graph invocations (nested compositions count once per level); the
+// in-flight gauges count external Submit()s still running, by class.
 struct DispatcherStats {
   uint64_t invocations_started = 0;
   uint64_t invocations_completed = 0;
   uint64_t invocations_failed = 0;
+  uint64_t invocations_cancelled = 0;
+  uint64_t invocations_deadline_exceeded = 0;
   uint64_t compute_instances = 0;
   uint64_t comm_instances = 0;
   uint64_t skipped_instances = 0;
+  uint64_t inflight_interactive = 0;
+  uint64_t inflight_batch = 0;
 };
 
 class Dispatcher {
@@ -59,20 +76,34 @@ class Dispatcher {
     // Nested-composition recursion bound (compositions may invoke
     // compositions, §4.1).
     int max_depth = 16;
+    // Upper bound on how long the blocking Invoke() wrappers wait for a
+    // completion when the request itself carries no deadline — a lost
+    // callback must surface as kDeadlineExceeded, not hang the caller
+    // forever. 0 disables the cap (legacy behavior).
+    dbase::Micros max_blocking_wait_us = 120 * dbase::kMicrosPerSecond;
   };
 
   Dispatcher(const dfunc::FunctionRegistry* functions, const CompositionRegistry* compositions,
              const CommFunctionRegistry* comm_functions, WorkerSet* workers,
              MemoryAccountant* accountant, Config config);
+  ~Dispatcher();
 
   using ResultCallback = std::function<void(dbase::Result<dfunc::DataSetList>)>;
 
-  // Asynchronous invocation; the callback fires exactly once, possibly on an
-  // engine thread.
+  // Primary entry point: submits the invocation and returns a handle. The
+  // callback fires exactly once — possibly on an engine thread, possibly
+  // before Submit returns — with the results or the terminal status
+  // (kCancelled / kDeadlineExceeded / the first instance failure).
+  InvocationHandle Submit(InvocationRequest request, ResultCallback callback);
+
+  // Blocking counterpart: waits for the result, bounded by the request
+  // deadline (and Config::max_blocking_wait_us as a backstop). On timeout
+  // the invocation is cancelled and kDeadlineExceeded returned.
+  dbase::Result<dfunc::DataSetList> Invoke(InvocationRequest request);
+
+  // Legacy shims over the request API (no deadline, interactive class).
   void InvokeAsync(const std::string& composition, dfunc::DataSetList args,
                    ResultCallback callback);
-
-  // Blocking convenience wrapper.
   dbase::Result<dfunc::DataSetList> Invoke(const std::string& composition,
                                            dfunc::DataSetList args);
 
@@ -81,8 +112,13 @@ class Dispatcher {
  private:
   struct InvocationState;
 
-  void InvokeGraphAsync(std::shared_ptr<const ddsl::CompositionGraph> graph,
-                        dfunc::DataSetList args, int depth, ResultCallback callback);
+  // Starts one graph invocation; the control block is shared across nesting
+  // levels (the root's deadline and cancel flag govern the whole tree).
+  // Returns the created state, or nullptr when the invocation was rejected
+  // synchronously (depth bound).
+  std::shared_ptr<InvocationState> InvokeGraphAsync(
+      std::shared_ptr<const ddsl::CompositionGraph> graph, dfunc::DataSetList args, int depth,
+      ResultCallback callback, std::shared_ptr<InvocationControl> control);
 
   void StartNodeLocked(const std::shared_ptr<InvocationState>& inv, size_t node_index);
   // Prepares one compute instance (context + marshalled inputs + done
@@ -106,6 +142,18 @@ class Dispatcher {
   void FailLocked(const std::shared_ptr<InvocationState>& inv, dbase::Status status);
   void MaybeCompleteLocked(const std::shared_ptr<InvocationState>& inv);
 
+  // --- Deadline reaper ------------------------------------------------------
+  // Fails a root invocation at its deadline even when no instance is
+  // running to observe it (e.g. parked on a long comm call). The thread is
+  // spawned lazily on the first deadline-carrying Submit. Entries are
+  // keyed by the control block's address, not the invocation id — callers
+  // may reuse explicit ids, and two live invocations must not clobber each
+  // other's reaper entries.
+  void ArmReaper(const InvocationControl* key, dbase::Micros deadline_us,
+                 const std::shared_ptr<InvocationState>& inv);
+  void DisarmReaper(const InvocationControl* key);
+  void ReaperLoop();
+
   const dfunc::FunctionRegistry* functions_;
   const CompositionRegistry* compositions_;
   const CommFunctionRegistry* comm_functions_;
@@ -113,12 +161,28 @@ class Dispatcher {
   MemoryAccountant* accountant_;
   Config config_;
 
+  std::atomic<uint64_t> next_invocation_id_{1};
   std::atomic<uint64_t> invocations_started_{0};
   std::atomic<uint64_t> invocations_completed_{0};
   std::atomic<uint64_t> invocations_failed_{0};
+  std::atomic<uint64_t> invocations_cancelled_{0};
+  std::atomic<uint64_t> invocations_deadline_exceeded_{0};
   std::atomic<uint64_t> compute_instances_{0};
   std::atomic<uint64_t> comm_instances_{0};
   std::atomic<uint64_t> skipped_instances_{0};
+  std::atomic<int64_t> inflight_by_class_[kNumPriorityClasses] = {};
+
+  struct ReaperEntry {
+    dbase::Micros deadline_us = 0;
+    std::weak_ptr<InvocationState> inv;
+  };
+  std::mutex reaper_mu_;
+  std::condition_variable reaper_cv_;
+  // Keyed by control-block address (unique per live invocation; the
+  // wrapped callback keeps the control alive until it disarms).
+  std::map<const InvocationControl*, ReaperEntry> reaper_entries_;
+  bool reaper_stop_ = false;                        // Guarded by reaper_mu_.
+  dbase::JoiningThread reaper_thread_;              // Guarded by reaper_mu_ (spawn).
 };
 
 }  // namespace dandelion

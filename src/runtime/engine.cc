@@ -8,6 +8,15 @@
 #include "src/runtime/comm_function.h"
 
 namespace dandelion {
+namespace {
+
+// Untracked tasks (no control block) ride the urgent lane with interactive
+// work: the legacy path must not be starvable by batch backlog.
+bool TaskIsUrgent(const std::shared_ptr<InvocationControl>& control) {
+  return control == nullptr || control->priority() == PriorityClass::kInteractive;
+}
+
+}  // namespace
 
 WorkerSet::WorkerSet(Config config, dhttp::ServiceMesh* mesh)
     : config_(config),
@@ -42,8 +51,9 @@ std::vector<size_t> WorkerSet::ShardsWithRole(EngineType role, size_t excluding)
 
 bool WorkerSet::SubmitCompute(ComputeTask task) {
   task.enqueue_time_us = dbase::MonotonicClock::Get()->NowMicros();
+  const bool urgent = TaskIsUrgent(task.control);
   const size_t shard = PickShard(EngineType::kCompute, compute_queue_);
-  return compute_queue_.PushToShard(shard, std::move(task));
+  return compute_queue_.PushToShard(shard, std::move(task), urgent);
 }
 
 bool WorkerSet::SubmitComputeBatch(std::vector<ComputeTask> tasks) {
@@ -51,6 +61,8 @@ bool WorkerSet::SubmitComputeBatch(std::vector<ComputeTask> tasks) {
   for (auto& task : tasks) {
     task.enqueue_time_us = now;
   }
+  // One fan-out belongs to one invocation, so the whole batch shares a lane.
+  const bool urgent = tasks.empty() || TaskIsUrgent(tasks.front().control);
   // A fan-out bigger than one worker's bite is split into per-shard chunks:
   // still one queue crossing per chunk, but the siblings consume their own
   // chunks in parallel instead of serializing steals against one victim
@@ -64,7 +76,7 @@ bool WorkerSet::SubmitComputeBatch(std::vector<ComputeTask> tasks) {
           : std::min(targets.size(), std::max<size_t>(1, tasks.size() / kMinChunk));
   if (chunks <= 1) {
     const size_t shard = PickShard(EngineType::kCompute, compute_queue_);
-    return compute_queue_.PushBatch(std::move(tasks), shard);
+    return compute_queue_.PushBatch(std::move(tasks), shard, urgent);
   }
   const size_t per_chunk = (tasks.size() + chunks - 1) / chunks;
   bool ok = true;
@@ -73,15 +85,17 @@ bool WorkerSet::SubmitComputeBatch(std::vector<ComputeTask> tasks) {
     const size_t end = std::min(begin + per_chunk, tasks.size());
     std::vector<ComputeTask> chunk(std::make_move_iterator(tasks.begin() + begin),
                                    std::make_move_iterator(tasks.begin() + end));
-    ok = compute_queue_.PushBatch(std::move(chunk), targets[target++ % targets.size()]) && ok;
+    ok = compute_queue_.PushBatch(std::move(chunk), targets[target++ % targets.size()], urgent) &&
+         ok;
   }
   return ok;
 }
 
 bool WorkerSet::SubmitComm(CommTask task) {
   task.enqueue_time_us = dbase::MonotonicClock::Get()->NowMicros();
+  const bool urgent = TaskIsUrgent(task.control);
   const size_t shard = PickShard(EngineType::kCommunication, comm_queue_);
-  return comm_queue_.PushToShard(shard, std::move(task));
+  return comm_queue_.PushToShard(shard, std::move(task), urgent);
 }
 
 bool WorkerSet::ShiftWorkerToCompute() {
@@ -131,6 +145,8 @@ EngineStats WorkerSet::Stats() const {
   EngineStats stats;
   stats.compute_tasks = compute_done_.load(std::memory_order_relaxed);
   stats.comm_tasks = comm_done_.load(std::memory_order_relaxed);
+  stats.compute_aborted = compute_aborted_.load(std::memory_order_relaxed);
+  stats.comm_aborted = comm_aborted_.load(std::memory_order_relaxed);
   stats.compute_queue_len = compute_queue_.Size();
   stats.comm_queue_len = comm_queue_.Size();
   stats.compute_workers = compute_workers();
@@ -167,13 +183,40 @@ void WorkerSet::Shutdown() {
 }
 
 void WorkerSet::RunComputeTask(ComputeTask task) {
+  const dbase::Micros now = dbase::MonotonicClock::Get()->NowMicros();
   {
-    const dbase::Micros wait =
-        dbase::MonotonicClock::Get()->NowMicros() - task.enqueue_time_us;
+    const dbase::Micros wait = now - task.enqueue_time_us;
     std::lock_guard<std::mutex> lock(wait_mu_);
     compute_wait_us_.Add(static_cast<uint64_t>(std::max<dbase::Micros>(0, wait)));
   }
   SandboxOptions options = task.options;
+  if (task.control != nullptr) {
+    // Dead invocation: drop the task at the dequeue seam — no sandbox, no
+    // binary load. This is what makes Cancel() stop a fan-out mid-flight.
+    const dbase::Status dead = task.control->RetireStatus(now);
+    if (!dead.ok()) {
+      task.control->CountAborted();
+      compute_aborted_.fetch_add(1, std::memory_order_relaxed);
+      if (task.done) {
+        ExecOutcome outcome;
+        outcome.status = dead;
+        task.done(std::move(outcome));
+      }
+      return;
+    }
+    task.control->MarkFirstRun(now);
+    task.control->CountLaunched();
+    options.cancel_flag = task.control->stop_flag();
+    if (task.control->deadline_us() > 0) {
+      // The invocation deadline clamps the per-function timeout so the
+      // DeadlineWatchdog preempts at whichever comes first.
+      const dbase::Micros remaining = task.control->deadline_us() - now;
+      const dbase::Micros spec_timeout =
+          options.timeout_us > 0 ? options.timeout_us : task.spec.timeout_us;
+      options.timeout_us =
+          spec_timeout > 0 ? std::min(spec_timeout, remaining) : remaining;
+    }
+  }
   if (config_.binary_cold_fraction > 0.0) {
     // Deterministic cache-miss pattern: every k-th task loads from disk.
     const auto k = static_cast<uint64_t>(
@@ -195,6 +238,17 @@ void WorkerSet::StartCommTask(CommTask task, std::vector<InFlight>* inflight) {
         dbase::MonotonicClock::Get()->NowMicros() - task.enqueue_time_us;
     std::lock_guard<std::mutex> lock(wait_mu_);
     comm_wait_us_.Add(static_cast<uint64_t>(std::max<dbase::Micros>(0, wait)));
+  }
+  if (task.control != nullptr &&
+      !task.control->RetireStatus(dbase::MonotonicClock::Get()->NowMicros()).ok()) {
+    // Dead invocation: skip the mesh call and its modelled latency. The
+    // response content never reaches a client — the dispatcher drops late
+    // completions of a finished invocation.
+    comm_aborted_.fetch_add(1, std::memory_order_relaxed);
+    if (task.done) {
+      task.done(dhttp::HttpResponse::Make(499, "Client Closed Request", ""), 0);
+    }
+    return;
   }
   CommCallResult call = task.handler ? task.handler(*mesh_, task.raw_request)
                                      : ExecuteHttpFunction(*mesh_, task.raw_request);

@@ -21,6 +21,7 @@
 #include "src/func/registry.h"
 #include "src/http/service_mesh.h"
 #include "src/runtime/comm_function.h"
+#include "src/runtime/invocation.h"
 #include "src/runtime/memory_context.h"
 #include "src/runtime/sandbox.h"
 
@@ -29,30 +30,41 @@ namespace dandelion {
 enum class EngineType { kCompute, kCommunication };
 
 // A unit of compute work: a prepared memory context plus metadata. The
-// engine invokes `done` exactly once with the outcome.
+// engine invokes `done` exactly once with the outcome. When `control` is
+// set, the task belongs to a tracked invocation: its class picks the queue
+// lane, a task of a dead invocation is dropped at dequeue (done fires with
+// the terminal status, the sandbox never runs), and the invocation
+// deadline clamps the sandbox timeout.
 struct ComputeTask {
   dfunc::FunctionSpec spec;
   std::shared_ptr<MemoryContext> context;
   SandboxOptions options;
   std::function<void(ExecOutcome)> done;
   dbase::Micros enqueue_time_us = 0;
+  std::shared_ptr<InvocationControl> control;
 };
 
 // A unit of communication work: raw request bytes produced by an untrusted
 // function. The engine sanitizes, dispatches to the service mesh, and
 // returns the serialized response (or an HTTP-level error — §4.4 failure
 // forwarding). `handler` selects the communication function (HTTP when
-// empty); handlers are trusted platform code.
+// empty); handlers are trusted platform code. A dead invocation's comm
+// task skips the mesh call and modelled latency entirely.
 struct CommTask {
   std::string raw_request;
   std::function<CommCallResult(dhttp::ServiceMesh&, std::string_view)> handler;
   std::function<void(dhttp::HttpResponse, dbase::Micros latency_us)> done;
   dbase::Micros enqueue_time_us = 0;
+  std::shared_ptr<InvocationControl> control;
 };
 
 struct EngineStats {
   uint64_t compute_tasks = 0;
   uint64_t comm_tasks = 0;
+  // Tasks dequeued after their invocation died (cancelled / past deadline):
+  // dropped without entering a sandbox or calling the mesh.
+  uint64_t compute_aborted = 0;
+  uint64_t comm_aborted = 0;
   uint64_t compute_queue_len = 0;
   uint64_t comm_queue_len = 0;
   int compute_workers = 0;
@@ -186,6 +198,8 @@ class WorkerSet {
   std::atomic<bool> sleep_latency_{true};
   std::atomic<uint64_t> compute_done_{0};
   std::atomic<uint64_t> comm_done_{0};
+  std::atomic<uint64_t> compute_aborted_{0};
+  std::atomic<uint64_t> comm_aborted_{0};
   std::atomic<uint64_t> cold_counter_{0};
   // Fallback rotation for submissions racing a role shift.
   mutable std::atomic<uint64_t> submit_rr_{0};

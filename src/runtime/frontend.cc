@@ -95,8 +95,43 @@ std::string InvocationResponseWire(dbase::Result<dfunc::DataSetList> result) {
     out.append(payload);
     return out;
   }
-  const int code = result.status().code() == dbase::StatusCode::kNotFound ? 404 : 500;
-  return dhttp::HttpResponse::Make(code, "Error", result.status().ToString()).Serialize();
+  int code = 500;
+  const char* reason = "Internal Server Error";
+  switch (result.status().code()) {
+    case dbase::StatusCode::kNotFound:
+      code = 404;
+      reason = "Not Found";
+      break;
+    case dbase::StatusCode::kDeadlineExceeded:
+      code = 504;
+      reason = "Gateway Timeout";
+      break;
+    case dbase::StatusCode::kCancelled:
+      // nginx's convention for "client closed request"; mostly unreadable
+      // (the client is usually gone) but keeps the wire truthful.
+      code = 499;
+      reason = "Client Closed Request";
+      break;
+    default:
+      break;
+  }
+  return dhttp::HttpResponse::Make(code, reason, result.status().ToString()).Serialize();
+}
+
+// Minimal JSON string escaping for identifier-ish values.
+void AppendJsonString(std::string* out, std::string_view value) {
+  out->push_back('"');
+  for (char c : value) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out->append(dbase::StrFormat("\\u%04x", c));
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('"');
 }
 
 }  // namespace
@@ -444,6 +479,24 @@ bool HttpFrontend::HandleRequest(const ConnectionPtr& conn, std::string_view wir
 
   if (request.method == dhttp::Method::kGet && target == "/healthz") {
     FinishSlot(conn, slot, dhttp::HttpResponse::Ok("ok\n"));
+  } else if (request.method == dhttp::Method::kGet && target == "/compositions") {
+    std::string json = "{\"compositions\":[";
+    bool first = true;
+    for (const std::string& name : platform_->compositions().Names()) {
+      if (!first) {
+        json.push_back(',');
+      }
+      first = false;
+      AppendJsonString(&json, name);
+    }
+    json += "]}\n";
+    dhttp::HttpResponse response = dhttp::HttpResponse::Ok(std::move(json));
+    response.headers.Set("Content-Type", "application/json");
+    FinishSlot(conn, slot, response);
+  } else if (request.method == dhttp::Method::kGet && target == "/statz") {
+    dhttp::HttpResponse response = dhttp::HttpResponse::Ok(StatzJson());
+    response.headers.Set("Content-Type", "application/json");
+    FinishSlot(conn, slot, response);
   } else if (request.method == dhttp::Method::kPost && target == "/register/composition") {
     const dbase::Status status = platform_->RegisterCompositionDsl(request.body);
     FinishSlot(conn, slot,
@@ -474,12 +527,64 @@ bool HttpFrontend::HandleRequest(const ConnectionPtr& conn, std::string_view wir
 void HttpFrontend::DispatchInvoke(const std::weak_ptr<Connection>& weak_conn, const SlotPtr& slot,
                                   dhttp::HttpRequest request) {
   const std::string composition = request.target.substr(std::strlen("/invoke/"));
+
+  // Request class and deadline come off the headers before any expensive
+  // work: a shed or malformed request must cost the node nothing.
+  PriorityClass priority = PriorityClass::kInteractive;
+  if (const auto header = request.headers.Get("X-Dandelion-Priority"); header.has_value()) {
+    auto parsed = PriorityClassFromName(*header);
+    if (!parsed.ok()) {
+      PostSlotCompletion(weak_conn, slot,
+                         dhttp::HttpResponse::BadRequest(parsed.status().ToString()).Serialize());
+      return;
+    }
+    priority = *parsed;
+  }
+  dbase::Micros deadline_us = 0;
+  if (const auto header = request.headers.Get("X-Dandelion-Deadline-Ms"); header.has_value()) {
+    int64_t ms = 0;
+    if (!dbase::ParseInt64(*header, &ms) || ms <= 0) {
+      PostSlotCompletion(
+          weak_conn, slot,
+          dhttp::HttpResponse::BadRequest("invalid X-Dandelion-Deadline-Ms").Serialize());
+      return;
+    }
+    deadline_us = dbase::MonotonicClock::Get()->NowMicros() + ms * dbase::kMicrosPerMilli;
+  }
+
+  // Per-class admission control: reject early with 429 once the class's
+  // in-flight cap is reached, instead of queueing blindly until buffers or
+  // clients give up.
+  const auto class_index = static_cast<size_t>(priority);
+  const size_t cap = priority == PriorityClass::kInteractive
+                         ? config_.max_inflight_interactive
+                         : config_.max_inflight_batch;
+  const std::shared_ptr<InvokeCounters> counters = counters_;
+  if (cap > 0 &&
+      static_cast<size_t>(counters->inflight[class_index].fetch_add(
+          1, std::memory_order_relaxed)) >= cap) {
+    counters->inflight[class_index].fetch_sub(1, std::memory_order_relaxed);
+    counters->shed_429.fetch_add(1, std::memory_order_relaxed);
+    PostSlotCompletion(
+        weak_conn, slot,
+        dhttp::HttpResponse::Make(429, "Too Many Requests",
+                                  "admission control: " +
+                                      std::string(PriorityClassName(priority)) +
+                                      " in-flight cap reached\n")
+            .Serialize());
+    return;
+  }
+  const auto release_admission = [counters, class_index] {
+    counters->inflight[class_index].fetch_sub(1, std::memory_order_relaxed);
+  };
+
   dfunc::DataSetList args;
   if (request.headers.Get("X-Dandelion-Raw").has_value()) {
     // Plain-text convenience: the body becomes the single item of a set
     // named after the composition's first parameter.
     auto graph = platform_->compositions().Lookup(composition);
     if (!graph.ok() || graph.value()->params().empty()) {
+      release_admission();
       PostSlotCompletion(weak_conn, slot,
                          dhttp::HttpResponse::NotFound("unknown composition").Serialize());
       return;
@@ -489,6 +594,7 @@ void HttpFrontend::DispatchInvoke(const std::weak_ptr<Connection>& weak_conn, co
   } else {
     auto unmarshalled = dfunc::UnmarshalSets(request.body);
     if (!unmarshalled.ok()) {
+      release_admission();
       PostSlotCompletion(
           weak_conn, slot,
           dhttp::HttpResponse::BadRequest(unmarshalled.status().ToString()).Serialize());
@@ -497,19 +603,46 @@ void HttpFrontend::DispatchInvoke(const std::weak_ptr<Connection>& weak_conn, co
     args = std::move(unmarshalled).value();
   }
 
+  InvocationRequest invocation;
+  invocation.composition = composition;
+  invocation.args = std::move(args);
+  invocation.deadline_us = deadline_us;
+  invocation.priority = priority;
+
   // The completion runs on an engine thread, possibly after Stop() — it
-  // captures the loop shared_ptr itself (keeping the reactor alive until
-  // the last completion lands) and must not read frontend members. The
-  // posted closure only ever runs on a live loop, which implies a live
-  // frontend (Stop() joins the loop thread before destruction).
-  platform_->InvokeAsync(
-      composition, std::move(args),
-      [this, loop = loop_, weak_conn, slot](dbase::Result<dfunc::DataSetList> result) {
+  // captures the loop shared_ptr and the counters block itself (keeping
+  // both alive until the last completion lands) and must not read frontend
+  // members. The posted closure only ever runs on a live loop, which
+  // implies a live frontend (Stop() joins the loop thread before
+  // destruction).
+  InvocationHandle handle = platform_->Submit(
+      std::move(invocation),
+      [this, loop = loop_, counters, class_index, weak_conn,
+       slot](dbase::Result<dfunc::DataSetList> result) {
+        counters->inflight[class_index].fetch_sub(1, std::memory_order_relaxed);
+        counters->served.fetch_add(1, std::memory_order_relaxed);
+        if (!result.ok() &&
+            result.status().code() == dbase::StatusCode::kDeadlineExceeded) {
+          counters->deadline_504.fetch_add(1, std::memory_order_relaxed);
+        }
         std::string bytes = InvocationResponseWire(std::move(result));
         loop->Post([this, weak_conn, slot, bytes = std::move(bytes)]() mutable {
           ApplySlotCompletion(weak_conn, slot, std::move(bytes));
         });
       });
+
+  // Attach the handle so a dying connection cancels the invocation instead
+  // of letting orphaned work run to completion. If the connection already
+  // died while we were dispatching, cancel right here.
+  {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    if (slot->abandoned) {
+      counters->disconnect_cancelled.fetch_add(1, std::memory_order_relaxed);
+      handle.Cancel();
+    } else {
+      slot->handle = std::move(handle);
+    }
+  }
 }
 
 void HttpFrontend::PostSlotCompletion(const std::weak_ptr<Connection>& weak_conn,
@@ -789,9 +922,68 @@ void HttpFrontend::CloseConnection(const ConnectionPtr& conn) {
   close(conn->fd);
   connections_.erase(conn->fd);
   conn->fd = -1;
+  // The client is gone: cancel every invocation still running on its
+  // behalf so orphaned work stops consuming engines. Slots whose dispatch
+  // is still in flight are marked abandoned and cancelled by the
+  // dispatching thread instead.
+  for (const SlotPtr& slot : conn->pipeline) {
+    if (slot->ready) {
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(slot->mu);
+    slot->abandoned = true;
+    if (slot->handle.valid() && !slot->handle.done()) {
+      counters_->disconnect_cancelled.fetch_add(1, std::memory_order_relaxed);
+      slot->handle.Cancel();
+    }
+  }
   // In-flight async completions hold the slots; with the connection gone
   // their posted flushes become no-ops.
   conn->pipeline.clear();
+}
+
+std::string HttpFrontend::StatzJson() const {
+  const EngineStats engine = platform_->engine_stats();
+  const DispatcherStats dispatcher = platform_->dispatcher_stats();
+  const auto u = [](uint64_t v) { return static_cast<unsigned long long>(v); };
+  std::string json = "{\"engine\":{";
+  json += dbase::StrFormat(
+      "\"compute_tasks\":%llu,\"comm_tasks\":%llu,\"compute_aborted\":%llu,"
+      "\"comm_aborted\":%llu,\"compute_queue_len\":%llu,\"comm_queue_len\":%llu,"
+      "\"compute_workers\":%d,\"comm_workers\":%d,\"compute_steals\":%llu,"
+      "\"comm_steals\":%llu",
+      u(engine.compute_tasks), u(engine.comm_tasks), u(engine.compute_aborted),
+      u(engine.comm_aborted), u(engine.compute_queue_len), u(engine.comm_queue_len),
+      engine.compute_workers, engine.comm_workers, u(engine.compute_steals),
+      u(engine.comm_steals));
+  json += "},\"dispatcher\":{";
+  json += dbase::StrFormat(
+      "\"invocations_started\":%llu,\"invocations_completed\":%llu,"
+      "\"invocations_failed\":%llu,\"invocations_cancelled\":%llu,"
+      "\"invocations_deadline_exceeded\":%llu,\"compute_instances\":%llu,"
+      "\"comm_instances\":%llu,\"skipped_instances\":%llu,"
+      "\"inflight_interactive\":%llu,\"inflight_batch\":%llu",
+      u(dispatcher.invocations_started), u(dispatcher.invocations_completed),
+      u(dispatcher.invocations_failed), u(dispatcher.invocations_cancelled),
+      u(dispatcher.invocations_deadline_exceeded), u(dispatcher.compute_instances),
+      u(dispatcher.comm_instances), u(dispatcher.skipped_instances),
+      u(dispatcher.inflight_interactive), u(dispatcher.inflight_batch));
+  json += "},\"frontend\":{";
+  json += dbase::StrFormat(
+      "\"open_connections\":%llu,\"inflight_interactive\":%lld,"
+      "\"inflight_batch\":%lld,\"served\":%llu,\"shed_429\":%llu,"
+      "\"deadline_504\":%llu,\"disconnect_cancelled\":%llu",
+      u(connections_.size()),
+      static_cast<long long>(counters_->inflight[static_cast<size_t>(
+          PriorityClass::kInteractive)].load(std::memory_order_relaxed)),
+      static_cast<long long>(counters_->inflight[static_cast<size_t>(
+          PriorityClass::kBatch)].load(std::memory_order_relaxed)),
+      u(counters_->served.load(std::memory_order_relaxed)),
+      u(counters_->shed_429.load(std::memory_order_relaxed)),
+      u(counters_->deadline_504.load(std::memory_order_relaxed)),
+      u(counters_->disconnect_cancelled.load(std::memory_order_relaxed)));
+  json += "}}\n";
+  return json;
 }
 
 }  // namespace dandelion

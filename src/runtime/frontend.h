@@ -4,9 +4,18 @@
 //
 //   POST /invoke/<composition>      body: marshalled DataSetList (binary) or
 //                                   plain text (becomes the first param's
-//                                   single item when X-Dandelion-Raw: 1)
+//                                   single item when X-Dandelion-Raw: 1).
+//                                   X-Dandelion-Deadline-Ms: <n> sets a
+//                                   relative deadline (504 when exceeded);
+//                                   X-Dandelion-Priority: interactive|batch
+//                                   picks the request class. Per-class
+//                                   admission control sheds with 429; a
+//                                   client whose connection dies has its
+//                                   in-flight invocations cancelled.
 //   POST /register/composition     body: DSL source text
 //   GET  /healthz                  liveness probe
+//   GET  /compositions             registered composition names (JSON)
+//   GET  /statz                    engine/dispatcher/frontend counters (JSON)
 //
 // Connections are non-blocking with keep-alive and pipelining: requests are
 // parsed incrementally as bytes arrive, invocations are dispatched through
@@ -21,6 +30,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -30,6 +40,7 @@
 #include "src/base/status.h"
 #include "src/base/thread.h"
 #include "src/http/http_message.h"
+#include "src/runtime/invocation.h"
 #include "src/runtime/platform.h"
 
 namespace dandelion {
@@ -63,6 +74,12 @@ struct FrontendConfig {
   // Pipelining backpressure: stop reading from a connection once this many
   // requests are awaiting responses on it.
   size_t max_pipeline_depth = 64;
+  // Admission control: cap on invocations of each class in flight through
+  // this frontend. A request arriving at a full class is shed immediately
+  // with 429 instead of queueing blindly — under overload the platform
+  // degrades by rejecting cheap and early. 0 = uncapped.
+  size_t max_inflight_interactive = 256;
+  size_t max_inflight_batch = 256;
   // Threads that run Platform::InvokeAsync dispatch (dependency setup,
   // memory-context creation, input marshalling) so the loop thread stays on
   // socket work. -1 auto-sizes: 2 when the machine has cores to spare,
@@ -116,6 +133,13 @@ class HttpFrontend {
     struct ResponseSlot {
       bool ready = false;
       std::string bytes;
+      // Invocation attached to this slot, if any. `mu` orders the dispatch
+      // thread's handle store against the loop thread's close-time cancel:
+      // whichever runs second sees the other's write, so a connection that
+      // dies mid-dispatch still cancels the invocation.
+      std::mutex mu;
+      InvocationHandle handle;   // Guarded by mu.
+      bool abandoned = false;    // Guarded by mu; set when the conn died.
     };
     std::deque<std::shared_ptr<ResponseSlot>> pipeline;
     uint32_t armed_events = 0;  // Interest set currently registered.
@@ -188,6 +212,20 @@ class HttpFrontend {
   void BeginDrain(const ConnectionPtr& conn);
   void CloseConnection(const ConnectionPtr& conn);
 
+  // Invocation-side counters. Shared (not members-by-value) because engine
+  // threads may run completion callbacks after the frontend object is gone;
+  // the callbacks capture this block by shared_ptr.
+  struct InvokeCounters {
+    std::atomic<int64_t> inflight[kNumPriorityClasses] = {};
+    std::atomic<uint64_t> served{0};
+    std::atomic<uint64_t> shed_429{0};
+    std::atomic<uint64_t> deadline_504{0};
+    std::atomic<uint64_t> disconnect_cancelled{0};
+  };
+
+  // Builds the GET /statz JSON snapshot (loop thread only).
+  std::string StatzJson() const;
+
   Platform* platform_;
   FrontendConfig config_;
   uint16_t port_;
@@ -207,6 +245,7 @@ class HttpFrontend {
   // FrontendConfig::max_total_response_bytes.
   size_t total_response_bytes_ = 0;
   std::unique_ptr<dbase::WorkerPool> dispatch_pool_;
+  std::shared_ptr<InvokeCounters> counters_ = std::make_shared<InvokeCounters>();
   dbase::JoiningThread loop_thread_;
 };
 

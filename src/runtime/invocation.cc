@@ -1,0 +1,114 @@
+#include "src/runtime/invocation.h"
+
+namespace dandelion {
+
+std::string_view PriorityClassName(PriorityClass priority) {
+  switch (priority) {
+    case PriorityClass::kInteractive:
+      return "interactive";
+    case PriorityClass::kBatch:
+      return "batch";
+  }
+  return "?";
+}
+
+dbase::Result<PriorityClass> PriorityClassFromName(std::string_view name) {
+  if (name == "interactive") {
+    return PriorityClass::kInteractive;
+  }
+  if (name == "batch") {
+    return PriorityClass::kBatch;
+  }
+  return dbase::InvalidArgument("unknown priority class: " + std::string(name));
+}
+
+std::string_view InvocationPhaseName(InvocationPhase phase) {
+  switch (phase) {
+    case InvocationPhase::kPending:
+      return "pending";
+    case InvocationPhase::kRunning:
+      return "running";
+    case InvocationPhase::kSucceeded:
+      return "succeeded";
+    case InvocationPhase::kFailed:
+      return "failed";
+    case InvocationPhase::kCancelled:
+      return "cancelled";
+    case InvocationPhase::kDeadlineExceeded:
+      return "deadline_exceeded";
+  }
+  return "?";
+}
+
+dbase::Micros InvocationRequest::DeadlineIn(dbase::Micros from_now_us) {
+  return dbase::MonotonicClock::Get()->NowMicros() + from_now_us;
+}
+
+InvocationControl::InvocationControl(uint64_t id, PriorityClass priority,
+                                     dbase::Micros deadline_us, dbase::Micros submit_time_us)
+    : id_(id), priority_(priority), deadline_us_(deadline_us), submit_time_us_(submit_time_us) {}
+
+void InvocationControl::RequestStop(dbase::StatusCode reason) {
+  // First reason wins: record it before publishing the flag so a reader
+  // that observes stop_ always sees a reason.
+  int expected = 0;
+  stop_reason_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                       std::memory_order_relaxed);
+  stop_.store(true, std::memory_order_release);
+}
+
+bool InvocationControl::done() const {
+  const auto phase = static_cast<InvocationPhase>(phase_.load(std::memory_order_acquire));
+  return phase != InvocationPhase::kPending && phase != InvocationPhase::kRunning;
+}
+
+dbase::Status InvocationControl::RetireStatus(dbase::Micros now_us) {
+  if (stop_.load(std::memory_order_acquire)) {
+    const auto reason = static_cast<dbase::StatusCode>(stop_reason_.load(std::memory_order_relaxed));
+    if (reason == dbase::StatusCode::kDeadlineExceeded) {
+      return dbase::DeadlineExceeded("invocation deadline exceeded");
+    }
+    return dbase::Cancelled("invocation cancelled");
+  }
+  if (deadline_us_ > 0 && now_us >= deadline_us_) {
+    // Trip the kill switch so running siblings stop cooperatively too.
+    RequestStop(dbase::StatusCode::kDeadlineExceeded);
+    return dbase::DeadlineExceeded("invocation deadline exceeded");
+  }
+  return dbase::OkStatus();
+}
+
+void InvocationControl::MarkFirstRun(dbase::Micros now_us) {
+  dbase::Micros expected = 0;
+  first_run_us_.compare_exchange_strong(expected, now_us, std::memory_order_relaxed);
+  int phase_expected = static_cast<int>(InvocationPhase::kPending);
+  phase_.compare_exchange_strong(phase_expected, static_cast<int>(InvocationPhase::kRunning),
+                                 std::memory_order_release);
+}
+
+void InvocationControl::MarkDone(InvocationPhase phase, dbase::Micros now_us) {
+  dbase::Micros expected = 0;
+  finish_us_.compare_exchange_strong(expected, now_us, std::memory_order_relaxed);
+  phase_.store(static_cast<int>(phase), std::memory_order_release);
+}
+
+InvocationReport InvocationControl::Report() const {
+  InvocationReport report;
+  report.id = id_;
+  report.priority = priority_;
+  report.phase = static_cast<InvocationPhase>(phase_.load(std::memory_order_acquire));
+  report.submit_time_us = submit_time_us_;
+  const dbase::Micros first_run = first_run_us_.load(std::memory_order_relaxed);
+  if (first_run > 0) {
+    report.queue_time_us = first_run - submit_time_us_;
+  }
+  const dbase::Micros finish = finish_us_.load(std::memory_order_relaxed);
+  if (finish > 0) {
+    report.run_time_us = finish - submit_time_us_;
+  }
+  report.instances_launched = instances_launched_.load(std::memory_order_relaxed);
+  report.instances_aborted = instances_aborted_.load(std::memory_order_relaxed);
+  return report;
+}
+
+}  // namespace dandelion

@@ -92,6 +92,15 @@ dbase::Status Platform::RegisterCompositionDsl(std::string_view dsl_source) {
   return dbase::OkStatus();
 }
 
+InvocationHandle Platform::Submit(InvocationRequest request,
+                                  Dispatcher::ResultCallback callback) {
+  return dispatcher_->Submit(std::move(request), std::move(callback));
+}
+
+dbase::Result<dfunc::DataSetList> Platform::Invoke(InvocationRequest request) {
+  return dispatcher_->Invoke(std::move(request));
+}
+
 dbase::Result<dfunc::DataSetList> Platform::Invoke(const std::string& composition,
                                                    dfunc::DataSetList args) {
   return dispatcher_->Invoke(composition, std::move(args));

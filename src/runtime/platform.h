@@ -17,6 +17,7 @@
 #include "src/runtime/controller.h"
 #include "src/runtime/dispatcher.h"
 #include "src/runtime/engine.h"
+#include "src/runtime/invocation.h"
 #include "src/runtime/memory_context.h"
 #include "src/runtime/sandbox.h"
 
@@ -59,6 +60,17 @@ class Platform {
   dbase::Status RegisterComposition(ddsl::CompositionGraph graph);
 
   // --- Invocation ----------------------------------------------------------
+  // Primary API: a first-class InvocationRequest (deadline, priority class,
+  // id) observed through the returned InvocationHandle (Cancel, completion
+  // state, InvocationReport). The callback fires exactly once, possibly on
+  // an engine thread.
+  InvocationHandle Submit(InvocationRequest request, Dispatcher::ResultCallback callback);
+  // Blocking counterpart; deadline-aware (returns kDeadlineExceeded instead
+  // of waiting forever).
+  dbase::Result<dfunc::DataSetList> Invoke(InvocationRequest request);
+
+  // Legacy shims over the request API (no deadline, interactive class) so
+  // examples and benches migrate incrementally.
   dbase::Result<dfunc::DataSetList> Invoke(const std::string& composition,
                                            dfunc::DataSetList args);
   void InvokeAsync(const std::string& composition, dfunc::DataSetList args,

@@ -93,8 +93,11 @@ dbase::Micros EffectiveTimeout(const dfunc::FunctionSpec& spec, const SandboxOpt
 
 // Runs the function body against the context, in-process. Shared by the
 // thread-flavoured backends and by the forked child of the process backend.
+// `cancel_flag` is the per-execution timeout flag; `invocation_cancel` the
+// invocation-wide kill switch (either may be null).
 dbase::Status RunBodyAgainstContext(const dfunc::FunctionSpec& spec, MemoryContext& context,
-                                    const std::atomic<bool>* cancel_flag) {
+                                    const std::atomic<bool>* cancel_flag,
+                                    const std::atomic<bool>* invocation_cancel) {
   auto inputs = context.LoadInputSets();
   if (!inputs.ok()) {
     (void)context.StoreOutcome(inputs.status(), {});
@@ -102,6 +105,7 @@ dbase::Status RunBodyAgainstContext(const dfunc::FunctionSpec& spec, MemoryConte
   }
   dfunc::FunctionCtx ctx(std::move(inputs).value());
   ctx.set_cancel_flag(cancel_flag);
+  ctx.set_invocation_cancel_flag(invocation_cancel);
   dbase::Status status = spec.body(ctx);
   if (status.ok()) {
     status = ctx.CollectFsOutputs();
@@ -220,19 +224,24 @@ class ThreadSandbox : public SandboxExecutor {
     dbase::SpinFor(costs_.setup_us);
     outcome.timings.setup_us = watch.ElapsedMicros();
 
-    // Execute inline with a watchdog-enforced cooperative deadline.
+    // Execute inline with a watchdog-enforced cooperative deadline. The
+    // invocation's external cancel flag rides along: the body's
+    // cancelled() poll returns true for either, and the outcome below
+    // distinguishes timeout from cancellation.
     watch.Restart();
     const dbase::Micros timeout = EffectiveTimeout(spec, options);
     std::atomic<bool> cancel{false};
     const uint64_t ticket = DeadlineWatchdog::Get()->Arm(
         dbase::MonotonicClock::Get()->NowMicros() + timeout, &cancel);
-    (void)RunBodyAgainstContext(spec, context, &cancel);
+    (void)RunBodyAgainstContext(spec, context, &cancel, options.cancel_flag);
     DeadlineWatchdog::Get()->Disarm(ticket);
-    const bool timed_out = cancel.load(std::memory_order_relaxed);
+    const bool externally_cancelled =
+        options.cancel_flag != nullptr && options.cancel_flag->load(std::memory_order_relaxed);
+    const bool timed_out = cancel.load(std::memory_order_relaxed) && !externally_cancelled;
     dbase::Micros exec = watch.ElapsedMicros();
 
     // Emulate slower generated code by stretching execution time.
-    if (costs_.compute_slowdown > 1.0 && !timed_out) {
+    if (costs_.compute_slowdown > 1.0 && !timed_out && !externally_cancelled) {
       const auto extra = static_cast<dbase::Micros>(
           static_cast<double>(exec) * (costs_.compute_slowdown - 1.0));
       dbase::SpinFor(extra);
@@ -241,7 +250,10 @@ class ThreadSandbox : public SandboxExecutor {
     outcome.timings.execute_us = exec;
 
     watch.Restart();
-    if (timed_out) {
+    if (externally_cancelled) {
+      outcome.status = dbase::Cancelled(
+          dbase::StrFormat("function '%s' cancelled", spec.name.c_str()));
+    } else if (timed_out) {
       outcome.status = dbase::DeadlineExceeded(
           dbase::StrFormat("function '%s' exceeded %lld us timeout", spec.name.c_str(),
                            static_cast<long long>(timeout)));
@@ -298,7 +310,7 @@ class ProcessSandbox : public SandboxExecutor {
       // visible to the parent. In the paper the engine additionally ptrace-
       // jails the child so any syscall kills it; that jail is stubbed here
       // (see DESIGN.md substitutions).
-      (void)RunBodyAgainstContext(spec, context, nullptr);
+      (void)RunBodyAgainstContext(spec, context, nullptr, nullptr);
       _exit(0);
     }
     outcome.timings.setup_us = watch.ElapsedMicros();
@@ -308,6 +320,7 @@ class ProcessSandbox : public SandboxExecutor {
     const dbase::Micros deadline = dbase::MonotonicClock::Get()->NowMicros() + timeout;
     int wait_status = 0;
     bool timed_out = false;
+    bool cancelled = false;
     while (true) {
       const pid_t done = waitpid(pid, &wait_status, WNOHANG);
       if (done == pid) {
@@ -316,6 +329,14 @@ class ProcessSandbox : public SandboxExecutor {
       if (done < 0) {
         outcome.status = dbase::Internal("waitpid failed");
         return outcome;
+      }
+      if (options.cancel_flag != nullptr &&
+          options.cancel_flag->load(std::memory_order_relaxed)) {
+        // Invocation cancelled: the process backend can hard-kill.
+        kill(pid, SIGKILL);
+        waitpid(pid, &wait_status, 0);
+        cancelled = true;
+        break;
       }
       if (dbase::MonotonicClock::Get()->NowMicros() > deadline) {
         kill(pid, SIGKILL);
@@ -328,7 +349,10 @@ class ProcessSandbox : public SandboxExecutor {
     outcome.timings.execute_us = watch.ElapsedMicros();
 
     watch.Restart();
-    if (timed_out) {
+    if (cancelled) {
+      outcome.status = dbase::Cancelled(
+          dbase::StrFormat("function '%s' killed on cancellation", spec.name.c_str()));
+    } else if (timed_out) {
       outcome.status = dbase::DeadlineExceeded(
           dbase::StrFormat("function '%s' killed after %lld us timeout", spec.name.c_str(),
                            static_cast<long long>(timeout)));

@@ -17,6 +17,7 @@
 #ifndef SRC_RUNTIME_SANDBOX_H_
 #define SRC_RUNTIME_SANDBOX_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -56,6 +57,11 @@ struct SandboxOptions {
   bool binary_cached = true;
   // Overrides the FunctionSpec timeout when > 0.
   dbase::Micros timeout_us = 0;
+  // External kill switch (the invocation's cancel flag). Thread-flavoured
+  // backends merge it with their deadline flag so the function's
+  // cancelled() poll sees both; the process backend SIGKILLs the child
+  // when it flips. A set flag yields a kCancelled outcome.
+  const std::atomic<bool>* cancel_flag = nullptr;
 };
 
 // Injected cost model per backend. Values are derived from Table 1 /

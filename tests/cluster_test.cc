@@ -139,6 +139,39 @@ TEST(ClusterTest, SingleNodeClusterWorks) {
   EXPECT_EQ(routed.node_index, 0);
 }
 
+TEST(ClusterTest, RoutedRequestCarriesDeadlineAndClass) {
+  Cluster cluster(SmallClusterConfig(2, LoadBalancePolicy::kLeastLoaded));
+  ASSERT_TRUE(cluster.RegisterFunction({.name = "echo", .body = dfunc::EchoFunction}).ok());
+  ASSERT_TRUE(cluster.RegisterCompositionDsl(kIdDsl).ok());
+
+  InvocationRequest request;
+  request.composition = "Id";
+  request.args = EchoArgs("routed");
+  request.priority = PriorityClass::kBatch;
+  request.deadline_us = InvocationRequest::DeadlineIn(5 * dbase::kMicrosPerSecond);
+  auto routed = cluster.Invoke(std::move(request));
+  ASSERT_TRUE(routed.result.ok()) << routed.result.status().ToString();
+  ASSERT_GE(routed.node_index, 0);
+  EXPECT_EQ((*routed.result)[0].items[0].data, "routed");
+
+  // The serving node's dispatcher saw the request's class.
+  uint64_t started = 0;
+  for (int n = 0; n < cluster.num_nodes(); ++n) {
+    started += cluster.node(n).dispatcher_stats().invocations_started;
+  }
+  EXPECT_EQ(started, 1u);
+
+  // A routed request whose deadline has already passed fails fast with
+  // kDeadlineExceeded instead of hanging the caller.
+  InvocationRequest late;
+  late.composition = "Id";
+  late.args = EchoArgs("late");
+  late.deadline_us = 1;  // Monotonic epoch: long past.
+  auto expired = cluster.Invoke(std::move(late));
+  ASSERT_FALSE(expired.result.ok());
+  EXPECT_EQ(expired.result.status().code(), dbase::StatusCode::kDeadlineExceeded);
+}
+
 TEST(ClusterTest, ConcurrentInvocationsAcrossNodes) {
   Cluster cluster(SmallClusterConfig(3, LoadBalancePolicy::kRoundRobin));
   ASSERT_TRUE(cluster.RegisterFunction({.name = "echo", .body = dfunc::EchoFunction}).ok());

@@ -93,6 +93,20 @@ std::string RawInvoke(const std::string& composition, const std::string& body) {
   return request.Serialize();
 }
 
+std::string RawInvokeWithHeaders(
+    const std::string& composition, const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  dhttp::HttpRequest request;
+  request.method = dhttp::Method::kPost;
+  request.target = "/invoke/" + composition;
+  request.headers.Add("X-Dandelion-Raw", "1");
+  for (const auto& [name, value] : headers) {
+    request.headers.Add(name, value);
+  }
+  request.body = body;
+  return request.Serialize();
+}
+
 std::string Healthz() { return "GET /healthz HTTP/1.1\r\n\r\n"; }
 
 // Echo body for invocation responses: unmarshal and return the first item.
@@ -111,16 +125,29 @@ dbase::Status SlowEcho(dfunc::FunctionCtx& ctx) {
   return dfunc::EchoFunction(ctx);
 }
 
+// Runs until cancelled (or a 2 s backstop): observes client-disconnect
+// cancellation from inside the sandbox.
+dbase::Status HoldUntilCancelled(dfunc::FunctionCtx& ctx) {
+  const auto give_up = std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (!ctx.cancelled() && std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return dfunc::EchoFunction(ctx);
+}
+
 class FrontendFixture {
  public:
   explicit FrontendFixture(FrontendConfig config = FrontendConfig{})
       : platform_(FastPlatformConfig()), frontend_(&platform_, config) {
     EXPECT_TRUE(platform_.RegisterFunction({.name = "echo", .body = dfunc::EchoFunction}).ok());
     EXPECT_TRUE(platform_.RegisterFunction({.name = "slow", .body = SlowEcho}).ok());
+    EXPECT_TRUE(
+        platform_.RegisterFunction({.name = "hold", .body = HoldUntilCancelled}).ok());
     EXPECT_TRUE(platform_
                     .RegisterCompositionDsl(R"(
 composition Id(in) => out { echo(in = all in) => (out = out); }
 composition Slow(in) => out { slow(in = all in) => (out = out); }
+composition Hold(in) => out { hold(in = all in) => (out = out); }
 )")
                     .ok());
     started_ = frontend_.Start();
@@ -129,6 +156,7 @@ composition Slow(in) => out { slow(in = all in) => (out = out); }
   bool skipped() const { return !started_.ok(); }
   std::string skip_reason() const { return started_.ToString(); }
   uint16_t port() const { return frontend_.port(); }
+  Platform& platform() { return platform_; }
 
  private:
   Platform platform_;
@@ -432,6 +460,167 @@ TEST(FrontendTest, TrickleSlowlorisHitsAbsoluteRequestDeadline) {
   // Deadline (400 ms) + reaper lag (≤ idle_timeout) + slack, not 3 s.
   EXPECT_LT(watch.ElapsedMicros(), 2 * dbase::kMicrosPerSecond);
   close(fd);
+}
+
+TEST(FrontendTest, DeadlineHeaderMapsTo504) {
+  FrontendFixture fixture;
+  SKIP_WITHOUT_LOOPBACK(fixture);
+
+  const int fd = ConnectTo(fixture.port());
+  // The Slow composition needs 400 ms; a 50 ms deadline must answer 504
+  // near the deadline instead of waiting out the invocation.
+  const dbase::Stopwatch watch;
+  SendAll(fd, RawInvokeWithHeaders("Slow", "late", {{"X-Dandelion-Deadline-Ms", "50"}}));
+  std::string carry;
+  auto response = ReadOneResponse(fd, &carry);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status_code, 504);
+  EXPECT_LT(watch.ElapsedMicros(), 350 * dbase::kMicrosPerMilli);
+  EXPECT_EQ(fixture.platform().dispatcher_stats().invocations_deadline_exceeded, 1u);
+  close(fd);
+}
+
+TEST(FrontendTest, InvalidDeadlineAndPriorityHeadersRejected) {
+  FrontendFixture fixture;
+  SKIP_WITHOUT_LOOPBACK(fixture);
+
+  const int fd = ConnectTo(fixture.port());
+  std::string carry;
+  SendAll(fd, RawInvokeWithHeaders("Id", "x", {{"X-Dandelion-Deadline-Ms", "soon"}}));
+  auto bad_deadline = ReadOneResponse(fd, &carry);
+  ASSERT_TRUE(bad_deadline.ok()) << bad_deadline.status().ToString();
+  EXPECT_EQ(bad_deadline->status_code, 400);
+
+  SendAll(fd, RawInvokeWithHeaders("Id", "x", {{"X-Dandelion-Priority", "urgent"}}));
+  auto bad_priority = ReadOneResponse(fd, &carry);
+  ASSERT_TRUE(bad_priority.ok()) << bad_priority.status().ToString();
+  EXPECT_EQ(bad_priority->status_code, 400);
+
+  // Valid values still work.
+  SendAll(fd, RawInvokeWithHeaders("Id", "ok",
+                                   {{"X-Dandelion-Priority", "batch"},
+                                    {"X-Dandelion-Deadline-Ms", "5000"}}));
+  auto good = ReadOneResponse(fd, &carry);
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_EQ(good->status_code, 200);
+  EXPECT_EQ(FirstItem(*good), "ok");
+  close(fd);
+}
+
+TEST(FrontendTest, AdmissionControlShedsWith429) {
+  FrontendConfig config;
+  config.max_inflight_interactive = 1;
+  FrontendFixture fixture(config);
+  SKIP_WITHOUT_LOOPBACK(fixture);
+
+  // First request occupies the single interactive slot for 400 ms.
+  const int slow_fd = ConnectTo(fixture.port());
+  SendAll(slow_fd, RawInvoke("Slow", "occupies-the-slot"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));  // Let it admit.
+
+  // Second request is shed immediately instead of queueing behind it.
+  const int shed_fd = ConnectTo(fixture.port());
+  const dbase::Stopwatch watch;
+  SendAll(shed_fd, RawInvoke("Id", "shed-me"));
+  std::string shed_carry;
+  auto shed = ReadOneResponse(shed_fd, &shed_carry);
+  ASSERT_TRUE(shed.ok()) << shed.status().ToString();
+  EXPECT_EQ(shed->status_code, 429);
+  EXPECT_LT(watch.ElapsedMicros(), 200 * dbase::kMicrosPerMilli);
+  close(shed_fd);
+
+  // The admitted request still completes normally.
+  std::string slow_carry;
+  auto slow = ReadOneResponse(slow_fd, &slow_carry);
+  ASSERT_TRUE(slow.ok()) << slow.status().ToString();
+  EXPECT_EQ(slow->status_code, 200);
+  close(slow_fd);
+
+  // Capacity freed: the next interactive request is admitted again.
+  const int again_fd = ConnectTo(fixture.port());
+  SendAll(again_fd, RawInvoke("Id", "admitted-again"));
+  std::string again_carry;
+  auto again = ReadOneResponse(again_fd, &again_carry);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->status_code, 200);
+  close(again_fd);
+}
+
+TEST(FrontendTest, CompositionsEndpointListsRegisteredNames) {
+  FrontendFixture fixture;
+  SKIP_WITHOUT_LOOPBACK(fixture);
+
+  const int fd = ConnectTo(fixture.port());
+  SendAll(fd, "GET /compositions HTTP/1.1\r\n\r\n");
+  std::string carry;
+  auto response = ReadOneResponse(fd, &carry);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status_code, 200);
+  EXPECT_EQ(response->headers.Get("Content-Type").value_or(""), "application/json");
+  EXPECT_NE(response->body.find("\"Id\""), std::string::npos) << response->body;
+  EXPECT_NE(response->body.find("\"Slow\""), std::string::npos) << response->body;
+  close(fd);
+}
+
+TEST(FrontendTest, StatzEndpointExposesLifecycleCounters) {
+  FrontendFixture fixture;
+  SKIP_WITHOUT_LOOPBACK(fixture);
+
+  const int fd = ConnectTo(fixture.port());
+  std::string carry;
+  SendAll(fd, RawInvoke("Id", "warm-up"));
+  auto invoked = ReadOneResponse(fd, &carry);
+  ASSERT_TRUE(invoked.ok()) << invoked.status().ToString();
+  ASSERT_EQ(invoked->status_code, 200);
+
+  SendAll(fd, "GET /statz HTTP/1.1\r\n\r\n");
+  auto response = ReadOneResponse(fd, &carry);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status_code, 200);
+  for (const char* key :
+       {"\"invocations_cancelled\"", "\"invocations_deadline_exceeded\"",
+        "\"inflight_interactive\"", "\"inflight_batch\"", "\"shed_429\"",
+        "\"deadline_504\"", "\"compute_aborted\"", "\"open_connections\""}) {
+    EXPECT_NE(response->body.find(key), std::string::npos) << key << " missing in\n"
+                                                           << response->body;
+  }
+  EXPECT_NE(response->body.find("\"invocations_completed\":1"), std::string::npos)
+      << response->body;
+  close(fd);
+}
+
+TEST(FrontendTest, ClientDisconnectCancelsInFlightInvocation) {
+  FrontendFixture fixture;
+  SKIP_WITHOUT_LOOPBACK(fixture);
+
+  const int fd = ConnectTo(fixture.port());
+  SendAll(fd, RawInvoke("Hold", "abandoned"));
+  // Wait until the invocation is actually running in an engine.
+  const dbase::Micros start_deadline =
+      dbase::MonotonicClock::Get()->NowMicros() + 2 * dbase::kMicrosPerSecond;
+  while (fixture.platform().dispatcher_stats().invocations_started == 0 &&
+         dbase::MonotonicClock::Get()->NowMicros() < start_deadline) {
+    std::this_thread::yield();
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // Abort the connection with an RST (SO_LINGER 0) — a vanished client,
+  // not a polite half-close.
+  linger hard_close{};
+  hard_close.l_onoff = 1;
+  hard_close.l_linger = 0;
+  ASSERT_EQ(setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard_close, sizeof(hard_close)), 0);
+  close(fd);
+
+  // The frontend must cancel the orphaned invocation instead of letting it
+  // run its 2 s course.
+  const dbase::Micros cancel_deadline =
+      dbase::MonotonicClock::Get()->NowMicros() + 2 * dbase::kMicrosPerSecond;
+  while (fixture.platform().dispatcher_stats().invocations_cancelled == 0 &&
+         dbase::MonotonicClock::Get()->NowMicros() < cancel_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(fixture.platform().dispatcher_stats().invocations_cancelled, 1u);
 }
 
 TEST(FrontendTest, ConnectionCloseHonored) {
