@@ -14,6 +14,7 @@
 #include "src/benchutil/table.h"
 #include "src/img/png.h"
 #include "src/img/qoi.h"
+#include "src/policy/elasticity.h"
 #include "src/sim/calibration.h"
 #include "src/sim/platform_models.h"
 #include "src/sim/workload.h"
@@ -110,9 +111,9 @@ int main() {
     }
   };
 
-  // Dandelion with the PI control plane. A modest green-thread budget per
-  // comm core means the I/O burst genuinely needs more comm cores — the
-  // controller's job.
+  // Dandelion with the elasticity control plane (paper's PI policy). A
+  // modest green-thread budget per comm core means the I/O burst genuinely
+  // needs more comm cores — the controller's job.
   dsim::DandelionSimConfig dandelion;
   dandelion.cores = kCores;
   dandelion.sandbox_us = Calibration::kDandelionKvmX86Us;
@@ -149,6 +150,41 @@ int main() {
   dbench::PrintNote(dbase::StrFormat(
       "Dandelion controller scaled comm cores between %d and %d during the bursts", min_comm,
       max_comm));
+
+  // --- Per-policy section: the same multiplexed bursts under each shipped
+  // elasticity policy (src/policy/), with the comm-core range the policy
+  // explored. All should hold both apps stable; they differ in how
+  // aggressively the allocation chases the bursts.
+  dbench::PrintHeader("Figure 8 (policy ablation): same workload, per elasticity policy");
+  dbench::Table policy_table({"policy", "app", "avg [ms]", "p99 [ms]",
+                              "rel. variance [%]", "comm cores [min-max]"});
+  for (auto kind : {dpolicy::PolicyKind::kPaperPi, dpolicy::PolicyKind::kHysteresis,
+                    dpolicy::PolicyKind::kConcurrencyTarget}) {
+    dsim::DandelionSimConfig config = dandelion;
+    config.controller_policy = kind;
+    const auto metrics = dsim::SimulateDandelion(config, requests);
+    int lo = kCores;
+    int hi = 0;
+    for (const auto& [t, cores] : metrics.comm_core_trace) {
+      lo = std::min(lo, cores);
+      hi = std::max(hi, cores);
+    }
+    const std::string range = dbase::StrFormat("%d-%d", lo, hi);
+    for (const auto& [app, label] :
+         std::vector<std::pair<int, const char*>>{{kImageApp, "image compression"},
+                                                  {kLogApp, "log processing"}}) {
+      auto it = metrics.per_app_latency_ms.find(app);
+      if (it == metrics.per_app_latency_ms.end()) {
+        continue;
+      }
+      const AppSummary summary = Summarize(it->second);
+      policy_table.AddRow({std::string(dpolicy::PolicyKindName(kind)), label,
+                           dbench::Table::Num(summary.mean_ms, 1),
+                           dbench::Table::Num(summary.p99_ms, 1),
+                           dbench::Table::Num(summary.rel_variance, 1), range});
+    }
+  }
+  policy_table.Print();
   const double measured = MeasureTranscodeUs();
   dbench::PrintNote(dbase::StrFormat(
       "real QOI->PNG transcode here: %.1f ms (our encoder emits stored-deflate blocks); the"

@@ -119,10 +119,10 @@ class SerialFrontend {
       return;
     }
     // The no-op composition takes the body as its single raw argument.
-    const std::string composition = request->target.substr(std::strlen("/invoke/"));
-    dfunc::DataSetList args;
-    args.push_back(dfunc::DataSet{"in", {dfunc::DataItem{"", request->body}}});
-    auto result = platform_->Invoke(composition, std::move(args));
+    dandelion::InvocationRequest invocation;
+    invocation.composition = request->target.substr(std::strlen("/invoke/"));
+    invocation.args.push_back(dfunc::DataSet{"in", {dfunc::DataItem{"", request->body}}});
+    auto result = platform_->Invoke(std::move(invocation));
     dhttp::HttpResponse response =
         result.ok() ? dhttp::HttpResponse::Ok(dfunc::MarshalSets(result.value()))
                     : dhttp::HttpResponse::ServerError(result.status().ToString());

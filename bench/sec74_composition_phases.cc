@@ -66,10 +66,11 @@ std::string BuildChainDsl(int phases) {
 double MeasureRealChain(dandelion::Platform& platform, int phases, int repetitions) {
   dbase::LatencyRecorder latency;
   for (int i = 0; i < repetitions; ++i) {
-    dfunc::DataSetList args;
-    args.push_back(dfunc::DataSet{"v0", {dfunc::DataItem{"", "seed"}}});
+    dandelion::InvocationRequest request;
+    request.composition = dbase::StrFormat("Chain%d", phases);
+    request.args.push_back(dfunc::DataSet{"v0", {dfunc::DataItem{"", "seed"}}});
     dbase::Stopwatch watch;
-    auto result = platform.Invoke(dbase::StrFormat("Chain%d", phases), std::move(args));
+    auto result = platform.Invoke(std::move(request));
     if (!result.ok()) {
       return -1.0;
     }

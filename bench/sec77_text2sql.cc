@@ -103,11 +103,16 @@ int main() {
     return 1;
   }
 
-  dfunc::DataSetList args;
-  args.push_back(dfunc::DataSet{
+  dandelion::InvocationRequest request;
+  request.composition = "Text2Sql";
+  request.args.push_back(dfunc::DataSet{
       "Question", {dfunc::DataItem{"", "What are the most populous cities of Japan?"}}});
+  // Agentic pipelines are interactive work with a real latency budget: give
+  // the invocation a deadline well above the ~2 s the paper measures.
+  request.deadline_us = dandelion::InvocationRequest::DeadlineIn(30 * dbase::kMicrosPerSecond);
+  request.priority = dandelion::PriorityClass::kInteractive;
   dbase::Stopwatch watch;
-  auto result = platform.Invoke("Text2Sql", std::move(args));
+  auto result = platform.Invoke(std::move(request));
   const double total_ms = watch.ElapsedMillis();
   if (!result.ok()) {
     std::fprintf(stderr, "invoke: %s\n", result.status().ToString().c_str());

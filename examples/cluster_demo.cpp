@@ -34,13 +34,17 @@ int main() {
 
   dbase::Stopwatch watch;
   for (int i = 0; i < kRequests; ++i) {
-    dfunc::DataSetList args;
-    args.push_back(dfunc::DataSet{
+    // First-class requests travel through the load balancer: the deadline
+    // and priority class follow the invocation to whichever node serves it.
+    dandelion::InvocationRequest request;
+    request.composition = "MatMul";
+    request.args.push_back(dfunc::DataSet{
         "A", {dfunc::DataItem{"", dfunc::EncodeInt64Array(
                                       dfunc::MakeMatrix(n, 1 + static_cast<uint64_t>(i)))}}});
-    args.push_back(dfunc::DataSet{
+    request.args.push_back(dfunc::DataSet{
         "B", {dfunc::DataItem{"", dfunc::EncodeInt64Array(dfunc::MakeMatrix(n, 99))}}});
-    cluster.InvokeAsync("MatMul", std::move(args),
+    request.priority = dandelion::PriorityClass::kBatch;
+    cluster.InvokeAsync(std::move(request),
                         [&](dbase::Result<dfunc::DataSetList> result, int) {
                           if (result.ok()) {
                             ok_count.fetch_add(1);
@@ -54,9 +58,12 @@ int main() {
   std::printf("%d matmul invocations across %d nodes in %.1f ms (%d ok)\n", kRequests,
               cluster.num_nodes(), ms, ok_count.load());
   const auto counts = cluster.InvocationsPerNode();
+  const auto splits = cluster.CoreSplits();
   for (int node = 0; node < cluster.num_nodes(); ++node) {
-    std::printf("  node %d served %llu invocations\n", node,
-                static_cast<unsigned long long>(counts[static_cast<size_t>(node)]));
+    std::printf("  node %d served %llu invocations (%d compute / %d comm cores)\n", node,
+                static_cast<unsigned long long>(counts[static_cast<size_t>(node)]),
+                splits[static_cast<size_t>(node)].compute_workers,
+                splits[static_cast<size_t>(node)].comm_workers);
   }
   cluster.Shutdown();
   return 0;

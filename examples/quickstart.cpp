@@ -44,16 +44,22 @@ composition MatMul(A, B) => C {
   }
 
   // Invoke: every request cold-starts its own sandbox (that is the point —
-  // sandbox creation is hundreds of microseconds, §7.2).
+  // sandbox creation is hundreds of microseconds, §7.2). Invocations are
+  // first-class requests: name + args, plus an optional deadline and a
+  // priority class the platform's admission control and engine queues act
+  // on (interactive work overtakes batch backlog).
   const int n = 128;
-  dfunc::DataSetList args;
-  args.push_back(dfunc::DataSet{
+  dandelion::InvocationRequest request;
+  request.composition = "MatMul";
+  request.args.push_back(dfunc::DataSet{
       "A", {dfunc::DataItem{"", dfunc::EncodeInt64Array(dfunc::MakeMatrix(n, 1))}}});
-  args.push_back(dfunc::DataSet{
+  request.args.push_back(dfunc::DataSet{
       "B", {dfunc::DataItem{"", dfunc::EncodeInt64Array(dfunc::MakeMatrix(n, 2))}}});
+  request.deadline_us = dandelion::InvocationRequest::DeadlineIn(5 * dbase::kMicrosPerSecond);
+  request.priority = dandelion::PriorityClass::kInteractive;
 
   dbase::Stopwatch watch;
-  auto result = platform.Invoke("MatMul", std::move(args));
+  auto result = platform.Invoke(std::move(request));
   const double ms = watch.ElapsedMillis();
   if (!result.ok()) {
     std::fprintf(stderr, "invoke: %s\n", result.status().ToString().c_str());

@@ -275,6 +275,18 @@ class ShardedTaskQueue {
     return total;
   }
 
+  // Urgent-lane backlog summed across shards — the control plane's
+  // interactive-class queue-depth signal. Items mid-rehome are not
+  // attributed (this is a load signal, not a drain proof).
+  size_t UrgentSize() const {
+    size_t total = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      total += shard->urgent.size();
+    }
+    return total;
+  }
+
   // Aggregate counters; the controller uses deltas of these between
   // sampling periods as queue growth rates (arrivals − departures).
   uint64_t total_pushed() const {

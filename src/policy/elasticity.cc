@@ -1,0 +1,159 @@
+#include "src/policy/elasticity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dpolicy {
+
+// ----------------------------------------------------------------- PaperPi
+
+double PiController::Update(double error) {
+  integral_ = std::clamp(integral_ + error, -gains_.integral_limit, gains_.integral_limit);
+  return gains_.kp * error + gains_.ki * integral_;
+}
+
+void PiController::Reset() { integral_ = 0.0; }
+
+ElasticityDecision PaperPiPolicy::Decide(const ElasticitySignals& signals) {
+  ElasticityDecision decision;
+  // Positive error: the compute queue is growing faster → compute engines
+  // need more cores (§5).
+  const double error = signals.compute_growth - signals.comm_growth;
+  decision.signal = pi_.Update(error);
+  if (decision.signal > options_.shift_threshold) {
+    decision.shift_toward_compute = 1;
+    decision.reason = "compute queue growing faster";
+  } else if (decision.signal < -options_.shift_threshold) {
+    decision.shift_toward_compute = -1;
+    decision.reason = "comm queue growing faster";
+  } else {
+    decision.reason = "within threshold";
+  }
+  return decision;
+}
+
+// -------------------------------------------------------------- Hysteresis
+
+ElasticityDecision HysteresisPolicy::Decide(const ElasticitySignals& signals) {
+  ElasticityDecision decision;
+
+  // Backlog with the interactive lane over-weighted: a batch flood must not
+  // drown out the (much smaller) interactive queue that actually needs the
+  // shift.
+  const auto weighted_backlog = [&](uint64_t total, uint64_t interactive) {
+    const double batch = static_cast<double>(total - std::min(total, interactive));
+    return batch + options_.interactive_weight * static_cast<double>(interactive);
+  };
+  const double compute_pressure =
+      signals.compute_growth +
+      options_.backlog_weight *
+          weighted_backlog(signals.compute_backlog, signals.interactive_compute_backlog);
+  const double comm_pressure =
+      signals.comm_growth +
+      options_.backlog_weight *
+          weighted_backlog(signals.comm_backlog, signals.interactive_comm_backlog);
+
+  const double per_compute = compute_pressure / std::max(1, signals.compute_workers);
+  const double per_comm = comm_pressure / std::max(1, signals.comm_workers);
+  const double imbalance = per_compute - per_comm;
+  decision.signal = imbalance;
+
+  if (signals.now_us - last_shift_us_ < options_.cooldown_us) {
+    decision.reason = "cooldown";
+    return decision;
+  }
+  const double magnitude = std::fabs(imbalance) / std::max(1e-9, options_.deadband);
+  if (magnitude < 1.0) {
+    decision.reason = "within deadband";
+    return decision;
+  }
+  const int shift = std::min(options_.max_shift, static_cast<int>(magnitude));
+  decision.shift_toward_compute = imbalance > 0 ? shift : -shift;
+  decision.reason = imbalance > 0 ? "compute pressure dominates" : "comm pressure dominates";
+  last_shift_us_ = signals.now_us;
+  return decision;
+}
+
+// ------------------------------------------------------ ConcurrencyTarget
+
+ConcurrencyTargetPolicy::ConcurrencyTargetPolicy(Options options)
+    : options_(options), kpa_([&options] {
+        KpaConfig config = options.kpa;
+        // Concurrency is normalized before it reaches the KPA, so one
+        // replica == one comm core at exactly the per-core target.
+        config.target_concurrency = 1.0;
+        return config;
+      }()) {}
+
+ElasticityDecision ConcurrencyTargetPolicy::Decide(const ElasticitySignals& signals) {
+  ElasticityDecision decision;
+
+  const double per_core = options_.per_core_target > 0
+                              ? options_.per_core_target
+                              : static_cast<double>(std::max(1, signals.comm_parallelism));
+  // Queued comm work will occupy a green thread as soon as one frees up, so
+  // it counts toward concurrency exactly like Knative's queue-proxy counts
+  // queued requests.
+  const double concurrency =
+      (signals.comm_inflight + static_cast<double>(signals.comm_backlog)) / per_core;
+
+  // The KPA's panic comparison must see the split the driver actually
+  // actuated, not what this policy last asked for.
+  kpa_.SyncReplicas(signals.comm_workers);
+  int desired = kpa_.Tick(signals.now_us, concurrency);
+  desired = std::clamp(desired, options_.min_comm_workers,
+                       std::max(options_.min_comm_workers, signals.total_workers() - 1));
+
+  decision.signal = concurrency;
+  decision.panic = kpa_.in_panic_mode();
+  decision.shift_toward_compute = signals.comm_workers - desired;
+  if (decision.shift_toward_compute > 0) {
+    decision.reason = "comm concurrency below target";
+  } else if (decision.shift_toward_compute < 0) {
+    decision.reason = decision.panic ? "comm burst (panic window)" : "comm concurrency above target";
+  } else {
+    decision.reason = "at target";
+  }
+  return decision;
+}
+
+// ----------------------------------------------------------------- Factory
+
+std::string_view PolicyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kPaperPi:
+      return "paper-pi";
+    case PolicyKind::kHysteresis:
+      return "hysteresis";
+    case PolicyKind::kConcurrencyTarget:
+      return "concurrency-target";
+  }
+  return "unknown";
+}
+
+dbase::Result<PolicyKind> PolicyKindFromName(std::string_view name) {
+  if (name == "paper-pi") {
+    return PolicyKind::kPaperPi;
+  }
+  if (name == "hysteresis") {
+    return PolicyKind::kHysteresis;
+  }
+  if (name == "concurrency-target") {
+    return PolicyKind::kConcurrencyTarget;
+  }
+  return dbase::InvalidArgument("unknown elasticity policy: " + std::string(name));
+}
+
+std::unique_ptr<ElasticityPolicy> CreatePolicy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kPaperPi:
+      return std::make_unique<PaperPiPolicy>();
+    case PolicyKind::kHysteresis:
+      return std::make_unique<HysteresisPolicy>();
+    case PolicyKind::kConcurrencyTarget:
+      return std::make_unique<ConcurrencyTargetPolicy>();
+  }
+  return nullptr;
+}
+
+}  // namespace dpolicy

@@ -1,13 +1,22 @@
-#include "src/sim/autoscaler.h"
+#include "src/policy/kpa.h"
 
 #include <algorithm>
 #include <cmath>
 
-namespace dsim {
+namespace dpolicy {
 
-KnativeAutoscaler::KnativeAutoscaler(AutoscalerConfig config) : config_(config) {}
+KpaAutoscaler::KpaAutoscaler(KpaConfig config) : config_(config) {}
 
-double KnativeAutoscaler::WindowAverage(dbase::Micros now, dbase::Micros window) const {
+void KpaAutoscaler::Reset() {
+  samples_.clear();
+  replicas_ = 0;
+  panic_until_ = -1;
+  panic_floor_ = 0;
+  last_positive_us_ = 0;
+  last_tick_ = 0;
+}
+
+double KpaAutoscaler::WindowAverage(dbase::Micros now, dbase::Micros window) const {
   double sum = 0.0;
   int count = 0;
   for (auto it = samples_.rbegin(); it != samples_.rend(); ++it) {
@@ -20,7 +29,7 @@ double KnativeAutoscaler::WindowAverage(dbase::Micros now, dbase::Micros window)
   return count == 0 ? 0.0 : sum / count;
 }
 
-int KnativeAutoscaler::Tick(dbase::Micros now, double concurrency) {
+int KpaAutoscaler::Tick(dbase::Micros now, double concurrency) {
   last_tick_ = now;
   samples_.emplace_back(now, concurrency);
   while (!samples_.empty() && now - samples_.front().first > config_.stable_window_us) {
@@ -37,9 +46,9 @@ int KnativeAutoscaler::Tick(dbase::Micros now, double concurrency) {
   const int panic_desired = static_cast<int>(std::ceil(panic_avg / config_.target_concurrency));
 
   // Enter panic mode when the short window demands far more than we have.
-  if (pods_ > 0 && panic_desired > static_cast<int>(config_.panic_threshold * pods_)) {
+  if (replicas_ > 0 && panic_desired > static_cast<int>(config_.panic_threshold * replicas_)) {
     panic_until_ = now + config_.stable_window_us;
-    panic_floor_ = std::max(panic_floor_, pods_);
+    panic_floor_ = std::max(panic_floor_, replicas_);
   }
 
   int desired;
@@ -52,18 +61,18 @@ int KnativeAutoscaler::Tick(dbase::Micros now, double concurrency) {
     desired = stable_desired;
   }
 
-  // Scale-to-zero only after the grace period with no traffic.
+  // Scale-to-zero only after the grace period with no traffic: until the
+  // grace expires, one replica stays up.
   if (desired == 0) {
     const bool grace_expired = now - last_positive_us_ > config_.scale_to_zero_grace_us;
-    if (!grace_expired && pods_ > 0) {
-      desired = std::max(1, std::min(pods_, desired));
-      desired = std::max(desired, 1);
+    if (!grace_expired && replicas_ > 0) {
+      desired = 1;
     }
   }
 
-  desired = std::clamp(desired, 0, config_.max_pods);
-  pods_ = desired;
-  return pods_;
+  desired = std::clamp(desired, 0, config_.max_replicas);
+  replicas_ = desired;
+  return replicas_;
 }
 
-}  // namespace dsim
+}  // namespace dpolicy

@@ -1,0 +1,61 @@
+// Knative-style concurrency autoscaler core (KPA): desired replica counts
+// driven by windowed average concurrency, with a short panic window for
+// bursts and delayed scale-to-zero. Pure decision logic — time flows in
+// through Tick(), so the live runtime, the discrete-event simulator, and
+// fake-clock unit tests all execute the same code. Re-homed here from
+// src/sim/autoscaler so dsim's Azure-trace pod models and the runtime's
+// ConcurrencyTargetPolicy share one implementation.
+#ifndef SRC_POLICY_KPA_H_
+#define SRC_POLICY_KPA_H_
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+
+#include "src/base/clock.h"
+
+namespace dpolicy {
+
+struct KpaConfig {
+  dbase::Micros stable_window_us = 60 * dbase::kMicrosPerSecond;
+  dbase::Micros panic_window_us = 6 * dbase::kMicrosPerSecond;
+  // Panic when the panic-window desire exceeds 2x current replicas.
+  double panic_threshold = 2.0;
+  double target_concurrency = 1.0;
+  dbase::Micros scale_to_zero_grace_us = 30 * dbase::kMicrosPerSecond;
+  int max_replicas = 64;
+};
+
+class KpaAutoscaler {
+ public:
+  explicit KpaAutoscaler(KpaConfig config = KpaConfig{});
+
+  // Feeds a concurrency sample (in-flight requests at `now`); returns the
+  // recommended replica count.
+  int Tick(dbase::Micros now, double concurrency);
+
+  // Reconciles the tracked replica count with externally-actuated state
+  // (e.g. the control plane could only move some of the requested cores) so
+  // the panic-threshold comparison sees reality, not intent.
+  void SyncReplicas(int replicas) { replicas_ = replicas; }
+
+  void Reset();
+
+  int current_replicas() const { return replicas_; }
+  bool in_panic_mode() const { return panic_until_ > last_tick_; }
+
+ private:
+  double WindowAverage(dbase::Micros now, dbase::Micros window) const;
+
+  KpaConfig config_;
+  std::deque<std::pair<dbase::Micros, double>> samples_;
+  int replicas_ = 0;
+  dbase::Micros panic_until_ = -1;
+  int panic_floor_ = 0;  // Replicas may not drop below this while panicking.
+  dbase::Micros last_positive_us_ = 0;
+  dbase::Micros last_tick_ = 0;
+};
+
+}  // namespace dpolicy
+
+#endif  // SRC_POLICY_KPA_H_

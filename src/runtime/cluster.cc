@@ -155,6 +155,19 @@ std::vector<uint64_t> Cluster::InvocationsPerNode() const {
   return counts;
 }
 
+std::vector<Cluster::CoreSplit> Cluster::CoreSplits() const {
+  std::vector<CoreSplit> splits;
+  splits.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    // One role scan per node (full EngineStats would lock every queue shard
+    // just to read two ints); comm derived so the split sums to the pool.
+    const WorkerSet& workers = node->workers();
+    const int compute = workers.compute_workers();
+    splits.push_back({compute, workers.total_workers() - compute});
+  }
+  return splits;
+}
+
 void Cluster::Shutdown() {
   for (auto& node : nodes_) {
     node->Shutdown();

@@ -71,6 +71,14 @@ class Cluster {
   // Per-node served-invocation counters.
   std::vector<uint64_t> InvocationsPerNode() const;
 
+  // Per-node compute/comm core split — cluster-wide view of what each
+  // node's elasticity control plane (configured via node_config) has done.
+  struct CoreSplit {
+    int compute_workers = 0;
+    int comm_workers = 0;
+  };
+  std::vector<CoreSplit> CoreSplits() const;
+
   void Shutdown();
 
  private:

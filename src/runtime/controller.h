@@ -1,62 +1,65 @@
-// The worker control plane (§5): every interval (30 ms in the paper) it
-// measures the growth rate of the compute and communication queues, feeds
-// the difference into a Proportional-Integral controller, and re-assigns one
-// CPU core toward whichever engine type is falling behind.
+// The worker control plane (§5), rebuilt as a generic policy driver: every
+// interval (30 ms in the paper) it gathers a multi-signal snapshot — engine
+// queue growth and backlogs (per class), comm green-thread occupancy,
+// dispatcher in-flight gauges, frontend admission counters, context-pool
+// occupancy — and executes whatever dpolicy::ElasticityPolicy is plugged
+// in. The decision logic itself lives in src/policy/ and is shared verbatim
+// with the discrete-event simulator (dsim).
 #ifndef SRC_RUNTIME_CONTROLLER_H_
 #define SRC_RUNTIME_CONTROLLER_H_
 
 #include <atomic>
+#include <deque>
+#include <functional>
+#include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "src/base/clock.h"
 #include "src/base/thread.h"
+#include "src/policy/elasticity.h"
 #include "src/runtime/engine.h"
 
 namespace dandelion {
 
-// Textbook discrete PI controller with anti-windup clamping.
-class PiController {
- public:
-  struct Gains {
-    double kp = 0.5;
-    double ki = 0.125;
-    double integral_limit = 64.0;  // Anti-windup bound on the integral term.
-  };
-
-  PiController() : gains_() {}
-  explicit PiController(Gains gains) : gains_(gains) {}
-
-  // Feeds one error sample; returns the control signal.
-  double Update(double error);
-  void Reset();
-
-  double integral() const { return integral_; }
-
- private:
-  Gains gains_;
-  double integral_ = 0.0;
-};
-
-// Periodically samples a WorkerSet and shifts cores. Decisions are recorded
-// for tests and for the Figure 8 core-allocation traces.
+// Periodically samples a WorkerSet (plus any registered signal sources),
+// runs the policy, and actuates multi-core role shifts. Decisions are
+// recorded in a bounded ring buffer for tests, GET /statz, and the
+// Figure 8 core-allocation traces.
 class ControlPlane {
  public:
   struct Config {
     dbase::Micros interval_us = 30 * dbase::kMicrosPerMilli;  // Paper: 30 ms.
-    double shift_threshold = 0.5;  // |signal| must exceed this to act.
-    PiController::Gains gains;
+    // Cap on retained decisions: the history is a ring buffer, so
+    // long-running servers hold the most recent `history_limit` decisions
+    // instead of growing without bound.
+    size_t history_limit = 4096;
   };
 
   struct Decision {
     dbase::Micros time_us = 0;
-    double error = 0.0;
-    double signal = 0.0;
+    dpolicy::ElasticitySignals signals;
+    dpolicy::ElasticityDecision action;
+    // Cores actually moved (signed toward compute); may be smaller than
+    // the policy asked for when a role is at its minimum.
+    int shifted = 0;
+    // Post-decision split.
     int compute_workers = 0;
     int comm_workers = 0;
   };
 
-  ControlPlane(WorkerSet* workers, Config config);
+  // Cheap aggregate view for GET /statz.
+  struct Summary {
+    const char* policy_name = "";
+    uint64_t decisions = 0;
+    uint64_t shifts_toward_compute = 0;  // Cores moved, cumulative.
+    uint64_t shifts_toward_comm = 0;
+    Decision last;  // Meaningful when decisions > 0.
+  };
+
+  ControlPlane(WorkerSet* workers, std::unique_ptr<dpolicy::ElasticityPolicy> policy,
+               Config config);
   ~ControlPlane();
 
   ControlPlane(const ControlPlane&) = delete;
@@ -69,24 +72,43 @@ class ControlPlane {
   // unit tests for determinism.
   Decision StepOnce();
 
+  // Registers an augmenter that fills signals the WorkerSet cannot see
+  // (dispatcher gauges, frontend admission counters, pool occupancy). Runs
+  // on the control thread each tick; must not block. Returns an id for
+  // RemoveSignalSource, so a component that dies before the control plane
+  // (e.g. a replaced frontend) can withdraw its contribution.
+  using SignalSource = std::function<void(dpolicy::ElasticitySignals*)>;
+  uint64_t AddSignalSource(SignalSource source);
+  void RemoveSignalSource(uint64_t id);
+
+  const dpolicy::ElasticityPolicy& policy() const { return *policy_; }
+
+  // Ring-buffer contents, oldest first (at most Config::history_limit).
   std::vector<Decision> History() const;
+  Summary GetSummary() const;
 
  private:
   WorkerSet* workers_;
   Config config_;
-  PiController pi_;
+  std::unique_ptr<dpolicy::ElasticityPolicy> policy_;
 
   std::atomic<bool> running_{false};
   dbase::JoiningThread thread_;
 
-  // Last cumulative queue counters, for growth-rate deltas.
+  // Last cumulative queue counters, for growth-rate deltas (control thread
+  // plus test-driven StepOnce; not synchronized — callers serialize).
   uint64_t last_compute_pushed_ = 0;
   uint64_t last_compute_popped_ = 0;
   uint64_t last_comm_pushed_ = 0;
   uint64_t last_comm_popped_ = 0;
 
   mutable std::mutex mu_;
-  std::vector<Decision> history_;
+  std::deque<Decision> history_;            // Guarded by mu_; ring buffer.
+  std::vector<std::pair<uint64_t, SignalSource>> sources_;  // Guarded by mu_.
+  uint64_t next_source_id_ = 1;             // Guarded by mu_.
+  uint64_t decisions_ = 0;                  // Guarded by mu_.
+  uint64_t shifts_toward_compute_ = 0;      // Guarded by mu_.
+  uint64_t shifts_toward_comm_ = 0;         // Guarded by mu_.
 };
 
 }  // namespace dandelion

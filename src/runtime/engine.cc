@@ -129,6 +129,19 @@ bool WorkerSet::ShiftWorkerToComm() {
   return false;
 }
 
+int WorkerSet::ShiftWorkers(int n) {
+  int moved = 0;
+  while (n > 0 && ShiftWorkerToCompute()) {
+    ++moved;
+    --n;
+  }
+  while (n < 0 && ShiftWorkerToComm()) {
+    --moved;
+    ++n;
+  }
+  return moved;
+}
+
 int WorkerSet::compute_workers() const {
   int count = 0;
   for (const auto& role : roles_) {
@@ -141,6 +154,26 @@ int WorkerSet::compute_workers() const {
 
 int WorkerSet::comm_workers() const { return static_cast<int>(roles_.size()) - compute_workers(); }
 
+WorkerSet::SignalsSnapshot WorkerSet::Signals() const {
+  SignalsSnapshot snapshot;
+  snapshot.compute_pushed = compute_queue_.total_pushed();
+  snapshot.compute_popped = compute_queue_.total_popped();
+  snapshot.comm_pushed = comm_queue_.total_pushed();
+  snapshot.comm_popped = comm_queue_.total_popped();
+  snapshot.compute_backlog = compute_queue_.Size();
+  snapshot.comm_backlog = comm_queue_.Size();
+  snapshot.compute_urgent_backlog = compute_queue_.UrgentSize();
+  snapshot.comm_urgent_backlog = comm_queue_.UrgentSize();
+  snapshot.comm_inflight = static_cast<uint64_t>(
+      std::max<int64_t>(0, comm_inflight_.load(std::memory_order_relaxed)));
+  // One pass over the roles; comm is derived so the split always sums to
+  // the pool size even when a shift lands mid-scan.
+  snapshot.compute_workers = compute_workers();
+  snapshot.comm_workers = static_cast<int>(roles_.size()) - snapshot.compute_workers;
+  snapshot.comm_parallelism = config_.comm_parallelism;
+  return snapshot;
+}
+
 EngineStats WorkerSet::Stats() const {
   EngineStats stats;
   stats.compute_tasks = compute_done_.load(std::memory_order_relaxed);
@@ -149,6 +182,10 @@ EngineStats WorkerSet::Stats() const {
   stats.comm_aborted = comm_aborted_.load(std::memory_order_relaxed);
   stats.compute_queue_len = compute_queue_.Size();
   stats.comm_queue_len = comm_queue_.Size();
+  stats.compute_urgent_queue_len = compute_queue_.UrgentSize();
+  stats.comm_urgent_queue_len = comm_queue_.UrgentSize();
+  stats.comm_inflight = static_cast<uint64_t>(
+      std::max<int64_t>(0, comm_inflight_.load(std::memory_order_relaxed)));
   stats.compute_workers = compute_workers();
   stats.comm_workers = comm_workers();
   stats.compute_shard_depths.reserve(compute_queue_.shard_count());
@@ -261,6 +298,7 @@ void WorkerSet::StartCommTask(CommTask task, std::vector<InFlight>* inflight) {
                             ? now + call.latency_us
                             : now;
   inflight->push_back(std::move(pending));
+  comm_inflight_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void WorkerSet::CompleteDue(std::vector<InFlight>* inflight, dbase::Micros now) {
@@ -269,6 +307,7 @@ void WorkerSet::CompleteDue(std::vector<InFlight>* inflight, dbase::Micros now) 
       InFlight item = std::move((*inflight)[i]);
       (*inflight)[i] = std::move(inflight->back());
       inflight->pop_back();
+      comm_inflight_.fetch_sub(1, std::memory_order_relaxed);
       if (item.done) {
         item.done(std::move(item.response), item.latency_us);
       }

@@ -67,6 +67,12 @@ struct EngineStats {
   uint64_t comm_aborted = 0;
   uint64_t compute_queue_len = 0;
   uint64_t comm_queue_len = 0;
+  // Urgent-lane (interactive + untracked legacy) share of the backlogs.
+  uint64_t compute_urgent_queue_len = 0;
+  uint64_t comm_urgent_queue_len = 0;
+  // Comm requests currently in flight on comm engines (occupied green
+  // threads, mesh call issued but modelled latency not yet elapsed).
+  uint64_t comm_inflight = 0;
   int compute_workers = 0;
   int comm_workers = 0;
   // Per-shard backlog (one entry per worker) and cumulative steals, so
@@ -120,15 +126,40 @@ class WorkerSet {
   // the source role is at its minimum of one worker.
   bool ShiftWorkerToCompute();
   bool ShiftWorkerToComm();
+  // Multi-core shift: moves up to |n| workers toward compute (n > 0) or
+  // toward comm (n < 0), stopping at one worker per role. Returns the
+  // signed count actually moved.
+  int ShiftWorkers(int n);
 
   int compute_workers() const;
   int comm_workers() const;
+  int total_workers() const { return static_cast<int>(roles_.size()); }
 
   // Cumulative queue counters for controller error signals.
   uint64_t compute_pushed() const { return compute_queue_.total_pushed(); }
   uint64_t compute_popped() const { return compute_queue_.total_popped(); }
   uint64_t comm_pushed() const { return comm_queue_.total_pushed(); }
   uint64_t comm_popped() const { return comm_queue_.total_popped(); }
+
+  // One coherent control-plane sample. Cumulative counters plus
+  // instantaneous backlogs/occupancy; the split is read once so
+  // compute_workers + comm_workers always equals the pool size even when a
+  // role shift races the snapshot.
+  struct SignalsSnapshot {
+    uint64_t compute_pushed = 0;
+    uint64_t compute_popped = 0;
+    uint64_t comm_pushed = 0;
+    uint64_t comm_popped = 0;
+    uint64_t compute_backlog = 0;
+    uint64_t comm_backlog = 0;
+    uint64_t compute_urgent_backlog = 0;
+    uint64_t comm_urgent_backlog = 0;
+    uint64_t comm_inflight = 0;
+    int compute_workers = 0;
+    int comm_workers = 0;
+    int comm_parallelism = 1;
+  };
+  SignalsSnapshot Signals() const;
 
   EngineStats Stats() const;
 
@@ -185,7 +216,7 @@ class WorkerSet {
   void RunComputeTask(ComputeTask task);
   // Issues the mesh call and appends the pending completion to `inflight`.
   void StartCommTask(CommTask task, std::vector<InFlight>* inflight);
-  static void CompleteDue(std::vector<InFlight>* inflight, dbase::Micros now);
+  void CompleteDue(std::vector<InFlight>* inflight, dbase::Micros now);
 
   Config config_;
   dhttp::ServiceMesh* mesh_;
@@ -200,6 +231,9 @@ class WorkerSet {
   std::atomic<uint64_t> comm_done_{0};
   std::atomic<uint64_t> compute_aborted_{0};
   std::atomic<uint64_t> comm_aborted_{0};
+  // Occupied comm green threads across workers (incremented when a mesh
+  // call is issued, decremented when its modelled latency elapses).
+  std::atomic<int64_t> comm_inflight_{0};
   std::atomic<uint64_t> cold_counter_{0};
   // Fallback rotation for submissions racing a role shift.
   mutable std::atomic<uint64_t> submit_rr_{0};

@@ -142,7 +142,16 @@ HttpFrontend::HttpFrontend(Platform* platform, FrontendConfig config)
 HttpFrontend::HttpFrontend(Platform* platform, uint16_t port)
     : HttpFrontend(platform, FrontendConfig{.port = port}) {}
 
-HttpFrontend::~HttpFrontend() { Stop(); }
+HttpFrontend::~HttpFrontend() {
+  Stop();
+  // The frontend may not outlive its platform (it serves requests through
+  // it), so the control plane — if any — is still valid here.
+  if (signals_registered_) {
+    if (ControlPlane* control = platform_->control_plane(); control != nullptr) {
+      control->RemoveSignalSource(signal_source_id_);
+    }
+  }
+}
 
 dbase::Status HttpFrontend::Start() {
   listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
@@ -191,6 +200,22 @@ dbase::Status HttpFrontend::Start() {
   }
   if (dispatch_threads > 0) {
     dispatch_pool_ = std::make_unique<dbase::WorkerPool>(dispatch_threads, "frontend-dispatch");
+  }
+  // Feed the admission-control counters into the elasticity control plane's
+  // per-tick snapshot: 429s only — deadline expiries are already counted by
+  // the dispatcher's signal source, and every frontend 504 is a dispatcher
+  // kDeadlineExceeded, so adding deadline_504 here would double-count. The
+  // registration is once per frontend (Start after Stop must not stack
+  // duplicates) and undone in the destructor, so a replaced frontend does
+  // not leave its frozen counters inflating the signal forever.
+  if (ControlPlane* control = platform_->control_plane();
+      control != nullptr && !signals_registered_) {
+    signals_registered_ = true;
+    signal_source_id_ = control->AddSignalSource(
+        [counters = counters_](dpolicy::ElasticitySignals* signals) {
+          signals->admission_shed +=
+              counters->shed_429.load(std::memory_order_relaxed);
+        });
   }
   running_.store(true);
   loop_thread_ = dbase::JoiningThread("frontend", [loop = loop_] { loop->Run(); });
@@ -982,6 +1007,30 @@ std::string HttpFrontend::StatzJson() const {
       u(counters_->shed_429.load(std::memory_order_relaxed)),
       u(counters_->deadline_504.load(std::memory_order_relaxed)),
       u(counters_->disconnect_cancelled.load(std::memory_order_relaxed)));
+  json += "},\"control_plane\":{";
+  if (ControlPlane* control = platform_->control_plane(); control != nullptr) {
+    const ControlPlane::Summary summary = control->GetSummary();
+    json += dbase::StrFormat(
+        "\"enabled\":true,\"policy\":\"%s\",\"compute_workers\":%d,"
+        "\"comm_workers\":%d,\"decisions\":%llu,\"shifts_toward_compute\":%llu,"
+        "\"shifts_toward_comm\":%llu",
+        summary.policy_name, engine.compute_workers, engine.comm_workers,
+        u(summary.decisions), u(summary.shifts_toward_compute),
+        u(summary.shifts_toward_comm));
+    if (summary.decisions > 0) {
+      json += dbase::StrFormat(
+          ",\"last_decision\":{\"time_us\":%lld,\"signal\":%.3f,"
+          "\"shift_toward_compute\":%d,\"shifted\":%d,\"panic\":%s,"
+          "\"reason\":\"%s\"}",
+          static_cast<long long>(summary.last.time_us), summary.last.action.signal,
+          summary.last.action.shift_toward_compute, summary.last.shifted,
+          summary.last.action.panic ? "true" : "false", summary.last.action.reason);
+    }
+  } else {
+    json += dbase::StrFormat(
+        "\"enabled\":false,\"compute_workers\":%d,\"comm_workers\":%d",
+        engine.compute_workers, engine.comm_workers);
+  }
   json += "}}\n";
   return json;
 }

@@ -15,7 +15,10 @@
 //   POST /register/composition     body: DSL source text
 //   GET  /healthz                  liveness probe
 //   GET  /compositions             registered composition names (JSON)
-//   GET  /statz                    engine/dispatcher/frontend counters (JSON)
+//   GET  /statz                    engine/dispatcher/frontend counters plus
+//                                  the control plane's policy, current
+//                                  compute/comm core split, and last
+//                                  elasticity decision (JSON)
 //
 // Connections are non-blocking with keep-alive and pipelining: requests are
 // parsed incrementally as bytes arrive, invocations are dispatched through
@@ -246,6 +249,10 @@ class HttpFrontend {
   size_t total_response_bytes_ = 0;
   std::unique_ptr<dbase::WorkerPool> dispatch_pool_;
   std::shared_ptr<InvokeCounters> counters_ = std::make_shared<InvokeCounters>();
+  // Admission counters registered with the platform's control plane (only
+  // once, even across Start/Stop cycles; unregistered in the destructor).
+  bool signals_registered_ = false;
+  uint64_t signal_source_id_ = 0;
   dbase::JoiningThread loop_thread_;
 };
 

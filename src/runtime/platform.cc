@@ -26,7 +26,26 @@ Platform::Platform(PlatformConfig config) : config_(config) {
   if (config.enable_control_plane) {
     ControlPlane::Config control_config;
     control_config.interval_us = config.control_interval_us;
-    control_plane_ = std::make_unique<ControlPlane>(workers_.get(), control_config);
+    control_config.history_limit = config.control_history_limit;
+    std::unique_ptr<dpolicy::ElasticityPolicy> policy =
+        config.elasticity_policy_factory ? config.elasticity_policy_factory()
+                                         : dpolicy::CreatePolicy(config.elasticity_policy);
+    control_plane_ = std::make_unique<ControlPlane>(workers_.get(), std::move(policy),
+                                                    control_config);
+    // Signals the WorkerSet cannot see: dispatcher gauges and the
+    // memory-context recycler's occupancy. Frontend admission counters are
+    // added by HttpFrontend when one is attached.
+    control_plane_->AddSignalSource([this](dpolicy::ElasticitySignals* signals) {
+      const DispatcherStats stats = dispatcher_->Stats();
+      signals->inflight_interactive = stats.inflight_interactive;
+      signals->inflight_batch = stats.inflight_batch;
+      signals->deadline_exceeded += stats.invocations_deadline_exceeded;
+      ContextPool* pool = ContextPool::Get();
+      const size_t cap = pool->max_entries();
+      signals->context_pool_occupancy =
+          cap == 0 ? 0.0
+                   : static_cast<double>(pool->entries()) / static_cast<double>(cap);
+    });
     control_plane_->Start();
   }
 }

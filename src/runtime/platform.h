@@ -9,11 +9,14 @@
 #include <string>
 #include <string_view>
 
+#include <functional>
+
 #include "src/base/status.h"
 #include "src/dsl/graph.h"
 #include "src/func/data.h"
 #include "src/func/registry.h"
 #include "src/http/service_mesh.h"
+#include "src/policy/elasticity.h"
 #include "src/runtime/controller.h"
 #include "src/runtime/dispatcher.h"
 #include "src/runtime/engine.h"
@@ -28,10 +31,17 @@ struct PlatformConfig {
   int num_workers = 4;
   int initial_comm_workers = 1;
   IsolationBackend backend = IsolationBackend::kThread;
-  // Enable the PI control plane that re-balances cores (§5). Off by default
-  // so unit tests are deterministic; benchmarks switch it on.
+  // Enable the elasticity control plane that re-balances cores (§5). Off by
+  // default so unit tests are deterministic; benchmarks switch it on.
   bool enable_control_plane = false;
   dbase::Micros control_interval_us = 30 * dbase::kMicrosPerMilli;
+  // Which elasticity policy the control plane executes (src/policy/).
+  dpolicy::PolicyKind elasticity_policy = dpolicy::PolicyKind::kPaperPi;
+  // Overrides elasticity_policy with a custom-configured policy instance
+  // (tests, sim-vs-runtime parity runs).
+  std::function<std::unique_ptr<dpolicy::ElasticityPolicy>()> elasticity_policy_factory;
+  // Decision-history ring-buffer cap (ControlPlane::Config::history_limit).
+  size_t control_history_limit = 4096;
   // Fraction of compute launches whose binary load misses the in-memory
   // cache (Fig. 6 uses 3%).
   double binary_cold_fraction = 0.0;
@@ -84,6 +94,10 @@ class Platform {
   const CommFunctionRegistry& comm_functions() const { return comm_functions_; }
   EngineStats engine_stats() const { return workers_->Stats(); }
   DispatcherStats dispatcher_stats() const { return dispatcher_->Stats(); }
+  // The engine pool itself — manual role shifts (operators, tests) go
+  // through the same WorkerSet hooks the control plane uses.
+  WorkerSet& workers() { return *workers_; }
+  const WorkerSet& workers() const { return *workers_; }
   ControlPlane* control_plane() { return control_plane_.get(); }
   const PlatformConfig& config() const { return config_; }
 

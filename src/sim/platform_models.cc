@@ -5,8 +5,8 @@
 #include <memory>
 
 #include "src/base/rng.h"
-#include "src/runtime/controller.h"
-#include "src/sim/autoscaler.h"
+#include "src/policy/elasticity.h"
+#include "src/policy/kpa.h"
 
 namespace dsim {
 namespace {
@@ -111,34 +111,53 @@ SimMetrics SimulateDandelion(const DandelionSimConfig& config,
     });
   }
 
-  // PI control plane: rebalance cores between engine types (§5).
-  dandelion::PiController pi;
+  // Elasticity control plane (§5): the same dpolicy decision code the real
+  // runtime's ControlPlane runs, driven from the virtual-time event queue.
+  std::unique_ptr<dpolicy::ElasticityPolicy> policy =
+      config.policy_factory ? config.policy_factory()
+                            : dpolicy::CreatePolicy(config.controller_policy);
   uint64_t last_compute_in = 0, last_compute_out = 0, last_comm_in = 0, last_comm_out = 0;
   std::function<void()> control_tick = [&] {
+    dpolicy::ElasticitySignals signals;
+    signals.now_us = queue.now();
+    signals.compute_workers = total_cores - comm_cores;
+    signals.comm_workers = comm_cores;
     const uint64_t compute_in = compute.total_submitted();
     const uint64_t compute_out = compute.total_started();
     const uint64_t comm_in = comm.total_submitted();
     const uint64_t comm_out = comm.total_started();
-    const double compute_growth = static_cast<double>(compute_in - last_compute_in) -
-                                  static_cast<double>(compute_out - last_compute_out);
-    const double comm_growth = static_cast<double>(comm_in - last_comm_in) -
-                               static_cast<double>(comm_out - last_comm_out);
+    signals.compute_growth = static_cast<double>(compute_in - last_compute_in) -
+                             static_cast<double>(compute_out - last_compute_out);
+    signals.comm_growth = static_cast<double>(comm_in - last_comm_in) -
+                          static_cast<double>(comm_out - last_comm_out);
     last_compute_in = compute_in;
     last_compute_out = compute_out;
     last_comm_in = comm_in;
     last_comm_out = comm_out;
+    signals.compute_backlog = compute.queue_len();
+    signals.comm_backlog = comm.queue_len();
+    signals.comm_inflight = static_cast<double>(comm.busy());
+    signals.comm_parallelism = config.comm_parallelism;
 
-    const double signal = pi.Update(compute_growth - comm_growth);
+    const dpolicy::ElasticityDecision decision = policy->Decide(signals);
     // A workload that has issued no communication at all frees even the
     // last comm core — the allocation follows "the number of compute vs.
-    // communication functions in the system" (§3).
-    const int min_comm = comm.total_submitted() > 0 ? 1 : 0;
-    if (signal > 0.5 && comm_cores > min_comm) {
-      --comm_cores;
-    } else if (signal < -0.5 && comm_cores < total_cores - 1) {
-      ++comm_cores;
-    } else if (comm_cores > 0 && min_comm == 0) {
+    // communication functions in the system" (§3). This overrides the
+    // policy entirely (policies keep a one-comm-core floor, and letting
+    // them actuate against a pinned zero would oscillate 0↔1 every tick);
+    // the floor is a driver property, as in the runtime's WorkerSet.
+    if (comm.total_submitted() == 0) {
       comm_cores = 0;
+    } else {
+      int want = decision.shift_toward_compute;
+      while (want > 0 && comm_cores > 1) {
+        --comm_cores;
+        --want;
+      }
+      while (want < 0 && comm_cores < total_cores - 1) {
+        ++comm_cores;
+        ++want;
+      }
     }
     compute.SetCapacity(total_cores - comm_cores);
     comm.SetCapacity(comm_cores * config.comm_parallelism);
@@ -411,13 +430,15 @@ struct PendingRequest {
   bool cold = false;
 };
 
-// Per-function pod-pool state for the Knative model.
+// Per-function pod-pool state for the Knative model. The autoscaler is the
+// shared KPA core from src/policy/ — the identical decision code behind the
+// runtime's ConcurrencyTargetPolicy.
 struct FunctionPool {
   int ready = 0;
   int booting = 0;
   int busy = 0;
   std::deque<PendingRequest> backlog;
-  KnativeAutoscaler autoscaler;
+  dpolicy::KpaAutoscaler autoscaler;
   uint64_t pod_bytes = 0;
 
   // Time integral of (busy + backlog) — the metric the KPA averages. Short
@@ -426,7 +447,7 @@ struct FunctionPool {
   double concurrency_integral = 0.0;
   dbase::Micros last_integral_update = 0;
 
-  explicit FunctionPool(const AutoscalerConfig& config) : autoscaler(config) {}
+  explicit FunctionPool(const dpolicy::KpaConfig& config) : autoscaler(config) {}
   int total_pods() const { return ready + booting; }
 
   void UpdateIntegral(dbase::Micros now) {
@@ -453,8 +474,8 @@ SimMetrics SimulateKnativeFirecrackerTrace(const TraceSimConfig& config,
   EventQueue queue;
   FifoServer cores(&queue, config.cores);
 
-  AutoscalerConfig as_config;
-  as_config.max_pods = config.max_pods_per_function;
+  dpolicy::KpaConfig as_config;
+  as_config.max_replicas = config.max_pods_per_function;
 
   std::vector<FunctionPool> pools;
   pools.reserve(trace.functions.size());
@@ -507,7 +528,7 @@ SimMetrics SimulateKnativeFirecrackerTrace(const TraceSimConfig& config,
     }
     // Boot more pods if the backlog still exceeds capacity in flight.
     while (!pool.backlog.empty() &&
-           pool.total_pods() < std::min(as_config.max_pods,
+           pool.total_pods() < std::min(as_config.max_replicas,
                                         pool.busy + static_cast<int>(pool.backlog.size()))) {
       start_boot(f);
     }

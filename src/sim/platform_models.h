@@ -8,10 +8,13 @@
 #ifndef SRC_SIM_PLATFORM_MODELS_H_
 #define SRC_SIM_PLATFORM_MODELS_H_
 
+#include <functional>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "src/base/stats.h"
+#include "src/policy/elasticity.h"
 #include "src/sim/calibration.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/workload.h"
@@ -51,6 +54,13 @@ struct DandelionSimConfig {
   int comm_parallelism = 64;      // Green threads per comm core.
   bool enable_controller = true;
   dbase::Micros controller_interval_us = 30 * dbase::kMicrosPerMilli;
+  // Elasticity policy the simulated control plane executes — the same
+  // dpolicy code the real runtime's ControlPlane runs, driven here from
+  // the virtual-time event queue.
+  dpolicy::PolicyKind controller_policy = dpolicy::PolicyKind::kPaperPi;
+  // Overrides controller_policy with a custom-configured instance
+  // (parity tests pin windows/targets this way).
+  std::function<std::unique_ptr<dpolicy::ElasticityPolicy>()> policy_factory;
   bool track_memory = false;
 };
 

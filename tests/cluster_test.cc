@@ -46,6 +46,22 @@ TEST(ClusterTest, RegistrationReachesEveryNode) {
   }
 }
 
+TEST(ClusterTest, CoreSplitsReportEveryNode) {
+  Cluster::Config config = SmallClusterConfig(3, LoadBalancePolicy::kRoundRobin);
+  config.node_config.num_workers = 4;
+  config.node_config.initial_comm_workers = 1;
+  Cluster cluster(config);
+  const auto splits = cluster.CoreSplits();
+  ASSERT_EQ(splits.size(), 3u);
+  for (const auto& split : splits) {
+    EXPECT_EQ(split.compute_workers + split.comm_workers, 4);
+    EXPECT_EQ(split.comm_workers, 1);  // No control plane: the initial split.
+  }
+  // A node-local role shift is visible in the cluster-wide view.
+  ASSERT_EQ(cluster.node(0).workers().ShiftWorkers(-1), -1);
+  EXPECT_EQ(cluster.CoreSplits()[0].comm_workers, 2);
+}
+
 TEST(ClusterTest, RegistrationFailurePropagates) {
   Cluster cluster(SmallClusterConfig(2, LoadBalancePolicy::kRoundRobin));
   ASSERT_TRUE(cluster.RegisterFunction({.name = "echo", .body = dfunc::EchoFunction}).ok());

@@ -580,13 +580,51 @@ TEST(FrontendTest, StatzEndpointExposesLifecycleCounters) {
   for (const char* key :
        {"\"invocations_cancelled\"", "\"invocations_deadline_exceeded\"",
         "\"inflight_interactive\"", "\"inflight_batch\"", "\"shed_429\"",
-        "\"deadline_504\"", "\"compute_aborted\"", "\"open_connections\""}) {
+        "\"deadline_504\"", "\"compute_aborted\"", "\"open_connections\"",
+        "\"control_plane\"", "\"compute_workers\"", "\"comm_workers\""}) {
     EXPECT_NE(response->body.find(key), std::string::npos) << key << " missing in\n"
                                                            << response->body;
   }
   EXPECT_NE(response->body.find("\"invocations_completed\":1"), std::string::npos)
       << response->body;
+  // The default fixture runs without a control plane: /statz says so but
+  // still reports the static core split.
+  EXPECT_NE(response->body.find("\"enabled\":false"), std::string::npos) << response->body;
   close(fd);
+}
+
+TEST(FrontendTest, StatzReportsControlPlanePolicyAndSplit) {
+  PlatformConfig platform_config = FastPlatformConfig();
+  platform_config.enable_control_plane = true;
+  // Long interval: decisions in this test come only from the startup ticks,
+  // keeping the core split stable while we read it.
+  platform_config.control_interval_us = 10 * dbase::kMicrosPerSecond;
+  platform_config.elasticity_policy = dpolicy::PolicyKind::kHysteresis;
+  Platform platform(platform_config);
+  ASSERT_TRUE(platform.RegisterFunction({.name = "echo", .body = dfunc::EchoFunction}).ok());
+  ASSERT_TRUE(platform
+                  .RegisterCompositionDsl(
+                      "composition Id(in) => out { echo(in = all in) => (out = out); }")
+                  .ok());
+  HttpFrontend frontend(&platform, FrontendConfig{});
+  const dbase::Status started = frontend.Start();
+  if (!started.ok()) {
+    GTEST_SKIP() << "loopback sockets unavailable: " << started.ToString();
+  }
+
+  const int fd = ConnectTo(frontend.port());
+  std::string carry;
+  SendAll(fd, "GET /statz HTTP/1.1\r\n\r\n");
+  auto response = ReadOneResponse(fd, &carry);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status_code, 200);
+  EXPECT_NE(response->body.find("\"enabled\":true"), std::string::npos) << response->body;
+  EXPECT_NE(response->body.find("\"policy\":\"hysteresis\""), std::string::npos)
+      << response->body;
+  EXPECT_NE(response->body.find("\"shifts_toward_compute\""), std::string::npos)
+      << response->body;
+  close(fd);
+  frontend.Stop();
 }
 
 TEST(FrontendTest, ClientDisconnectCancelsInFlightInvocation) {

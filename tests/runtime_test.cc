@@ -1,8 +1,9 @@
 // Tests for the runtime: memory contexts + accounting, the four sandbox
 // backends (including real process isolation and timeout preemption),
-// engines with role shifting, the PI control plane, and the dispatcher /
-// platform running full compositions (fan-out, key grouping, optional sets,
-// failure propagation, nesting).
+// engines with role shifting, the policy-driven control plane, and the
+// dispatcher / platform running full compositions (fan-out, key grouping,
+// optional sets, failure propagation, nesting). Policy decision logic
+// itself is covered by tests/policy_test.cc.
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
@@ -499,31 +500,6 @@ TEST_F(WorkerSetTest, RoleShiftWithBackloggedShardLosesNoTask) {
 
 // -------------------------------------------------------------- Controller
 
-TEST(PiControllerTest, ProportionalAndIntegralTerms) {
-  PiController::Gains gains;
-  gains.kp = 1.0;
-  gains.ki = 0.5;
-  gains.integral_limit = 100.0;
-  PiController pi(gains);
-  EXPECT_DOUBLE_EQ(pi.Update(2.0), 2.0 + 0.5 * 2.0);
-  EXPECT_DOUBLE_EQ(pi.Update(2.0), 2.0 + 0.5 * 4.0);
-  pi.Reset();
-  EXPECT_DOUBLE_EQ(pi.integral(), 0.0);
-}
-
-TEST(PiControllerTest, AntiWindupClamps) {
-  PiController::Gains gains;
-  gains.kp = 0.0;
-  gains.ki = 1.0;
-  gains.integral_limit = 10.0;
-  PiController pi(gains);
-  for (int i = 0; i < 100; ++i) {
-    pi.Update(5.0);
-  }
-  EXPECT_DOUBLE_EQ(pi.integral(), 10.0);
-  EXPECT_DOUBLE_EQ(pi.Update(0.0), 10.0);
-}
-
 TEST(ControlPlaneTest, ShiftsTowardBusyQueue) {
   dhttp::ServiceMesh mesh;
   WorkerSet::Config config;
@@ -532,10 +508,11 @@ TEST(ControlPlaneTest, ShiftsTowardBusyQueue) {
   WorkerSet workers(config, &mesh);
   workers.set_sleep_for_modeled_latency(false);
 
-  ControlPlane::Config cp_config;
-  cp_config.gains.kp = 1.0;
-  cp_config.gains.ki = 0.0;
-  ControlPlane control(&workers, cp_config);
+  dpolicy::PaperPiPolicy::Options pi_options;
+  pi_options.gains.kp = 1.0;
+  pi_options.gains.ki = 0.0;
+  ControlPlane control(&workers, std::make_unique<dpolicy::PaperPiPolicy>(pi_options),
+                       ControlPlane::Config{});
 
   // Flood the compute queue with slow tasks so its growth dominates.
   dbase::Latch latch(64);
@@ -555,10 +532,37 @@ TEST(ControlPlaneTest, ShiftsTowardBusyQueue) {
     ASSERT_TRUE(workers.SubmitCompute(std::move(task)));
   }
   auto decision = control.StepOnce();
-  EXPECT_GT(decision.error, 0.0);
+  EXPECT_GT(decision.signals.compute_growth - decision.signals.comm_growth, 0.0);
+  EXPECT_EQ(decision.shifted, 1);
   EXPECT_EQ(workers.comm_workers(), 1);  // Shifted 2 → 1.
   EXPECT_EQ(control.History().size(), 1u);
+  EXPECT_EQ(control.GetSummary().shifts_toward_compute, 1u);
   latch.Wait();
+}
+
+TEST(ControlPlaneTest, HistoryIsBoundedRingBuffer) {
+  dhttp::ServiceMesh mesh;
+  WorkerSet::Config config;
+  config.num_workers = 2;
+  WorkerSet workers(config, &mesh);
+  workers.set_sleep_for_modeled_latency(false);
+
+  ControlPlane::Config cp_config;
+  cp_config.history_limit = 8;
+  ControlPlane control(&workers, dpolicy::CreatePolicy(dpolicy::PolicyKind::kPaperPi),
+                       cp_config);
+  for (int i = 0; i < 50; ++i) {
+    control.StepOnce();
+  }
+  const auto history = control.History();
+  EXPECT_EQ(history.size(), 8u);  // Oldest decisions evicted.
+  EXPECT_EQ(control.GetSummary().decisions, 50u);
+  // The retained entries are the most recent ones (time non-decreasing,
+  // last entry == the summary's last decision).
+  for (size_t i = 1; i < history.size(); ++i) {
+    EXPECT_GE(history[i].time_us, history[i - 1].time_us);
+  }
+  EXPECT_EQ(control.GetSummary().last.time_us, history.back().time_us);
 }
 
 // ------------------------------------------------- Dispatcher / Platform

@@ -1,11 +1,20 @@
 // Tests for the trace synthesizer/sampler (dtrace) and the discrete-event
-// simulator (dsim): event ordering, FIFO server queueing math, autoscaler
-// behaviour, workload generators, and platform-model invariants.
+// simulator (dsim): event ordering, FIFO server queueing math, workload
+// generators, platform-model invariants, and sim-vs-runtime parity of the
+// shared elasticity policies (KPA decision-logic units live in
+// tests/policy_test.cc, next to the policy layer).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
+#include <thread>
 
-#include "src/sim/autoscaler.h"
+#include "src/base/thread.h"
+#include "src/http/services.h"
+#include "src/policy/elasticity.h"
+#include "src/runtime/controller.h"
+#include "src/runtime/platform.h"
 #include "src/sim/calibration.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/platform_models.h"
@@ -177,74 +186,6 @@ TEST(FifoServerTest, CapacityIncreaseDrainsQueue) {
   queue.RunAll();
   EXPECT_EQ(done, 4);
   EXPECT_EQ(queue.now(), 200);  // Remaining three ran in parallel.
-}
-
-// -------------------------------------------------------------- Autoscaler
-
-TEST(AutoscalerTest, ScalesUpWithConcurrency) {
-  dsim::AutoscalerConfig config;
-  config.target_concurrency = 1.0;
-  dsim::KnativeAutoscaler autoscaler(config);
-  const Micros tick = 2 * kMicrosPerSecond;
-  int pods = 0;
-  for (int i = 1; i <= 30; ++i) {
-    pods = autoscaler.Tick(i * tick, 4.0);
-  }
-  EXPECT_EQ(pods, 4);
-}
-
-TEST(AutoscalerTest, ScaleToZeroAfterGrace) {
-  dsim::AutoscalerConfig config;
-  config.scale_to_zero_grace_us = 10 * kMicrosPerSecond;
-  config.stable_window_us = 20 * kMicrosPerSecond;
-  dsim::KnativeAutoscaler autoscaler(config);
-  const Micros tick = 2 * kMicrosPerSecond;
-  Micros now = 0;
-  for (int i = 0; i < 10; ++i) {
-    now += tick;
-    autoscaler.Tick(now, 2.0);
-  }
-  EXPECT_GE(autoscaler.current_pods(), 1);
-  // Traffic stops; pods must survive the grace period, then go to zero.
-  bool saw_nonzero_during_grace = false;
-  for (int i = 0; i < 30; ++i) {
-    now += tick;
-    const int pods = autoscaler.Tick(now, 0.0);
-    if (i < 3 && pods > 0) {
-      saw_nonzero_during_grace = true;
-    }
-  }
-  EXPECT_TRUE(saw_nonzero_during_grace);
-  EXPECT_EQ(autoscaler.current_pods(), 0);
-}
-
-TEST(AutoscalerTest, PanicModeNeverScalesDown) {
-  dsim::AutoscalerConfig config;
-  config.target_concurrency = 1.0;
-  dsim::KnativeAutoscaler autoscaler(config);
-  const Micros tick = 2 * kMicrosPerSecond;
-  Micros now = 0;
-  // Establish a small steady state.
-  for (int i = 0; i < 10; ++i) {
-    now += tick;
-    autoscaler.Tick(now, 1.0);
-  }
-  const int before = autoscaler.current_pods();
-  // Sudden burst → panic; pods must jump and not dip while panicking.
-  now += tick;
-  int pods = autoscaler.Tick(now, 12.0);
-  EXPECT_GT(pods, before);
-  const int burst_pods = pods;
-  now += tick;
-  pods = autoscaler.Tick(now, 1.0);  // Burst gone, but panic window active.
-  EXPECT_GE(pods, burst_pods);
-}
-
-TEST(AutoscalerTest, RespectsMaxPods) {
-  dsim::AutoscalerConfig config;
-  config.max_pods = 5;
-  dsim::KnativeAutoscaler autoscaler(config);
-  EXPECT_LE(autoscaler.Tick(kMicrosPerSecond, 100.0), 5);
 }
 
 // ---------------------------------------------------------------- Workload
@@ -450,6 +391,138 @@ TEST(TraceSimTest, KnativeCommitsFarMoreThanDandelion) {
   // (~3.3% cold with this seed, matching the paper's observation).
   EXPECT_DOUBLE_EQ(dandelion.ColdFraction(), 1.0);
   EXPECT_LT(knative.ColdFraction(), 0.15);
+}
+
+// ------------------------------------------- Sim-vs-runtime policy parity
+
+// The same open-loop arrival trace — an I/O-heavy flood of fetch requests —
+// runs through the discrete-event simulator and through the real runtime,
+// both executing the shared dpolicy::ConcurrencyTargetPolicy (identical
+// code, identical configuration). The core-allocation timelines must agree
+// in shape: both start at the configured comm allocation, both shift toward
+// comm first, and the peak comm-core counts agree within a small tolerance.
+// (Exact tick-for-tick equality is not expected: the runtime samples real
+// time under scheduler noise.)
+TEST(PolicyParityTest, SimAndRuntimeAgreeUnderConcurrencyTarget) {
+  constexpr int kWorkers = 6;
+  constexpr int kCommParallelism = 2;
+  constexpr int kRequests = 200;
+  constexpr Micros kGapUs = 5 * dbase::kMicrosPerMilli;       // 200 RPS.
+  constexpr Micros kCommLatencyUs = 40 * dbase::kMicrosPerMilli;
+  constexpr Micros kTickUs = 20 * dbase::kMicrosPerMilli;
+
+  const auto policy_factory = [] {
+    dpolicy::ConcurrencyTargetPolicy::Options options;
+    options.kpa.stable_window_us = 240 * dbase::kMicrosPerMilli;
+    options.kpa.panic_window_us = 60 * dbase::kMicrosPerMilli;
+    options.kpa.max_replicas = 1024;  // Clamped by the worker count.
+    options.per_core_target = kCommParallelism;
+    return std::make_unique<dpolicy::ConcurrencyTargetPolicy>(options);
+  };
+
+  // --- Simulator -----------------------------------------------------------
+  dsim::DandelionSimConfig sim_config;
+  sim_config.cores = kWorkers;
+  sim_config.initial_comm_cores = 1;
+  sim_config.comm_parallelism = kCommParallelism;
+  sim_config.enable_controller = true;
+  sim_config.controller_interval_us = kTickUs;
+  sim_config.policy_factory = policy_factory;
+  sim_config.sandbox_us = 300;
+  std::vector<dsim::SimRequest> requests;
+  for (int i = 0; i < kRequests; ++i) {
+    dsim::SimRequest request;
+    request.arrival_us = i * kGapUs;
+    request.compute_us = 500;
+    request.comm_us = kCommLatencyUs;
+    requests.push_back(request);
+  }
+  const auto metrics = dsim::SimulateDandelion(sim_config, requests);
+  ASSERT_FALSE(metrics.comm_core_trace.empty());
+  int sim_max_comm = 0;
+  int sim_first_shift = 0;  // +1 toward comm, -1 toward compute.
+  int prev = sim_config.initial_comm_cores;
+  for (const auto& [t, comm] : metrics.comm_core_trace) {
+    sim_max_comm = std::max(sim_max_comm, comm);
+    if (sim_first_shift == 0 && comm != prev) {
+      sim_first_shift = comm > prev ? 1 : -1;
+    }
+    prev = comm;
+  }
+
+  // --- Real runtime --------------------------------------------------------
+  dandelion::PlatformConfig platform_config;
+  platform_config.num_workers = kWorkers;
+  platform_config.initial_comm_workers = 1;
+  platform_config.comm_parallelism = kCommParallelism;
+  platform_config.backend = dandelion::IsolationBackend::kThread;
+  platform_config.enable_control_plane = true;
+  platform_config.control_interval_us = kTickUs;
+  platform_config.elasticity_policy_factory = policy_factory;
+  dandelion::Platform platform(platform_config);
+
+  ASSERT_TRUE(platform
+                  .RegisterFunction(
+                      {.name = "mkfetch",
+                       .body =
+                           [](dfunc::FunctionCtx& ctx) {
+                             dhttp::HttpRequest request;
+                             request.method = dhttp::Method::kGet;
+                             request.target = "http://fetch.internal/data";
+                             ctx.EmitOutput("req", request.Serialize());
+                             return dbase::OkStatus();
+                           }})
+                  .ok());
+  dhttp::LatencyModel latency;
+  latency.base_us = kCommLatencyUs;
+  latency.jitter_sigma = 0.0;
+  platform.mesh().Register("fetch.internal",
+                           std::make_shared<dhttp::LambdaService>(
+                               [](const dhttp::HttpRequest&, const dhttp::Uri&) {
+                                 return dhttp::HttpResponse::Ok("data");
+                               }),
+                           latency);
+  ASSERT_TRUE(platform
+                  .RegisterCompositionDsl(R"(
+composition Fetch(in) => out {
+  mkfetch(in = all in) => (r = req);
+  HTTP(Request = each r) => (out = Response);
+}
+)")
+                  .ok());
+
+  dbase::Latch latch(kRequests);
+  dbase::Stopwatch pacer;
+  for (int i = 0; i < kRequests; ++i) {
+    const Micros target = i * kGapUs;
+    while (pacer.ElapsedMicros() < target) {
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+    dandelion::InvocationRequest request;
+    request.composition = "Fetch";
+    request.args.push_back(dfunc::DataSet{"in", {dfunc::DataItem{"", "x"}}});
+    platform.Submit(std::move(request),
+                    [&latch](dbase::Result<dfunc::DataSetList>) { latch.CountDown(); });
+  }
+  ASSERT_TRUE(latch.WaitFor(60 * kMicrosPerSecond));
+
+  const auto history = platform.control_plane()->History();
+  ASSERT_FALSE(history.empty());
+  int rt_max_comm = 0;
+  int rt_first_shift = 0;
+  for (const auto& decision : history) {
+    rt_max_comm = std::max(rt_max_comm, decision.comm_workers);
+    if (rt_first_shift == 0 && decision.shifted != 0) {
+      rt_first_shift = decision.shifted < 0 ? 1 : -1;  // shifted<0 = toward comm.
+    }
+  }
+
+  // --- Shape agreement -----------------------------------------------------
+  EXPECT_EQ(sim_first_shift, 1);  // Both grow the comm allocation first.
+  EXPECT_EQ(rt_first_shift, 1);
+  EXPECT_GE(sim_max_comm, 3);  // The flood demands real comm cores...
+  EXPECT_GE(rt_max_comm, 3);
+  EXPECT_LE(std::abs(sim_max_comm - rt_max_comm), 2);  // ...in agreeing numbers.
 }
 
 TEST(TraceSimTest, MemoryNeverNegative) {
