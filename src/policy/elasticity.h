@@ -71,6 +71,14 @@ struct ElasticitySignals {
   // Memory-context recycler occupancy in [0, 1] (shelved regions / cap).
   double context_pool_occupancy = 0.0;
 
+  // Warm sandbox-pool state (src/runtime/sandbox_pool.h): sandboxes ready
+  // on the shelf, the share of the global cap they occupy, and cumulative
+  // pool misses (cold creates) — the pressure signal pre-warming exists to
+  // drive down.
+  uint64_t warm_pool_shelved = 0;
+  double warm_pool_occupancy = 0.0;
+  uint64_t warm_pool_misses = 0;
+
   int total_workers() const { return compute_workers + comm_workers; }
 };
 

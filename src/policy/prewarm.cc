@@ -1,0 +1,75 @@
+#include "src/policy/prewarm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dpolicy {
+
+PrewarmDecision PrewarmPolicy::Decide(const PrewarmSignals& signals) {
+  PrewarmDecision decision;
+
+  const auto clamp_depth = [&](int depth) {
+    return std::clamp(depth, options_.min_depth, options_.max_depth);
+  };
+
+  if (!primed_) {
+    // First tick: baseline the cumulative counter. Arrivals seen before the
+    // first tick still count as recent activity, so a function that was
+    // invoked before the policy attached gets its warm floor immediately.
+    primed_ = true;
+    last_tick_us_ = signals.now_us;
+    last_arrivals_ = signals.arrivals;
+    if (signals.arrivals > 0) {
+      last_arrival_us_ = signals.now_us;
+    }
+    decision.target_depth = clamp_depth(signals.arrivals > 0 ? 1 : 0);
+    decision.reason = "warming";
+    return decision;
+  }
+
+  const dbase::Micros dt = signals.now_us - last_tick_us_;
+  const uint64_t delta = signals.arrivals - last_arrivals_;
+  if (dt > 0) {
+    const double instant =
+        static_cast<double>(delta) / (static_cast<double>(dt) / 1e6);
+    rate_per_sec_ =
+        options_.ewma_alpha * instant + (1.0 - options_.ewma_alpha) * rate_per_sec_;
+    last_tick_us_ = signals.now_us;
+    last_arrivals_ = signals.arrivals;
+  }
+  if (delta > 0) {
+    last_arrival_us_ = signals.now_us;
+  }
+
+  if (last_arrival_us_ == kNever ||
+      signals.now_us - last_arrival_us_ >= options_.scale_to_zero_after_us) {
+    // Idle past the grace period: release everything and forget the rate —
+    // a burst after a long quiet spell should re-warm from scratch, not
+    // provision against a stale estimate.
+    rate_per_sec_ = 0.0;
+    decision.target_depth = clamp_depth(0);
+    decision.reason = "scale-to-zero";
+    return decision;
+  }
+
+  const double expected = rate_per_sec_ *
+                          (static_cast<double>(options_.provision_window_us) / 1e6) *
+                          options_.headroom;
+  // A recently-active function keeps at least one warm sandbox even while
+  // the EWMA is still warming up — the first repeat arrival should already
+  // hit.
+  decision.target_depth = clamp_depth(std::max(1, static_cast<int>(std::ceil(expected))));
+  decision.rate_per_sec = rate_per_sec_;
+  decision.reason = "track";
+  return decision;
+}
+
+void PrewarmPolicy::Reset() {
+  primed_ = false;
+  last_tick_us_ = 0;
+  last_arrivals_ = 0;
+  last_arrival_us_ = kNever;
+  rate_per_sec_ = 0.0;
+}
+
+}  // namespace dpolicy

@@ -1,0 +1,89 @@
+// Pre-warm pool depth policy: how many warm sandboxes a function should
+// keep shelved (ROADMAP "Cold-start elimination"). Like the elasticity
+// policies in elasticity.h, PrewarmPolicy is a pure decision object — it
+// holds only its own EWMA state and takes time as an input — so the
+// runtime's SandboxPool (driven by ControlPlane ticks), dsim's pool model,
+// and fake-clock unit tests execute literally the same decision code. That
+// is what lets a pre-warm configuration be model-checked in the simulator
+// against an SLO envelope before the runtime ever runs it.
+//
+// The decision logic: each tick the driver reports the function's
+// cumulative arrival count; the policy turns the per-tick delta into an
+// arrival-rate EWMA and provisions enough warm sandboxes to absorb the
+// arrivals expected within one provisioning window (times a headroom
+// factor). A function with any recent arrival keeps at least one warm
+// sandbox; a function idle past scale_to_zero_after_us drops to zero and
+// its rate estimate resets, so a later burst re-warms from scratch instead
+// of inheriting a stale estimate.
+#ifndef SRC_POLICY_PREWARM_H_
+#define SRC_POLICY_PREWARM_H_
+
+#include <cstdint>
+
+#include "src/base/clock.h"
+
+namespace dpolicy {
+
+struct PrewarmOptions {
+  // Per-tick smoothing of the instantaneous arrival rate.
+  double ewma_alpha = 0.3;
+  // Provisioning horizon: keep enough warm sandboxes to absorb the
+  // arrivals expected within this window. Should be at least the
+  // cold-path sandbox-creation cost plus one control-tick interval.
+  dbase::Micros provision_window_us = 250 * dbase::kMicrosPerMilli;
+  // Over-provisioning factor on the expected arrivals (burst slack).
+  double headroom = 1.25;
+  // No arrivals for this long → target depth 0 and the rate estimate
+  // resets (scale-to-zero).
+  dbase::Micros scale_to_zero_after_us = 2 * dbase::kMicrosPerSecond;
+  // Clamp on the decision's target depth. The pool may clamp further
+  // (per-function and global caps).
+  int min_depth = 0;
+  int max_depth = 8;
+};
+
+// One per-function snapshot per tick. `arrivals` is cumulative so drivers
+// never need to reset counters; the policy differences successive ticks.
+struct PrewarmSignals {
+  dbase::Micros now_us = 0;
+  uint64_t arrivals = 0;  // Cumulative dispatch-side arrivals.
+  int shelved = 0;        // Warm sandboxes ready on the shelf.
+  int leased = 0;         // Acquired by running instances, not yet returned.
+};
+
+struct PrewarmDecision {
+  // Desired total warm capacity (shelved + leased). The driver fills the
+  // shelf when shelved + leased < target and retires shelved sandboxes
+  // when above it.
+  int target_depth = 0;
+  // The policy's arrival-rate estimate, for traces and statz.
+  double rate_per_sec = 0.0;
+  // Static, human-readable cause ("warming", "track", "scale-to-zero").
+  const char* reason = "";
+};
+
+class PrewarmPolicy {
+ public:
+  PrewarmPolicy() : PrewarmPolicy(PrewarmOptions{}) {}
+  explicit PrewarmPolicy(PrewarmOptions options) : options_(options) {}
+
+  const char* name() const { return "prewarm-ewma"; }
+  const PrewarmOptions& options() const { return options_; }
+
+  PrewarmDecision Decide(const PrewarmSignals& signals);
+  void Reset();
+
+ private:
+  static constexpr dbase::Micros kNever = INT64_MIN / 2;
+
+  PrewarmOptions options_;
+  bool primed_ = false;
+  dbase::Micros last_tick_us_ = 0;
+  uint64_t last_arrivals_ = 0;
+  dbase::Micros last_arrival_us_ = kNever;
+  double rate_per_sec_ = 0.0;
+};
+
+}  // namespace dpolicy
+
+#endif  // SRC_POLICY_PREWARM_H_

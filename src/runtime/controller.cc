@@ -63,6 +63,23 @@ void ControlPlane::RemoveSignalSource(uint64_t id) {
   }
 }
 
+uint64_t ControlPlane::AddTicker(Ticker ticker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_source_id_++;
+  tickers_.emplace_back(id, std::move(ticker));
+  return id;
+}
+
+void ControlPlane::RemoveTicker(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = tickers_.begin(); it != tickers_.end(); ++it) {
+    if (it->first == id) {
+      tickers_.erase(it);
+      return;
+    }
+  }
+}
+
 ControlPlane::Decision ControlPlane::StepOnce() {
   const WorkerSet::SignalsSnapshot snapshot = workers_->Signals();
 
@@ -123,6 +140,19 @@ ControlPlane::Decision ControlPlane::StepOnce() {
       shifts_toward_compute_ += static_cast<uint64_t>(decision.shifted);
     } else if (decision.shifted < 0) {
       shifts_toward_comm_ += static_cast<uint64_t>(-decision.shifted);
+    }
+  }
+  {
+    // Same snapshot-then-run-unlocked discipline as the signal sources: a
+    // ticker (the sandbox pool's prewarm step) takes its own locks and may
+    // fork, so it must never run under mu_.
+    std::vector<std::pair<uint64_t, Ticker>> tickers;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tickers = tickers_;
+    }
+    for (const auto& [id, ticker] : tickers) {
+      ticker(signals.now_us);
     }
   }
   return decision;

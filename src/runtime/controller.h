@@ -81,6 +81,15 @@ class ControlPlane {
   uint64_t AddSignalSource(SignalSource source);
   void RemoveSignalSource(uint64_t id);
 
+  // Registers a periodic callback driven by the same control tick, after
+  // the elasticity decision (subsystems with their own policies — e.g. the
+  // sandbox pool's prewarm step — share the control cadence instead of
+  // spawning private timer threads). Runs on the control thread with the
+  // tick's sample time; must not block.
+  using Ticker = std::function<void(dbase::Micros now_us)>;
+  uint64_t AddTicker(Ticker ticker);
+  void RemoveTicker(uint64_t id);
+
   const dpolicy::ElasticityPolicy& policy() const { return *policy_; }
 
   // Ring-buffer contents, oldest first (at most Config::history_limit).
@@ -105,6 +114,7 @@ class ControlPlane {
   mutable std::mutex mu_;
   std::deque<Decision> history_;            // Guarded by mu_; ring buffer.
   std::vector<std::pair<uint64_t, SignalSource>> sources_;  // Guarded by mu_.
+  std::vector<std::pair<uint64_t, Ticker>> tickers_;        // Guarded by mu_.
   uint64_t next_source_id_ = 1;             // Guarded by mu_.
   uint64_t decisions_ = 0;                  // Guarded by mu_.
   uint64_t shifts_toward_compute_ = 0;      // Guarded by mu_.

@@ -481,17 +481,35 @@ std::optional<ComputeTask> Dispatcher::BuildComputeTask(
     dfunc::DataSetList inputs, const dfunc::FunctionSpec& spec) {
   compute_instances_.fetch_add(1, std::memory_order_relaxed);
 
-  // Prepare the isolated memory context and copy the inputs in (§5:
-  // "ensures that the outputs from prior functions are copied as inputs
-  // into the new function's context").
-  auto context_result =
-      MemoryContext::Create(spec.context_bytes, accountant_, config_.shared_contexts);
-  if (!context_result.ok()) {
-    FailLocked(inv, context_result.status());
-    return std::nullopt;
+  // Pool-first: a warm sandbox already holds a loaded binary and (process
+  // backend) a parked template child, so the instance skips the cold path
+  // entirely — inputs marshal straight into the warm context.
+  std::shared_ptr<WarmSandbox> warm;
+  if (config_.sandbox_pool != nullptr) {
+    const PriorityClass priority =
+        inv->control != nullptr ? inv->control->priority() : PriorityClass::kInteractive;
+    warm = config_.sandbox_pool->Acquire(spec, priority);
   }
-  std::shared_ptr<MemoryContext> context = std::move(context_result).value();
+
+  std::shared_ptr<MemoryContext> context;
+  if (warm != nullptr) {
+    context = warm->context();
+  } else {
+    // Prepare the isolated memory context and copy the inputs in (§5:
+    // "ensures that the outputs from prior functions are copied as inputs
+    // into the new function's context").
+    auto context_result =
+        MemoryContext::Create(spec.context_bytes, accountant_, config_.shared_contexts);
+    if (!context_result.ok()) {
+      FailLocked(inv, context_result.status());
+      return std::nullopt;
+    }
+    context = std::move(context_result).value();
+  }
   if (dbase::Status stored = context->StoreInputSets(inputs); !stored.ok()) {
+    if (warm != nullptr) {
+      config_.sandbox_pool->Release(std::move(warm));
+    }
     FailLocked(inv, stored);
     return std::nullopt;
   }
@@ -500,6 +518,7 @@ std::optional<ComputeTask> Dispatcher::BuildComputeTask(
   task.spec = spec;
   task.context = context;
   task.control = inv->control;
+  task.warm = std::move(warm);
   auto self = this;
   task.done = [self, inv, node_index, instance_index, context,
                control = inv->control](ExecOutcome outcome) {

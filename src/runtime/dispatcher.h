@@ -81,6 +81,9 @@ class Dispatcher {
     // callback must surface as kDeadlineExceeded, not hang the caller
     // forever. 0 disables the cap (legacy behavior).
     dbase::Micros max_blocking_wait_us = 120 * dbase::kMicrosPerSecond;
+    // When set, compute instances try Acquire() before cold-creating a
+    // context. Not owned; must outlive the dispatcher.
+    SandboxPool* sandbox_pool = nullptr;
   };
 
   Dispatcher(const dfunc::FunctionRegistry* functions, const CompositionRegistry* compositions,

@@ -234,6 +234,14 @@ void WorkerSet::RunComputeTask(ComputeTask task) {
     if (!dead.ok()) {
       task.control->CountAborted();
       compute_aborted_.fetch_add(1, std::memory_order_relaxed);
+      if (task.warm != nullptr) {
+        // The warm sandbox never ran — hand it straight back so the pool
+        // can scrub the marshalled inputs and re-shelf it.
+        if (sandbox_pool_ != nullptr) {
+          sandbox_pool_->Release(std::move(task.warm));
+        }
+        task.warm.reset();
+      }
       if (task.done) {
         ExecOutcome outcome;
         outcome.status = dead;
@@ -262,7 +270,21 @@ void WorkerSet::RunComputeTask(ComputeTask task) {
       options.binary_cached = false;
     }
   }
-  ExecOutcome outcome = sandbox_->Execute(task.spec, *task.context, options);
+  ExecOutcome outcome;
+  if (task.warm != nullptr) {
+    // Pool hit: execute on the pre-warmed sandbox (inputs are already in
+    // its context) and return it for scrub + re-shelf.
+    if (task.control != nullptr) {
+      task.control->CountPoolHit();
+    }
+    outcome = task.warm->Execute(options);
+    if (sandbox_pool_ != nullptr) {
+      sandbox_pool_->Release(std::move(task.warm));
+    }
+    task.warm.reset();
+  } else {
+    outcome = sandbox_->Execute(task.spec, *task.context, options);
+  }
   compute_done_.fetch_add(1, std::memory_order_relaxed);
   if (task.done) {
     task.done(std::move(outcome));

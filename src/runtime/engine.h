@@ -24,6 +24,7 @@
 #include "src/runtime/invocation.h"
 #include "src/runtime/memory_context.h"
 #include "src/runtime/sandbox.h"
+#include "src/runtime/sandbox_pool.h"
 
 namespace dandelion {
 
@@ -42,6 +43,10 @@ struct ComputeTask {
   std::function<void(ExecOutcome)> done;
   dbase::Micros enqueue_time_us = 0;
   std::shared_ptr<InvocationControl> control;
+  // Set when the dispatcher got a pool hit: `context` aliases the warm
+  // sandbox's context and the engine executes via the warm sandbox instead
+  // of the cold executor, releasing it back to the pool afterwards.
+  std::shared_ptr<WarmSandbox> warm;
 };
 
 // A unit of communication work: raw request bytes produced by an untrusted
@@ -167,6 +172,11 @@ class WorkerSet {
   // worker (real runtime) unless disabled (unit tests).
   void set_sleep_for_modeled_latency(bool enabled) { sleep_latency_ = enabled; }
 
+  // When set, tasks carrying a warm sandbox release it back to this pool
+  // after execution (and on the dead-invocation drop path). The pool must
+  // outlive the worker set; the Platform owns both in that order.
+  void set_sandbox_pool(SandboxPool* pool) { sandbox_pool_ = pool; }
+
   void Shutdown();
 
  private:
@@ -221,6 +231,7 @@ class WorkerSet {
   Config config_;
   dhttp::ServiceMesh* mesh_;
   std::unique_ptr<SandboxExecutor> sandbox_;
+  SandboxPool* sandbox_pool_ = nullptr;  // Set before workers start; optional.
   dbase::ShardedTaskQueue<ComputeTask> compute_queue_;
   dbase::ShardedTaskQueue<CommTask> comm_queue_;
   std::vector<std::unique_ptr<std::atomic<EngineType>>> roles_;

@@ -1031,6 +1031,30 @@ std::string HttpFrontend::StatzJson() const {
         "\"enabled\":false,\"compute_workers\":%d,\"comm_workers\":%d",
         engine.compute_workers, engine.comm_workers);
   }
+  json += "},\"sandbox_pool\":{";
+  if (SandboxPool* pool = platform_->sandbox_pool(); pool != nullptr) {
+    const SandboxPoolStats warm = pool->Stats();
+    json += dbase::StrFormat(
+        "\"enabled\":true,\"hits\":%llu,\"misses\":%llu,\"bypassed\":%llu,"
+        "\"prewarm_fills\":%llu,\"recycled\":%llu,\"retired\":%llu,"
+        "\"arrivals\":%llu,\"shelved\":%d,\"leased\":%d,\"functions\":%d,"
+        "\"max_total\":%d",
+        u(warm.hits), u(warm.misses), u(warm.bypassed), u(warm.prewarm_fills),
+        u(warm.recycled), u(warm.retired), u(warm.arrivals), warm.shelved,
+        warm.leased, warm.functions, warm.max_total);
+    bool first = true;
+    json += ",\"targets\":{";
+    for (const auto& [name, decision] : pool->LastDecisions()) {
+      json += dbase::StrFormat("%s\"%s\":{\"depth\":%d,\"rate_per_sec\":%.2f,"
+                               "\"reason\":\"%s\"}",
+                               first ? "" : ",", name.c_str(), decision.target_depth,
+                               decision.rate_per_sec, decision.reason);
+      first = false;
+    }
+    json += "}";
+  } else {
+    json += "\"enabled\":false";
+  }
   json += "}}\n";
   return json;
 }

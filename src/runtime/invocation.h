@@ -75,6 +75,9 @@ struct InvocationReport {
   // Compute instances dequeued after the invocation died — dropped without
   // executing. launched + aborted ≤ instances built by the dispatcher.
   uint64_t instances_aborted = 0;
+  // Of the launched instances, how many ran on a pre-warmed sandbox (pool
+  // hit — no fork / binary load on the critical path).
+  uint64_t instances_pool_hits = 0;
 };
 
 // The shared control block. One per external invocation; nested
@@ -112,6 +115,7 @@ class InvocationControl {
   void MarkDone(InvocationPhase phase, dbase::Micros now_us);
   void CountLaunched() { instances_launched_.fetch_add(1, std::memory_order_relaxed); }
   void CountAborted() { instances_aborted_.fetch_add(1, std::memory_order_relaxed); }
+  void CountPoolHit() { instances_pool_hits_.fetch_add(1, std::memory_order_relaxed); }
 
   InvocationReport Report() const;
 
@@ -129,6 +133,7 @@ class InvocationControl {
   std::atomic<dbase::Micros> finish_us_{0};
   std::atomic<uint64_t> instances_launched_{0};
   std::atomic<uint64_t> instances_aborted_{0};
+  std::atomic<uint64_t> instances_pool_hits_{0};
 };
 
 // The caller's view of an in-flight invocation. Cheap to copy; an empty

@@ -163,6 +163,20 @@ MemoryContext::~MemoryContext() {
   }
 }
 
+void MemoryContext::ScrubForReuse(uint64_t extent) {
+  // Same two regimes as ContextPool::Put: zero small extents in place
+  // (cheaper than re-faulting), genuinely uncommit large ones so committed
+  // memory keeps tracking demand while the region stays shelved.
+  extent = std::min(extent, capacity_);
+  if (extent > 0 && extent <= ContextPool::kZeroExtentBytes) {
+    std::memset(data_, 0, extent);
+  } else if (extent > 0) {
+    const uint64_t page = 4096;
+    madvise(data_, (extent + page - 1) / page * page, MADV_DONTNEED);
+  }
+  touched_ = 0;
+}
+
 dbase::Status MemoryContext::WriteAt(uint64_t offset, std::string_view bytes) {
   if (offset > capacity_ || bytes.size() > capacity_ - offset) {
     return dbase::ResourceExhausted("write exceeds context bounds");

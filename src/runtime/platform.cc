@@ -15,11 +15,21 @@ Platform::Platform(PlatformConfig config) : config_(config) {
   worker_config.binary_cold_fraction = config.binary_cold_fraction;
   worker_config.pin_threads = config.pin_threads;
   worker_config.comm_parallelism = config.comm_parallelism;
+  if (config.enable_sandbox_pool) {
+    SandboxPool::Config pool_config = config.sandbox_pool;
+    pool_config.backend = config.backend;  // The pool must match the engines.
+    sandbox_pool_ = std::make_unique<SandboxPool>(std::move(pool_config), &accountant_);
+  }
+
   workers_ = std::make_unique<WorkerSet>(worker_config, &mesh_);
   workers_->set_sleep_for_modeled_latency(config.sleep_for_modeled_latency);
+  if (sandbox_pool_ != nullptr) {
+    workers_->set_sandbox_pool(sandbox_pool_.get());
+  }
 
   Dispatcher::Config dispatcher_config;
   dispatcher_config.shared_contexts = config.backend == IsolationBackend::kProcess;
+  dispatcher_config.sandbox_pool = sandbox_pool_.get();
   dispatcher_ = std::make_unique<Dispatcher>(&functions_, &compositions_, &comm_functions_,
                                              workers_.get(), &accountant_, dispatcher_config);
 
@@ -45,7 +55,22 @@ Platform::Platform(PlatformConfig config) : config_(config) {
       signals->context_pool_occupancy =
           cap == 0 ? 0.0
                    : static_cast<double>(pool->entries()) / static_cast<double>(cap);
+      if (sandbox_pool_ != nullptr) {
+        const SandboxPoolStats warm = sandbox_pool_->Stats();
+        signals->warm_pool_shelved = static_cast<uint64_t>(warm.shelved);
+        signals->warm_pool_occupancy =
+            warm.max_total == 0
+                ? 0.0
+                : static_cast<double>(warm.shelved) / static_cast<double>(warm.max_total);
+        signals->warm_pool_misses = warm.misses;
+      }
     });
+    if (sandbox_pool_ != nullptr) {
+      // The prewarm policy shares the elasticity cadence: every control
+      // tick also advances the pool's per-function EWMA targets.
+      control_plane_->AddTicker(
+          [this](dbase::Micros now_us) { sandbox_pool_->Tick(now_us); });
+    }
     control_plane_->Start();
   }
 }
@@ -58,6 +83,10 @@ void Platform::Shutdown() {
   }
   if (workers_ != nullptr) {
     workers_->Shutdown();
+  }
+  if (sandbox_pool_ != nullptr) {
+    // After the engines: in-flight tasks release their leases first.
+    sandbox_pool_->Shutdown();
   }
 }
 

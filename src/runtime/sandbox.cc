@@ -91,29 +91,6 @@ dbase::Micros EffectiveTimeout(const dfunc::FunctionSpec& spec, const SandboxOpt
   return options.timeout_us > 0 ? options.timeout_us : spec.timeout_us;
 }
 
-// Runs the function body against the context, in-process. Shared by the
-// thread-flavoured backends and by the forked child of the process backend.
-// `cancel_flag` is the per-execution timeout flag; `invocation_cancel` the
-// invocation-wide kill switch (either may be null).
-dbase::Status RunBodyAgainstContext(const dfunc::FunctionSpec& spec, MemoryContext& context,
-                                    const std::atomic<bool>* cancel_flag,
-                                    const std::atomic<bool>* invocation_cancel) {
-  auto inputs = context.LoadInputSets();
-  if (!inputs.ok()) {
-    (void)context.StoreOutcome(inputs.status(), {});
-    return inputs.status();
-  }
-  dfunc::FunctionCtx ctx(std::move(inputs).value());
-  ctx.set_cancel_flag(cancel_flag);
-  ctx.set_invocation_cancel_flag(invocation_cancel);
-  dbase::Status status = spec.body(ctx);
-  if (status.ok()) {
-    status = ctx.CollectFsOutputs();
-  }
-  (void)context.StoreOutcome(status, ctx.outputs());
-  return status;
-}
-
 // ---------------------------------------------------------------------------
 // Deadline watchdog: a single background thread that flips cancel flags when
 // deadlines pass. Keeps the thread-flavoured backends' critical path free of
@@ -210,18 +187,26 @@ class ThreadSandbox : public SandboxExecutor {
   ExecOutcome Execute(const dfunc::FunctionSpec& spec, MemoryContext& context,
                       const SandboxOptions& options) override {
     ExecOutcome outcome;
+    outcome.timings.pool_hit = options.prewarmed;
     dbase::Stopwatch watch;
 
-    // Binary load (modelled; §7.4 cached vs. uncached).
-    const dbase::Micros load = LoadCost(costs_, spec.binary_bytes, options.binary_cached);
-    dbase::SpinFor(load);
+    // Binary load (modelled; §7.4 cached vs. uncached). A pre-warmed
+    // sandbox loaded its binary at pool-fill time — nothing to pay here,
+    // and the timing rows must say so (setup_us distinguishes pool-hit ~0
+    // from a cold create).
+    if (!options.prewarmed) {
+      const dbase::Micros load = LoadCost(costs_, spec.binary_bytes, options.binary_cached);
+      dbase::SpinFor(load);
+    }
     outcome.timings.load_us = watch.ElapsedMicros();
 
     // Sandbox setup surcharge (VM enter for kvm-sim, runtime init for
     // wasm-sim; zero for the CHERI stand-in — its point is that a sandbox
     // is just a capability switch within the address space).
     watch.Restart();
-    dbase::SpinFor(costs_.setup_us);
+    if (!options.prewarmed) {
+      dbase::SpinFor(costs_.setup_us);
+    }
     outcome.timings.setup_us = watch.ElapsedMicros();
 
     // Execute inline with a watchdog-enforced cooperative deadline. The
@@ -233,7 +218,7 @@ class ThreadSandbox : public SandboxExecutor {
     std::atomic<bool> cancel{false};
     const uint64_t ticket = DeadlineWatchdog::Get()->Arm(
         dbase::MonotonicClock::Get()->NowMicros() + timeout, &cancel);
-    (void)RunBodyAgainstContext(spec, context, &cancel, options.cancel_flag);
+    (void)RunFunctionBodyAgainstContext(spec, context, &cancel, options.cancel_flag);
     DeadlineWatchdog::Get()->Disarm(ticket);
     const bool externally_cancelled =
         options.cancel_flag != nullptr && options.cancel_flag->load(std::memory_order_relaxed);
@@ -295,8 +280,10 @@ class ProcessSandbox : public SandboxExecutor {
       return outcome;
     }
 
-    const dbase::Micros load = LoadCost(costs_, spec.binary_bytes, options.binary_cached);
-    dbase::SpinFor(load);
+    if (!options.prewarmed) {
+      const dbase::Micros load = LoadCost(costs_, spec.binary_bytes, options.binary_cached);
+      dbase::SpinFor(load);
+    }
     outcome.timings.load_us = watch.ElapsedMicros();
 
     watch.Restart();
@@ -310,7 +297,7 @@ class ProcessSandbox : public SandboxExecutor {
       // visible to the parent. In the paper the engine additionally ptrace-
       // jails the child so any syscall kills it; that jail is stubbed here
       // (see DESIGN.md substitutions).
-      (void)RunBodyAgainstContext(spec, context, nullptr, nullptr);
+      (void)RunFunctionBodyAgainstContext(spec, context, nullptr, nullptr);
       _exit(0);
     }
     outcome.timings.setup_us = watch.ElapsedMicros();
@@ -382,6 +369,31 @@ class ProcessSandbox : public SandboxExecutor {
 };
 
 }  // namespace
+
+dbase::Micros ModeledLoadCostUs(const BackendCostModel& costs, uint64_t binary_bytes,
+                                bool cached) {
+  return LoadCost(costs, binary_bytes, cached);
+}
+
+dbase::Status RunFunctionBodyAgainstContext(const dfunc::FunctionSpec& spec,
+                                            MemoryContext& context,
+                                            const std::atomic<bool>* timeout_flag,
+                                            const std::atomic<bool>* invocation_cancel) {
+  auto inputs = context.LoadInputSets();
+  if (!inputs.ok()) {
+    (void)context.StoreOutcome(inputs.status(), {});
+    return inputs.status();
+  }
+  dfunc::FunctionCtx ctx(std::move(inputs).value());
+  ctx.set_cancel_flag(timeout_flag);
+  ctx.set_invocation_cancel_flag(invocation_cancel);
+  dbase::Status status = spec.body(ctx);
+  if (status.ok()) {
+    status = ctx.CollectFsOutputs();
+  }
+  (void)context.StoreOutcome(status, ctx.outputs());
+  return status;
+}
 
 std::unique_ptr<SandboxExecutor> CreateSandboxExecutor(IsolationBackend backend) {
   return CreateSandboxExecutor(backend, BackendCostModel::Defaults(backend));

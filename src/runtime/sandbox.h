@@ -41,6 +41,11 @@ struct SandboxTimings {
   dbase::Micros setup_us = 0;    // Sandbox creation (fork / VM enter / none).
   dbase::Micros execute_us = 0;  // User code.
   dbase::Micros output_us = 0;   // "Get/send output": outcome readback.
+  // The instance ran on a pre-warmed sandbox: load_us and setup_us were
+  // paid at pool-fill time, off the critical path, and report ~0 here so
+  // fig02/tab01 breakdowns stay honest about what the request actually
+  // waited for.
+  bool pool_hit = false;
 
   dbase::Micros Total() const { return load_us + setup_us + execute_us + output_us; }
 };
@@ -62,6 +67,10 @@ struct SandboxOptions {
   // cancelled() poll sees both; the process backend SIGKILLs the child
   // when it flips. A set flag yields a kCancelled outcome.
   const std::atomic<bool>* cancel_flag = nullptr;
+  // The sandbox was pre-warmed by a SandboxPool: the binary is already
+  // loaded and the sandbox already instantiated, so the executor skips the
+  // load/setup cost models and reports the execution as a pool hit.
+  bool prewarmed = false;
 };
 
 // Injected cost model per backend. Values are derived from Table 1 /
@@ -97,6 +106,23 @@ class SandboxExecutor {
 std::unique_ptr<SandboxExecutor> CreateSandboxExecutor(IsolationBackend backend);
 std::unique_ptr<SandboxExecutor> CreateSandboxExecutor(IsolationBackend backend,
                                                        const BackendCostModel& costs);
+
+// The modelled binary-load cost (Table 1 "load from disk" row). Exposed so
+// the sandbox pool can pay it at pre-warm time instead of on the request's
+// critical path.
+dbase::Micros ModeledLoadCostUs(const BackendCostModel& costs, uint64_t binary_bytes,
+                                bool cached);
+
+// Runs the function body in-process against a context already holding
+// marshalled inputs, leaving the outcome in the context. Shared by the
+// thread-flavoured backends, the forked child of the process backend, and
+// the sandbox pool's pre-forked template children. `timeout_flag` is the
+// per-execution deadline flag and `invocation_cancel` the invocation-wide
+// kill switch (either may be null).
+dbase::Status RunFunctionBodyAgainstContext(const dfunc::FunctionSpec& spec,
+                                            MemoryContext& context,
+                                            const std::atomic<bool>* timeout_flag,
+                                            const std::atomic<bool>* invocation_cancel);
 
 }  // namespace dandelion
 
