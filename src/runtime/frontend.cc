@@ -1045,11 +1045,17 @@ std::string HttpFrontend::StatzJson() const {
     bool first = true;
     json += ",\"targets\":{";
     for (const auto& [name, decision] : pool->LastDecisions()) {
-      json += dbase::StrFormat("%s\"%s\":{\"depth\":%d,\"rate_per_sec\":%.2f,"
-                               "\"reason\":\"%s\"}",
-                               first ? "" : ",", name.c_str(), decision.target_depth,
-                               decision.rate_per_sec, decision.reason);
+      if (!first) {
+        json.push_back(',');
+      }
       first = false;
+      // Function names are caller-supplied: escape them (a quote or
+      // backslash in a registered name must not corrupt the document).
+      AppendJsonString(&json, name);
+      json += dbase::StrFormat(":{\"depth\":%d,\"rate_per_sec\":%.2f,"
+                               "\"reason\":\"%s\"}",
+                               decision.target_depth, decision.rate_per_sec,
+                               decision.reason);
     }
     json += "}";
   } else {

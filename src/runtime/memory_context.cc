@@ -167,12 +167,28 @@ void MemoryContext::ScrubForReuse(uint64_t extent) {
   // Same two regimes as ContextPool::Put: zero small extents in place
   // (cheaper than re-faulting), genuinely uncommit large ones so committed
   // memory keeps tracking demand while the region stays shelved.
+  //
+  // The uncommit call differs by mapping kind. On MAP_PRIVATE anonymous
+  // memory MADV_DONTNEED discards the pages and refaults read fresh zeros.
+  // On MAP_SHARED|MAP_ANONYMOUS it only drops this mapping's PTEs — the
+  // backing shmem object keeps the old bytes and refaults repopulate them,
+  // so the previous invocation's data would survive the "scrub". Shared
+  // regions therefore need MADV_REMOVE, which hole-punches the shmem object
+  // back to zeros (also uncommitting), with an explicit memset fallback if
+  // the kernel refuses the punch.
   extent = std::min(extent, capacity_);
   if (extent > 0 && extent <= ContextPool::kZeroExtentBytes) {
     std::memset(data_, 0, extent);
   } else if (extent > 0) {
     const uint64_t page = 4096;
-    madvise(data_, (extent + page - 1) / page * page, MADV_DONTNEED);
+    const uint64_t rounded = (extent + page - 1) / page * page;
+    if (shared_) {
+      if (madvise(data_, rounded, MADV_REMOVE) != 0) {
+        std::memset(data_, 0, extent);
+      }
+    } else {
+      madvise(data_, rounded, MADV_DONTNEED);
+    }
   }
   touched_ = 0;
 }

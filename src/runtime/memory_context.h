@@ -168,8 +168,10 @@ class MemoryContext {
 
   // In-place recycle for warm sandboxes that keep this mapping across
   // executions: applies the ContextPool scrub idiom to [0, extent) — small
-  // extents are zeroed in place, large ones MADV_DONTNEED'd back to
-  // uncommitted zero pages — and resets the touched high-water mark.
+  // extents are zeroed in place, large private ones MADV_DONTNEED'd back to
+  // uncommitted zero pages, large shared (shmem-backed) ones hole-punched
+  // with MADV_REMOVE (MADV_DONTNEED would not zero them: refaults repopulate
+  // from the live shmem object) — and resets the touched high-water mark.
   // `extent` is clamped to capacity; callers widen it past touched() when
   // writes bypassed this object (a forked child's stores into a MAP_SHARED
   // region).

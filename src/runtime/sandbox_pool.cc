@@ -1,10 +1,13 @@
 #include "src/runtime/sandbox_pool.h"
 
 #include <errno.h>
+#include <poll.h>
 #include <signal.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
+
+#include <cstdlib>
 
 #include <algorithm>
 #include <thread>
@@ -20,6 +23,11 @@ namespace {
 // the scrub extent past its own touched() mark to cover the child's
 // outcome writes starting at offset 0.
 constexpr uint64_t kContextHeaderBytes = 16;
+
+// How long Arm() waits for a fresh template child's liveness ack. Arming
+// runs off the critical path (Tick's fill half), so a generous bound costs
+// nothing; a child that misses it is killed and the fill falls back cold.
+constexpr int kArmAckTimeoutMs = 200;
 
 // ---------------------------------------------------------------------------
 // Thread-flavoured warm sandbox: the binary load and setup cost models were
@@ -55,6 +63,17 @@ class ThreadWarmSandbox : public WarmSandbox {
 // with the parent image until dispatch. Execute() writes one go byte and
 // waits like the cold process backend (cancel → SIGKILL, deadline →
 // SIGKILL). The child is single-use; Recycle() re-forks.
+//
+// Fork-safety caveat (same stubbed-jail DESIGN.md family as the cold
+// backend, but pooling makes fork-then-park the steady state): the
+// template is forked from a multithreaded runtime — control-plane ticks,
+// engine workers running Recycle — and later executes the full function
+// body, which allocates. If another thread held an allocator lock at fork
+// time, the child's first malloc deadlocks. Arm() therefore makes the
+// fresh child touch the heap immediately and write an ack byte; a child
+// that misses the ack deadline is killed and the fill falls back to the
+// cold path, instead of a wedged template eating a request's whole
+// deadline at dispatch before the SIGKILL.
 // ---------------------------------------------------------------------------
 class ProcessWarmSandbox : public WarmSandbox {
  public:
@@ -71,17 +90,40 @@ class ProcessWarmSandbox : public WarmSandbox {
     if (pipe(fds) != 0) {
       return false;
     }
-    const pid_t pid = fork();
-    if (pid < 0) {
+    int ack[2];
+    if (pipe(ack) != 0) {
       close(fds[0]);
       close(fds[1]);
       return false;
     }
+    const pid_t pid = fork();
+    if (pid < 0) {
+      close(fds[0]);
+      close(fds[1]);
+      close(ack[0]);
+      close(ack[1]);
+      return false;
+    }
     if (pid == 0) {
+      close(fds[1]);
+      close(ack[0]);
+      // Liveness probe (fork-safety caveat above): exercise the allocator
+      // the function body will need, then ack. A child that inherited a
+      // held malloc lock wedges right here — before the ack — so the
+      // parent retires it instead of shelving a time bomb.
+      void* probe = malloc(64);
+      static volatile void* sink;  // Escape: keeps the pair from being elided.
+      sink = probe;
+      free(probe);
+      char ok = 'a';
+      ssize_t w;
+      do {
+        w = write(ack[1], &ok, 1);
+      } while (w < 0 && errno == EINTR);
+      close(ack[1]);
       // Template child: park until dispatch. EOF (parent retired us) or a
       // short read exits without running the body. Same stubbed-jail
       // caveat as the cold process backend (DESIGN.md).
-      close(fds[1]);
       char go = 0;
       ssize_t n;
       do {
@@ -93,6 +135,31 @@ class ProcessWarmSandbox : public WarmSandbox {
       _exit(0);
     }
     close(fds[0]);
+    close(ack[1]);
+    struct pollfd pfd;
+    pfd.fd = ack[0];
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    int ready;
+    do {
+      ready = poll(&pfd, 1, kArmAckTimeoutMs);
+    } while (ready < 0 && errno == EINTR);
+    bool alive = ready > 0;
+    if (alive) {
+      char got = 0;
+      ssize_t r;
+      do {
+        r = read(ack[0], &got, 1);
+      } while (r < 0 && errno == EINTR);
+      alive = r == 1;
+    }
+    close(ack[0]);
+    if (!alive) {
+      kill(pid, SIGKILL);
+      waitpid(pid, nullptr, 0);
+      close(fds[1]);
+      return false;
+    }
     pid_ = pid;
     go_fd_ = fds[1];
     clean_exit_ = false;

@@ -145,8 +145,14 @@ SimMetrics SimulateDandelion(const DandelionSimConfig& config,
       }
       compute.Submit(service, [&, chain, warm](dbase::Micros, dbase::Micros) {
         bool kept = false;
+        // A warm sandbox's context was committed at fill time with the
+        // pool's uniform size; release the same amount on retire, or the
+        // committed-memory metric drifts when requests of one app carry
+        // different context_bytes.
+        uint64_t release_bytes = chain->req.context_bytes;
         if (warm) {
           AppPool& pool = pool_for(chain->req);
+          release_bytes = pool.context_bytes;
           --pool.leased;
           if (pool.shelved + pool.leased < pool.target &&
               pool.shelved < config.prewarm_max_depth &&
@@ -157,7 +163,7 @@ SimMetrics SimulateDandelion(const DandelionSimConfig& config,
           }
         }
         if (!kept) {
-          memory.Sub(chain->req.context_bytes);
+          memory.Sub(release_bytes);
         }
         run_phase(chain);
       });
@@ -728,6 +734,11 @@ SimMetrics SimulateDandelionTrace(const TraceSimConfig& config, const dtrace::Tr
   };
   const auto mode = config.pool_mode;
   std::vector<FuncPool> pools(trace.functions.size());
+  // Node-wide shelf occupancy, maintained across arrivals/completions/ticks
+  // so the kPrewarmPolicy fills can honour prewarm_max_total the way
+  // SandboxPool::Tick honours Config::max_total (sim-vs-runtime parity).
+  // kAlwaysWarm deliberately ignores the caps — it is the naive envelope.
+  int total_shelved = 0;
   if (mode == TraceSimConfig::PoolMode::kPrewarmPolicy) {
     for (auto& pool : pools) {
       pool.policy = std::make_unique<dpolicy::PrewarmPolicy>(config.prewarm);
@@ -747,6 +758,7 @@ SimMetrics SimulateDandelionTrace(const TraceSimConfig& config, const dtrace::Tr
       bool warm = false;
       if (mode != TraceSimConfig::PoolMode::kNone && pool.shelved > 0) {
         --pool.shelved;
+        --total_shelved;
         ++pool.leased;
         warm = true;  // Context already committed while shelved.
       } else {
@@ -771,11 +783,14 @@ SimMetrics SimulateDandelionTrace(const TraceSimConfig& config, const dtrace::Tr
           // retired — resident memory grows to each function's peak
           // concurrency and stays there.
           ++done_pool.shelved;
+          ++total_shelved;
           kept = true;
         } else if (mode == TraceSimConfig::PoolMode::kPrewarmPolicy && warm &&
                    done_pool.shelved + done_pool.leased < done_pool.target &&
-                   done_pool.shelved < config.prewarm_max_depth) {
+                   done_pool.shelved < config.prewarm_max_depth &&
+                   total_shelved < config.prewarm_max_total) {
           ++done_pool.shelved;
+          ++total_shelved;
           kept = true;
         }
         if (!kept) {
@@ -792,7 +807,6 @@ SimMetrics SimulateDandelionTrace(const TraceSimConfig& config, const dtrace::Tr
   std::function<void()> prewarm_tick;
   if (mode == TraceSimConfig::PoolMode::kPrewarmPolicy) {
     prewarm_tick = [&] {
-      int total_shelved = 0;
       for (size_t f = 0; f < pools.size(); ++f) {
         FuncPool& pool = pools[f];
         dpolicy::PrewarmSignals signals;
@@ -804,14 +818,17 @@ SimMetrics SimulateDandelionTrace(const TraceSimConfig& config, const dtrace::Tr
         pool.target = std::min(decision.target_depth, config.prewarm_max_depth);
         while (pool.shelved + pool.leased > pool.target && pool.shelved > 0) {
           --pool.shelved;
+          --total_shelved;
           committed_bytes -= memory_of[f];
         }
+        // Fill only while the node-wide shelf has room — the same room
+        // computation SandboxPool::Tick runs against Config::max_total.
         int want = pool.target - pool.shelved - pool.leased;
-        while (want-- > 0) {
+        while (want-- > 0 && total_shelved < config.prewarm_max_total) {
           ++pool.shelved;
+          ++total_shelved;
           committed_bytes += memory_of[f];
         }
-        total_shelved += pool.shelved;
       }
       record_memory();
       metrics.pool_depth_trace.emplace_back(queue.now(), total_shelved);

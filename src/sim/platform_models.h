@@ -179,7 +179,11 @@ struct TraceSimConfig {
   PoolMode pool_mode = PoolMode::kNone;
   dpolicy::PrewarmOptions prewarm;
   dbase::Micros prewarm_tick_us = Calibration::kAutoscalerTickUs;
+  // Same clamps SandboxPool::Config applies in the runtime: per-function
+  // shelf depth and the node-wide shelf total (kAlwaysWarm ignores both —
+  // it is the deliberately unbounded envelope).
   int prewarm_max_depth = 8;
+  int prewarm_max_total = 64;
 };
 
 // Firecracker pods auto-scaled by the Knative KPA model. Memory committed =

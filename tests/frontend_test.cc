@@ -627,6 +627,45 @@ TEST(FrontendTest, StatzReportsControlPlanePolicyAndSplit) {
   frontend.Stop();
 }
 
+TEST(FrontendTest, StatzEscapesHostileFunctionNamesInPoolTargets) {
+  PlatformConfig platform_config = FastPlatformConfig();
+  platform_config.enable_sandbox_pool = true;
+  Platform platform(platform_config);
+  // A registered name carrying a quote and a backslash must not corrupt
+  // the /statz document. The pool tracks a function once dispatch asks for
+  // it, so drive Acquire + Tick directly to materialize a targets entry.
+  dfunc::FunctionSpec hostile;
+  hostile.name = "evil\"name\\fn";
+  hostile.body = dfunc::EchoFunction;
+  platform.sandbox_pool()->Acquire(hostile, PriorityClass::kInteractive);
+  platform.sandbox_pool()->Tick(0);
+
+  HttpFrontend frontend(&platform, FrontendConfig{});
+  const dbase::Status started = frontend.Start();
+  if (!started.ok()) {
+    GTEST_SKIP() << "loopback sockets unavailable: " << started.ToString();
+  }
+  const int fd = ConnectTo(frontend.port());
+  std::string carry;
+  SendAll(fd, "GET /statz HTTP/1.1\r\n\r\n");
+  auto response = ReadOneResponse(fd, &carry);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status_code, 200);
+  // The name appears in its escaped JSON form, never raw.
+  EXPECT_NE(response->body.find("evil\\\"name\\\\fn"), std::string::npos) << response->body;
+  // And the document's unescaped quotes still balance — the key did not
+  // terminate a string early.
+  size_t quotes = 0;
+  for (size_t i = 0; i < response->body.size(); ++i) {
+    if (response->body[i] == '"' && (i == 0 || response->body[i - 1] != '\\')) {
+      ++quotes;
+    }
+  }
+  EXPECT_EQ(quotes % 2, 0u) << response->body;
+  close(fd);
+  frontend.Stop();
+}
+
 TEST(FrontendTest, ClientDisconnectCancelsInFlightInvocation) {
   FrontendFixture fixture;
   SKIP_WITHOUT_LOOPBACK(fixture);

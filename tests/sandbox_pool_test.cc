@@ -14,6 +14,7 @@
 #include "src/base/thread.h"
 #include "src/func/registry.h"
 #include "src/runtime/invocation.h"
+#include "src/runtime/memory_context.h"
 #include "src/runtime/platform.h"
 #include "src/runtime/sandbox_pool.h"
 
@@ -183,6 +184,58 @@ void RunLifecycle(IsolationBackend backend) {
 TEST(SandboxPoolTest, LifecycleThreadBackend) { RunLifecycle(IsolationBackend::kThread); }
 
 TEST(SandboxPoolTest, LifecycleProcessBackend) { RunLifecycle(IsolationBackend::kProcess); }
+
+// Large extents on a MAP_SHARED (process-backend) context take the
+// madvise scrub path, where MADV_DONTNEED would silently leave the bytes
+// alive in the backing shmem object — the scrub must hole-punch instead.
+TEST(SandboxPoolTest, SharedContextScrubZeroesLargeExtents) {
+  auto context_result =
+      dandelion::MemoryContext::Create(1 << 20, nullptr, /*shared=*/true);
+  ASSERT_TRUE(context_result.ok());
+  std::unique_ptr<dandelion::MemoryContext> context = std::move(context_result).value();
+  const std::string payload(128 * 1024, 'S');  // > ContextPool::kZeroExtentBytes.
+  ASSERT_TRUE(context->WriteAt(0, payload).ok());
+  context->ScrubForReuse(payload.size());
+  auto view = context->ReadAt(0, payload.size());
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->find_first_not_of('\0'), std::string_view::npos)
+      << "shared context still holds pre-scrub bytes";
+  EXPECT_EQ(context->touched(), 0u);
+}
+
+// End-to-end on the process backend: a pooled invocation whose inputs and
+// outputs exceed the small-extent memset regime must leave no residue in
+// the context the next lease sees.
+TEST(SandboxPoolTest, ProcessBackendScrubsLargePayloadAcrossLeases) {
+  SandboxPool pool(PoolConfig(IsolationBackend::kProcess), nullptr);
+  const dfunc::FunctionSpec spec = EchoSpec();
+  pool.Acquire(spec, PriorityClass::kInteractive);  // Prime the arrival EWMA.
+  pool.Tick(0);
+  pool.Tick(100 * kMicrosPerMilli);
+  ASSERT_GE(pool.Stats().shelved, 1);
+
+  auto warm = pool.Acquire(spec, PriorityClass::kInteractive);
+  ASSERT_NE(warm, nullptr);
+  const std::string secret(128 * 1024, 'S');
+  ASSERT_TRUE(warm->context()
+                  ->StoreInputSets({dfunc::DataSet{"in", {dfunc::DataItem{"", secret}}}})
+                  .ok());
+  const dandelion::ExecOutcome outcome = warm->Execute(dandelion::SandboxOptions{});
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.message();
+  ASSERT_EQ(outcome.outputs[0].items[0].data, secret);
+  pool.Release(std::move(warm));
+
+  auto again = pool.Acquire(spec, PriorityClass::kInteractive);
+  ASSERT_NE(again, nullptr);
+  // Scan well past the previous invocation's extent: everything must read
+  // as zeros — no state crosses instances.
+  auto view = again->context()->ReadAt(0, 256 * 1024);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->find_first_not_of('\0'), std::string_view::npos)
+      << "previous invocation's payload leaked into the next lease";
+  pool.Release(std::move(again));
+  pool.Shutdown();
+}
 
 TEST(SandboxPoolTest, DepthClampsPerFunctionAndGlobally) {
   SandboxPool::Config config = PoolConfig(IsolationBackend::kThread);

@@ -638,6 +638,37 @@ composition Spin(in) => out {
             kRequests / 4);
 }
 
+// With many functions each demanding warm capacity, the trace-sim shelf
+// must honour the node-wide cap the way SandboxPool::Tick honours
+// Config::max_total — otherwise the sim shelves more than the runtime
+// ever could and the fig10 memory comparison loses its meaning.
+TEST(TraceSimTest, PrewarmShelfHonoursGlobalCap) {
+  dtrace::AzureTraceConfig trace_config;
+  trace_config.num_functions = 30;
+  trace_config.duration_minutes = 4;
+  trace_config.seed = 47;
+  const dtrace::Trace trace = dtrace::SynthesizeAzureTrace(trace_config);
+
+  dsim::TraceSimConfig sim_config;
+  sim_config.pool_mode = dsim::TraceSimConfig::PoolMode::kPrewarmPolicy;
+  sim_config.prewarm.min_depth = 2;  // Every function wants 2 warm: 60 demanded.
+  sim_config.prewarm_max_depth = 4;
+  sim_config.prewarm_max_total = 5;  // Node-wide room for only 5.
+  const auto metrics = dsim::SimulateDandelionTrace(sim_config, trace, 2);
+
+  EXPECT_EQ(metrics.completed, trace.TotalInvocations());
+  ASSERT_FALSE(metrics.pool_depth_trace.empty());
+  int peak = 0;
+  for (const auto& [t, depth] : metrics.pool_depth_trace) {
+    peak = std::max(peak, depth);
+    ASSERT_LE(depth, sim_config.prewarm_max_total);
+  }
+  EXPECT_EQ(peak, sim_config.prewarm_max_total);  // Demand saturates the cap.
+  for (const auto& point : metrics.committed_mb.points()) {
+    ASSERT_GE(point.value, -1e-9);
+  }
+}
+
 TEST(TraceSimTest, MemoryNeverNegative) {
   dtrace::AzureTraceConfig trace_config;
   trace_config.num_functions = 30;
