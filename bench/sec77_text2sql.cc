@@ -136,7 +136,7 @@ int main() {
 
   const dfunc::DataSet* answer = dfunc::FindSet(*result, "Answer");
   if (answer != nullptr && !answer->items.empty()) {
-    std::printf("answer:\n%s\n", answer->items.front().data.c_str());
+    std::printf("answer:\n%s\n", answer->items.front().data.ToString().c_str());
   }
   dbench::PrintNote(dbase::StrFormat("LLM share: %.0f%% (paper: 61%%)",
                                      llm_ms / total_ms * 100.0));

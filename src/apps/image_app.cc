@@ -86,7 +86,7 @@ dbase::Result<std::string> RunImageApp(dandelion::Platform& platform, int index)
   if (status == nullptr || status->items.empty()) {
     return dbase::Internal("CompressImage produced no StoreStatus");
   }
-  return status->items.front().data;
+  return status->items.front().data.ToString();
 }
 
 }  // namespace dapps

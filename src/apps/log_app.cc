@@ -113,7 +113,7 @@ dbase::Result<std::string> RunLogApp(dandelion::Platform& platform, const LogApp
   if (html == nullptr || html->items.empty()) {
     return dbase::Internal("RenderLogs produced no HTMLOutput");
   }
-  return html->items.front().data;
+  return html->items.front().data.ToString();
 }
 
 }  // namespace dapps

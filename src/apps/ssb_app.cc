@@ -86,7 +86,7 @@ dbase::Status MakeSsbFetchesFunction(dfunc::FunctionCtx& ctx) {
   for (const auto& item : keys->items) {
     dhttp::HttpRequest request;
     request.method = dhttp::Method::kGet;
-    request.target = std::string(kStoreBase) + "/ssb/" + item.data;
+    request.target = std::string(kStoreBase) + "/ssb/" + item.data.ToString();
     ctx.EmitOutput("HTTPRequests", request.Serialize());
   }
   return dbase::OkStatus();
@@ -191,7 +191,7 @@ dbase::Result<std::string> RunSsbQuery(dandelion::Platform& platform,
   if (result == nullptr || result->items.empty()) {
     return dbase::Internal("SsbQuery produced no QueryResult");
   }
-  return result->items.front().data;
+  return result->items.front().data.ToString();
 }
 
 }  // namespace dapps

@@ -133,7 +133,7 @@ dbase::Result<std::string> RunText2Sql(dandelion::Platform& platform,
   if (answer == nullptr || answer->items.empty()) {
     return dbase::Internal("Text2Sql produced no Answer");
   }
-  return answer->items.front().data;
+  return answer->items.front().data.ToString();
 }
 
 }  // namespace dapps

@@ -1,0 +1,38 @@
+#include "src/base/buffer.h"
+
+#include "src/base/string_util.h"
+
+namespace dbase {
+
+std::shared_ptr<const Buffer> Buffer::FromString(std::string bytes) {
+  return std::shared_ptr<const Buffer>(new Buffer(std::move(bytes)));
+}
+
+std::shared_ptr<const Buffer> Buffer::Copy(std::string_view bytes) {
+  return FromString(std::string(bytes));
+}
+
+std::shared_ptr<const Buffer> Buffer::Wrap(const void* data, size_t size,
+                                           std::shared_ptr<const void> owner) {
+  return std::shared_ptr<const Buffer>(new Buffer(data, size, std::move(owner)));
+}
+
+Result<BufferSlice> BufferSlice::Make(std::shared_ptr<const Buffer> buffer, size_t offset,
+                                      size_t size) {
+  const size_t limit = buffer != nullptr ? buffer->size() : 0;
+  if (offset > limit || size > limit - offset) {
+    return InvalidArgument(
+        StrFormat("slice [%zu, +%zu) exceeds buffer of %zu bytes", offset, size, limit));
+  }
+  return BufferSlice(std::move(buffer), offset, size);
+}
+
+Result<BufferSlice> BufferSlice::Subslice(size_t offset, size_t size) const {
+  if (offset > size_ || size > size_ - offset) {
+    return InvalidArgument(
+        StrFormat("subslice [%zu, +%zu) exceeds slice of %zu bytes", offset, size, size_));
+  }
+  return BufferSlice(buffer_, offset_ + offset, size);
+}
+
+}  // namespace dbase

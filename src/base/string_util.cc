@@ -117,7 +117,9 @@ bool ParseInt64(std::string_view s, int64_t* out) {
     if (magnitude > static_cast<uint64_t>(INT64_MAX) + 1) {
       return false;
     }
-    *out = -static_cast<int64_t>(magnitude);
+    // Negate in unsigned space: -INT64_MIN is not representable, so the
+    // signed negation would be UB for the most-negative value.
+    *out = static_cast<int64_t>(0 - magnitude);
   } else {
     if (magnitude > static_cast<uint64_t>(INT64_MAX)) {
       return false;

@@ -7,6 +7,11 @@ namespace {
 
 constexpr uint32_t kMagic = 0x444C4E31;  // "DLN1"
 
+// Payloads at or below this size are copied into the scatter frame buffer
+// instead of emitted as standalone slices: one small memcpy beats an extra
+// iovec entry (and beats pinning a large backing buffer for a few bytes).
+constexpr size_t kScatterInlineBytes = 1024;
+
 void AppendU32(std::string* out, uint32_t v) {
   char buf[4];
   buf[0] = static_cast<char>(v & 0xff);
@@ -24,6 +29,29 @@ void AppendU64(std::string* out, uint64_t v) {
 void AppendBlob(std::string* out, std::string_view blob) {
   AppendU64(out, blob.size());
   out->append(blob);
+}
+
+// Raw-pointer variants for marshalling straight into a pre-sized region
+// (a memory context) without an intermediate string.
+char* PutU32(char* dst, uint32_t v) {
+  dst[0] = static_cast<char>(v & 0xff);
+  dst[1] = static_cast<char>((v >> 8) & 0xff);
+  dst[2] = static_cast<char>((v >> 16) & 0xff);
+  dst[3] = static_cast<char>((v >> 24) & 0xff);
+  return dst + 4;
+}
+
+char* PutU64(char* dst, uint64_t v) {
+  dst = PutU32(dst, static_cast<uint32_t>(v & 0xffffffff));
+  return PutU32(dst, static_cast<uint32_t>(v >> 32));
+}
+
+char* PutBlob(char* dst, std::string_view blob) {
+  dst = PutU64(dst, blob.size());
+  if (!blob.empty()) {
+    std::memcpy(dst, blob.data(), blob.size());
+  }
+  return dst + blob.size();
 }
 
 class Reader {
@@ -58,6 +86,7 @@ class Reader {
     return blob;
   }
 
+  size_t pos() const { return pos_; }
   bool AtEnd() const { return pos_ == buffer_.size(); }
 
  private:
@@ -65,7 +94,81 @@ class Reader {
   size_t pos_ = 0;
 };
 
+// Shared walk for both unmarshal flavours. `alias` is null for the copying
+// variant; otherwise payloads become sub-slices of it.
+dbase::Result<DataSetList> UnmarshalSetsImpl(std::string_view buffer,
+                                             const dbase::BufferSlice* alias) {
+  auto& stats = DataPlaneStats::Get();
+  Reader reader(buffer);
+  ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
+  if (magic != kMagic) {
+    return dbase::InvalidArgument("bad magic in marshalled set list");
+  }
+  ASSIGN_OR_RETURN(uint32_t set_count, reader.ReadU32());
+  DataSetList sets;
+  sets.reserve(set_count);
+  for (uint32_t s = 0; s < set_count; ++s) {
+    DataSet set;
+    ASSIGN_OR_RETURN(std::string_view name, reader.ReadBlob());
+    set.name = std::string(name);
+    ASSIGN_OR_RETURN(uint32_t item_count, reader.ReadU32());
+    set.items.reserve(item_count);
+    for (uint32_t i = 0; i < item_count; ++i) {
+      DataItem item;
+      ASSIGN_OR_RETURN(std::string_view key, reader.ReadBlob());
+      item.key = std::string(key);
+      ASSIGN_OR_RETURN(std::string_view data, reader.ReadBlob());
+      if (alias != nullptr) {
+        // The blob Reader just returned ends at the current cursor; its
+        // offset within `buffer` is therefore pos() - size. Subslice
+        // re-checks bounds against the backing buffer, so a Reader bug
+        // cannot mint an out-of-range view.
+        ASSIGN_OR_RETURN(dbase::BufferSlice slice,
+                         alias->Subslice(reader.pos() - data.size(), data.size()));
+        stats.bytes_aliased.fetch_add(data.size(), std::memory_order_relaxed);
+        item.data = std::move(slice);
+      } else {
+        stats.bytes_copied.fetch_add(data.size(), std::memory_order_relaxed);
+        item.data = std::string(data);
+      }
+      set.items.push_back(std::move(item));
+    }
+    sets.push_back(std::move(set));
+  }
+  if (!reader.AtEnd()) {
+    return dbase::InvalidArgument("trailing bytes after marshalled set list");
+  }
+  return sets;
+}
+
 }  // namespace
+
+DataPlaneStats& DataPlaneStats::Get() {
+  static DataPlaneStats stats;
+  return stats;
+}
+
+std::string& Payload::MutableString() {
+  if (aliased_) {
+    auto& stats = DataPlaneStats::Get();
+    stats.cow_detaches.fetch_add(1, std::memory_order_relaxed);
+    stats.bytes_copied.fetch_add(slice_.size(), std::memory_order_relaxed);
+    owned_.assign(slice_.view());
+    slice_ = dbase::BufferSlice();
+    aliased_ = false;
+  }
+  return owned_;
+}
+
+const dbase::BufferSlice& Payload::EnsureShared() {
+  if (!aliased_) {
+    DataPlaneStats::Get().payload_promotions.fetch_add(1, std::memory_order_relaxed);
+    slice_ = dbase::BufferSlice(dbase::Buffer::FromString(std::move(owned_)));
+    owned_.clear();
+    aliased_ = true;
+  }
+  return slice_;
+}
 
 uint64_t TotalBytes(const DataSetList& sets) {
   uint64_t total = 0;
@@ -93,51 +196,121 @@ DataSet* FindSet(DataSetList& sets, std::string_view name) {
   return nullptr;
 }
 
+uint64_t MarshalledSize(const DataSetList& sets) {
+  uint64_t total = 8;  // magic + set count
+  for (const auto& set : sets) {
+    total += 8 + set.name.size() + 4;  // name blob + item count
+    for (const auto& item : set.items) {
+      total += 8 + item.key.size() + 8 + item.data.size();
+    }
+  }
+  return total;
+}
+
 std::string MarshalSets(const DataSetList& sets) {
   std::string out;
-  out.reserve(16 + TotalBytes(sets));
+  out.reserve(MarshalledSize(sets));
   AppendU32(&out, kMagic);
   AppendU32(&out, static_cast<uint32_t>(sets.size()));
+  uint64_t payload_bytes = 0;
   for (const auto& set : sets) {
     AppendBlob(&out, set.name);
     AppendU32(&out, static_cast<uint32_t>(set.items.size()));
     for (const auto& item : set.items) {
       AppendBlob(&out, item.key);
-      AppendBlob(&out, item.data);
+      AppendBlob(&out, item.data.view());
+      payload_bytes += item.data.size();
     }
   }
+  DataPlaneStats::Get().bytes_copied.fetch_add(payload_bytes, std::memory_order_relaxed);
   return out;
 }
 
-dbase::Result<DataSetList> UnmarshalSets(std::string_view buffer) {
-  Reader reader(buffer);
-  ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
-  if (magic != kMagic) {
-    return dbase::InvalidArgument("bad magic in marshalled set list");
-  }
-  ASSIGN_OR_RETURN(uint32_t set_count, reader.ReadU32());
-  DataSetList sets;
-  sets.reserve(set_count);
-  for (uint32_t s = 0; s < set_count; ++s) {
-    DataSet set;
-    ASSIGN_OR_RETURN(std::string_view name, reader.ReadBlob());
-    set.name = std::string(name);
-    ASSIGN_OR_RETURN(uint32_t item_count, reader.ReadU32());
-    set.items.reserve(item_count);
-    for (uint32_t i = 0; i < item_count; ++i) {
-      DataItem item;
-      ASSIGN_OR_RETURN(std::string_view key, reader.ReadBlob());
-      ASSIGN_OR_RETURN(std::string_view data, reader.ReadBlob());
-      item.key = std::string(key);
-      item.data = std::string(data);
-      set.items.push_back(std::move(item));
+uint64_t MarshalSetsInto(const DataSetList& sets, char* dst) {
+  char* cursor = dst;
+  cursor = PutU32(cursor, kMagic);
+  cursor = PutU32(cursor, static_cast<uint32_t>(sets.size()));
+  uint64_t payload_bytes = 0;
+  for (const auto& set : sets) {
+    cursor = PutBlob(cursor, set.name);
+    cursor = PutU32(cursor, static_cast<uint32_t>(set.items.size()));
+    for (const auto& item : set.items) {
+      cursor = PutBlob(cursor, item.key);
+      cursor = PutBlob(cursor, item.data.view());
+      payload_bytes += item.data.size();
     }
-    sets.push_back(std::move(set));
   }
-  if (!reader.AtEnd()) {
-    return dbase::InvalidArgument("trailing bytes after marshalled set list");
+  DataPlaneStats::Get().bytes_copied.fetch_add(payload_bytes, std::memory_order_relaxed);
+  return static_cast<uint64_t>(cursor - dst);
+}
+
+dbase::Result<DataSetList> UnmarshalSets(std::string_view buffer) {
+  return UnmarshalSetsImpl(buffer, nullptr);
+}
+
+dbase::Result<DataSetList> UnmarshalSets(const dbase::BufferSlice& buffer) {
+  return UnmarshalSetsImpl(buffer.view(), &buffer);
+}
+
+std::vector<dbase::BufferSlice> MarshalSetsScatter(DataSetList& sets) {
+  auto& stats = DataPlaneStats::Get();
+  // First pass builds all framing (and inlined small payloads) into one
+  // owned frame string, recording where each contiguous frame run ends and
+  // which external slice follows it. The frame string is only wrapped into
+  // an immutable Buffer after it stops growing, so recorded offsets stay
+  // valid across reallocations.
+  struct Chunk {
+    size_t frame_begin = 0;
+    size_t frame_size = 0;        // 0 when this chunk is an external slice
+    dbase::BufferSlice external;  // empty for frame chunks
+  };
+  std::string frame;
+  std::vector<Chunk> chunks;
+  size_t frame_mark = 0;
+  auto flush_frame = [&] {
+    if (frame.size() > frame_mark) {
+      chunks.push_back(Chunk{frame_mark, frame.size() - frame_mark, {}});
+      frame_mark = frame.size();
+    }
+  };
+  uint64_t copied = 0;
+  uint64_t aliased = 0;
+  AppendU32(&frame, kMagic);
+  AppendU32(&frame, static_cast<uint32_t>(sets.size()));
+  for (auto& set : sets) {
+    AppendBlob(&frame, set.name);
+    AppendU32(&frame, static_cast<uint32_t>(set.items.size()));
+    for (auto& item : set.items) {
+      AppendBlob(&frame, item.key);
+      if (item.data.size() <= kScatterInlineBytes) {
+        AppendBlob(&frame, item.data.view());
+        copied += item.data.size();
+      } else {
+        AppendU64(&frame, item.data.size());
+        flush_frame();
+        chunks.push_back(Chunk{0, 0, item.data.EnsureShared()});
+        aliased += item.data.size();
+      }
+    }
   }
-  return sets;
+  flush_frame();
+  stats.bytes_copied.fetch_add(copied, std::memory_order_relaxed);
+  stats.bytes_aliased.fetch_add(aliased, std::memory_order_relaxed);
+
+  auto frame_buffer = dbase::Buffer::FromString(std::move(frame));
+  std::vector<dbase::BufferSlice> out;
+  out.reserve(chunks.size());
+  for (auto& chunk : chunks) {
+    if (chunk.frame_size == 0) {
+      out.push_back(std::move(chunk.external));
+    } else {
+      // In bounds by construction: the offsets were recorded against the
+      // very string the buffer adopted.
+      out.push_back(
+          dbase::BufferSlice::Make(frame_buffer, chunk.frame_begin, chunk.frame_size).value());
+    }
+  }
+  return out;
 }
 
 }  // namespace dfunc

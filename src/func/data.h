@@ -2,23 +2,125 @@
 // *items*. An edge in a composition names one output set of the producer and
 // one input set of the consumer; the `key` distribution keyword groups items
 // by the keys producers attach to them.
+//
+// Item payloads are Payloads, not strings: a payload either owns its bytes
+// or aliases a refcounted dbase::BufferSlice (a frontend request body, a
+// producer's memory-context region). Aliasing is what lets an `each`
+// fan-out of N instances reference one copy of every non-fanout input set;
+// the copy-on-write seam (MutableString) is the escape hatch for code that
+// mutates payloads in place.
 #ifndef SRC_FUNC_DATA_H_
 #define SRC_FUNC_DATA_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "src/base/buffer.h"
 #include "src/base/status.h"
 
 namespace dfunc {
+
+// Process-wide counters for the composition data plane. `copied` counts
+// payload bytes physically memcpy'd at data-plane seams (marshal into a
+// context, copying unmarshal, CoW detach); `aliased` counts payload bytes
+// moved by reference instead (aliasing unmarshal, shared fan-out bindings,
+// scatter-gather response slices). Framing bytes (magic, counts, lengths,
+// keys) are excluded from both so the ratio reflects payload movement.
+struct DataPlaneStats {
+  std::atomic<uint64_t> bytes_copied{0};
+  std::atomic<uint64_t> bytes_aliased{0};
+  // Owned payloads promoted into refcounted buffers (EnsureShared).
+  std::atomic<uint64_t> payload_promotions{0};
+  // Copy-on-write detaches (MutableString on an aliased payload).
+  std::atomic<uint64_t> cow_detaches{0};
+  // Per-binding materializations in BuildInstanceInputs — the fan-out
+  // sharing invariant is one per binding, not one per instance.
+  std::atomic<uint64_t> binding_materializations{0};
+
+  static DataPlaneStats& Get();
+
+  struct Snapshot {
+    uint64_t bytes_copied = 0;
+    uint64_t bytes_aliased = 0;
+    uint64_t payload_promotions = 0;
+    uint64_t cow_detaches = 0;
+    uint64_t binding_materializations = 0;
+  };
+  Snapshot snapshot() const {
+    return Snapshot{bytes_copied.load(std::memory_order_relaxed),
+                    bytes_aliased.load(std::memory_order_relaxed),
+                    payload_promotions.load(std::memory_order_relaxed),
+                    cow_detaches.load(std::memory_order_relaxed),
+                    binding_materializations.load(std::memory_order_relaxed)};
+  }
+};
+
+// An item's payload: either an owned string or an aliased BufferSlice.
+// Reads go through view(); mutation goes through MutableString(), which
+// detaches aliased bytes into an owned copy first (copy-on-write). The
+// inverse seam, EnsureShared(), promotes an owned string into a refcounted
+// buffer without copying, so subsequent Payload copies are refcount bumps.
+class Payload {
+ public:
+  Payload() = default;
+  // Implicit on purpose: DataItem{key, data} aggregate initializers and
+  // the many call sites that build payloads from strings keep working.
+  Payload(std::string bytes) : owned_(std::move(bytes)) {}
+  Payload(std::string_view bytes) : owned_(bytes) {}
+  Payload(const char* bytes) : owned_(bytes) {}
+  Payload(dbase::BufferSlice slice) : slice_(std::move(slice)), aliased_(true) {}
+
+  std::string_view view() const { return aliased_ ? slice_.view() : std::string_view(owned_); }
+  operator std::string_view() const { return view(); }
+  const char* data() const { return view().data(); }
+  size_t size() const { return aliased_ ? slice_.size() : owned_.size(); }
+  bool empty() const { return size() == 0; }
+  bool aliased() const { return aliased_; }
+
+  std::string ToString() const { return std::string(view()); }
+
+  // Copy-on-write seam: an aliased payload detaches into an owned copy
+  // (other slices of the same buffer are unaffected); an owned payload is
+  // returned as is.
+  std::string& MutableString();
+
+  // Promotes an owned payload into a refcounted buffer by *moving* its
+  // storage (no byte copy) and returns the slice; an already-aliased
+  // payload returns its slice unchanged. After this, copying the Payload
+  // shares bytes instead of duplicating them.
+  const dbase::BufferSlice& EnsureShared();
+
+  // The backing slice when aliased; the empty slice otherwise.
+  const dbase::BufferSlice& slice() const { return slice_; }
+
+  friend bool operator==(const Payload& a, const Payload& b) { return a.view() == b.view(); }
+  // Heterogeneous comparison against anything string-like. A template (not
+  // a string_view overload) so that `payload == "literal"` has exactly one
+  // viable candidate — a member taking string_view would tie with the
+  // Payload converting constructor and make every comparison ambiguous.
+  template <typename T>
+    requires(!std::is_same_v<std::remove_cvref_t<T>, Payload> &&
+             std::is_convertible_v<const T&, std::string_view>)
+  friend bool operator==(const Payload& a, const T& b) {
+    return a.view() == std::string_view(b);
+  }
+
+ private:
+  std::string owned_;
+  dbase::BufferSlice slice_;
+  bool aliased_ = false;
+};
 
 struct DataItem {
   // Grouping key; empty unless the producer set one. "Keys are set by the
   // user when formatting output data and are only used for grouping."
   std::string key;
-  std::string data;
+  Payload data;
 
   bool operator==(const DataItem& other) const = default;
 };
@@ -52,7 +154,30 @@ DataSet* FindSet(DataSetList& sets, std::string_view name);
 // Layout: magic, set count, then per set: name, item count, per item: key,
 // payload. All integers little-endian.
 std::string MarshalSets(const DataSetList& sets);
+
+// Exact marshalled size of `sets` — lets callers marshal straight into a
+// destination region (a memory context) without an intermediate string.
+uint64_t MarshalledSize(const DataSetList& sets);
+// Writes the marshalled form into `dst`, which must hold at least
+// MarshalledSize(sets) bytes. Returns the bytes written.
+uint64_t MarshalSetsInto(const DataSetList& sets, char* dst);
+
+// Copying unmarshal: every key and payload is duplicated out of `buffer`.
 dbase::Result<DataSetList> UnmarshalSets(std::string_view buffer);
+// Aliasing unmarshal: item payloads are sub-slices of `buffer` — zero
+// payload copies, and the underlying Buffer stays alive (refcounted) until
+// the last item referencing it is destroyed. Keys and set names are small
+// and still copied.
+dbase::Result<DataSetList> UnmarshalSets(const dbase::BufferSlice& buffer);
+
+// Scatter marshal for gathered (writev) writes: returns the wire format as
+// a chunk sequence instead of one contiguous string. Framing and payloads
+// below a small inline threshold are copied into one owned frame buffer;
+// larger payloads are emitted as slices of their existing backing buffers
+// (owned payloads are promoted via EnsureShared — no byte copy — which is
+// why `sets` is mutable). Concatenating the chunks yields exactly
+// MarshalSets(sets).
+std::vector<dbase::BufferSlice> MarshalSetsScatter(DataSetList& sets);
 
 }  // namespace dfunc
 

@@ -15,10 +15,10 @@ dbase::Result<std::string> FunctionCtx::SingleInput(std::string_view set_name) c
   if (set->items.empty()) {
     return dbase::FailedPrecondition("input set is empty: " + std::string(set_name));
   }
-  return set->items.front().data;
+  return set->items.front().data.ToString();
 }
 
-void FunctionCtx::EmitOutput(std::string_view set_name, std::string data, std::string key) {
+void FunctionCtx::EmitOutput(std::string_view set_name, Payload data, std::string key) {
   DataSet* set = FindSet(outputs_, set_name);
   if (set == nullptr) {
     outputs_.push_back(DataSet{std::string(set_name), {}});
@@ -46,7 +46,7 @@ dvfs::MemFs& FunctionCtx::fs() {
         if (fs_->Exists(path)) {
           path = dvfs::JoinPath(set_dir, dbase::StrFormat("%s_%zu", file_name.c_str(), i));
         }
-        (void)fs_->WriteFile(path, item.data);
+        (void)fs_->WriteFile(path, item.data.ToString());
       }
     }
   }

@@ -31,8 +31,10 @@ class FunctionCtx {
   // Convenience: the first item of a set, or error if the set is empty/absent.
   dbase::Result<std::string> SingleInput(std::string_view set_name) const;
 
-  // Appends an item to the named output set (created on first use).
-  void EmitOutput(std::string_view set_name, std::string data, std::string key = "");
+  // Appends an item to the named output set (created on first use). Takes a
+  // Payload so pass-through outputs (re-emitting an input item) stay
+  // aliased — no copy; plain strings convert implicitly as before.
+  void EmitOutput(std::string_view set_name, Payload data, std::string key = "");
 
   DataSetList& outputs() { return outputs_; }
   const DataSetList& outputs() const { return outputs_; }

@@ -119,6 +119,12 @@ DispatcherStats Dispatcher::Stats() const {
   };
   stats.inflight_interactive = gauge(PriorityClass::kInteractive);
   stats.inflight_batch = gauge(PriorityClass::kBatch);
+  const auto data_plane = dfunc::DataPlaneStats::Get().snapshot();
+  stats.bytes_copied = data_plane.bytes_copied;
+  stats.bytes_aliased = data_plane.bytes_aliased;
+  stats.payload_promotions = data_plane.payload_promotions;
+  stats.cow_detaches = data_plane.cow_detaches;
+  stats.binding_materializations = data_plane.binding_materializations;
   return stats;
 }
 
@@ -265,11 +271,11 @@ std::shared_ptr<Dispatcher::InvocationState> Dispatcher::InvokeGraphAsync(
     // Bind arguments to parameters. A missing argument set becomes an empty
     // set — downstream conditional execution then decides what runs (§4.4).
     for (const auto& param : inv->graph->params()) {
-      const dfunc::DataSet* arg = dfunc::FindSet(args, param);
+      dfunc::DataSet* arg = dfunc::FindSet(args, param);
       dfunc::DataSet set;
       set.name = param;
       if (arg != nullptr) {
-        set.items = arg->items;
+        set.items = std::move(arg->items);  // `args` is ours; no copy.
       }
       inv->values.emplace(param, std::move(set));
     }
@@ -301,13 +307,21 @@ std::shared_ptr<Dispatcher::InvocationState> Dispatcher::InvokeGraphAsync(
 
 namespace {
 
+// Items of one non-fanout binding, materialized once per node start and
+// shared across every instance of the fan-out.
+using SharedItems = std::shared_ptr<const std::vector<dfunc::DataItem>>;
+
 // Builds the input sets for one instance. `fanout_binding` is the index of
 // the each/key binding (or npos), and `fanout_items` the items for this
-// instance of that binding.
+// instance of that binding (consumed). Non-fanout bindings reference the
+// per-binding shared materialization: since every source payload was
+// promoted to a refcounted buffer at node start, the per-instance vector
+// copy is refcount bumps, not byte copies — N instances of an `each`
+// fan-out all read the one underlying region.
 dfunc::DataSetList BuildInstanceInputs(const ddsl::GraphNode& node,
-                                       const std::map<std::string, dfunc::DataSet>& values,
+                                       const std::vector<SharedItems>& shared_items,
                                        size_t fanout_binding,
-                                       const std::vector<dfunc::DataItem>& fanout_items) {
+                                       std::vector<dfunc::DataItem> fanout_items) {
   dfunc::DataSetList inputs;
   inputs.reserve(node.inputs.size());
   for (size_t b = 0; b < node.inputs.size(); ++b) {
@@ -315,9 +329,9 @@ dfunc::DataSetList BuildInstanceInputs(const ddsl::GraphNode& node,
     dfunc::DataSet set;
     set.name = binding.set_name;
     if (b == fanout_binding) {
-      set.items = fanout_items;
+      set.items = std::move(fanout_items);
     } else {
-      set.items = values.at(binding.source_value).items;
+      set.items = *shared_items[b];
     }
     inputs.push_back(std::move(set));
   }
@@ -364,6 +378,34 @@ void Dispatcher::StartNodeLocked(const std::shared_ptr<InvocationState>& inv, si
     }
   }
 
+  // Promote every source item payload to a refcounted buffer before any
+  // instance references it: from here on, copying a DataItem is a refcount
+  // bump, so an N-instance fan-out reads one copy of every input region.
+  for (size_t b = 0; b < node.inputs.size(); ++b) {
+    dfunc::DataSet& source = inv->values.at(node.inputs[b].source_value);
+    for (auto& item : source.items) {
+      (void)item.data.EnsureShared();
+    }
+  }
+
+  // Materialize each non-fanout binding's items exactly once — the sharing
+  // invariant the fanout_sharing bench gates on is one materialization per
+  // binding, not one per instance.
+  auto& data_plane = dfunc::DataPlaneStats::Get();
+  std::vector<SharedItems> shared_items(node.inputs.size());
+  uint64_t shared_payload_bytes = 0;
+  for (size_t b = 0; b < node.inputs.size(); ++b) {
+    if (b == fanout_binding) {
+      continue;
+    }
+    const dfunc::DataSet& source = inv->values.at(node.inputs[b].source_value);
+    shared_items[b] = std::make_shared<const std::vector<dfunc::DataItem>>(source.items);
+    data_plane.binding_materializations.fetch_add(1, std::memory_order_relaxed);
+    for (const auto& item : source.items) {
+      shared_payload_bytes += item.data.size();
+    }
+  }
+
   // Materialize per-instance item groups.
   std::vector<std::vector<dfunc::DataItem>> groups;
   if (fanout_binding == static_cast<size_t>(-1)) {
@@ -387,6 +429,12 @@ void Dispatcher::StartNodeLocked(const std::shared_ptr<InvocationState>& inv, si
       }
     }
   }
+  // Every instance past the first shares the per-binding materializations
+  // by reference instead of duplicating them.
+  if (groups.size() > 1) {
+    data_plane.bytes_aliased.fetch_add(shared_payload_bytes * (groups.size() - 1),
+                                       std::memory_order_relaxed);
+  }
 
   // Build instances, applying the conditional-execution rule per instance.
   struct PendingLaunch {
@@ -397,7 +445,7 @@ void Dispatcher::StartNodeLocked(const std::shared_ptr<InvocationState>& inv, si
   rt.instance_outputs.resize(groups.size());
   for (size_t g = 0; g < groups.size(); ++g) {
     dfunc::DataSetList inputs =
-        BuildInstanceInputs(node, inv->values, fanout_binding, groups[g]);
+        BuildInstanceInputs(node, shared_items, fanout_binding, std::move(groups[g]));
     if (!InstanceShouldRun(node, inputs)) {
       skipped_instances_.fetch_add(1, std::memory_order_relaxed);
       continue;  // Slot stays empty: contributes no output items.
@@ -506,15 +554,49 @@ std::optional<ComputeTask> Dispatcher::BuildComputeTask(
     }
     context = std::move(context_result).value();
   }
-  if (dbase::Status stored = context->StoreInputSets(inputs); !stored.ok()) {
-    if (warm != nullptr) {
-      config_.sandbox_pool->Release(std::move(warm));
-    }
-    FailLocked(inv, stored);
-    return std::nullopt;
-  }
-
   ComputeTask task;
+  if (!config_.shared_contexts) {
+    // In-process backends (thread / kvm-sim / wasm-sim) read inputs by
+    // reference: no marshal into the context, no unmarshal out of it —
+    // aliased payloads reach the function body as refcount bumps. The
+    // capacity bound still applies (outputs must marshal back into the
+    // context), so an under-declared memory requirement fails identically
+    // on both paths.
+    const uint64_t need = dfunc::MarshalledSize(inputs);
+    if (need > context->payload_capacity()) {
+      if (warm != nullptr) {
+        config_.sandbox_pool->Release(std::move(warm));
+      }
+      FailLocked(inv, dbase::ResourceExhausted(dbase::StrFormat(
+                          "inputs (%zu bytes) exceed context capacity (%llu bytes); raise the "
+                          "function's declared memory requirement",
+                          static_cast<size_t>(need),
+                          static_cast<unsigned long long>(context->capacity()))));
+      return std::nullopt;
+    }
+    uint64_t payload_bytes = 0;
+    for (const auto& set : inputs) {
+      for (const auto& item : set.items) {
+        payload_bytes += item.data.size();
+      }
+    }
+    dfunc::DataPlaneStats::Get().bytes_aliased.fetch_add(payload_bytes,
+                                                         std::memory_order_relaxed);
+    task.options.input_sets =
+        std::make_shared<const dfunc::DataSetList>(std::move(inputs));
+  } else {
+    // Address-space-crossing backends (process) must see the inputs through
+    // the MAP_SHARED mapping — marshal them in as before. Pre-forked
+    // template children in particular read the context before any
+    // SandboxOptions exist.
+    if (dbase::Status stored = context->StoreInputSets(inputs); !stored.ok()) {
+      if (warm != nullptr) {
+        config_.sandbox_pool->Release(std::move(warm));
+      }
+      FailLocked(inv, stored);
+      return std::nullopt;
+    }
+  }
   task.spec = spec;
   task.context = context;
   task.control = inv->control;
@@ -577,7 +659,9 @@ void Dispatcher::LaunchCommInstance(const std::shared_ptr<InvocationState>& inv,
   const std::string response_set = spec.response_set;
   for (size_t i = 0; i < items->size(); ++i) {
     CommTask task;
-    task.raw_request = (*items)[i].data;
+    // Each item is consumed exactly once; an aliased payload moves as a
+    // slice handle, never copying the request bytes.
+    task.raw_request = std::move((*items)[i].data);
     task.handler = spec.handler;
     task.control = inv->control;
     task.done = [self, inv, node_index, instance_index, responses, remaining, response_set, i](
@@ -657,10 +741,13 @@ void Dispatcher::MergeNodeLocked(const std::shared_ptr<InvocationState>& inv, si
   for (const auto& out : node.outputs) {
     dfunc::DataSet merged;
     merged.name = out.value;
-    for (const auto& instance : rt.instance_outputs) {
-      const dfunc::DataSet* set = dfunc::FindSet(instance, out.set_name);
+    for (auto& instance : rt.instance_outputs) {
+      dfunc::DataSet* set = dfunc::FindSet(instance, out.set_name);
       if (set != nullptr) {
-        merged.items.insert(merged.items.end(), set->items.begin(), set->items.end());
+        // Instance outputs are cleared right after the merge; move the
+        // items (aliased payloads stay aliased) instead of copying.
+        merged.items.insert(merged.items.end(), std::make_move_iterator(set->items.begin()),
+                            std::make_move_iterator(set->items.end()));
       }
     }
     DeliverValueLocked(inv, out.value, std::move(merged));
@@ -758,7 +845,9 @@ void Dispatcher::MaybeCompleteLocked(const std::shared_ptr<InvocationState>& inv
   dfunc::DataSetList results;
   results.reserve(inv->graph->results().size());
   for (const auto& result : inv->graph->results()) {
-    dfunc::DataSet set = inv->values.at(result);
+    // The invocation is complete: values are never read again, so the
+    // result sets move out instead of copying.
+    dfunc::DataSet set = std::move(inv->values.at(result));
     set.name = result;
     results.push_back(std::move(set));
   }

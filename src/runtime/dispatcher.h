@@ -66,6 +66,14 @@ struct DispatcherStats {
   uint64_t skipped_instances = 0;
   uint64_t inflight_interactive = 0;
   uint64_t inflight_batch = 0;
+  // Composition data plane (process-wide dfunc::DataPlaneStats snapshot):
+  // payload bytes physically copied vs. moved by reference at data-plane
+  // seams, plus the seam-event counters behind them.
+  uint64_t bytes_copied = 0;
+  uint64_t bytes_aliased = 0;
+  uint64_t payload_promotions = 0;
+  uint64_t cow_detaches = 0;
+  uint64_t binding_materializations = 0;
 };
 
 class Dispatcher {

@@ -283,6 +283,9 @@ void WorkerSet::RunComputeTask(ComputeTask task) {
     }
     task.warm.reset();
   } else {
+    // Cold path: the context is this task's own — pin it so the read-back
+    // can alias its region instead of copying outputs out.
+    options.context_keepalive = task.context;
     outcome = sandbox_->Execute(task.spec, *task.context, options);
   }
   compute_done_.fetch_add(1, std::memory_order_relaxed);

@@ -56,7 +56,10 @@ struct ComputeTask {
 // empty); handlers are trusted platform code. A dead invocation's comm
 // task skips the mesh call and modelled latency entirely.
 struct CommTask {
-  std::string raw_request;
+  // A Payload, not a string: the producing function's output item usually
+  // aliases its memory context or the frontend request body, and the comm
+  // engine only ever reads it (string_view into the handler).
+  dfunc::Payload raw_request;
   std::function<CommCallResult(dhttp::ServiceMesh&, std::string_view)> handler;
   std::function<void(dhttp::HttpResponse, dbase::Micros latency_us)> done;
   dbase::Micros enqueue_time_us = 0;

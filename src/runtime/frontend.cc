@@ -6,6 +6,7 @@
 #include <poll.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -77,23 +78,30 @@ bool WantsKeepAlive(const dhttp::HttpRequest& request) {
   return !(connection.has_value() && ConnectionHeaderHasToken(*connection, "close"));
 }
 
-// Serialized wire form of an invocation's response. The success path is
-// built directly — it runs once per invocation on an engine thread, and
-// going through HttpResponse/HeaderList would cost several allocations for
-// a fixed header block.
-std::string InvocationResponseWire(dbase::Result<dfunc::DataSetList> result) {
+// Wire form of an invocation's response as a gather list. The success path
+// never concatenates the payload: the HTTP header is one small owned chunk,
+// and the marshalled sets follow as scatter chunks whose large payloads
+// alias the result items' backing buffers (a producer's context region, or
+// even the original request body for a pass-through composition) all the
+// way into writev.
+WireChunks InvocationResponseWire(dbase::Result<dfunc::DataSetList> result) {
   if (result.ok()) {
-    const std::string payload = dfunc::MarshalSets(result.value());
-    std::string out;
-    out.reserve(96 + payload.size());
-    out.append(
+    dfunc::DataSetList sets = std::move(result).value();
+    const uint64_t payload_len = dfunc::MarshalledSize(sets);
+    std::string head;
+    head.reserve(96);
+    head.append(
         "HTTP/1.1 200 OK\r\n"
         "Content-Type: application/x-dandelion-sets\r\n"
         "Content-Length: ");
-    out.append(std::to_string(payload.size()));
-    out.append("\r\n\r\n");
-    out.append(payload);
-    return out;
+    head.append(std::to_string(payload_len));
+    head.append("\r\n\r\n");
+    WireChunks wire;
+    wire.Append(dbase::BufferSlice(dbase::Buffer::FromString(std::move(head))));
+    for (auto& chunk : dfunc::MarshalSetsScatter(sets)) {
+      wire.Append(std::move(chunk));
+    }
+    return wire;
   }
   int code = 500;
   const char* reason = "Internal Server Error";
@@ -115,7 +123,8 @@ std::string InvocationResponseWire(dbase::Result<dfunc::DataSetList> result) {
     default:
       break;
   }
-  return dhttp::HttpResponse::Make(code, reason, result.status().ToString()).Serialize();
+  return WireChunks::FromString(
+      dhttp::HttpResponse::Make(code, reason, result.status().ToString()).Serialize());
 }
 
 // Minimal JSON string escaping for identifier-ish values.
@@ -560,7 +569,9 @@ void HttpFrontend::DispatchInvoke(const std::weak_ptr<Connection>& weak_conn, co
     auto parsed = PriorityClassFromName(*header);
     if (!parsed.ok()) {
       PostSlotCompletion(weak_conn, slot,
-                         dhttp::HttpResponse::BadRequest(parsed.status().ToString()).Serialize());
+                         WireChunks::FromString(
+                             dhttp::HttpResponse::BadRequest(parsed.status().ToString())
+                                 .Serialize()));
       return;
     }
     priority = *parsed;
@@ -571,7 +582,8 @@ void HttpFrontend::DispatchInvoke(const std::weak_ptr<Connection>& weak_conn, co
     if (!dbase::ParseInt64(*header, &ms) || ms <= 0) {
       PostSlotCompletion(
           weak_conn, slot,
-          dhttp::HttpResponse::BadRequest("invalid X-Dandelion-Deadline-Ms").Serialize());
+          WireChunks::FromString(
+              dhttp::HttpResponse::BadRequest("invalid X-Dandelion-Deadline-Ms").Serialize()));
       return;
     }
     deadline_us = dbase::MonotonicClock::Get()->NowMicros() + ms * dbase::kMicrosPerMilli;
@@ -592,17 +604,23 @@ void HttpFrontend::DispatchInvoke(const std::weak_ptr<Connection>& weak_conn, co
     counters->shed_429.fetch_add(1, std::memory_order_relaxed);
     PostSlotCompletion(
         weak_conn, slot,
-        dhttp::HttpResponse::Make(429, "Too Many Requests",
-                                  "admission control: " +
-                                      std::string(PriorityClassName(priority)) +
-                                      " in-flight cap reached\n")
-            .Serialize());
+        WireChunks::FromString(
+            dhttp::HttpResponse::Make(429, "Too Many Requests",
+                                      "admission control: " +
+                                          std::string(PriorityClassName(priority)) +
+                                          " in-flight cap reached\n")
+                .Serialize()));
     return;
   }
   const auto release_admission = [counters, class_index] {
     counters->inflight[class_index].fetch_sub(1, std::memory_order_relaxed);
   };
 
+  // Zero-copy ingest: the request body moves into a refcounted buffer
+  // (adopting the string's storage, no byte copy) and argument payloads
+  // become slices of it. The buffer stays alive — pinned by the item
+  // refcounts — until the last node consuming those bytes completes.
+  dbase::BufferSlice body(dbase::Buffer::FromString(std::move(request.body)));
   dfunc::DataSetList args;
   if (request.headers.Get("X-Dandelion-Raw").has_value()) {
     // Plain-text convenience: the body becomes the single item of a set
@@ -611,18 +629,23 @@ void HttpFrontend::DispatchInvoke(const std::weak_ptr<Connection>& weak_conn, co
     if (!graph.ok() || graph.value()->params().empty()) {
       release_admission();
       PostSlotCompletion(weak_conn, slot,
-                         dhttp::HttpResponse::NotFound("unknown composition").Serialize());
+                         WireChunks::FromString(
+                             dhttp::HttpResponse::NotFound("unknown composition").Serialize()));
       return;
     }
+    dfunc::DataPlaneStats::Get().bytes_aliased.fetch_add(body.size(),
+                                                         std::memory_order_relaxed);
     args.push_back(dfunc::DataSet{graph.value()->params().front(),
-                                  {dfunc::DataItem{"", std::move(request.body)}}});
+                                  {dfunc::DataItem{"", std::move(body)}}});
   } else {
-    auto unmarshalled = dfunc::UnmarshalSets(request.body);
+    // Aliasing unmarshal: item payloads are sub-slices of the body buffer.
+    auto unmarshalled = dfunc::UnmarshalSets(body);
     if (!unmarshalled.ok()) {
       release_admission();
       PostSlotCompletion(
           weak_conn, slot,
-          dhttp::HttpResponse::BadRequest(unmarshalled.status().ToString()).Serialize());
+          WireChunks::FromString(
+              dhttp::HttpResponse::BadRequest(unmarshalled.status().ToString()).Serialize()));
       return;
     }
     args = std::move(unmarshalled).value();
@@ -650,7 +673,7 @@ void HttpFrontend::DispatchInvoke(const std::weak_ptr<Connection>& weak_conn, co
             result.status().code() == dbase::StatusCode::kDeadlineExceeded) {
           counters->deadline_504.fetch_add(1, std::memory_order_relaxed);
         }
-        std::string bytes = InvocationResponseWire(std::move(result));
+        WireChunks bytes = InvocationResponseWire(std::move(result));
         loop->Post([this, weak_conn, slot, bytes = std::move(bytes)]() mutable {
           ApplySlotCompletion(weak_conn, slot, std::move(bytes));
         });
@@ -671,21 +694,21 @@ void HttpFrontend::DispatchInvoke(const std::weak_ptr<Connection>& weak_conn, co
 }
 
 void HttpFrontend::PostSlotCompletion(const std::weak_ptr<Connection>& weak_conn,
-                                      const SlotPtr& slot, std::string bytes) {
+                                      const SlotPtr& slot, WireChunks bytes) {
   loop_->Post([this, weak_conn, slot, bytes = std::move(bytes)]() mutable {
     ApplySlotCompletion(weak_conn, slot, std::move(bytes));
   });
 }
 
 void HttpFrontend::ApplySlotCompletion(const std::weak_ptr<Connection>& weak_conn,
-                                       const SlotPtr& slot, std::string bytes) {
+                                       const SlotPtr& slot, WireChunks bytes) {
   slot->ready = true;
   slot->bytes = std::move(bytes);
   const ConnectionPtr locked = weak_conn.lock();
   if (locked == nullptr || locked->fd < 0) {
     return;  // Connection died first; the slot was never budget-counted.
   }
-  if (!AccountResponseBytes(locked, slot->bytes.size())) {
+  if (!AccountResponseBytes(locked, slot->bytes.total_bytes)) {
     return;
   }
   if (locked->flush_queued) {
@@ -730,8 +753,8 @@ void HttpFrontend::FinishSlot(const ConnectionPtr& conn, const SlotPtr& slot,
   // whole read buffer, so a burst of inline-handled pipelined requests is
   // answered with one write.
   slot->ready = true;
-  slot->bytes = response.Serialize();
-  AccountResponseBytes(conn, slot->bytes.size());
+  slot->bytes = WireChunks::FromString(response.Serialize());
+  AccountResponseBytes(conn, slot->bytes.total_bytes);
 }
 
 void HttpFrontend::ReleaseDeadInput(const ConnectionPtr& conn) {
@@ -757,11 +780,11 @@ void HttpFrontend::FailConnection(const ConnectionPtr& conn, dhttp::HttpResponse
   }
   auto slot = std::make_shared<Connection::ResponseSlot>();
   slot->ready = true;
-  slot->bytes = response.Serialize();
+  slot->bytes = WireChunks::FromString(response.Serialize());
   conn->pipeline.push_back(slot);
   conn->state = Connection::State::kStopped;
   conn->drain_requested = true;
-  if (!AccountResponseBytes(conn, slot->bytes.size())) {
+  if (!AccountResponseBytes(conn, slot->bytes.total_bytes)) {
     return;  // Budget breach closed the connection outright.
   }
   FlushPipeline(conn);
@@ -769,7 +792,13 @@ void HttpFrontend::FailConnection(const ConnectionPtr& conn, dhttp::HttpResponse
 
 void HttpFrontend::FlushPipeline(const ConnectionPtr& conn) {
   while (!conn->pipeline.empty() && conn->pipeline.front()->ready) {
-    conn->out.append(conn->pipeline.front()->bytes);
+    WireChunks& wire = conn->pipeline.front()->bytes;
+    for (auto& chunk : wire.chunks) {
+      if (!chunk.empty()) {
+        conn->out.push_back(std::move(chunk));
+      }
+    }
+    conn->out_pending += wire.total_bytes;
     conn->pipeline.pop_front();
   }
   TryWrite(conn);
@@ -777,11 +806,39 @@ void HttpFrontend::FlushPipeline(const ConnectionPtr& conn) {
 
 void HttpFrontend::TryWrite(const ConnectionPtr& conn) {
   while (conn->HasPendingOut()) {
-    const ssize_t n = write(conn->fd, conn->out.data() + conn->out_offset,
-                            conn->out.size() - conn->out_offset);
+    // Gather the queued chunks into one writev: header, framing, and
+    // payload slices go to the kernel without ever being concatenated.
+    constexpr size_t kMaxIov = 64;
+    iovec iov[kMaxIov];
+    size_t iov_count = 0;
+    size_t skip = conn->out_offset;  // Partial-write cursor into the front chunk.
+    for (const dbase::BufferSlice& chunk : conn->out) {
+      if (iov_count == kMaxIov) {
+        break;
+      }
+      iov[iov_count].iov_base = const_cast<char*>(chunk.data() + skip);
+      iov[iov_count].iov_len = chunk.size() - skip;
+      skip = 0;
+      ++iov_count;
+    }
+    const ssize_t n = writev(conn->fd, iov, static_cast<int>(iov_count));
     if (n > 0) {
-      conn->out_offset += static_cast<size_t>(n);
+      conn->out_pending -= static_cast<size_t>(n);
       total_response_bytes_ -= static_cast<size_t>(n);
+      // Advance the cursor: drop fully-sent chunks, move the offset within
+      // the first partially-sent one.
+      size_t advanced = static_cast<size_t>(n);
+      while (advanced > 0) {
+        const size_t front_remaining = conn->out.front().size() - conn->out_offset;
+        if (advanced >= front_remaining) {
+          advanced -= front_remaining;
+          conn->out.pop_front();
+          conn->out_offset = 0;
+        } else {
+          conn->out_offset += advanced;
+          advanced = 0;
+        }
+      }
       // Write progress counts as liveness for the idle timer: a client
       // consuming a large response slowly is slow, not stalled.
       conn->last_activity = dbase::MonotonicClock::Get()->NowMicros();
@@ -795,10 +852,6 @@ void HttpFrontend::TryWrite(const ConnectionPtr& conn) {
     }
     CloseConnection(conn);  // Hard error: the peer is gone.
     return;
-  }
-  if (!conn->HasPendingOut()) {
-    conn->out.clear();
-    conn->out_offset = 0;
   }
   if (!conn->HasPendingOut() && conn->pipeline.empty() &&
       conn->state == Connection::State::kStopped) {
@@ -934,12 +987,12 @@ void HttpFrontend::CloseConnection(const ConnectionPtr& conn) {
   total_buffered_bytes_ -= conn->in.size();
   conn->in.clear();
   // Release this connection's share of the response budget: the unsent
-  // `out` tail plus every completed slot (not-yet-completed slots were
+  // chunk tail plus every completed slot (not-yet-completed slots were
   // never counted, and their completions see the dead connection).
-  total_response_bytes_ -= conn->out.size() - conn->out_offset;
+  total_response_bytes_ -= conn->out_pending;
   for (const SlotPtr& slot : conn->pipeline) {
     if (slot->ready) {
-      total_response_bytes_ -= slot->bytes.size();
+      total_response_bytes_ -= slot->bytes.total_bytes;
     }
   }
   loop_->CancelTimer(conn->idle_timer);
@@ -1007,6 +1060,13 @@ std::string HttpFrontend::StatzJson() const {
       u(counters_->shed_429.load(std::memory_order_relaxed)),
       u(counters_->deadline_504.load(std::memory_order_relaxed)),
       u(counters_->disconnect_cancelled.load(std::memory_order_relaxed)));
+  json += "},\"data_plane\":{";
+  json += dbase::StrFormat(
+      "\"bytes_copied\":%llu,\"bytes_aliased\":%llu,\"payload_promotions\":%llu,"
+      "\"cow_detaches\":%llu,\"binding_materializations\":%llu",
+      u(dispatcher.bytes_copied), u(dispatcher.bytes_aliased),
+      u(dispatcher.payload_promotions), u(dispatcher.cow_detaches),
+      u(dispatcher.binding_materializations));
   json += "},\"control_plane\":{";
   if (ControlPlane* control = platform_->control_plane(); control != nullptr) {
     const ControlPlane::Summary summary = control->GetSummary();

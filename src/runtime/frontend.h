@@ -38,6 +38,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/base/buffer.h"
 #include "src/base/clock.h"
 #include "src/base/event_loop.h"
 #include "src/base/status.h"
@@ -93,6 +94,25 @@ struct FrontendConfig {
   int dispatch_threads = -1;
 };
 
+// A response as an ordered chunk sequence for gathered (writev) output:
+// framing/header chunks own their bytes via refcounted buffers, large
+// payload chunks alias the marshalled set slices directly — the frontend
+// never concatenates a big response into one contiguous string.
+struct WireChunks {
+  std::vector<dbase::BufferSlice> chunks;
+  size_t total_bytes = 0;
+
+  void Append(dbase::BufferSlice chunk) {
+    total_bytes += chunk.size();
+    chunks.push_back(std::move(chunk));
+  }
+  static WireChunks FromString(std::string bytes) {
+    WireChunks wire;
+    wire.Append(dbase::BufferSlice(dbase::Buffer::FromString(std::move(bytes))));
+    return wire;
+  }
+};
+
 class HttpFrontend {
  public:
   explicit HttpFrontend(Platform* platform, FrontendConfig config);
@@ -125,17 +145,19 @@ class HttpFrontend {
     };
     State state = State::kReading;
     std::string in;   // Received, not-yet-consumed bytes.
-    // Serialized responses awaiting write; [out_offset, out.size()) is the
-    // unsent tail (a cursor, so partial writes of a large response don't
-    // memmove the remainder quadratically).
-    std::string out;
+    // Response chunks awaiting write, gathered with writev. out_offset is
+    // the cursor into the front chunk (partial writes advance it without
+    // memmoving anything); out_pending is the total unsent byte count
+    // across all chunks (the budget-accounting quantity).
+    std::deque<dbase::BufferSlice> out;
     size_t out_offset = 0;
-    bool HasPendingOut() const { return out_offset < out.size(); }
+    size_t out_pending = 0;
+    bool HasPendingOut() const { return out_pending > 0; }
     // One slot per accepted request, in arrival order; a slot's response
     // may complete out of order but is written only at the queue head.
     struct ResponseSlot {
       bool ready = false;
-      std::string bytes;
+      WireChunks bytes;
       // Invocation attached to this slot, if any. `mu` orders the dispatch
       // thread's handle store against the loop thread's close-time cancel:
       // whichever runs second sees the other's write, so a connection that
@@ -189,12 +211,12 @@ class HttpFrontend {
   // dispatch-pool threads (drained before the frontend dies); engine-side
   // callers that may outlive Stop() capture loop_ themselves instead.
   void PostSlotCompletion(const std::weak_ptr<Connection>& weak_conn, const SlotPtr& slot,
-                          std::string bytes);
+                          WireChunks bytes);
   // Loop-thread half of a completion: marks the slot ready and queues the
   // connection for a deferred flush, so a burst of completions costs one
   // write() per connection instead of one per response.
   void ApplySlotCompletion(const std::weak_ptr<Connection>& weak_conn, const SlotPtr& slot,
-                           std::string bytes);
+                           WireChunks bytes);
   void FlushDirtyConnections();
   // Queues an error response for a request whose body was never consumed,
   // then transitions to respond → SHUT_WR → bounded drain → close, so a

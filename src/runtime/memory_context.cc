@@ -231,18 +231,23 @@ void MemoryContext::WriteHeader(const ContextHeader& header) {
 }
 
 dbase::Status MemoryContext::StoreInputSets(const dfunc::DataSetList& inputs) {
-  const std::string payload = dfunc::MarshalSets(inputs);
-  if (payload.size() > capacity_ - kHeaderSize) {
+  const uint64_t payload_len = dfunc::MarshalledSize(inputs);
+  if (payload_len > capacity_ - kHeaderSize) {
     return dbase::ResourceExhausted(
         dbase::StrFormat("inputs (%zu bytes) exceed context capacity (%llu bytes); raise the "
                          "function's declared memory requirement",
-                         payload.size(), static_cast<unsigned long long>(capacity_)));
+                         static_cast<size_t>(payload_len),
+                         static_cast<unsigned long long>(capacity_)));
   }
   ContextHeader header;
   header.state = ContextHeader::kStatePending;
-  header.payload_len = payload.size();
+  header.payload_len = payload_len;
   WriteHeader(header);
-  return WriteAt(kHeaderSize, payload);
+  // Marshal straight into the region — no intermediate string of the full
+  // input size. MarshalledSize was checked against capacity above.
+  dfunc::MarshalSetsInto(inputs, data_ + kHeaderSize);
+  touched_ = std::max(touched_, kHeaderSize + payload_len);
+  return dbase::OkStatus();
 }
 
 dbase::Result<dfunc::DataSetList> MemoryContext::LoadInputSets() const {
@@ -256,13 +261,7 @@ dbase::Result<dfunc::DataSetList> MemoryContext::LoadInputSets() const {
 
 dbase::Status MemoryContext::StoreOutcome(const dbase::Status& status,
                                           const dfunc::DataSetList& outputs) {
-  std::string payload;
-  if (status.ok()) {
-    payload = dfunc::MarshalSets(outputs);
-  } else {
-    payload = status.message();
-  }
-  if (payload.size() > capacity_ - kHeaderSize) {
+  const auto report_overflow = [&]() -> dbase::Status {
     // Outputs do not fit: report resource exhaustion instead.
     ContextHeader header;
     header.state = static_cast<int32_t>(dbase::StatusCode::kResourceExhausted);
@@ -270,12 +269,49 @@ dbase::Status MemoryContext::StoreOutcome(const dbase::Status& status,
     header.payload_len = std::strlen(msg);
     WriteHeader(header);
     return WriteAt(kHeaderSize, msg);
+  };
+  if (!status.ok()) {
+    const std::string& payload = status.message();
+    if (payload.size() > capacity_ - kHeaderSize) {
+      return report_overflow();
+    }
+    ContextHeader header;
+    header.state = static_cast<int32_t>(status.code());
+    header.payload_len = payload.size();
+    WriteHeader(header);
+    return WriteAt(kHeaderSize, payload);
+  }
+  const uint64_t payload_len = dfunc::MarshalledSize(outputs);
+  if (payload_len > capacity_ - kHeaderSize) {
+    return report_overflow();
+  }
+  // Direct marshal is only safe when no output payload aliases this very
+  // region (a pass-through of an aliased input would be memcpy'd over
+  // itself mid-read). Self-aliasing cannot happen today — LoadInputSets
+  // copies — but the guard keeps the invariant local instead of relying on
+  // a distant caller's behaviour.
+  bool self_alias = false;
+  for (const auto& set : outputs) {
+    for (const auto& item : set.items) {
+      if (!item.data.empty() && Contains(item.data.data())) {
+        self_alias = true;
+        break;
+      }
+    }
+    if (self_alias) break;
   }
   ContextHeader header;
-  header.state = static_cast<int32_t>(status.code());
-  header.payload_len = payload.size();
+  header.state = static_cast<int32_t>(dbase::StatusCode::kOk);
+  header.payload_len = payload_len;
+  if (self_alias) {
+    const std::string payload = dfunc::MarshalSets(outputs);
+    WriteHeader(header);
+    return WriteAt(kHeaderSize, payload);
+  }
   WriteHeader(header);
-  return WriteAt(kHeaderSize, payload);
+  dfunc::MarshalSetsInto(outputs, data_ + kHeaderSize);
+  touched_ = std::max(touched_, kHeaderSize + payload_len);
+  return dbase::OkStatus();
 }
 
 dbase::Result<dfunc::DataSetList> MemoryContext::LoadOutputSets() const {
@@ -292,6 +328,28 @@ dbase::Result<dfunc::DataSetList> MemoryContext::LoadOutputSets() const {
     return dbase::Status(code, std::string(payload));
   }
   return dfunc::UnmarshalSets(payload);
+}
+
+dbase::Result<dfunc::DataSetList> MemoryContext::LoadOutputSetsAliased(
+    std::shared_ptr<const void> keepalive) const {
+  const ContextHeader header = ReadHeader();
+  if (keepalive == nullptr || header.magic != ContextHeader::kMagic ||
+      header.payload_len < kAliasReadbackMinBytes) {
+    // Small outputs (or error outcomes) are cheaper to copy than to pin a
+    // whole context's committed pages for; corrupt headers take the copying
+    // path's error handling.
+    return LoadOutputSets();
+  }
+  if (header.state == ContextHeader::kStatePending) {
+    return dbase::Internal("function did not produce an outcome (state still pending)");
+  }
+  ASSIGN_OR_RETURN(std::string_view payload, ReadAt(kHeaderSize, header.payload_len));
+  const auto code = static_cast<dbase::StatusCode>(header.state);
+  if (code != dbase::StatusCode::kOk) {
+    return dbase::Status(code, std::string(payload));
+  }
+  auto buffer = dbase::Buffer::Wrap(payload.data(), payload.size(), std::move(keepalive));
+  return dfunc::UnmarshalSets(dbase::BufferSlice(std::move(buffer)));
 }
 
 }  // namespace dandelion

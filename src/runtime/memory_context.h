@@ -140,12 +140,24 @@ class MemoryContext {
   MemoryContext& operator=(const MemoryContext&) = delete;
 
   uint64_t capacity() const { return capacity_; }
+  // Payload bytes the header+payload protocol can hold. By-reference input
+  // handoff still enforces this bound (outputs must marshal back into the
+  // context), so under-declared memory fails identically on both paths.
+  uint64_t payload_capacity() const { return capacity_ - kHeaderSize; }
   char* data() { return data_; }
   const char* data() const { return data_; }
   bool shared() const { return shared_; }
 
   dbase::Status WriteAt(uint64_t offset, std::string_view bytes);
   dbase::Result<std::string_view> ReadAt(uint64_t offset, uint64_t size) const;
+
+  // Whether `ptr` points into this context's region — the self-alias guard
+  // for direct marshalling (an output slice of this very context must not
+  // be memcpy'd over itself).
+  bool Contains(const void* ptr) const {
+    const char* p = static_cast<const char*>(ptr);
+    return p >= data_ && p < data_ + capacity_;
+  }
 
   // Copies a range from another context ("methods to transfer data to other
   // contexts", §5). Ranges must be in bounds on both sides.
@@ -161,6 +173,18 @@ class MemoryContext {
   // Reads the header+payload the function left behind. Non-OK state becomes
   // that error Status.
   dbase::Result<dfunc::DataSetList> LoadOutputSets() const;
+
+  // Zero-copy variant: output item payloads become slices aliasing this
+  // context's memory, with `keepalive` (the owning shared_ptr of this
+  // context) held until the last slice dies — so the region is not scrubbed
+  // or recycled while downstream nodes still read it. Payloads below
+  // kAliasReadbackMinBytes fall back to the copying path: pinning a whole
+  // context for a few bytes would hold its committed pages hostage.
+  dbase::Result<dfunc::DataSetList> LoadOutputSetsAliased(
+      std::shared_ptr<const void> keepalive) const;
+
+  // Minimum marshalled-output size worth aliasing on read-back.
+  static constexpr uint64_t kAliasReadbackMinBytes = 64 * 1024;
 
   // Raw header access, used by sandbox children.
   ContextHeader ReadHeader() const;

@@ -218,7 +218,8 @@ class ThreadSandbox : public SandboxExecutor {
     std::atomic<bool> cancel{false};
     const uint64_t ticket = DeadlineWatchdog::Get()->Arm(
         dbase::MonotonicClock::Get()->NowMicros() + timeout, &cancel);
-    (void)RunFunctionBodyAgainstContext(spec, context, &cancel, options.cancel_flag);
+    (void)RunFunctionBodyAgainstContext(spec, context, &cancel, options.cancel_flag,
+                                        options.input_sets.get());
     DeadlineWatchdog::Get()->Disarm(ticket);
     const bool externally_cancelled =
         options.cancel_flag != nullptr && options.cancel_flag->load(std::memory_order_relaxed);
@@ -243,7 +244,11 @@ class ThreadSandbox : public SandboxExecutor {
           dbase::StrFormat("function '%s' exceeded %lld us timeout", spec.name.c_str(),
                            static_cast<long long>(timeout)));
     } else {
-      auto outputs = context.LoadOutputSets();
+      // Zero-copy read-back when the caller pins the context; the copying
+      // path otherwise (warm sandboxes recycle the context right after).
+      auto outputs = options.context_keepalive != nullptr
+                         ? context.LoadOutputSetsAliased(options.context_keepalive)
+                         : context.LoadOutputSets();
       if (outputs.ok()) {
         outcome.outputs = std::move(outputs).value();
         outcome.status = dbase::OkStatus();
@@ -350,7 +355,11 @@ class ProcessSandbox : public SandboxExecutor {
       outcome.status =
           dbase::Internal(dbase::StrFormat("function '%s' exited abnormally", spec.name.c_str()));
     } else {
-      auto outputs = context.LoadOutputSets();
+      // The child wrote through the MAP_SHARED mapping; the parent-side
+      // read-back can still alias it when the caller pins the context.
+      auto outputs = options.context_keepalive != nullptr
+                         ? context.LoadOutputSetsAliased(options.context_keepalive)
+                         : context.LoadOutputSets();
       if (outputs.ok()) {
         outcome.outputs = std::move(outputs).value();
         outcome.status = dbase::OkStatus();
@@ -378,13 +387,22 @@ dbase::Micros ModeledLoadCostUs(const BackendCostModel& costs, uint64_t binary_b
 dbase::Status RunFunctionBodyAgainstContext(const dfunc::FunctionSpec& spec,
                                             MemoryContext& context,
                                             const std::atomic<bool>* timeout_flag,
-                                            const std::atomic<bool>* invocation_cancel) {
-  auto inputs = context.LoadInputSets();
-  if (!inputs.ok()) {
-    (void)context.StoreOutcome(inputs.status(), {});
-    return inputs.status();
+                                            const std::atomic<bool>* invocation_cancel,
+                                            const dfunc::DataSetList* preloaded_inputs) {
+  dfunc::DataSetList input_sets;
+  if (preloaded_inputs != nullptr) {
+    // By-reference handoff: copying the list is refcount bumps for aliased
+    // payloads, not byte copies.
+    input_sets = *preloaded_inputs;
+  } else {
+    auto inputs = context.LoadInputSets();
+    if (!inputs.ok()) {
+      (void)context.StoreOutcome(inputs.status(), {});
+      return inputs.status();
+    }
+    input_sets = std::move(inputs).value();
   }
-  dfunc::FunctionCtx ctx(std::move(inputs).value());
+  dfunc::FunctionCtx ctx(std::move(input_sets));
   ctx.set_cancel_flag(timeout_flag);
   ctx.set_invocation_cancel_flag(invocation_cancel);
   dbase::Status status = spec.body(ctx);

@@ -71,6 +71,18 @@ struct SandboxOptions {
   // loaded and the sandbox already instantiated, so the executor skips the
   // load/setup cost models and reports the execution as a pool hit.
   bool prewarmed = false;
+  // By-reference input handoff for in-process backends: when set, the
+  // function body reads these sets directly (refcount bumps for aliased
+  // payloads) and StoreInputSets is skipped entirely. Address-space-crossing
+  // backends (process) ignore this — their children can only see the
+  // marshalled context mapping.
+  std::shared_ptr<const dfunc::DataSetList> input_sets;
+  // When set, in-process backends read outputs back zero-copy: payloads
+  // alias the context region and this keepalive (the owning shared_ptr of
+  // the context) pins it until the last downstream reader drops its slice.
+  // Null ⇒ copying read-back (warm sandboxes whose context is recycled
+  // immediately after Execute).
+  std::shared_ptr<const void> context_keepalive;
 };
 
 // Injected cost model per backend. Values are derived from Table 1 /
@@ -118,11 +130,14 @@ dbase::Micros ModeledLoadCostUs(const BackendCostModel& costs, uint64_t binary_b
 // thread-flavoured backends, the forked child of the process backend, and
 // the sandbox pool's pre-forked template children. `timeout_flag` is the
 // per-execution deadline flag and `invocation_cancel` the invocation-wide
-// kill switch (either may be null).
+// kill switch (either may be null). `preloaded_inputs`, when non-null,
+// bypasses LoadInputSets: the body consumes these sets directly (aliased
+// payloads stay refcount bumps) — the in-process zero-copy input path.
 dbase::Status RunFunctionBodyAgainstContext(const dfunc::FunctionSpec& spec,
                                             MemoryContext& context,
                                             const std::atomic<bool>* timeout_flag,
-                                            const std::atomic<bool>* invocation_cancel);
+                                            const std::atomic<bool>* invocation_cancel,
+                                            const dfunc::DataSetList* preloaded_inputs = nullptr);
 
 }  // namespace dandelion
 

@@ -115,7 +115,7 @@ std::string FirstItem(const dhttp::HttpResponse& response) {
   if (!sets.ok() || sets->empty() || (*sets)[0].items.empty()) {
     return "<unmarshal failed>";
   }
-  return (*sets)[0].items[0].data;
+  return (*sets)[0].items[0].data.ToString();
 }
 
 // A compute function that holds an engine worker for a while before

@@ -75,8 +75,8 @@ TEST_P(MarshalPropertyTest, RandomRoundTrip) {
         item.key = "key" + std::to_string(rng.NextBounded(10));
       }
       const size_t len = rng.NextBounded(2000);
-      item.data.resize(len);
-      for (auto& c : item.data) {
+      item.data.MutableString().resize(len);
+      for (auto& c : item.data.MutableString()) {
         c = static_cast<char>(rng.NextBounded(256));
       }
       set.items.push_back(std::move(item));

@@ -279,7 +279,10 @@ TEST(SandboxTest, ProcessIsolationSurvivesCrash) {
   dfunc::FunctionSpec spec;
   spec.name = "crasher";
   spec.body = [](dfunc::FunctionCtx&) -> dbase::Status {
-    raise(SIGSEGV);  // Simulated wild write: only the child dies.
+    // Simulated wild write: only the child dies. SIGKILL rather than
+    // SIGSEGV so sanitizer builds exercise the same die-by-signal path
+    // (ASan's SEGV handler would turn the crash into a clean exit).
+    raise(SIGKILL);
     return dbase::OkStatus();
   };
   auto ctx = MemoryContext::Create(1 << 20, nullptr, /*shared=*/true);
