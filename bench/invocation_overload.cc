@@ -31,6 +31,7 @@
 #include "src/benchutil/table.h"
 #include "src/func/builtins.h"
 #include "src/http/http_parser.h"
+#include "src/runtime/fault.h"
 #include "src/runtime/frontend.h"
 #include "src/runtime/platform.h"
 
@@ -320,6 +321,32 @@ composition SlowWork(in) => out { slowwork(in = all in) => (out = out); }
       RunClientFleet(frontend.port(), impossible_wire, kInteractiveConns,
                      std::max(1, per_conn / 10));
 
+  // Phase 4 — chaos: 1% of compute launches synthesize a sandbox-level
+  // failure (kResourceExhausted via the fault injector). The dispatcher's
+  // retry policy must absorb every injected fault within its budget — no
+  // crash-kind failure may escape to the client as a 5xx — and the
+  // interactive p99 must stay within 2× of the no-fault baseline.
+  const dandelion::DispatcherStats before_chaos = platform.dispatcher_stats();
+  dandelion::FaultInjector::Get().Arm(
+      dandelion::FaultPoint::kTransientResourceExhausted,
+      dandelion::FaultPlan{.every_n = 100});
+  const ClientStats chaos =
+      RunClientFleet(frontend.port(), interactive_wire, kInteractiveConns, per_conn);
+  // Count injected faults from the injector itself: the dispatcher's
+  // sandbox_failures delta can be polluted by phase-3 deadline-kill
+  // outcomes that land asynchronously after before_chaos was captured.
+  uint64_t chaos_faults = 0;
+  for (const auto& snap : dandelion::FaultInjector::Get().Snapshot()) {
+    if (snap.point == dandelion::FaultPoint::kTransientResourceExhausted) {
+      chaos_faults = snap.fired;
+    }
+  }
+  dandelion::FaultInjector::Get().Reset();
+  const dandelion::DispatcherStats after_chaos = platform.dispatcher_stats();
+  const dbase::Micros chaos_p99 = Percentile(chaos.latencies_us, 99);
+  const uint64_t chaos_retries =
+      after_chaos.retries_attempted - before_chaos.retries_attempted;
+
   dbench::Table table({"phase", "class", "requests", "200", "429", "504", "other",
                        "p50_ms", "p99_ms"});
   const auto row = [&table](const char* phase, const char* klass, const ClientStats& s) {
@@ -335,6 +362,7 @@ composition SlowWork(in) => out { slowwork(in = all in) => (out = out); }
   row("overload", "interactive", contended_interactive);
   row("overload", "batch", contended_batch);
   row("impossible-deadline", "interactive", impossible);
+  row("chaos-1pct-faults", "interactive", chaos);
   table.Print();
 
   // Surface the new dispatcher lifecycle counters in the bench JSON, so
@@ -353,6 +381,12 @@ composition SlowWork(in) => out { slowwork(in = all in) => (out = out); }
   counter("inflight_batch", dispatcher.inflight_batch);
   counter("compute_instances", dispatcher.compute_instances);
   counter("engine_compute_aborted", engine.compute_aborted);
+  counter("sandbox_failures", dispatcher.sandbox_failures);
+  counter("retries_attempted", dispatcher.retries_attempted);
+  counter("retries_denied", dispatcher.retries_denied);
+  counter("breaker_fast_fails", dispatcher.breaker_fast_fails);
+  counter("chaos_injected_faults", chaos_faults);
+  counter("chaos_retries", chaos_retries);
   counters.Print();
 
   const double p99_ratio =
@@ -382,9 +416,32 @@ composition SlowWork(in) => out { slowwork(in = all in) => (out = out); }
       static_cast<unsigned long long>(impossible_total), deadline_ok ? "PASS" : "FAIL",
       dbase::MicrosToMillis(base_p50), dbase::MicrosToMillis(load_p50)));
 
+  // Chaos gates: the p99 must not fall off a cliff under a 1% fault rate,
+  // and every injected fault must be absorbed by the retry budget (every
+  // chaos response is a 200 — a single transient can never exhaust the
+  // interactive budget, so any 5xx here is a retry-path bug).
+  const double chaos_ratio =
+      base_p99 > 0 ? static_cast<double>(chaos_p99) / static_cast<double>(base_p99) : 0.0;
+  const bool chaos_latency_ok = chaos_ratio > 0 && chaos_ratio <= 2.0;
+  const uint64_t chaos_total = chaos.ok200 + chaos.shed429 + chaos.deadline504 +
+                               chaos.other + chaos.transport_errors;
+  const bool chaos_contained_ok =
+      chaos_total > 0 && chaos.ok200 == chaos_total && chaos_faults > 0 &&
+      chaos_retries >= chaos_faults;
+  dbench::PrintNote(dbase::StrFormat(
+      "chaos (1%% injected sandbox faults): %llu faults absorbed by %llu retries, "
+      "%llu/%llu responses 200, p99 %.2f ms (%.2fx of no-fault; gate <= 2x): %s",
+      static_cast<unsigned long long>(chaos_faults),
+      static_cast<unsigned long long>(chaos_retries),
+      static_cast<unsigned long long>(chaos.ok200),
+      static_cast<unsigned long long>(chaos_total), dbase::MicrosToMillis(chaos_p99),
+      chaos_ratio, (chaos_latency_ok && chaos_contained_ok) ? "PASS" : "FAIL"));
+
   if (const char* strict = std::getenv("DANDELION_OVERLOAD_BENCH_STRICT");
       strict != nullptr && strict[0] == '1') {
-    return (latency_ok && shed_ok && deadline_ok) ? 0 : 1;
+    return (latency_ok && shed_ok && deadline_ok && chaos_latency_ok && chaos_contained_ok)
+               ? 0
+               : 1;
   }
   return 0;
 }

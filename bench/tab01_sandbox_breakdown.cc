@@ -12,6 +12,7 @@
 #include "src/base/stats.h"
 #include "src/benchutil/table.h"
 #include "src/func/builtins.h"
+#include "src/runtime/jail.h"
 #include "src/runtime/memory_context.h"
 #include "src/runtime/sandbox.h"
 
@@ -118,5 +119,38 @@ int main() {
 
   dbench::PrintNote("expected ordering on any host: cheri < rwasm < process < kvm; the process"
                     " row's 'create sandbox' is a real fork()+wait on this machine");
+
+  // Syscall-jail overhead on the process backend: identical fork()+wait
+  // runs with the seccomp-BPF filter installed in the child vs bypassed.
+  // The delta is the prctl(NO_NEW_PRIVS) + filter-load cost on the cold
+  // path — the price of SECCOMP_RET_KILL_PROCESS containment per launch.
+  dbench::PrintHeader("Table 1 addendum: seccomp jail cost, process backend [us]");
+  const bool jail_available = dandelion::SandboxCapabilities::Get().seccomp_filter;
+  dbench::Table jail_table({"row", "jail on", "jail off", "delta"});
+  if (jail_available) {
+    const bool was_enabled = dandelion::SyscallJailEnabled();
+    dandelion::SetSyscallJailEnabled(true);
+    (void)MeasureBackend(dandelion::IsolationBackend::kProcess, kWarmup);
+    const Breakdown jailed = MeasureBackend(dandelion::IsolationBackend::kProcess, kIterations);
+    dandelion::SetSyscallJailEnabled(false);
+    (void)MeasureBackend(dandelion::IsolationBackend::kProcess, kWarmup);
+    const Breakdown open = MeasureBackend(dandelion::IsolationBackend::kProcess, kIterations);
+    dandelion::SetSyscallJailEnabled(was_enabled);
+    auto jail_row = [&](const char* name, double Breakdown::* field) {
+      jail_table.AddRow({name, dbench::Table::Num(jailed.*field, 1),
+                         dbench::Table::Num(open.*field, 1),
+                         dbench::Table::Num(jailed.*field - open.*field, 1)});
+    };
+    jail_row("Create sandbox", &Breakdown::setup_us);
+    jail_row("Execute function", &Breakdown::execute_us);
+    jail_row("Total (measured here)", &Breakdown::total_us);
+  } else {
+    jail_table.AddRow({"Total (measured here)", "-", "-", "-"});
+  }
+  jail_table.Print();
+  dbench::PrintNote(jail_available
+                        ? "jail on = seccomp-BPF allowlist installed post-fork in the child"
+                        : "seccomp filters unavailable on this kernel: " +
+                              std::string(dandelion::SandboxCapabilities::Get().detail));
   return 0;
 }

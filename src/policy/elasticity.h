@@ -79,6 +79,15 @@ struct ElasticitySignals {
   double warm_pool_occupancy = 0.0;
   uint64_t warm_pool_misses = 0;
 
+  // Failure pressure (src/policy/retry.h): cumulative sandbox-level
+  // failures, retries the RetryPolicy granted, launches a tripped breaker
+  // fast-failed, and breakers currently open — a node drowning in crashes
+  // should not look like a node that merely needs more compute cores.
+  uint64_t sandbox_failures = 0;
+  uint64_t retries_attempted = 0;
+  uint64_t breaker_fast_fails = 0;
+  int breakers_open = 0;
+
   int total_workers() const { return compute_workers + comm_workers; }
 };
 

@@ -90,9 +90,19 @@ Dispatcher::Dispatcher(const dfunc::FunctionRegistry* functions,
       comm_functions_(comm_functions),
       workers_(workers),
       accountant_(accountant),
-      config_(config) {}
+      config_(config),
+      retry_policy_(config.retry) {}
 
 Dispatcher::~Dispatcher() {
+  // Stop the retry scheduler first: its drain path fails pending relaunches
+  // through OnInstanceDone, whose callbacks re-enter DisarmReaper — the
+  // reaper state must still be alive at that point.
+  {
+    std::lock_guard<std::mutex> lock(retry_sched_mu_);
+    retry_stop_ = true;
+  }
+  retry_sched_cv_.notify_all();
+  retry_thread_.Join();
   {
     std::lock_guard<std::mutex> lock(reaper_mu_);
     reaper_stop_ = true;
@@ -125,7 +135,23 @@ DispatcherStats Dispatcher::Stats() const {
   stats.payload_promotions = data_plane.payload_promotions;
   stats.cow_detaches = data_plane.cow_detaches;
   stats.binding_materializations = data_plane.binding_materializations;
+  stats.sandbox_failures = sandbox_failures_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(retry_mu_);
+    const dpolicy::RetryPolicyStats retry = retry_policy_.Stats();
+    stats.retries_attempted = retry.retries_granted;
+    stats.retries_denied = retry.retries_denied_budget + retry.retries_denied_kind;
+    stats.breaker_fast_fails = retry.breaker_fast_fails;
+    stats.breaker_trips = retry.breaker_trips;
+    stats.breaker_recoveries = retry.breaker_recoveries;
+    stats.breakers_open = retry.breakers_open;
+  }
   return stats;
+}
+
+std::vector<dpolicy::BreakerSnapshot> Dispatcher::Breakers() const {
+  std::lock_guard<std::mutex> lock(retry_mu_);
+  return retry_policy_.Breakers();
 }
 
 InvocationHandle Dispatcher::Submit(InvocationRequest request, ResultCallback callback) {
@@ -526,8 +552,35 @@ void Dispatcher::StartNodeLocked(const std::shared_ptr<InvocationState>& inv, si
 
 std::optional<ComputeTask> Dispatcher::BuildComputeTask(
     const std::shared_ptr<InvocationState>& inv, size_t node_index, size_t instance_index,
-    dfunc::DataSetList inputs, const dfunc::FunctionSpec& spec) {
+    dfunc::DataSetList inputs, const dfunc::FunctionSpec& spec, int attempt) {
   compute_instances_.fetch_add(1, std::memory_order_relaxed);
+
+  // Breaker admission gate on fresh launches only: a relaunch the policy
+  // already granted must not be fast-failed mid-flight by a breaker that
+  // tripped in the meantime — its own OnFailure will feed the breaker.
+  if (attempt == 0 && config_.retry.enabled) {
+    const dbase::Micros now = dbase::MonotonicClock::Get()->NowMicros();
+    dpolicy::AdmitDecision admit;
+    {
+      std::lock_guard<std::mutex> lock(retry_mu_);
+      admit = retry_policy_.Admit(spec.name, now);
+    }
+    if (!admit.allow) {
+      FailLocked(inv, dbase::Unavailable(dbase::StrFormat(
+                          "circuit breaker open for function '%s' (%s)", spec.name.c_str(),
+                          admit.reason)));
+      return std::nullopt;
+    }
+  }
+
+  // Retain the inputs while the instance is in flight so a sandbox-level
+  // failure can be relaunched from scratch: payloads were promoted to
+  // refcounted buffers at node start, so this copy is refcount bumps, not
+  // payload bytes.
+  std::shared_ptr<const dfunc::DataSetList> retained;
+  if (config_.retry.enabled) {
+    retained = std::make_shared<const dfunc::DataSetList>(inputs);
+  }
 
   // Pool-first: a warm sandbox already holds a loaded binary and (process
   // backend) a parked template child, so the instance skips the cold path
@@ -583,7 +636,8 @@ std::optional<ComputeTask> Dispatcher::BuildComputeTask(
     dfunc::DataPlaneStats::Get().bytes_aliased.fetch_add(payload_bytes,
                                                          std::memory_order_relaxed);
     task.options.input_sets =
-        std::make_shared<const dfunc::DataSetList>(std::move(inputs));
+        retained != nullptr ? retained
+                            : std::make_shared<const dfunc::DataSetList>(std::move(inputs));
   } else {
     // Address-space-crossing backends (process) must see the inputs through
     // the MAP_SHARED mapping — marshal them in as before. Pre-forked
@@ -602,27 +656,159 @@ std::optional<ComputeTask> Dispatcher::BuildComputeTask(
   task.control = inv->control;
   task.warm = std::move(warm);
   auto self = this;
-  task.done = [self, inv, node_index, instance_index, context,
-               control = inv->control](ExecOutcome outcome) {
-    dbase::Status status = outcome.status;
-    // The sandbox reports any external-flag preemption as kCancelled — it
-    // cannot know whether the flag meant a client cancel or the invocation
-    // deadline. The control block recorded the reason; make it
-    // authoritative so counters, report, and the HTTP status agree.
-    if (status.code() == dbase::StatusCode::kCancelled && control != nullptr) {
-      const dbase::Status dead =
-          control->RetireStatus(dbase::MonotonicClock::Get()->NowMicros());
-      if (!dead.ok()) {
-        status = dead;
-      }
-    }
-    if (!status.ok()) {
-      self->OnInstanceDone(inv, node_index, instance_index, std::move(status));
-    } else {
-      self->OnInstanceDone(inv, node_index, instance_index, std::move(outcome.outputs));
-    }
+  task.done = [self, inv, node_index, instance_index, context, spec, retained,
+               attempt](ExecOutcome outcome) {
+    self->OnComputeOutcome(inv, node_index, instance_index, spec, retained, attempt,
+                           std::move(outcome));
   };
   return task;
+}
+
+void Dispatcher::OnComputeOutcome(const std::shared_ptr<InvocationState>& inv, size_t node_index,
+                                  size_t instance_index, const dfunc::FunctionSpec& spec,
+                                  std::shared_ptr<const dfunc::DataSetList> retained_inputs,
+                                  int attempt, ExecOutcome outcome) {
+  const std::shared_ptr<InvocationControl>& control = inv->control;
+  dbase::Status status = outcome.status;
+  // The sandbox reports any external-flag preemption as kCancelled — it
+  // cannot know whether the flag meant a client cancel or the invocation
+  // deadline. The control block recorded the reason; make it
+  // authoritative so counters, report, and the HTTP status agree.
+  if (status.code() == dbase::StatusCode::kCancelled && control != nullptr) {
+    const dbase::Status dead =
+        control->RetireStatus(dbase::MonotonicClock::Get()->NowMicros());
+    if (!dead.ok()) {
+      status = dead;
+    }
+  }
+
+  if (status.ok()) {
+    if (config_.retry.enabled) {
+      std::lock_guard<std::mutex> lock(retry_mu_);
+      retry_policy_.OnSuccess(spec.name);
+    }
+    OnInstanceDone(inv, node_index, instance_index, std::move(outcome.outputs));
+    return;
+  }
+
+  const dpolicy::FailureKind failure = outcome.failure;
+  if (failure != dpolicy::FailureKind::kNone) {
+    sandbox_failures_.fetch_add(1, std::memory_order_relaxed);
+    if (control != nullptr) {
+      control->NoteFailure(failure);
+    }
+  }
+  if (config_.retry.enabled && failure != dpolicy::FailureKind::kNone &&
+      retained_inputs != nullptr) {
+    const dbase::Micros now = dbase::MonotonicClock::Get()->NowMicros();
+    const bool alive = control == nullptr || control->RetireStatus(now).ok();
+    const bool interactive =
+        control == nullptr || control->priority() == PriorityClass::kInteractive;
+    dpolicy::RetryDecision decision;
+    {
+      std::lock_guard<std::mutex> lock(retry_mu_);
+      // The breaker must see every failure, even from an invocation that is
+      // already dead — only the relaunch itself is gated on liveness.
+      decision = retry_policy_.OnFailure(spec.name, failure, interactive, attempt, now);
+    }
+    if (decision.retry && alive) {
+      if (control != nullptr) {
+        control->CountRetry();
+      }
+      RetryJob job;
+      job.inv = inv;
+      job.node_index = node_index;
+      job.instance_index = instance_index;
+      job.spec = spec;
+      job.inputs = std::move(retained_inputs);
+      job.attempt = attempt + 1;
+      job.original_status = status;
+      ScheduleRetry(now + decision.backoff_us, std::move(job));
+      return;
+    }
+  }
+  OnInstanceDone(inv, node_index, instance_index, std::move(status));
+}
+
+// ---------------------------------------------------------- Retry scheduler
+
+void Dispatcher::ScheduleRetry(dbase::Micros due_us, RetryJob job) {
+  {
+    std::lock_guard<std::mutex> lock(retry_sched_mu_);
+    if (!retry_stop_) {
+      retry_jobs_.emplace(due_us, std::move(job));
+      if (!retry_thread_.joinable()) {
+        retry_thread_ =
+            dbase::JoiningThread("retry-scheduler", [this] { RetrySchedulerLoop(); });
+      }
+      retry_sched_cv_.notify_one();
+      return;
+    }
+  }
+  // Shutting down: surface the original failure instead of dropping the
+  // instance completion on the floor.
+  OnInstanceDone(job.inv, job.node_index, job.instance_index, job.original_status);
+}
+
+void Dispatcher::RetrySchedulerLoop() {
+  std::unique_lock<std::mutex> lock(retry_sched_mu_);
+  while (true) {
+    if (retry_stop_) {
+      // Drain: pending relaunches fail with their original status so every
+      // in-flight invocation still completes exactly once.
+      auto jobs = std::move(retry_jobs_);
+      retry_jobs_.clear();
+      lock.unlock();
+      for (auto& [due, job] : jobs) {
+        OnInstanceDone(job.inv, job.node_index, job.instance_index, job.original_status);
+      }
+      return;
+    }
+    if (retry_jobs_.empty()) {
+      retry_sched_cv_.wait(lock);
+      continue;
+    }
+    const dbase::Micros now = dbase::MonotonicClock::Get()->NowMicros();
+    auto it = retry_jobs_.begin();
+    if (it->first > now) {
+      retry_sched_cv_.wait_for(lock, std::chrono::microseconds(it->first - now + 50));
+      continue;
+    }
+    RetryJob job = std::move(it->second);
+    retry_jobs_.erase(it);
+    lock.unlock();
+    RelaunchCompute(std::move(job));
+    lock.lock();
+  }
+}
+
+void Dispatcher::RelaunchCompute(RetryJob job) {
+  const std::shared_ptr<InvocationState> inv = job.inv;
+  std::unique_lock<std::mutex> lock(inv->mu);
+  if (inv->done) {
+    return;
+  }
+  if (inv->control != nullptr) {
+    const dbase::Status dead =
+        inv->control->RetireStatus(dbase::MonotonicClock::Get()->NowMicros());
+    if (!dead.ok()) {
+      lock.unlock();
+      OnInstanceDone(inv, job.node_index, job.instance_index, dead);
+      return;
+    }
+  }
+  // Always a fresh context: the failed child may have corrupted the old one
+  // arbitrarily before it died.
+  auto task = BuildComputeTask(inv, job.node_index, job.instance_index,
+                               dfunc::DataSetList(*job.inputs), job.spec, job.attempt);
+  if (!task.has_value()) {
+    return;  // BuildComputeTask already failed the invocation.
+  }
+  std::vector<ComputeTask> batch;
+  batch.push_back(std::move(*task));
+  if (!workers_->SubmitComputeBatch(std::move(batch))) {
+    FailLocked(inv, dbase::Unavailable("compute engines are shut down"));
+  }
 }
 
 void Dispatcher::LaunchCommInstance(const std::shared_ptr<InvocationState>& inv,

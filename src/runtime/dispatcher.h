@@ -31,6 +31,7 @@
 #include "src/dsl/graph.h"
 #include "src/func/data.h"
 #include "src/func/registry.h"
+#include "src/policy/retry.h"
 #include "src/runtime/engine.h"
 #include "src/runtime/invocation.h"
 #include "src/runtime/memory_context.h"
@@ -74,6 +75,17 @@ struct DispatcherStats {
   uint64_t payload_promotions = 0;
   uint64_t cow_detaches = 0;
   uint64_t binding_materializations = 0;
+  // Fault containment: sandbox-level failures observed (non-kNone
+  // FailureKinds), instance relaunches the RetryPolicy granted/denied, and
+  // circuit-breaker activity (fast-failed admissions, trips, recoveries,
+  // currently-open breakers).
+  uint64_t sandbox_failures = 0;
+  uint64_t retries_attempted = 0;
+  uint64_t retries_denied = 0;
+  uint64_t breaker_fast_fails = 0;
+  uint64_t breaker_trips = 0;
+  uint64_t breaker_recoveries = 0;
+  int breakers_open = 0;
 };
 
 class Dispatcher {
@@ -92,6 +104,12 @@ class Dispatcher {
     // When set, compute instances try Acquire() before cold-creating a
     // context. Not owned; must outlive the dispatcher.
     SandboxPool* sandbox_pool = nullptr;
+    // Retry/circuit-breaker policy for sandbox-level failures (crash,
+    // pool-child-lost, transient resource exhaustion). Dandelion functions
+    // are pure computations over declared inputs, so these relaunches are
+    // always side-effect-safe. Functional errors a body returns are never
+    // retried.
+    dpolicy::RetryOptions retry;
   };
 
   Dispatcher(const dfunc::FunctionRegistry* functions, const CompositionRegistry* compositions,
@@ -119,9 +137,30 @@ class Dispatcher {
                                            dfunc::DataSetList args);
 
   DispatcherStats Stats() const;
+  // Per-function circuit-breaker states (statz's `breaker` section).
+  std::vector<dpolicy::BreakerSnapshot> Breakers() const;
 
  private:
   struct InvocationState;
+
+  // One scheduled instance relaunch. Inputs are retained by shared_ptr at
+  // build time (refcount bumps, no payload copies — buffers are immutable
+  // slices), so a relaunch can re-marshal them into a fresh context; the
+  // failed child may have corrupted the old one.
+  struct RetryJob {
+    // Strong reference: a pending relaunch IS an outstanding instance of the
+    // invocation — nothing else is guaranteed to keep the state alive while
+    // the backoff elapses.
+    std::shared_ptr<InvocationState> inv;
+    size_t node_index = 0;
+    size_t instance_index = 0;
+    dfunc::FunctionSpec spec;
+    std::shared_ptr<const dfunc::DataSetList> inputs;
+    int attempt = 0;
+    // The failure that triggered the retry — surfaced if the invocation
+    // died while the retry was pending.
+    dbase::Status original_status;
+  };
 
   // Starts one graph invocation; the control block is shared across nesting
   // levels (the root's deadline and cancel flag govern the whole tree).
@@ -138,7 +177,7 @@ class Dispatcher {
   std::optional<ComputeTask> BuildComputeTask(const std::shared_ptr<InvocationState>& inv,
                                               size_t node_index, size_t instance_index,
                                               dfunc::DataSetList inputs,
-                                              const dfunc::FunctionSpec& spec);
+                                              const dfunc::FunctionSpec& spec, int attempt = 0);
   void LaunchCommInstance(const std::shared_ptr<InvocationState>& inv, size_t node_index,
                           size_t instance_index, dfunc::DataSetList inputs,
                           const CommFunctionSpec& spec);
@@ -152,6 +191,20 @@ class Dispatcher {
                           dfunc::DataSet set);
   void FailLocked(const std::shared_ptr<InvocationState>& inv, dbase::Status status);
   void MaybeCompleteLocked(const std::shared_ptr<InvocationState>& inv);
+
+  // --- Retry executive ------------------------------------------------------
+  // Every compute instance completes through OnComputeOutcome: it feeds the
+  // failure kind into the RetryPolicy/breaker, and either schedules a
+  // backed-off relaunch (retry-safe kinds, budget permitting) or lets the
+  // failure surface through OnInstanceDone. Relaunches run on a lazily
+  // spawned scheduler thread (same idiom as the deadline reaper).
+  void OnComputeOutcome(const std::shared_ptr<InvocationState>& inv, size_t node_index,
+                        size_t instance_index, const dfunc::FunctionSpec& spec,
+                        std::shared_ptr<const dfunc::DataSetList> retained_inputs, int attempt,
+                        ExecOutcome outcome);
+  void ScheduleRetry(dbase::Micros due_us, RetryJob job);
+  void RelaunchCompute(RetryJob job);
+  void RetrySchedulerLoop();
 
   // --- Deadline reaper ------------------------------------------------------
   // Fails a root invocation at its deadline even when no instance is
@@ -194,6 +247,17 @@ class Dispatcher {
   std::map<const InvocationControl*, ReaperEntry> reaper_entries_;
   bool reaper_stop_ = false;                        // Guarded by reaper_mu_.
   dbase::JoiningThread reaper_thread_;              // Guarded by reaper_mu_ (spawn).
+
+  // --- Retry policy + scheduler ---------------------------------------------
+  std::atomic<uint64_t> sandbox_failures_{0};
+  mutable std::mutex retry_mu_;
+  dpolicy::RetryPolicy retry_policy_;               // Guarded by retry_mu_.
+  std::mutex retry_sched_mu_;
+  std::condition_variable retry_sched_cv_;
+  // Pending relaunches keyed by their due time on the monotonic clock.
+  std::multimap<dbase::Micros, RetryJob> retry_jobs_;
+  bool retry_stop_ = false;                         // Guarded by retry_sched_mu_.
+  dbase::JoiningThread retry_thread_;               // Guarded by retry_sched_mu_ (spawn).
 };
 
 }  // namespace dandelion

@@ -5,7 +5,9 @@
 #include <thread>
 
 #include "src/base/log.h"
+#include "src/base/string_util.h"
 #include "src/runtime/comm_function.h"
+#include "src/runtime/fault.h"
 
 namespace dandelion {
 namespace {
@@ -270,6 +272,23 @@ void WorkerSet::RunComputeTask(ComputeTask task) {
       options.binary_cached = false;
     }
   }
+  if (FaultInjector::Get().ShouldFire(FaultPoint::kTransientResourceExhausted)) {
+    // Injected transient: the sandbox never runs; the dispatcher's retry
+    // path is expected to absorb it. The warm lease goes straight back.
+    if (task.warm != nullptr && sandbox_pool_ != nullptr) {
+      sandbox_pool_->Release(std::move(task.warm));
+    }
+    task.warm.reset();
+    compute_done_.fetch_add(1, std::memory_order_relaxed);
+    if (task.done) {
+      ExecOutcome outcome;
+      outcome.failure = dpolicy::FailureKind::kResourceExhausted;
+      outcome.status = dbase::ResourceExhausted(dbase::StrFormat(
+          "injected transient fault launching '%s'", task.spec.name.c_str()));
+      task.done(std::move(outcome));
+    }
+    return;
+  }
   ExecOutcome outcome;
   if (task.warm != nullptr) {
     // Pool hit: execute on the pre-warmed sandbox (inputs are already in
@@ -278,6 +297,19 @@ void WorkerSet::RunComputeTask(ComputeTask task) {
       task.control->CountPoolHit();
     }
     outcome = task.warm->Execute(options);
+    if (outcome.failure == dpolicy::FailureKind::kPoolChildLost) {
+      // The shelf lied: the template child died between fill and dispatch.
+      // The inputs are still marshalled in the warm context, so recover
+      // with a cold fork over that same context before the pool scrubs it
+      // on Release. prewarmed stays set — the binary was loaded at fill.
+      SandboxOptions cold = options;
+      cold.prewarmed = true;
+      outcome = sandbox_->Execute(task.spec, *task.warm->context(), cold);
+      outcome.timings.pool_hit = false;
+      if (sandbox_pool_ != nullptr) {
+        sandbox_pool_->CountChildLost();
+      }
+    }
     if (sandbox_pool_ != nullptr) {
       sandbox_pool_->Release(std::move(task.warm));
     }

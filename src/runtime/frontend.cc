@@ -17,6 +17,8 @@
 #include "src/base/log.h"
 #include "src/base/string_util.h"
 #include "src/http/http_parser.h"
+#include "src/runtime/fault.h"
+#include "src/runtime/jail.h"
 
 namespace dandelion {
 namespace {
@@ -1097,11 +1099,11 @@ std::string HttpFrontend::StatzJson() const {
     json += dbase::StrFormat(
         "\"enabled\":true,\"hits\":%llu,\"misses\":%llu,\"bypassed\":%llu,"
         "\"prewarm_fills\":%llu,\"recycled\":%llu,\"retired\":%llu,"
-        "\"arrivals\":%llu,\"shelved\":%d,\"leased\":%d,\"functions\":%d,"
-        "\"max_total\":%d",
+        "\"arrivals\":%llu,\"pool_child_lost\":%llu,\"shelved\":%d,\"leased\":%d,"
+        "\"functions\":%d,\"max_total\":%d",
         u(warm.hits), u(warm.misses), u(warm.bypassed), u(warm.prewarm_fills),
-        u(warm.recycled), u(warm.retired), u(warm.arrivals), warm.shelved,
-        warm.leased, warm.functions, warm.max_total);
+        u(warm.recycled), u(warm.retired), u(warm.arrivals), u(warm.pool_child_lost),
+        warm.shelved, warm.leased, warm.functions, warm.max_total);
     bool first = true;
     json += ",\"targets\":{";
     for (const auto& [name, decision] : pool->LastDecisions()) {
@@ -1121,7 +1123,55 @@ std::string HttpFrontend::StatzJson() const {
   } else {
     json += "\"enabled\":false";
   }
-  json += "}}\n";
+  // Fault containment: jail capability, injected faults, retry/breaker
+  // activity. `seccomp_filter` false means the process backend runs
+  // unconfined (kernel without seccomp) — tests and operators must be able
+  // to tell that apart from "jailed".
+  const SandboxCapabilities& caps = SandboxCapabilities::Get();
+  json += dbase::StrFormat("},\"jail\":{\"seccomp_filter\":%s,\"enabled\":%s,",
+                           caps.seccomp_filter ? "true" : "false",
+                           SyscallJailEnabled() ? "true" : "false");
+  json += "\"detail\":";
+  AppendJsonString(&json, caps.detail);
+  json += "},\"faults\":{";
+  {
+    bool first = true;
+    for (const FaultPointSnapshot& point : FaultInjector::Get().Snapshot()) {
+      if (!first) {
+        json.push_back(',');
+      }
+      first = false;
+      json += dbase::StrFormat(
+          "\"%s\":{\"armed\":%s,\"crossings\":%llu,\"fired\":%llu}",
+          std::string(FaultPointName(point.point)).c_str(),
+          point.armed ? "true" : "false", u(point.crossings), u(point.fired));
+    }
+  }
+  json += "},\"retries\":{";
+  json += dbase::StrFormat(
+      "\"sandbox_failures\":%llu,\"attempted\":%llu,\"denied\":%llu",
+      u(dispatcher.sandbox_failures), u(dispatcher.retries_attempted),
+      u(dispatcher.retries_denied));
+  json += "},\"breaker\":{";
+  json += dbase::StrFormat(
+      "\"fast_fails\":%llu,\"trips\":%llu,\"recoveries\":%llu,\"open\":%d,"
+      "\"functions\":{",
+      u(dispatcher.breaker_fast_fails), u(dispatcher.breaker_trips),
+      u(dispatcher.breaker_recoveries), dispatcher.breakers_open);
+  {
+    bool first = true;
+    for (const dpolicy::BreakerSnapshot& breaker : platform_->breaker_snapshots()) {
+      if (!first) {
+        json.push_back(',');
+      }
+      first = false;
+      AppendJsonString(&json, breaker.function);
+      json += dbase::StrFormat(":{\"state\":\"%s\",\"consecutive_failures\":%d}",
+                               std::string(dpolicy::BreakerStateName(breaker.state)).c_str(),
+                               breaker.consecutive_failures);
+    }
+  }
+  json += "}}}\n";
   return json;
 }
 

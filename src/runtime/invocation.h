@@ -19,6 +19,7 @@
 #include "src/base/clock.h"
 #include "src/base/status.h"
 #include "src/func/data.h"
+#include "src/policy/retry.h"
 
 namespace dandelion {
 
@@ -78,6 +79,13 @@ struct InvocationReport {
   // Of the launched instances, how many ran on a pre-warmed sandbox (pool
   // hit — no fork / binary load on the critical path).
   uint64_t instances_pool_hits = 0;
+  // The most recent sandbox-level failure any of this invocation's
+  // instances hit (kNone when every instance completed or only functional
+  // errors occurred). A successful invocation may still carry a non-kNone
+  // kind here — that means a retry absorbed the failure.
+  dpolicy::FailureKind failure_kind = dpolicy::FailureKind::kNone;
+  // Instance relaunches the dispatcher's RetryPolicy granted.
+  uint64_t retries_attempted = 0;
 };
 
 // The shared control block. One per external invocation; nested
@@ -116,6 +124,12 @@ class InvocationControl {
   void CountLaunched() { instances_launched_.fetch_add(1, std::memory_order_relaxed); }
   void CountAborted() { instances_aborted_.fetch_add(1, std::memory_order_relaxed); }
   void CountPoolHit() { instances_pool_hits_.fetch_add(1, std::memory_order_relaxed); }
+  // Records a sandbox-level failure kind (last writer wins — enough for
+  // the report's "what went wrong" single field).
+  void NoteFailure(dpolicy::FailureKind kind) {
+    failure_kind_.store(static_cast<int>(kind), std::memory_order_relaxed);
+  }
+  void CountRetry() { retries_.fetch_add(1, std::memory_order_relaxed); }
 
   InvocationReport Report() const;
 
@@ -134,6 +148,8 @@ class InvocationControl {
   std::atomic<uint64_t> instances_launched_{0};
   std::atomic<uint64_t> instances_aborted_{0};
   std::atomic<uint64_t> instances_pool_hits_{0};
+  std::atomic<int> failure_kind_{static_cast<int>(dpolicy::FailureKind::kNone)};
+  std::atomic<uint64_t> retries_{0};
 };
 
 // The caller's view of an in-flight invocation. Cheap to copy; an empty

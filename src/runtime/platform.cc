@@ -30,6 +30,7 @@ Platform::Platform(PlatformConfig config) : config_(config) {
   Dispatcher::Config dispatcher_config;
   dispatcher_config.shared_contexts = config.backend == IsolationBackend::kProcess;
   dispatcher_config.sandbox_pool = sandbox_pool_.get();
+  dispatcher_config.retry = config.retry;
   dispatcher_ = std::make_unique<Dispatcher>(&functions_, &compositions_, &comm_functions_,
                                              workers_.get(), &accountant_, dispatcher_config);
 
@@ -50,6 +51,10 @@ Platform::Platform(PlatformConfig config) : config_(config) {
       signals->inflight_interactive = stats.inflight_interactive;
       signals->inflight_batch = stats.inflight_batch;
       signals->deadline_exceeded += stats.invocations_deadline_exceeded;
+      signals->sandbox_failures = stats.sandbox_failures;
+      signals->retries_attempted = stats.retries_attempted;
+      signals->breaker_fast_fails = stats.breaker_fast_fails;
+      signals->breakers_open = stats.breakers_open;
       ContextPool* pool = ContextPool::Get();
       const size_t cap = pool->max_entries();
       signals->context_pool_occupancy =

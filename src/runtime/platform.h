@@ -57,6 +57,10 @@ struct PlatformConfig {
   bool enable_sandbox_pool = false;
   // Pool knobs; `backend` is overridden to match PlatformConfig::backend.
   SandboxPool::Config sandbox_pool;
+  // Retry/circuit-breaker policy for sandbox-level failures, executed by the
+  // dispatcher (src/policy/retry.h). Enabled by default: Dandelion functions
+  // are pure, so relaunching a crashed instance is always side-effect-safe.
+  dpolicy::RetryOptions retry;
 };
 
 class Platform {
@@ -101,6 +105,10 @@ class Platform {
   const CommFunctionRegistry& comm_functions() const { return comm_functions_; }
   EngineStats engine_stats() const { return workers_->Stats(); }
   DispatcherStats dispatcher_stats() const { return dispatcher_->Stats(); }
+  // Per-function circuit-breaker states (statz's `breaker` section).
+  std::vector<dpolicy::BreakerSnapshot> breaker_snapshots() const {
+    return dispatcher_->Breakers();
+  }
   // The engine pool itself — manual role shifts (operators, tests) go
   // through the same WorkerSet hooks the control plane uses.
   WorkerSet& workers() { return *workers_; }

@@ -1,6 +1,8 @@
 #include "src/runtime/sandbox.h"
 
+#include <fcntl.h>
 #include <signal.h>
+#include <sys/syscall.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -15,6 +17,8 @@
 #include "src/base/log.h"
 #include "src/base/string_util.h"
 #include "src/func/function.h"
+#include "src/runtime/fault.h"
+#include "src/runtime/jail.h"
 
 namespace dandelion {
 
@@ -237,9 +241,11 @@ class ThreadSandbox : public SandboxExecutor {
 
     watch.Restart();
     if (externally_cancelled) {
+      outcome.failure = dpolicy::FailureKind::kCancelKill;
       outcome.status = dbase::Cancelled(
           dbase::StrFormat("function '%s' cancelled", spec.name.c_str()));
     } else if (timed_out) {
+      outcome.failure = dpolicy::FailureKind::kDeadlineKill;
       outcome.status = dbase::DeadlineExceeded(
           dbase::StrFormat("function '%s' exceeded %lld us timeout", spec.name.c_str(),
                            static_cast<long long>(timeout)));
@@ -292,17 +298,48 @@ class ProcessSandbox : public SandboxExecutor {
     outcome.timings.load_us = watch.ElapsedMicros();
 
     watch.Restart();
+    // Jail and fault decisions happen pre-fork: the child must never touch
+    // lazily-initialised parent state (capability probe, injector lock).
+    const bool install_jail =
+        SyscallJailEnabled() && SandboxCapabilities::Get().seccomp_filter;
+    FaultInjector& faults = FaultInjector::Get();
+    const bool fault_crash_before =
+        faults.ShouldFire(FaultPoint::kChildCrashBeforeOutcome);
+    const bool fault_crash_partial =
+        faults.ShouldFire(FaultPoint::kChildCrashAfterPartialWrite);
+    const bool fault_forbidden = faults.ShouldFire(FaultPoint::kChildForbiddenSyscall);
     const pid_t pid = fork();
     if (pid < 0) {
+      outcome.failure = dpolicy::FailureKind::kResourceExhausted;
       outcome.status = dbase::ResourceExhausted("fork failed");
       return outcome;
     }
     if (pid == 0) {
-      // Child: the memory context is MAP_SHARED, so outcome writes are
-      // visible to the parent. In the paper the engine additionally ptrace-
-      // jails the child so any syscall kills it; that jail is stubbed here
-      // (see DESIGN.md substitutions).
+      // Child: the memory context is MAP_SHARED, so outcome writes are plain
+      // stores the parent can read — and with the seccomp jail installed,
+      // that is the child's *only* channel. Any syscall outside the
+      // completion set kills it with SIGSYS; the parent decodes that death
+      // as kJailKill.
+      if (install_jail && InstallSyscallJail(JailOptions{}) != 0) {
+        _exit(125);  // Jail refused to install: fail closed, never run unjailed.
+      }
+      if (fault_crash_before) __builtin_trap();
+      if (fault_forbidden) {
+        // Behaves like a confined function opening a file: under the jail
+        // this call never returns; unjailed it is a harmless open+leak.
+        (void)syscall(SYS_openat, AT_FDCWD, "/dev/null", O_RDONLY);
+      }
       (void)RunFunctionBodyAgainstContext(spec, context, nullptr, nullptr);
+      if (fault_crash_partial) {
+        // Tear the outcome the body just wrote — plausible header, garbage
+        // length — then die. The parent must discard the context and any
+        // retry must re-marshal inputs instead of trusting these bytes.
+        ContextHeader torn;
+        torn.state = 0;
+        torn.payload_len = context.capacity();
+        context.WriteHeader(torn);
+        __builtin_trap();
+      }
       _exit(0);
     }
     outcome.timings.setup_us = watch.ElapsedMicros();
@@ -341,19 +378,19 @@ class ProcessSandbox : public SandboxExecutor {
     outcome.timings.execute_us = watch.ElapsedMicros();
 
     watch.Restart();
+    const WaitDecode decode = DecodeWaitStatus(wait_status, spec.name);
     if (cancelled) {
+      outcome.failure = dpolicy::FailureKind::kCancelKill;
       outcome.status = dbase::Cancelled(
           dbase::StrFormat("function '%s' killed on cancellation", spec.name.c_str()));
     } else if (timed_out) {
+      outcome.failure = dpolicy::FailureKind::kDeadlineKill;
       outcome.status = dbase::DeadlineExceeded(
           dbase::StrFormat("function '%s' killed after %lld us timeout", spec.name.c_str(),
                            static_cast<long long>(timeout)));
-    } else if (WIFSIGNALED(wait_status)) {
-      outcome.status = dbase::Internal(dbase::StrFormat(
-          "function '%s' crashed with signal %d", spec.name.c_str(), WTERMSIG(wait_status)));
-    } else if (!WIFEXITED(wait_status) || WEXITSTATUS(wait_status) != 0) {
-      outcome.status =
-          dbase::Internal(dbase::StrFormat("function '%s' exited abnormally", spec.name.c_str()));
+    } else if (decode.kind != dpolicy::FailureKind::kNone) {
+      outcome.failure = decode.kind;
+      outcome.status = decode.status;
     } else {
       // The child wrote through the MAP_SHARED mapping; the parent-side
       // read-back can still alias it when the caller pins the context.
@@ -382,6 +419,32 @@ class ProcessSandbox : public SandboxExecutor {
 dbase::Micros ModeledLoadCostUs(const BackendCostModel& costs, uint64_t binary_bytes,
                                 bool cached) {
   return LoadCost(costs, binary_bytes, cached);
+}
+
+WaitDecode DecodeWaitStatus(int wait_status, const std::string& function_name) {
+  WaitDecode decode;
+  if (WIFSIGNALED(wait_status)) {
+    const int sig = WTERMSIG(wait_status);
+    if (sig == SIGSYS) {
+      // SECCOMP_RET_KILL_PROCESS delivers SIGSYS: the function attempted a
+      // syscall outside the jail's completion set. That is the function's
+      // own deterministic behaviour — permission denied, never retried.
+      decode.kind = dpolicy::FailureKind::kJailKill;
+      decode.status = dbase::PermissionDenied(
+          dbase::StrFormat("function '%s' killed by syscall jail (SIGSYS): attempted a "
+                           "forbidden syscall",
+                           function_name.c_str()));
+    } else {
+      decode.kind = dpolicy::FailureKind::kCrash;
+      decode.status = dbase::Internal(dbase::StrFormat("function '%s' crashed with signal %d",
+                                                       function_name.c_str(), sig));
+    }
+  } else if (!WIFEXITED(wait_status) || WEXITSTATUS(wait_status) != 0) {
+    decode.kind = dpolicy::FailureKind::kNonzeroExit;
+    decode.status = dbase::Internal(
+        dbase::StrFormat("function '%s' exited abnormally", function_name.c_str()));
+  }
+  return decode;
 }
 
 dbase::Status RunFunctionBodyAgainstContext(const dfunc::FunctionSpec& spec,

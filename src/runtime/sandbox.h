@@ -4,8 +4,10 @@
 //
 //   kProcess  — real fork()-based isolation: the function runs in a child
 //               process over a MAP_SHARED memory context; the parent
-//               enforces the deadline with SIGKILL. (The paper's ptrace
-//               syscall jail is stubbed; see DESIGN.md.)
+//               enforces the deadline with SIGKILL and the child is confined
+//               by a seccomp-BPF syscall jail (src/runtime/jail.h): any
+//               forbidden syscall kills it, surfacing as kJailKill. See the
+//               threat-model section in DESIGN.md.
 //   kThread   — CHERI stand-in: runs in-process on a scratch thread within a
 //               single address space, zero spawn cost on the critical path.
 //               CHERI's hardware bounds checks are modelled, not enforced.
@@ -26,6 +28,7 @@
 #include "src/base/status.h"
 #include "src/func/data.h"
 #include "src/func/registry.h"
+#include "src/policy/retry.h"
 #include "src/runtime/memory_context.h"
 
 namespace dandelion {
@@ -54,7 +57,23 @@ struct ExecOutcome {
   dbase::Status status;
   dfunc::DataSetList outputs;
   SandboxTimings timings;
+  // Sandbox-level failure classification (kNone for success and for
+  // functional errors the body returned deliberately). The dispatcher's
+  // RetryPolicy keys off this, never off the Status alone.
+  dpolicy::FailureKind failure = dpolicy::FailureKind::kNone;
 };
+
+// Classification of a waitpid() status from a sandbox child, shared by the
+// cold process backend and the pool's template children so signal decoding
+// lives in exactly one place. Deadline/cancel SIGKILLs are resolved by the
+// caller *before* decoding (the parent knows why it killed); DecodeWaitStatus
+// only sees deaths the parent did not cause.
+struct WaitDecode {
+  dpolicy::FailureKind kind = dpolicy::FailureKind::kNone;
+  dbase::Status status;
+};
+
+WaitDecode DecodeWaitStatus(int wait_status, const std::string& function_name);
 
 struct SandboxOptions {
   // Whether the function binary is in the node's in-memory cache (§7.4

@@ -1,8 +1,10 @@
 #include "src/runtime/sandbox_pool.h"
 
 #include <errno.h>
+#include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
+#include <sys/syscall.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -10,14 +12,28 @@
 #include <cstdlib>
 
 #include <algorithm>
+#include <mutex>
 #include <thread>
 
 #include "src/base/log.h"
 #include "src/base/string_util.h"
+#include "src/runtime/fault.h"
+#include "src/runtime/jail.h"
 
 namespace dandelion {
 
 namespace {
+
+// The go-pipe write in Execute() is the liveness probe for the template
+// child: if the child died, every read end is closed (the parent dropped
+// its own at Arm) and the write must come back EPIPE — not raise SIGPIPE
+// and kill the whole runtime. Ignored process-wide, once, when the first
+// process-backend pool is built; nothing else in the runtime relies on
+// SIGPIPE's default action.
+void IgnoreSigpipeOnce() {
+  static std::once_flag once;
+  std::call_once(once, [] { signal(SIGPIPE, SIG_IGN); });
+}
 
 // Serialized size of ContextHeader ([u32][i32][u64]); the parent widens
 // the scrub extent past its own touched() mark to cover the child's
@@ -64,8 +80,8 @@ class ThreadWarmSandbox : public WarmSandbox {
 // waits like the cold process backend (cancel → SIGKILL, deadline →
 // SIGKILL). The child is single-use; Recycle() re-forks.
 //
-// Fork-safety caveat (same stubbed-jail DESIGN.md family as the cold
-// backend, but pooling makes fork-then-park the steady state): the
+// Fork-safety caveat (see DESIGN.md; pooling makes fork-then-park the
+// steady state, so it bites harder here than on the cold backend): the
 // template is forked from a multithreaded runtime — control-plane ticks,
 // engine workers running Recycle — and later executes the full function
 // body, which allocates. If another thread held an allocator lock at fork
@@ -96,6 +112,17 @@ class ProcessWarmSandbox : public WarmSandbox {
       close(fds[1]);
       return false;
     }
+    // Jail and fault decisions happen pre-fork (the child must not touch
+    // lazily-initialised parent state). Fault points for a pooled child are
+    // sampled at arm time: the child is the unit of injection.
+    const bool install_jail =
+        SyscallJailEnabled() && SandboxCapabilities::Get().seccomp_filter;
+    FaultInjector& faults = FaultInjector::Get();
+    const bool fault_crash_before =
+        faults.ShouldFire(FaultPoint::kChildCrashBeforeOutcome);
+    const bool fault_crash_partial =
+        faults.ShouldFire(FaultPoint::kChildCrashAfterPartialWrite);
+    const bool fault_forbidden = faults.ShouldFire(FaultPoint::kChildForbiddenSyscall);
     const pid_t pid = fork();
     if (pid < 0) {
       close(fds[0]);
@@ -121,16 +148,36 @@ class ProcessWarmSandbox : public WarmSandbox {
         w = write(ack[1], &ok, 1);
       } while (w < 0 && errno == EINTR);
       close(ack[1]);
+      // Confinement starts *after* the ack (the probe needs the allocator's
+      // full freedom) and *before* the park, so the whole shelved lifetime
+      // is jailed. The filter's only read permission is this go-pipe fd.
+      if (install_jail) {
+        JailOptions jail_options;
+        jail_options.allow_read_fd = fds[0];
+        if (InstallSyscallJail(jail_options) != 0) {
+          _exit(125);  // Fail closed: never park an unjailed template.
+        }
+      }
       // Template child: park until dispatch. EOF (parent retired us) or a
-      // short read exits without running the body. Same stubbed-jail
-      // caveat as the cold process backend (DESIGN.md).
+      // short read exits without running the body.
       char go = 0;
       ssize_t n;
       do {
         n = read(fds[0], &go, 1);
       } while (n < 0 && errno == EINTR);
       if (n == 1) {
+        if (fault_crash_before) __builtin_trap();
+        if (fault_forbidden) {
+          (void)syscall(SYS_openat, AT_FDCWD, "/dev/null", O_RDONLY);
+        }
         (void)RunFunctionBodyAgainstContext(spec_, *context_, nullptr, nullptr);
+        if (fault_crash_partial) {
+          ContextHeader torn;
+          torn.state = 0;
+          torn.payload_len = context_->capacity();
+          context_->WriteHeader(torn);
+          __builtin_trap();
+        }
       }
       _exit(0);
     }
@@ -163,6 +210,7 @@ class ProcessWarmSandbox : public WarmSandbox {
     pid_ = pid;
     go_fd_ = fds[1];
     clean_exit_ = false;
+    reaped_ = false;
     return true;
   }
 
@@ -183,8 +231,15 @@ class ProcessWarmSandbox : public WarmSandbox {
     } while (n < 0 && errno == EINTR);
     outcome.timings.setup_us = watch.ElapsedMicros();
     if (n != 1) {
+      // EPIPE/short write: the template child died between fill and
+      // dispatch (OOM kill, operator signal, injected fault). The inputs
+      // are already marshalled in our MAP_SHARED context, so the engine can
+      // recover with a transparent cold fork over the same context —
+      // kPoolChildLost tells it to.
       ReapChild();
-      outcome.status = dbase::Internal("warm sandbox template child is gone");
+      outcome.failure = dpolicy::FailureKind::kPoolChildLost;
+      outcome.status = dbase::Unavailable(dbase::StrFormat(
+          "warm sandbox template child for '%s' died before dispatch", spec_.name.c_str()));
       return outcome;
     }
 
@@ -226,19 +281,19 @@ class ProcessWarmSandbox : public WarmSandbox {
     outcome.timings.execute_us = watch.ElapsedMicros();
 
     watch.Restart();
+    const WaitDecode decode = DecodeWaitStatus(wait_status, spec_.name);
     if (cancelled) {
+      outcome.failure = dpolicy::FailureKind::kCancelKill;
       outcome.status = dbase::Cancelled(
           dbase::StrFormat("function '%s' killed on cancellation", spec_.name.c_str()));
     } else if (timed_out) {
+      outcome.failure = dpolicy::FailureKind::kDeadlineKill;
       outcome.status = dbase::DeadlineExceeded(
           dbase::StrFormat("function '%s' killed after %lld us timeout", spec_.name.c_str(),
                            static_cast<long long>(timeout)));
-    } else if (WIFSIGNALED(wait_status)) {
-      outcome.status = dbase::Internal(dbase::StrFormat(
-          "function '%s' crashed with signal %d", spec_.name.c_str(), WTERMSIG(wait_status)));
-    } else if (!WIFEXITED(wait_status) || WEXITSTATUS(wait_status) != 0) {
-      outcome.status =
-          dbase::Internal(dbase::StrFormat("function '%s' exited abnormally", spec_.name.c_str()));
+    } else if (decode.kind != dpolicy::FailureKind::kNone) {
+      outcome.failure = decode.kind;
+      outcome.status = decode.status;
     } else {
       clean_exit_ = true;
       auto outputs = context_->LoadOutputSets();
@@ -276,6 +331,18 @@ class ProcessWarmSandbox : public WarmSandbox {
     return Arm();
   }
 
+  void SimulateTemplateDeath() override {
+    // Kill and reap the parked child but leave the bookkeeping (pid_,
+    // go_fd_) believing it is alive, so the next Execute() discovers the
+    // death the way production would: the go-pipe write fails. reaped_
+    // keeps the later cleanup from kill()ing a recycled pid.
+    if (pid_ > 0 && !reaped_) {
+      kill(pid_, SIGKILL);
+      waitpid(pid_, nullptr, 0);
+      reaped_ = true;
+    }
+  }
+
  private:
   void CloseGoFd() {
     if (go_fd_ >= 0) {
@@ -286,8 +353,11 @@ class ProcessWarmSandbox : public WarmSandbox {
 
   void ReapChild() {
     if (pid_ > 0) {
-      kill(pid_, SIGKILL);
-      waitpid(pid_, nullptr, 0);
+      if (!reaped_) {
+        kill(pid_, SIGKILL);
+        waitpid(pid_, nullptr, 0);
+      }
+      reaped_ = false;
       pid_ = -1;
     }
     CloseGoFd();
@@ -301,6 +371,9 @@ class ProcessWarmSandbox : public WarmSandbox {
   pid_t pid_ = -1;
   int go_fd_ = -1;
   bool clean_exit_ = false;
+  // Set when SimulateTemplateDeath already reaped the child while pid_
+  // still reads as armed (the injected-death seam).
+  bool reaped_ = false;
 };
 
 }  // namespace
@@ -315,6 +388,9 @@ SandboxPool::SandboxPool(Config config, MemoryAccountant* accountant)
   config_.max_depth_per_function = std::max(0, config_.max_depth_per_function);
   config_.max_total = std::max(0, config_.max_total);
   config_.interactive_reserve = std::max(0, config_.interactive_reserve);
+  if (config_.backend == IsolationBackend::kProcess) {
+    IgnoreSigpipeOnce();
+  }
 }
 
 SandboxPool::~SandboxPool() { Shutdown(); }
@@ -382,7 +458,15 @@ std::shared_ptr<WarmSandbox> SandboxPool::Acquire(const dfunc::FunctionSpec& spe
   --total_shelved_;
   ++total_leased_;
   ++stats_.hits;
+  if (FaultInjector::Get().ShouldFire(FaultPoint::kPoolTemplateDeath)) {
+    warm->SimulateTemplateDeath();
+  }
   return warm;
+}
+
+void SandboxPool::CountChildLost() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.pool_child_lost;
 }
 
 void SandboxPool::Release(std::shared_ptr<WarmSandbox> sandbox) {

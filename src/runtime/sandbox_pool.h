@@ -68,6 +68,10 @@ struct SandboxPoolStats {
   uint64_t recycled = 0;       // Released sandboxes scrubbed and re-shelved.
   uint64_t retired = 0;        // Destroyed: over target, clamped, unhealthy, drain.
   uint64_t arrivals = 0;       // Dispatch-side arrivals (the EWMA feed).
+  // Template child found dead at dispatch (go-pipe write failed); the
+  // engine fell back to a cold fork transparently instead of failing the
+  // invocation.
+  uint64_t pool_child_lost = 0;
   int shelved = 0;             // Ready warm sandboxes, all functions.
   int leased = 0;              // Acquired and not yet released.
   int functions = 0;           // Function pools tracked.
@@ -98,6 +102,12 @@ class WarmSandbox {
   // the sandbox cannot be reused (e.g. the template child was killed and
   // the re-fork failed) — the caller destroys it instead of shelving.
   virtual bool Recycle() = 0;
+
+  // Fault-injection seam (FaultPoint::kPoolTemplateDeath): kills the parked
+  // template child without telling the bookkeeping, so the next Execute()
+  // finds the go-pipe dead — exactly what a child OOM-killed between fill
+  // and dispatch looks like. No-op for backends without a parked child.
+  virtual void SimulateTemplateDeath() {}
 
  protected:
   dfunc::FunctionSpec spec_;
@@ -148,6 +158,12 @@ class SandboxPool {
   // ControlPlane ticker in the runtime, called directly by tests, and
   // mirrored in virtual time by dsim's pool model.
   void Tick(dbase::Micros now_us);
+
+  // Engine-side: a leased sandbox's template child turned out to be dead at
+  // dispatch (Execute reported kPoolChildLost) and the caller recovered
+  // with a cold fork. Counted separately from misses: the request still
+  // *waited* like a miss but the shelf lied about readiness.
+  void CountChildLost();
 
   // Stops re-arming and empties every shelf (killing parked template
   // children). Idempotent; the destructor calls it too.

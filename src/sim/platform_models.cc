@@ -99,8 +99,18 @@ SimMetrics SimulateDandelion(const DandelionSimConfig& config,
     int phase = 0;
   };
 
-  // Forward declaration via std::function for the recursive chain walk.
+  // Fault/retry parity: the same dpolicy::RetryPolicy the runtime
+  // dispatcher executes, driven in virtual time and keyed per app.
+  dpolicy::RetryPolicy retry_policy(config.retry);
+  const bool retry_enabled = config.retry.enabled;
+  uint64_t compute_completions = 0;
+
+  // Forward declarations via std::function for the recursive chain walk
+  // (run_phase ↔ compute_stage_fn are mutually recursive: a phase runs a
+  // compute stage, a granted retry relaunches the stage, a completed stage
+  // advances the phase).
   std::function<void(std::shared_ptr<Chain>)> run_phase;
+  std::function<void(std::shared_ptr<Chain>, int)> compute_stage_fn;
   run_phase = [&](std::shared_ptr<Chain> chain) {
     if (chain->phase >= chain->req.phases) {
       if (chain->req.arrival_us >= config.latency_record_after_us) {
@@ -120,60 +130,98 @@ SimMetrics SimulateDandelion(const DandelionSimConfig& config,
     const bool has_comm = chain->req.comm_us > 0;
 
     // Comm stage first (fetch), then compute on the fetched data (§7.4).
-    auto compute_stage = [&, chain] {
-      dbase::Micros sandbox_cost = config.sandbox_us;
-      bool warm = false;
-      if (pool_enabled) {
-        AppPool& pool = pool_for(chain->req);
-        ++pool.arrivals;
-        if (pool.shelved > 0) {
-          --pool.shelved;
-          --total_shelved;
-          ++pool.leased;
-          warm = true;
-          sandbox_cost = 0;  // Fork/load were paid at fill time.
-          ++metrics.warm_starts;
-        } else {
-          ++metrics.cold_starts;
-        }
-      }
-      const auto service = static_cast<dbase::Micros>(
-          config.dispatch_us + sandbox_cost +
-          static_cast<double>(chain->req.compute_us) * config.compute_slowdown);
-      if (!warm) {
-        memory.Add(chain->req.context_bytes);  // Warm contexts were committed at fill.
-      }
-      compute.Submit(service, [&, chain, warm](dbase::Micros, dbase::Micros) {
-        bool kept = false;
-        // A warm sandbox's context was committed at fill time with the
-        // pool's uniform size; release the same amount on retire, or the
-        // committed-memory metric drifts when requests of one app carry
-        // different context_bytes.
-        uint64_t release_bytes = chain->req.context_bytes;
-        if (warm) {
-          AppPool& pool = pool_for(chain->req);
-          release_bytes = pool.context_bytes;
-          --pool.leased;
-          if (pool.shelved + pool.leased < pool.target &&
-              pool.shelved < config.prewarm_max_depth &&
-              total_shelved < config.prewarm_max_total) {
-            ++pool.shelved;  // Scrub + re-shelf: context stays committed.
-            ++total_shelved;
-            kept = true;
-          }
-        }
-        if (!kept) {
-          memory.Sub(release_bytes);
-        }
-        run_phase(chain);
-      });
-    };
     if (has_comm) {
       comm.Submit(chain->req.comm_us,
-                  [&, compute_stage](dbase::Micros, dbase::Micros) { compute_stage(); });
+                  [&, chain](dbase::Micros, dbase::Micros) { compute_stage_fn(chain, 0); });
     } else {
-      compute_stage();
+      compute_stage_fn(chain, 0);
     }
+  };
+
+  compute_stage_fn = [&](std::shared_ptr<Chain> chain, int attempt) {
+    const std::string breaker_key = std::to_string(chain->req.app_id);
+    // Breaker admission on fresh launches only, exactly like the runtime
+    // dispatcher: a granted relaunch is never fast-failed mid-flight.
+    if (attempt == 0 && retry_enabled) {
+      const dpolicy::AdmitDecision admit = retry_policy.Admit(breaker_key, queue.now());
+      if (!admit.allow) {
+        ++metrics.breaker_fast_fails;
+        ++metrics.failed;
+        return;  // Fast-fail: the request terminates unserved.
+      }
+    }
+    dbase::Micros sandbox_cost = config.sandbox_us;
+    bool warm = false;
+    if (pool_enabled) {
+      AppPool& pool = pool_for(chain->req);
+      ++pool.arrivals;
+      if (pool.shelved > 0) {
+        --pool.shelved;
+        --total_shelved;
+        ++pool.leased;
+        warm = true;
+        sandbox_cost = 0;  // Fork/load were paid at fill time.
+        ++metrics.warm_starts;
+      } else {
+        ++metrics.cold_starts;
+      }
+    }
+    const auto service = static_cast<dbase::Micros>(
+        config.dispatch_us + sandbox_cost +
+        static_cast<double>(chain->req.compute_us) * config.compute_slowdown);
+    if (!warm) {
+      memory.Add(chain->req.context_bytes);  // Warm contexts were committed at fill.
+    }
+    compute.Submit(service, [&, chain, warm, attempt, breaker_key](dbase::Micros,
+                                                                   dbase::Micros) {
+      // A crash is detected when the stage retires (the runtime parent
+      // observes the child's wait status after the work was burned).
+      const bool crashed =
+          config.crash_every_n > 0 && (++compute_completions % config.crash_every_n == 0);
+      bool kept = false;
+      // A warm sandbox's context was committed at fill time with the
+      // pool's uniform size; release the same amount on retire, or the
+      // committed-memory metric drifts when requests of one app carry
+      // different context_bytes.
+      uint64_t release_bytes = chain->req.context_bytes;
+      if (warm) {
+        AppPool& pool = pool_for(chain->req);
+        release_bytes = pool.context_bytes;
+        --pool.leased;
+        // A crashed child is never re-shelved (the runtime retires it).
+        if (!crashed && pool.shelved + pool.leased < pool.target &&
+            pool.shelved < config.prewarm_max_depth &&
+            total_shelved < config.prewarm_max_total) {
+          ++pool.shelved;  // Scrub + re-shelf: context stays committed.
+          ++total_shelved;
+          kept = true;
+        }
+      }
+      if (!kept) {
+        memory.Sub(release_bytes);
+      }
+      if (crashed) {
+        ++metrics.crashes_injected;
+        if (retry_enabled) {
+          const dpolicy::RetryDecision decision =
+              retry_policy.OnFailure(breaker_key, dpolicy::FailureKind::kCrash,
+                                     /*interactive=*/true, attempt, queue.now());
+          if (decision.retry) {
+            ++metrics.retries;
+            queue.ScheduleAfter(decision.backoff_us, [&, chain, attempt] {
+              compute_stage_fn(chain, attempt + 1);
+            });
+            return;
+          }
+        }
+        ++metrics.failed;
+        return;  // Budget exhausted (or retries disabled): the request fails.
+      }
+      if (retry_enabled) {
+        retry_policy.OnSuccess(breaker_key);
+      }
+      run_phase(chain);
+    });
   };
 
   for (const auto& req : requests) {

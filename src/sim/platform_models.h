@@ -16,6 +16,7 @@
 #include "src/base/stats.h"
 #include "src/policy/elasticity.h"
 #include "src/policy/prewarm.h"
+#include "src/policy/retry.h"
 #include "src/sim/calibration.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/workload.h"
@@ -33,6 +34,14 @@ struct SimMetrics {
   uint64_t cold_starts = 0;
   uint64_t warm_starts = 0;
   uint64_t completed = 0;
+  // Fault/retry parity (Dandelion model only): injected sandbox crashes,
+  // relaunches the shared dpolicy::RetryPolicy granted, launches a tripped
+  // breaker fast-failed, and requests that terminated without completing
+  // (retry budget exhausted or fast-failed).
+  uint64_t crashes_injected = 0;
+  uint64_t retries = 0;
+  uint64_t breaker_fast_fails = 0;
+  uint64_t failed = 0;
   dbase::Micros end_time_us = 0;
   // (time, comm cores) — the controller's allocation trace (Fig. 8).
   std::vector<std::pair<dbase::Micros, int>> comm_core_trace;
@@ -82,6 +91,12 @@ struct DandelionSimConfig {
   // Ignore latencies of requests arriving before this time — fig02 gates
   // on steady-state tail latency, after the pool has warmed up.
   dbase::Micros latency_record_after_us = 0;
+  // Fault/retry parity with the runtime dispatcher: every crash_every_n-th
+  // compute-stage completion is a sandbox crash (0 = off), and the same
+  // dpolicy::RetryPolicy the dispatcher executes decides relaunch, backoff,
+  // and circuit breaking — in virtual time, keyed per app.
+  uint64_t crash_every_n = 0;
+  dpolicy::RetryOptions retry;
 };
 
 SimMetrics SimulateDandelion(const DandelionSimConfig& config,

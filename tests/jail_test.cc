@@ -1,0 +1,438 @@
+// Fault-contained untrusted execution: the seccomp-BPF syscall jail on the
+// process backend, the failure taxonomy (distinct FailureKinds for jail
+// kill, genuine crash, deadline kill, cancel kill), the dispatcher's
+// policy-driven retries with per-function circuit breaking, the pooled
+// template-child-loss fallback, and the deterministic fault-injection
+// seams that drive all of it. Jail assertions degrade to capability-checked
+// skips on kernels without seccomp — with the explicit fallback assertion
+// that the unconfined path still executes correctly.
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "src/base/clock.h"
+#include "src/base/thread.h"
+#include "src/func/registry.h"
+#include "src/runtime/fault.h"
+#include "src/runtime/invocation.h"
+#include "src/runtime/jail.h"
+#include "src/runtime/platform.h"
+#include "src/runtime/sandbox_pool.h"
+
+namespace {
+
+using dandelion::FaultInjector;
+using dandelion::FaultPlan;
+using dandelion::FaultPoint;
+using dandelion::IsolationBackend;
+using dandelion::SandboxCapabilities;
+using dpolicy::FailureKind;
+using dbase::kMicrosPerMilli;
+using dbase::kMicrosPerSecond;
+
+// Every test leaves the process-wide injector disarmed, armed or not.
+class JailTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Get().Reset(); }
+  void TearDown() override { FaultInjector::Get().Reset(); }
+};
+
+dandelion::PlatformConfig ProcessConfig() {
+  dandelion::PlatformConfig config;
+  config.num_workers = 3;
+  config.backend = IsolationBackend::kProcess;
+  config.sleep_for_modeled_latency = false;
+  return config;
+}
+
+dandelion::PlatformConfig ThreadConfig() {
+  dandelion::PlatformConfig config;
+  config.num_workers = 3;
+  config.backend = IsolationBackend::kThread;
+  config.sleep_for_modeled_latency = false;
+  return config;
+}
+
+dfunc::FunctionSpec EchoSpec(const char* name = "echo") {
+  dfunc::FunctionSpec spec;
+  spec.name = name;
+  spec.context_bytes = 1 << 20;
+  spec.body = [](dfunc::FunctionCtx& ctx) {
+    auto input = ctx.SingleInput("in");
+    ctx.EmitOutput("out", input.ok() ? *input : "none");
+    return dbase::OkStatus();
+  };
+  return spec;
+}
+
+constexpr const char* kSingleDsl = R"(
+composition Run(in) => out {
+  echo(in = all in) => (out = out);
+}
+)";
+
+dfunc::DataSetList OneInput(const char* data) {
+  return {dfunc::DataSet{"in", {dfunc::DataItem{"", data}}}};
+}
+
+// ------------------------------------------------------ Capability probe
+
+TEST_F(JailTest, CapabilityProbeIsStableAndDescriptive) {
+  const SandboxCapabilities& caps = SandboxCapabilities::Get();
+  EXPECT_FALSE(caps.detail.empty());
+  // The probe is cached: a second read observes the identical answer.
+  EXPECT_EQ(&caps, &SandboxCapabilities::Get());
+  EXPECT_EQ(caps.seccomp_filter, SandboxCapabilities::Get().seccomp_filter);
+}
+
+// ------------------------------------------------------------- Jail kill
+
+// A function that reaches for the filesystem. Jailed, the openat never
+// returns — SECCOMP_RET_KILL_PROCESS delivers SIGSYS and the parent decodes
+// kJailKill. Unconfined (no seccomp on this kernel), it is a harmless open.
+dfunc::FunctionSpec FileGrabberSpec() {
+  dfunc::FunctionSpec spec = EchoSpec();
+  spec.body = [](dfunc::FunctionCtx& ctx) {
+    const int fd = ::open("/dev/null", O_RDONLY);
+    ctx.EmitOutput("out", fd >= 0 ? "opened" : "denied");
+    if (fd >= 0) {
+      ::close(fd);
+    }
+    return dbase::OkStatus();
+  };
+  return spec;
+}
+
+TEST_F(JailTest, ForbiddenSyscallIsKilledNotExecuted) {
+  dandelion::Platform platform(ProcessConfig());
+  ASSERT_TRUE(platform.RegisterFunction(FileGrabberSpec()).ok());
+  ASSERT_TRUE(platform.RegisterCompositionDsl(kSingleDsl).ok());
+
+  dandelion::InvocationRequest request;
+  request.composition = "Run";
+  request.args = OneInput("x");
+  dbase::Latch latch(1);
+  dbase::Result<dfunc::DataSetList> result = dfunc::DataSetList{};
+  auto handle = platform.Submit(std::move(request),
+                                [&](dbase::Result<dfunc::DataSetList> r) {
+                                  result = std::move(r);
+                                  latch.CountDown();
+                                });
+  ASSERT_TRUE(latch.WaitFor(10 * kMicrosPerSecond));
+
+  if (!SandboxCapabilities::Get().seccomp_filter) {
+    // Unconfined fallback: the capability record must say so, and the
+    // function must have executed normally (the open succeeds).
+    ASSERT_TRUE(result.ok()) << result.status().message();
+    EXPECT_EQ((*result)[0].items[0].data, "opened");
+    GTEST_SKIP() << "seccomp filters unavailable: " << SandboxCapabilities::Get().detail;
+  }
+
+  ASSERT_FALSE(result.ok()) << "jailed function escaped the syscall jail";
+  EXPECT_EQ(result.status().code(), dbase::StatusCode::kPermissionDenied)
+      << result.status().message();
+  const dandelion::InvocationReport report = handle.Report();
+  EXPECT_EQ(report.failure_kind, FailureKind::kJailKill);
+  // Deterministic function behaviour is never retried.
+  EXPECT_EQ(report.retries_attempted, 0u);
+}
+
+TEST_F(JailTest, PureInMemoryFunctionRunsJailedUnmodified) {
+  dandelion::Platform platform(ProcessConfig());
+  ASSERT_TRUE(platform.RegisterFunction(EchoSpec()).ok());
+  ASSERT_TRUE(platform.RegisterCompositionDsl(kSingleDsl).ok());
+
+  dandelion::InvocationRequest request;
+  request.composition = "Run";
+  request.args = OneInput("pure");
+  auto result = platform.Invoke(std::move(request));
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ((*result)[0].items[0].data, "pure");
+}
+
+// ------------------------------------------------- Failure-kind taxonomy
+
+// With retries disabled, each termination cause must surface its own
+// FailureKind in the InvocationReport: a genuine SIGSEGV is kCrash, a spec
+// timeout is kDeadlineKill, a client cancel is kCancelKill — and they map
+// to different Status codes.
+TEST_F(JailTest, CrashDeadlineAndCancelProduceDistinctKinds) {
+  dandelion::PlatformConfig config = ProcessConfig();
+  config.retry.enabled = false;  // Observe raw kinds, not retry outcomes.
+  dandelion::Platform platform(config);
+
+  dfunc::FunctionSpec crasher = EchoSpec("crasher");
+  crasher.body = [](dfunc::FunctionCtx&) {
+    volatile int* null_page = nullptr;
+    *null_page = 1;  // SIGSEGV: a genuine crash, not a jail kill.
+    return dbase::OkStatus();
+  };
+  dfunc::FunctionSpec slow = EchoSpec("slow");
+  slow.timeout_us = 30 * kMicrosPerMilli;
+  slow.body = [](dfunc::FunctionCtx& ctx) {
+    dbase::SpinFor(2 * kMicrosPerSecond);
+    ctx.EmitOutput("out", "late");
+    return dbase::OkStatus();
+  };
+  dfunc::FunctionSpec spinner = EchoSpec("spinner");
+  spinner.body = [](dfunc::FunctionCtx& ctx) {
+    dbase::SpinFor(2 * kMicrosPerSecond);
+    ctx.EmitOutput("out", "spun");
+    return dbase::OkStatus();
+  };
+  ASSERT_TRUE(platform.RegisterFunction(std::move(crasher)).ok());
+  ASSERT_TRUE(platform.RegisterFunction(std::move(slow)).ok());
+  ASSERT_TRUE(platform.RegisterFunction(std::move(spinner)).ok());
+  ASSERT_TRUE(platform.RegisterCompositionDsl(R"(
+composition RunCrash(in) => out { crasher(in = all in) => (out = out); }
+composition RunSlow(in) => out { slow(in = all in) => (out = out); }
+composition RunSpin(in) => out { spinner(in = all in) => (out = out); }
+)")
+                  .ok());
+
+  {
+    dandelion::InvocationRequest request;
+    request.composition = "RunCrash";
+    request.args = OneInput("x");
+    dbase::Latch latch(1);
+    dbase::Result<dfunc::DataSetList> result = dfunc::DataSetList{};
+    auto handle = platform.Submit(std::move(request),
+                                  [&](dbase::Result<dfunc::DataSetList> r) {
+                                    result = std::move(r);
+                                    latch.CountDown();
+                                  });
+    ASSERT_TRUE(latch.WaitFor(10 * kMicrosPerSecond));
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), dbase::StatusCode::kInternal);
+    EXPECT_EQ(handle.Report().failure_kind, FailureKind::kCrash);
+  }
+  {
+    dandelion::InvocationRequest request;
+    request.composition = "RunSlow";
+    request.args = OneInput("x");
+    dbase::Latch latch(1);
+    dbase::Result<dfunc::DataSetList> result = dfunc::DataSetList{};
+    auto handle = platform.Submit(std::move(request),
+                                  [&](dbase::Result<dfunc::DataSetList> r) {
+                                    result = std::move(r);
+                                    latch.CountDown();
+                                  });
+    ASSERT_TRUE(latch.WaitFor(10 * kMicrosPerSecond));
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), dbase::StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(handle.Report().failure_kind, FailureKind::kDeadlineKill);
+  }
+  {
+    dandelion::InvocationRequest request;
+    request.composition = "RunSpin";
+    request.args = OneInput("x");
+    dbase::Latch latch(1);
+    dbase::Result<dfunc::DataSetList> result = dfunc::DataSetList{};
+    auto handle = platform.Submit(std::move(request),
+                                  [&](dbase::Result<dfunc::DataSetList> r) {
+                                    result = std::move(r);
+                                    latch.CountDown();
+                                  });
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    handle.Cancel();
+    ASSERT_TRUE(latch.WaitFor(10 * kMicrosPerSecond));
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), dbase::StatusCode::kCancelled);
+    EXPECT_EQ(handle.Report().failure_kind, FailureKind::kCancelKill);
+    EXPECT_EQ(handle.Report().phase, dandelion::InvocationPhase::kCancelled);
+  }
+}
+
+// --------------------------------------------------- Retry recovers crash
+
+TEST_F(JailTest, RetryRecoversInjectedCrashTransparently) {
+  dandelion::Platform platform(ProcessConfig());
+  ASSERT_TRUE(platform.RegisterFunction(EchoSpec()).ok());
+  ASSERT_TRUE(platform.RegisterCompositionDsl(kSingleDsl).ok());
+
+  // Exactly one crash: the first child traps before producing an outcome,
+  // the relaunch runs clean.
+  FaultInjector::Get().Arm(FaultPoint::kChildCrashBeforeOutcome,
+                           FaultPlan{.every_n = 1, .limit = 1});
+
+  dandelion::InvocationRequest request;
+  request.composition = "Run";
+  request.args = OneInput("survive");
+  dbase::Latch latch(1);
+  dbase::Result<dfunc::DataSetList> result = dfunc::DataSetList{};
+  auto handle = platform.Submit(std::move(request),
+                                [&](dbase::Result<dfunc::DataSetList> r) {
+                                  result = std::move(r);
+                                  latch.CountDown();
+                                });
+  ASSERT_TRUE(latch.WaitFor(10 * kMicrosPerSecond));
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ((*result)[0].items[0].data, "survive");
+
+  // The client saw success; the report records the absorbed failure.
+  const dandelion::InvocationReport report = handle.Report();
+  EXPECT_EQ(report.retries_attempted, 1u);
+  EXPECT_EQ(report.failure_kind, FailureKind::kCrash);
+  const dandelion::DispatcherStats stats = platform.dispatcher_stats();
+  EXPECT_GE(stats.sandbox_failures, 1u);
+  EXPECT_GE(stats.retries_attempted, 1u);
+}
+
+// A child that tears the outcome header mid-write before dying must not
+// poison the retry: the relaunch re-marshals the inputs into a fresh
+// context instead of trusting the corrupted bytes.
+TEST_F(JailTest, TornOutcomeIsDiscardedAndRetried) {
+  dandelion::Platform platform(ProcessConfig());
+  ASSERT_TRUE(platform.RegisterFunction(EchoSpec()).ok());
+  ASSERT_TRUE(platform.RegisterCompositionDsl(kSingleDsl).ok());
+
+  FaultInjector::Get().Arm(FaultPoint::kChildCrashAfterPartialWrite,
+                           FaultPlan{.every_n = 1, .limit = 1});
+
+  dandelion::InvocationRequest request;
+  request.composition = "Run";
+  request.args = OneInput("intact");
+  dbase::Latch latch(1);
+  dbase::Result<dfunc::DataSetList> result = dfunc::DataSetList{};
+  auto handle = platform.Submit(std::move(request),
+                                [&](dbase::Result<dfunc::DataSetList> r) {
+                                  result = std::move(r);
+                                  latch.CountDown();
+                                });
+  ASSERT_TRUE(latch.WaitFor(10 * kMicrosPerSecond));
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ((*result)[0].items[0].data, "intact");
+  EXPECT_EQ(handle.Report().retries_attempted, 1u);
+}
+
+TEST_F(JailTest, TransientResourceExhaustionIsRetried) {
+  dandelion::Platform platform(ThreadConfig());
+  ASSERT_TRUE(platform.RegisterFunction(EchoSpec()).ok());
+  ASSERT_TRUE(platform.RegisterCompositionDsl(kSingleDsl).ok());
+
+  FaultInjector::Get().Arm(FaultPoint::kTransientResourceExhausted,
+                           FaultPlan{.every_n = 1, .limit = 1});
+
+  dandelion::InvocationRequest request;
+  request.composition = "Run";
+  request.args = OneInput("again");
+  dbase::Latch latch(1);
+  dbase::Result<dfunc::DataSetList> result = dfunc::DataSetList{};
+  auto handle = platform.Submit(std::move(request),
+                                [&](dbase::Result<dfunc::DataSetList> r) {
+                                  result = std::move(r);
+                                  latch.CountDown();
+                                });
+  ASSERT_TRUE(latch.WaitFor(10 * kMicrosPerSecond));
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  const dandelion::InvocationReport report = handle.Report();
+  EXPECT_EQ(report.retries_attempted, 1u);
+  EXPECT_EQ(report.failure_kind, FailureKind::kResourceExhausted);
+}
+
+// ----------------------------------------------- Pool template-child loss
+
+TEST_F(JailTest, PoolChildLostFallsBackToColdForkTransparently) {
+  dandelion::PlatformConfig config = ProcessConfig();
+  config.enable_sandbox_pool = true;
+  config.sandbox_pool.prewarm.ewma_alpha = 0.5;
+  config.sandbox_pool.prewarm.provision_window_us = 100 * kMicrosPerMilli;
+  config.sandbox_pool.prewarm.scale_to_zero_after_us = 10 * kMicrosPerSecond;
+  dandelion::Platform platform(config);
+  ASSERT_TRUE(platform.RegisterFunction(EchoSpec()).ok());
+  ASSERT_TRUE(platform.RegisterCompositionDsl(kSingleDsl).ok());
+
+  dandelion::SandboxPool* pool = platform.sandbox_pool();
+  {
+    dandelion::InvocationRequest request;
+    request.composition = "Run";
+    request.args = OneInput("prime");
+    ASSERT_TRUE(platform.Invoke(std::move(request)).ok());
+  }
+  pool->Tick(0);
+  pool->Tick(100 * kMicrosPerMilli);
+  ASSERT_GE(pool->Stats().shelved, 1);
+
+  // The next acquire kills the warm template child before dispatch: the
+  // go-pipe write finds it gone and the engine falls back to a cold fork
+  // over the same warm context — the client must never notice.
+  FaultInjector::Get().Arm(FaultPoint::kPoolTemplateDeath,
+                           FaultPlan{.every_n = 1, .limit = 1});
+
+  dandelion::InvocationRequest request;
+  request.composition = "Run";
+  request.args = OneInput("fallback");
+  auto result = platform.Invoke(std::move(request));
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ((*result)[0].items[0].data, "fallback");
+  EXPECT_EQ(pool->Stats().pool_child_lost, 1u);
+  EXPECT_EQ(pool->Stats().leased, 0);
+}
+
+// ------------------------------------------------------- Circuit breaker
+
+TEST_F(JailTest, BreakerTripsFastFailsAndRecoversAfterCooldown) {
+  dandelion::PlatformConfig config = ThreadConfig();
+  config.retry.max_retries_interactive = 0;  // Every failure is terminal.
+  config.retry.max_retries_batch = 0;
+  config.retry.breaker_trip_after = 3;
+  config.retry.breaker_cooldown_us = 50 * kMicrosPerMilli;
+  dandelion::Platform platform(config);
+  ASSERT_TRUE(platform.RegisterFunction(EchoSpec()).ok());
+  ASSERT_TRUE(platform.RegisterCompositionDsl(kSingleDsl).ok());
+
+  // Three consecutive launch failures trip the breaker.
+  FaultInjector::Get().Arm(FaultPoint::kTransientResourceExhausted,
+                           FaultPlan{.every_n = 1, .limit = 3});
+  for (int i = 0; i < 3; ++i) {
+    dandelion::InvocationRequest request;
+    request.composition = "Run";
+    request.args = OneInput("doomed");
+    auto result = platform.Invoke(std::move(request));
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), dbase::StatusCode::kResourceExhausted);
+  }
+  dandelion::DispatcherStats stats = platform.dispatcher_stats();
+  EXPECT_GE(stats.breaker_trips, 1u);
+  EXPECT_EQ(stats.breakers_open, 1);
+
+  // While open: launches fast-fail kUnavailable without reaching a sandbox.
+  {
+    dandelion::InvocationRequest request;
+    request.composition = "Run";
+    request.args = OneInput("shed");
+    auto result = platform.Invoke(std::move(request));
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), dbase::StatusCode::kUnavailable)
+        << result.status().message();
+  }
+  stats = platform.dispatcher_stats();
+  EXPECT_GE(stats.breaker_fast_fails, 1u);
+
+  // After the cooldown the half-open probe is admitted; the fault is spent
+  // (limit 3), so the probe succeeds and the breaker closes.
+  FaultInjector::Get().Disarm(FaultPoint::kTransientResourceExhausted);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  {
+    dandelion::InvocationRequest request;
+    request.composition = "Run";
+    request.args = OneInput("probe");
+    auto result = platform.Invoke(std::move(request));
+    ASSERT_TRUE(result.ok()) << result.status().message();
+    EXPECT_EQ((*result)[0].items[0].data, "probe");
+  }
+  stats = platform.dispatcher_stats();
+  EXPECT_GE(stats.breaker_recoveries, 1u);
+  EXPECT_EQ(stats.breakers_open, 0);
+  const auto breakers = platform.breaker_snapshots();
+  ASSERT_EQ(breakers.size(), 1u);
+  EXPECT_EQ(breakers[0].function, "echo");
+  EXPECT_EQ(breakers[0].state, dpolicy::BreakerState::kClosed);
+}
+
+}  // namespace

@@ -13,6 +13,7 @@
 #include "src/base/thread.h"
 #include "src/policy/elasticity.h"
 #include "src/policy/kpa.h"
+#include "src/policy/retry.h"
 #include "src/runtime/controller.h"
 #include "src/runtime/engine.h"
 
@@ -384,6 +385,158 @@ TEST(WorkerSetTest, ShiftWorkersMovesMultipleAndClamps) {
   EXPECT_EQ(workers.ShiftWorkers(-10), -4);  // 5 compute → 1.
   EXPECT_EQ(workers.compute_workers(), 1);
   EXPECT_EQ(workers.ShiftWorkers(0), 0);
+}
+
+// ------------------------------------------------------------ RetryPolicy
+
+dpolicy::RetryOptions TestRetryOptions() {
+  dpolicy::RetryOptions options;
+  options.max_retries_interactive = 1;
+  options.max_retries_batch = 3;
+  options.backoff_base_us = 1000;
+  options.backoff_multiplier = 2.0;
+  options.backoff_cap_us = 100 * 1000;
+  options.breaker_trip_after = 5;
+  options.breaker_cooldown_us = 1 * kMicrosPerSecond;
+  return options;
+}
+
+TEST(RetryPolicyTest, BudgetsDifferByPriorityClass) {
+  dpolicy::RetryPolicy policy(TestRetryOptions());
+  // Interactive: one relaunch, then the budget is spent.
+  auto decision = policy.OnFailure("f", dpolicy::FailureKind::kCrash,
+                                   /*interactive=*/true, /*attempts_so_far=*/0, 0);
+  EXPECT_TRUE(decision.retry);
+  decision = policy.OnFailure("f", dpolicy::FailureKind::kCrash, true, 1, 0);
+  EXPECT_FALSE(decision.retry);
+  EXPECT_STREQ(decision.reason, "budget exhausted");
+  // Batch work can afford three.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    EXPECT_TRUE(policy.OnFailure("g", dpolicy::FailureKind::kCrash, false, attempt, 0).retry);
+  }
+  EXPECT_FALSE(policy.OnFailure("g", dpolicy::FailureKind::kCrash, false, 3, 0).retry);
+  const auto stats = policy.Stats();
+  EXPECT_EQ(stats.retries_granted, 4u);
+  EXPECT_EQ(stats.retries_denied_budget, 2u);
+}
+
+TEST(RetryPolicyTest, BackoffIsExponentialAndCapped) {
+  dpolicy::RetryPolicy policy(TestRetryOptions());
+  EXPECT_EQ(policy.BackoffForAttempt(0), 1000);
+  EXPECT_EQ(policy.BackoffForAttempt(1), 2000);
+  EXPECT_EQ(policy.BackoffForAttempt(2), 4000);
+  EXPECT_EQ(policy.BackoffForAttempt(10), 100 * 1000);  // Cap.
+}
+
+TEST(RetryPolicyTest, OnlyRetrySafeKindsAreRelaunched) {
+  dpolicy::RetryPolicy policy(TestRetryOptions());
+  // Infrastructure failures are retry-safe…
+  EXPECT_TRUE(policy.OnFailure("f", dpolicy::FailureKind::kCrash, false, 0, 0).retry);
+  EXPECT_TRUE(policy.OnFailure("f", dpolicy::FailureKind::kPoolChildLost, false, 0, 0).retry);
+  EXPECT_TRUE(
+      policy.OnFailure("f", dpolicy::FailureKind::kResourceExhausted, false, 0, 0).retry);
+  // …deterministic function behaviour and client intent are not: a jail
+  // kill or nonzero exit reproduces on relaunch, deadline/cancel kills were
+  // asked for.
+  EXPECT_FALSE(policy.OnFailure("f", dpolicy::FailureKind::kJailKill, false, 0, 0).retry);
+  EXPECT_FALSE(policy.OnFailure("f", dpolicy::FailureKind::kNonzeroExit, false, 0, 0).retry);
+  EXPECT_FALSE(policy.OnFailure("f", dpolicy::FailureKind::kDeadlineKill, false, 0, 0).retry);
+  EXPECT_FALSE(policy.OnFailure("f", dpolicy::FailureKind::kCancelKill, false, 0, 0).retry);
+  EXPECT_EQ(policy.Stats().retries_denied_kind, 4u);
+}
+
+TEST(RetryPolicyTest, DeadlineAndCancelKillsDoNotFeedTheBreaker) {
+  dpolicy::RetryPolicy policy(TestRetryOptions());
+  for (int i = 0; i < 20; ++i) {
+    policy.OnFailure("f", dpolicy::FailureKind::kDeadlineKill, true, 0, 0);
+    policy.OnFailure("f", dpolicy::FailureKind::kCancelKill, true, 0, 0);
+  }
+  EXPECT_TRUE(policy.Admit("f", 0).allow);
+  EXPECT_EQ(policy.Stats().breaker_trips, 0u);
+  EXPECT_TRUE(policy.Breakers().empty());
+}
+
+TEST(RetryPolicyTest, BreakerLifecycleOnFakeClock) {
+  dpolicy::RetryPolicy policy(TestRetryOptions());
+  Micros now = 0;
+  // Five consecutive crashes trip the breaker (kind is breaker-relevant
+  // even though a jail kill is never retried).
+  for (int i = 0; i < 5; ++i) {
+    policy.OnFailure("f", dpolicy::FailureKind::kJailKill, true, 0, now);
+  }
+  auto stats = policy.Stats();
+  EXPECT_EQ(stats.breaker_trips, 1u);
+  EXPECT_EQ(stats.breakers_open, 1);
+
+  // Open: fast-fail until the cooldown elapses.
+  auto admit = policy.Admit("f", now + 10);
+  EXPECT_FALSE(admit.allow);
+  EXPECT_STREQ(admit.reason, "breaker open");
+
+  // Cooldown elapsed: exactly one probe is admitted, concurrents fast-fail.
+  now += 1 * kMicrosPerSecond;
+  admit = policy.Admit("f", now);
+  EXPECT_TRUE(admit.allow);
+  EXPECT_STREQ(admit.reason, "half-open probe");
+  EXPECT_FALSE(policy.Admit("f", now).allow);
+
+  // Probe failure re-opens and restarts the cooldown.
+  policy.OnFailure("f", dpolicy::FailureKind::kCrash, true, 0, now);
+  EXPECT_FALSE(policy.Admit("f", now + 1).allow);
+  EXPECT_EQ(policy.Stats().breaker_trips, 2u);
+
+  // Second probe succeeds: the breaker closes and the recovery is counted.
+  now += 1 * kMicrosPerSecond;
+  EXPECT_TRUE(policy.Admit("f", now).allow);
+  policy.OnSuccess("f");
+  stats = policy.Stats();
+  EXPECT_EQ(stats.breaker_recoveries, 1u);
+  EXPECT_EQ(stats.breakers_open, 0);
+  EXPECT_TRUE(policy.Admit("f", now).allow);
+
+  const auto breakers = policy.Breakers();
+  ASSERT_EQ(breakers.size(), 1u);
+  EXPECT_EQ(breakers[0].function, "f");
+  EXPECT_EQ(breakers[0].state, dpolicy::BreakerState::kClosed);
+  EXPECT_EQ(breakers[0].consecutive_failures, 0);
+}
+
+TEST(RetryPolicyTest, OpenBreakerSuppressesRetriesForItsFunction) {
+  dpolicy::RetryOptions options = TestRetryOptions();
+  options.breaker_trip_after = 2;
+  dpolicy::RetryPolicy policy(options);
+  EXPECT_TRUE(policy.OnFailure("f", dpolicy::FailureKind::kCrash, false, 0, 0).retry);
+  // Second consecutive failure trips the breaker; granting a relaunch at
+  // the same moment would race the fast-fail gate.
+  const auto decision = policy.OnFailure("f", dpolicy::FailureKind::kCrash, false, 1, 0);
+  EXPECT_FALSE(decision.retry);
+  EXPECT_STREQ(decision.reason, "breaker open");
+}
+
+TEST(RetryPolicyTest, DisabledPolicyIsInert) {
+  dpolicy::RetryOptions options = TestRetryOptions();
+  options.enabled = false;
+  dpolicy::RetryPolicy policy(options);
+  EXPECT_TRUE(policy.Admit("f", 0).allow);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(policy.OnFailure("f", dpolicy::FailureKind::kCrash, true, 0, 0).retry);
+  }
+  EXPECT_TRUE(policy.Admit("f", 0).allow);
+  EXPECT_EQ(policy.Stats().retries_granted, 0u);
+  EXPECT_EQ(policy.Stats().breaker_trips, 0u);
+}
+
+TEST(RetryPolicyTest, FailureKindNamesAreStable) {
+  // statz and the bench JSON key sections by these names.
+  EXPECT_EQ(dpolicy::FailureKindName(dpolicy::FailureKind::kNone), "none");
+  EXPECT_EQ(dpolicy::FailureKindName(dpolicy::FailureKind::kCrash), "crash");
+  EXPECT_EQ(dpolicy::FailureKindName(dpolicy::FailureKind::kJailKill), "jail_kill");
+  EXPECT_EQ(dpolicy::FailureKindName(dpolicy::FailureKind::kDeadlineKill), "deadline_kill");
+  EXPECT_EQ(dpolicy::FailureKindName(dpolicy::FailureKind::kCancelKill), "cancel_kill");
+  EXPECT_EQ(dpolicy::FailureKindName(dpolicy::FailureKind::kNonzeroExit), "nonzero_exit");
+  EXPECT_EQ(dpolicy::FailureKindName(dpolicy::FailureKind::kPoolChildLost), "pool_child_lost");
+  EXPECT_EQ(dpolicy::FailureKindName(dpolicy::FailureKind::kResourceExhausted),
+            "resource_exhausted");
 }
 
 }  // namespace

@@ -23,6 +23,7 @@
 #include "src/runtime/dispatcher.h"
 #include "src/runtime/engine.h"
 #include "src/runtime/frontend.h"
+#include "src/runtime/jail.h"
 #include "src/runtime/memory_context.h"
 #include "src/runtime/platform.h"
 #include "src/runtime/sandbox.h"
@@ -275,6 +276,11 @@ INSTANTIATE_TEST_SUITE_P(Backends, SandboxBackendTest,
                          });
 
 TEST(SandboxTest, ProcessIsolationSurvivesCrash) {
+  // Jail bypassed: raise() is a forbidden syscall under seccomp, which
+  // would turn this into a SIGSYS jail kill (covered by jail_test). This
+  // test pins the plain die-by-signal decode path.
+  const bool jail_was_enabled = SyscallJailEnabled();
+  SetSyscallJailEnabled(false);
   auto executor = CreateSandboxExecutor(IsolationBackend::kProcess);
   dfunc::FunctionSpec spec;
   spec.name = "crasher";
@@ -289,8 +295,10 @@ TEST(SandboxTest, ProcessIsolationSurvivesCrash) {
   ASSERT_TRUE(ctx.ok());
   ASSERT_TRUE((*ctx)->StoreInputSets({}).ok());
   ExecOutcome outcome = executor->Execute(spec, **ctx, SandboxOptions{});
+  SetSyscallJailEnabled(jail_was_enabled);
   EXPECT_FALSE(outcome.status.ok());
   EXPECT_NE(outcome.status.message().find("signal"), std::string::npos);
+  EXPECT_EQ(outcome.failure, dpolicy::FailureKind::kCrash);
 }
 
 TEST(SandboxTest, ProcessRequiresSharedContext) {

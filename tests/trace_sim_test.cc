@@ -304,6 +304,61 @@ TEST(DandelionSimTest, ControllerMovesCoresTowardComm) {
   EXPECT_GT(max_comm, 1);
 }
 
+TEST(DandelionSimTest, InjectedCrashesAreRetriedAndAccounted) {
+  dsim::DandelionSimConfig config;
+  config.cores = 4;
+  config.enable_controller = false;
+  config.crash_every_n = 10;  // Every 10th compute completion crashes.
+  const auto requests =
+      dsim::PoissonStream(Matmul128Shape(), 200.0, 5 * kMicrosPerSecond, 21);
+  auto metrics = dsim::SimulateDandelion(config, requests);
+  EXPECT_GT(metrics.crashes_injected, 0u);
+  EXPECT_GT(metrics.retries, 0u);
+  // Every request terminates exactly once: completed or failed, never both,
+  // never neither — the retry path must not lose or double-count chains.
+  EXPECT_EQ(metrics.completed + metrics.failed, requests.size());
+  // The default budget absorbs most single crashes, so the overwhelming
+  // majority of crashed requests still complete.
+  EXPECT_GT(metrics.completed, (requests.size() * 9) / 10);
+  // A retry can only follow a crash.
+  EXPECT_LE(metrics.retries, metrics.crashes_injected);
+}
+
+TEST(DandelionSimTest, RetryDisabledFailsEveryCrashedRequest) {
+  dsim::DandelionSimConfig config;
+  config.cores = 4;
+  config.enable_controller = false;
+  config.crash_every_n = 5;
+  config.retry.enabled = false;
+  const auto requests =
+      dsim::PoissonStream(Matmul128Shape(), 200.0, 5 * kMicrosPerSecond, 22);
+  auto metrics = dsim::SimulateDandelion(config, requests);
+  EXPECT_GT(metrics.crashes_injected, 0u);
+  EXPECT_EQ(metrics.retries, 0u);
+  // One crash = one failed request when nothing relaunches.
+  EXPECT_EQ(metrics.failed, metrics.crashes_injected);
+  EXPECT_EQ(metrics.completed + metrics.failed, requests.size());
+}
+
+TEST(DandelionSimTest, BreakerFastFailsUnderSustainedCrashes) {
+  dsim::DandelionSimConfig config;
+  config.cores = 4;
+  config.enable_controller = false;
+  config.crash_every_n = 1;  // Every compute stage crashes: the app is sick.
+  config.retry.max_retries_interactive = 0;
+  config.retry.breaker_trip_after = 2;
+  config.retry.breaker_cooldown_us = 1 * kMicrosPerSecond;
+  const auto requests =
+      dsim::PoissonStream(Matmul128Shape(), 500.0, 2 * kMicrosPerSecond, 23);
+  auto metrics = dsim::SimulateDandelion(config, requests);
+  EXPECT_EQ(metrics.completed, 0u);
+  EXPECT_EQ(metrics.failed, requests.size());
+  // After the second failure the breaker opens and later arrivals are shed
+  // without burning compute.
+  EXPECT_GT(metrics.breaker_fast_fails, 0u);
+  EXPECT_LT(metrics.crashes_injected, requests.size());
+}
+
 TEST(VmSimTest, ColdStartsDominateTail) {
   auto config = dsim::VmSimConfig::FirecrackerSnapshot(4, 0.97);
   const auto requests =
