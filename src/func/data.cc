@@ -1,5 +1,6 @@
 #include "src/func/data.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace dfunc {
@@ -106,13 +107,17 @@ dbase::Result<DataSetList> UnmarshalSetsImpl(std::string_view buffer,
   }
   ASSIGN_OR_RETURN(uint32_t set_count, reader.ReadU32());
   DataSetList sets;
-  sets.reserve(set_count);
+  // Reserve no more than the remaining bytes could possibly encode (a set
+  // costs at least a name length + item count): a corrupt count field must
+  // not be able to force a multi-gigabyte allocation before the truncation
+  // check fails the parse.
+  sets.reserve(std::min<size_t>(set_count, (buffer.size() - reader.pos()) / 12));
   for (uint32_t s = 0; s < set_count; ++s) {
     DataSet set;
     ASSIGN_OR_RETURN(std::string_view name, reader.ReadBlob());
     set.name = std::string(name);
     ASSIGN_OR_RETURN(uint32_t item_count, reader.ReadU32());
-    set.items.reserve(item_count);
+    set.items.reserve(std::min<size_t>(item_count, (buffer.size() - reader.pos()) / 16));
     for (uint32_t i = 0; i < item_count; ++i) {
       DataItem item;
       ASSIGN_OR_RETURN(std::string_view key, reader.ReadBlob());

@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -49,6 +50,13 @@ struct MeshCallResult {
 
 class ServiceMesh {
  public:
+  // Carries a serialized request to a named peer node and returns the
+  // serialized response plus the latency the serving node reported — the
+  // seam the cluster plugs its dnet NodeClient into (one socket path for
+  // invokes and mesh calls alike). Must be thread-safe.
+  using RemoteTransport = std::function<dbase::Result<MeshCallResult>(
+      const std::string& peer, const SanitizedRequest& request)>;
+
   ServiceMesh() : rng_(0xD00DFEEDULL) {}
 
   // Registers a service under a host name ("storage.internal"). Replaces any
@@ -56,24 +64,42 @@ class ServiceMesh {
   void Register(const std::string& host, std::shared_ptr<Service> service,
                 LatencyModel latency = LatencyModel{});
 
+  // Registers a host that lives on another node: calls to it ride the
+  // remote transport to `peer`, where that node's local mesh serves them.
+  // A local Register for the same host wins (data gravity: never pay the
+  // wire for a service this node has).
+  void RegisterRemote(const std::string& host, const std::string& peer);
+
+  // Installs the transport remote hosts are carried over. Without one,
+  // remote hosts fail like unknown hosts (502).
+  void SetRemoteTransport(RemoteTransport transport);
+
   bool HasHost(const std::string& host) const;
 
   // Carries out a sanitized request: routes on the URI host, invokes the
-  // service, and samples the latency model. Unknown hosts yield 502.
+  // service (locally, or on the owning peer via the remote transport), and
+  // samples the latency model. Unknown hosts yield 502.
   MeshCallResult Call(const SanitizedRequest& request);
 
   uint64_t total_calls() const { return total_calls_.load(std::memory_order_relaxed); }
+  uint64_t remote_calls() const { return remote_calls_.load(std::memory_order_relaxed); }
 
  private:
   struct Endpoint {
     std::shared_ptr<Service> service;
     LatencyModel latency;
+    // Non-empty = remote host: carried to this peer instead of served here.
+    std::string peer;
   };
+
+  MeshCallResult CallRemote(const std::string& peer, const SanitizedRequest& request);
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, Endpoint> endpoints_;
-  dbase::Rng rng_;  // Guarded by mu_.
+  RemoteTransport remote_transport_;  // Guarded by mu_.
+  dbase::Rng rng_;                    // Guarded by mu_.
   std::atomic<uint64_t> total_calls_{0};
+  std::atomic<uint64_t> remote_calls_{0};
 };
 
 }  // namespace dhttp

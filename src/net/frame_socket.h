@@ -1,0 +1,126 @@
+// FrameSocket: one connected TCP peer speaking the dnet frame protocol,
+// registered on a dbase::EventLoop. The read side is a header-then-body
+// state machine that adopts each body straight into a refcounted
+// dbase::Buffer, so frame handlers (and the aliasing UnmarshalSets under
+// them) view the receive bytes without copying. The write side is a
+// scatter queue flushed with writev — MarshalSetsScatter chunks go from
+// their original backing buffers to the kernel with no intermediate
+// assembly.
+//
+// Threading: all methods are loop-thread-only unless noted. Cross-thread
+// senders (NodeClient callers) go through EventLoop::Post. Lifetime is
+// shared_ptr-managed: callbacks pin the socket for the duration of a
+// dispatch, so an on_close handler may drop the owner's last reference
+// mid-callback safely.
+#ifndef SRC_NET_FRAME_SOCKET_H_
+#define SRC_NET_FRAME_SOCKET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/buffer.h"
+#include "src/base/event_loop.h"
+#include "src/base/status.h"
+#include "src/net/wire.h"
+
+namespace dnet {
+
+class FrameSocket : public std::enable_shared_from_this<FrameSocket> {
+ public:
+  // Called on the loop thread for every complete, well-formed frame. The
+  // body slice aliases the receive buffer; holding it (or payloads
+  // unmarshalled from it) keeps the buffer alive.
+  using FrameHandler = std::function<void(const FrameHeader&, dbase::BufferSlice body)>;
+  // Called exactly once when the connection dies: clean peer EOF (kOk),
+  // socket error (kUnavailable), or a protocol violation
+  // (kInvalidArgument). The fd is already closed when this runs.
+  using CloseHandler = std::function<void(const dbase::Status& reason)>;
+
+  // Adopts a connected non-blocking `fd` and registers it on `loop`.
+  // Loop-thread-only. On registration failure the fd is closed and the
+  // error returned.
+  static dbase::Result<std::shared_ptr<FrameSocket>> Adopt(dbase::EventLoop* loop, int fd,
+                                                           FrameLimits limits,
+                                                           FrameHandler on_frame,
+                                                           CloseHandler on_close);
+  ~FrameSocket();
+
+  // Queues one frame: the header (body_len is computed from the chunks)
+  // followed by the body chunks, then flushes as much as the socket
+  // accepts. Loop-thread-only. Frames queued after close are dropped.
+  void SendFrame(FrameType type, uint16_t flags, uint64_t request_id,
+                 std::vector<dbase::BufferSlice> body);
+  // Convenience for small owned bodies (join, gossip, cancel).
+  void SendFrame(FrameType type, uint16_t flags, uint64_t request_id, std::string body);
+
+  // Tears the connection down (idempotent): deregisters, closes the fd,
+  // and fires on_close with `reason`. Loop-thread-only.
+  void Close(const dbase::Status& reason);
+
+  bool closed() const { return fd_ < 0; }
+  int fd() const { return fd_; }
+
+  // Payload byte counters (header + body, both directions). Thread-safe
+  // reads — statz samples these off-loop.
+  uint64_t bytes_sent() const { return bytes_sent_.load(std::memory_order_relaxed); }
+  uint64_t bytes_received() const { return bytes_received_.load(std::memory_order_relaxed); }
+
+  FrameSocket(const FrameSocket&) = delete;
+  FrameSocket& operator=(const FrameSocket&) = delete;
+
+ private:
+  FrameSocket(dbase::EventLoop* loop, int fd, FrameLimits limits, FrameHandler on_frame,
+              CloseHandler on_close);
+
+  void OnEvent(uint32_t events);
+  // Reads until EAGAIN (or the per-wake budget), advancing the
+  // header/body state machine and dispatching complete frames.
+  void OnReadable();
+  // writev's the send queue until EAGAIN or empty; adjusts EPOLLOUT.
+  void FlushWrites();
+  void UpdateInterest();
+
+  dbase::EventLoop* const loop_;
+  int fd_;
+  const FrameLimits limits_;
+  const FrameHandler on_frame_;
+  CloseHandler on_close_;  // Cleared after firing (fire exactly once).
+
+  // Read state machine: fill header_, decode, then fill body_ (sized to
+  // body_len up front — the limit check already ran) and dispatch.
+  std::string header_;         // Partial header bytes (< kFrameHeaderBytes).
+  bool reading_body_ = false;
+  FrameHeader pending_;        // Decoded header while its body streams in.
+  std::string body_;           // Partial body; adopted into a Buffer when full.
+
+  // Write queue: chunk sequence with a cursor into the front chunk.
+  std::deque<dbase::BufferSlice> send_queue_;
+  size_t send_offset_ = 0;  // Bytes of send_queue_.front() already written.
+  uint32_t armed_events_ = 0;
+
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> bytes_received_{0};
+};
+
+// --------------------------------------------------------- socket helpers
+
+// Creates a loopback TCP listener (SOCK_NONBLOCK | SOCK_CLOEXEC) on `port`
+// (0 picks an ephemeral port). Returns the listening fd.
+dbase::Result<int> ListenLoopback(uint16_t port, int backlog);
+
+// The port a bound socket actually landed on.
+dbase::Result<uint16_t> BoundPort(int fd);
+
+// Blocking loopback connect with a deadline, returning a connected
+// non-blocking fd (TCP_NODELAY set). Safe off-loop; hand the fd to
+// FrameSocket::Adopt on the loop thread afterwards.
+dbase::Result<int> ConnectLoopback(uint16_t port, dbase::Micros timeout_us);
+
+}  // namespace dnet
+
+#endif  // SRC_NET_FRAME_SOCKET_H_

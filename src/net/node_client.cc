@@ -1,0 +1,393 @@
+#include "src/net/node_client.h"
+
+#include <utility>
+
+namespace dnet {
+namespace {
+
+constexpr dbase::Micros kDefaultRequestTimeout = 5 * dbase::kMicrosPerSecond;
+
+}  // namespace
+
+NodeClient::NodeClient(Config config) : config_(std::move(config)) {}
+
+NodeClient::~NodeClient() { Stop(); }
+
+dbase::Status NodeClient::Start() {
+  if (running_.load(std::memory_order_relaxed)) {
+    return dbase::FailedPrecondition("NodeClient already started");
+  }
+  ASSIGN_OR_RETURN(loop_, dbase::EventLoop::Create());
+  running_.store(true, std::memory_order_relaxed);
+  loop_thread_ = std::make_unique<dbase::JoiningThread>("dnet-client", [this] { loop_->Run(); });
+  return dbase::OkStatus();
+}
+
+void NodeClient::Stop() {
+  if (!running_.exchange(false, std::memory_order_relaxed)) {
+    return;
+  }
+  dbase::Latch drained(1);
+  loop_->Post([this, &drained] {
+    // Closing each socket fails its pending requests through
+    // OnPeerClosed, so blocked callers wake with "peer lost".
+    for (auto& [name, peer] : peers_) {
+      if (peer.socket != nullptr && !peer.socket->closed()) {
+        peer.socket->SendFrame(FrameType::kLeave, 0, 0, std::string());
+        peer.socket->Close(dbase::Unavailable("client stopping"));
+      }
+    }
+    drained.CountDown();
+  });
+  drained.Wait();
+  loop_->Stop();
+  loop_thread_.reset();
+  peers_.clear();
+  pending_.clear();
+  loop_.reset();
+}
+
+void NodeClient::AddPeer(const std::string& name, uint16_t port) {
+  loop_->Post([this, name, port] {
+    Peer& peer = peers_[name];
+    if (peer.socket != nullptr && peer.port != port) {
+      peer.socket->Close(dbase::Unavailable("peer re-addressed"));
+    }
+    peer.port = port;
+    PublishSnapshot(name);
+  });
+}
+
+void NodeClient::RemovePeer(const std::string& name) {
+  loop_->Post([this, name] {
+    auto it = peers_.find(name);
+    if (it == peers_.end()) {
+      return;
+    }
+    if (it->second.socket != nullptr && !it->second.socket->closed()) {
+      it->second.socket->SendFrame(FrameType::kLeave, 0, 0, std::string());
+      it->second.socket->Close(dbase::Unavailable("peer removed"));
+    }
+    peers_.erase(name);
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_.erase(name);
+  });
+}
+
+std::vector<NodeClient::PeerSnapshot> NodeClient::SnapshotPeers() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  std::vector<PeerSnapshot> out;
+  out.reserve(snapshot_.size());
+  for (const auto& [name, snap] : snapshot_) {
+    out.push_back(snap);
+  }
+  return out;
+}
+
+void NodeClient::PublishSnapshot(const std::string& name) {
+  auto it = peers_.find(name);
+  if (it == peers_.end()) {
+    return;
+  }
+  const Peer& peer = it->second;
+  PeerSnapshot snap;
+  snap.name = name;
+  snap.port = peer.port;
+  snap.connected = peer.socket != nullptr && !peer.socket->closed();
+  snap.inflight = peer.inflight;
+  snap.invokes_sent = peer.invokes_sent;
+  snap.sheds_received = peer.sheds_received;
+  snap.peer_lost_failures = peer.peer_lost_failures;
+  snap.bytes_sent = peer.bytes_sent_closed;
+  snap.bytes_received = peer.bytes_received_closed;
+  if (snap.connected) {
+    snap.bytes_sent += peer.socket->bytes_sent();
+    snap.bytes_received += peer.socket->bytes_received();
+  }
+  snap.last_gossip_us = peer.last_gossip_us;
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  snapshot_[name] = std::move(snap);
+}
+
+FrameSocket* NodeClient::EnsureConnected(const std::string& name) {
+  auto it = peers_.find(name);
+  if (it == peers_.end()) {
+    return nullptr;
+  }
+  Peer& peer = it->second;
+  if (peer.socket != nullptr && !peer.socket->closed()) {
+    return peer.socket.get();
+  }
+  peer.socket.reset();
+  auto fd = ConnectLoopback(peer.port, config_.connect_timeout_us);
+  if (!fd.ok()) {
+    return nullptr;
+  }
+  auto socket = FrameSocket::Adopt(
+      loop_.get(), *fd, config_.limits,
+      [this, name](const FrameHeader& header, dbase::BufferSlice body) {
+        OnFrame(name, header, std::move(body));
+      },
+      [this, name](const dbase::Status& reason) { OnPeerClosed(name, reason); });
+  if (!socket.ok()) {
+    return nullptr;
+  }
+  peer.socket = std::move(socket).value();
+  // Hello; the ack needs no pending entry (request id 0 is never issued).
+  peer.socket->SendFrame(FrameType::kJoin, 0, 0, EncodeJoin(WireJoin{config_.node_name}));
+  PublishSnapshot(name);
+  return peer.socket.get();
+}
+
+void NodeClient::SendRequest(const std::string& name, FrameType type, uint16_t flags,
+                             std::vector<dbase::BufferSlice> body, dbase::Micros timeout_us,
+                             Pending pending) {
+  FrameSocket* socket = EnsureConnected(name);
+  auto peer_it = peers_.find(name);
+  if (socket == nullptr || peer_it == peers_.end()) {
+    if (peer_it != peers_.end()) {
+      peer_it->second.peer_lost_failures++;
+      PublishSnapshot(name);
+    }
+    const dbase::Status lost =
+        dbase::Unavailable("peer lost: connect to '" + name + "' failed");
+    if (pending.on_outcome) {
+      pending.on_outcome(lost);
+    }
+    if (pending.on_raw) {
+      pending.on_raw(lost);
+    }
+    return;
+  }
+  const uint64_t request_id = next_request_id_++;
+  if (timeout_us > 0) {
+    const bool chase_cancel = type == FrameType::kInvoke;
+    pending.timer = loop_->AddTimer(timeout_us, [this, request_id, name, chase_cancel] {
+      auto it = pending_.find(request_id);
+      if (it == pending_.end()) {
+        return;
+      }
+      it->second.timer = 0;  // The timer already fired; nothing to cancel.
+      if (chase_cancel) {
+        auto peer = peers_.find(name);
+        if (peer != peers_.end() && peer->second.socket != nullptr &&
+            !peer->second.socket->closed()) {
+          peer->second.socket->SendFrame(FrameType::kCancel, 0, request_id, std::string());
+        }
+      }
+      FailPending(request_id, dbase::DeadlineExceeded("remote call timed out"));
+    });
+  }
+  Peer& peer = peer_it->second;
+  peer.inflight++;
+  if (type == FrameType::kInvoke) {
+    peer.invokes_sent++;
+  }
+  pending_.emplace(request_id, std::move(pending));
+  socket->SendFrame(type, flags, request_id, std::move(body));
+  PublishSnapshot(name);
+}
+
+void NodeClient::FailPending(uint64_t request_id, const dbase::Status& status) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) {
+    return;
+  }
+  Pending pending = std::move(it->second);
+  pending_.erase(it);
+  if (pending.timer != 0) {
+    loop_->CancelTimer(pending.timer);
+  }
+  auto peer = peers_.find(pending.peer);
+  if (peer != peers_.end() && peer->second.inflight > 0) {
+    peer->second.inflight--;
+    PublishSnapshot(pending.peer);
+  }
+  if (pending.on_outcome) {
+    pending.on_outcome(status);
+  }
+  if (pending.on_raw) {
+    pending.on_raw(status);
+  }
+}
+
+void NodeClient::OnPeerClosed(const std::string& name, const dbase::Status& reason) {
+  auto it = peers_.find(name);
+  if (it != peers_.end() && it->second.socket != nullptr) {
+    it->second.bytes_sent_closed += it->second.socket->bytes_sent();
+    it->second.bytes_received_closed += it->second.socket->bytes_received();
+    it->second.socket.reset();
+  }
+  // Everything pending on this peer dies as "peer lost" — the Cluster
+  // maps this to the retry-eligible kPeerLost failure kind.
+  std::vector<uint64_t> doomed;
+  for (const auto& [request_id, pending] : pending_) {
+    if (pending.peer == name) {
+      doomed.push_back(request_id);
+    }
+  }
+  if (it != peers_.end()) {
+    it->second.peer_lost_failures += doomed.size();
+  }
+  const dbase::Status lost =
+      dbase::Unavailable("peer lost: '" + name + "' " +
+                         (reason.ok() ? std::string("closed the connection") : reason.ToString()));
+  for (uint64_t request_id : doomed) {
+    FailPending(request_id, lost);
+  }
+  PublishSnapshot(name);
+}
+
+void NodeClient::OnFrame(const std::string& name, const FrameHeader& header,
+                         dbase::BufferSlice body) {
+  if (header.type == FrameType::kJoinAck || header.type == FrameType::kLeave) {
+    return;  // Informational.
+  }
+  auto it = pending_.find(header.request_id);
+  if (it == pending_.end()) {
+    return;  // Late reply after a timeout; the entry is gone.
+  }
+  if (header.type != it->second.expect) {
+    auto peer = peers_.find(name);
+    if (peer != peers_.end() && peer->second.socket != nullptr) {
+      peer->second.socket->Close(
+          dbase::InvalidArgument("reply frame type does not match request"));
+    }
+    return;
+  }
+  Pending pending = std::move(it->second);
+  pending_.erase(it);
+  if (pending.timer != 0) {
+    loop_->CancelTimer(pending.timer);
+  }
+  auto peer = peers_.find(name);
+  if (peer != peers_.end()) {
+    if (peer->second.inflight > 0) {
+      peer->second.inflight--;
+    }
+    if (header.type == FrameType::kGossip) {
+      peer->second.last_gossip_us = dbase::MonotonicClock::Get()->NowMicros();
+    }
+  }
+  if (pending.on_outcome) {
+    auto outcome = DecodeOutcome(body);
+    if (outcome.ok()) {
+      outcome->shed = (header.flags & kFlagShed) != 0;
+      if (outcome->shed && peer != peers_.end()) {
+        peer->second.sheds_received++;
+      }
+    } else {
+      // A peer sending garbage is as gone as a dead one.
+      if (peer != peers_.end() && peer->second.socket != nullptr) {
+        peer->second.socket->Close(outcome.status());
+      }
+    }
+    if (peer != peers_.end()) {
+      PublishSnapshot(name);
+    }
+    pending.on_outcome(std::move(outcome));
+    return;
+  }
+  if (peer != peers_.end()) {
+    PublishSnapshot(name);
+  }
+  if (pending.on_raw) {
+    pending.on_raw(std::move(body));
+  }
+}
+
+void NodeClient::InvokeAsync(const std::string& peer, WireInvoke invoke,
+                             dbase::Micros timeout_us, OutcomeCallback callback) {
+  if (!running_.load(std::memory_order_relaxed)) {
+    callback(dbase::FailedPrecondition("NodeClient not started"));
+    return;
+  }
+  // Encode on the caller's thread: scatter marshalling promotes payloads
+  // into shared buffers here, keeping the loop thread on socket work.
+  auto chunks = EncodeInvoke(invoke);
+  auto shared_cb = std::make_shared<OutcomeCallback>(std::move(callback));
+  loop_->Post([this, peer, chunks = std::move(chunks), timeout_us, shared_cb]() mutable {
+    Pending pending;
+    pending.expect = FrameType::kOutcome;
+    pending.peer = peer;
+    pending.on_outcome = [shared_cb](dbase::Result<WireOutcome> outcome) {
+      (*shared_cb)(std::move(outcome));
+    };
+    SendRequest(peer, FrameType::kInvoke, 0, std::move(chunks), timeout_us,
+                std::move(pending));
+  });
+}
+
+dbase::Result<WireOutcome> NodeClient::Invoke(const std::string& peer, WireInvoke invoke,
+                                              dbase::Micros timeout_us) {
+  struct Shared {
+    dbase::Latch latch{1};
+    dbase::Result<WireOutcome> result{dbase::Unavailable("unset")};
+  };
+  auto shared = std::make_shared<Shared>();
+  InvokeAsync(peer, std::move(invoke), timeout_us > 0 ? timeout_us : kDefaultRequestTimeout,
+              [shared](dbase::Result<WireOutcome> outcome) {
+                shared->result = std::move(outcome);
+                shared->latch.CountDown();
+              });
+  shared->latch.Wait();
+  return std::move(shared->result);
+}
+
+dbase::Result<dbase::BufferSlice> NodeClient::RawRequest(const std::string& peer,
+                                                         FrameType type, std::string body,
+                                                         FrameType expect,
+                                                         dbase::Micros timeout_us) {
+  if (!running_.load(std::memory_order_relaxed)) {
+    return dbase::FailedPrecondition("NodeClient not started");
+  }
+  struct Shared {
+    dbase::Latch latch{1};
+    dbase::Result<dbase::BufferSlice> result{dbase::Unavailable("unset")};
+  };
+  auto shared = std::make_shared<Shared>();
+  loop_->Post([this, peer, type, expect, body = std::move(body), timeout_us, shared]() mutable {
+    Pending pending;
+    pending.expect = expect;
+    pending.peer = peer;
+    pending.on_raw = [shared](dbase::Result<dbase::BufferSlice> result) {
+      shared->result = std::move(result);
+      shared->latch.CountDown();
+    };
+    std::vector<dbase::BufferSlice> chunks;
+    if (!body.empty()) {
+      chunks.push_back(dbase::BufferSlice(dbase::Buffer::FromString(std::move(body))));
+    }
+    SendRequest(peer, type, 0, std::move(chunks),
+                timeout_us > 0 ? timeout_us : kDefaultRequestTimeout, std::move(pending));
+  });
+  shared->latch.Wait();
+  return std::move(shared->result);
+}
+
+dbase::Result<WireNodeStatus> NodeClient::Gossip(const std::string& peer,
+                                                 dbase::Micros timeout_us) {
+  ASSIGN_OR_RETURN(dbase::BufferSlice body,
+                   RawRequest(peer, FrameType::kGossipReq, std::string(), FrameType::kGossip,
+                              timeout_us));
+  return DecodeNodeStatus(body);
+}
+
+void NodeClient::Cancel(const std::string& peer, uint64_t request_id) {
+  loop_->Post([this, peer, request_id] {
+    auto it = peers_.find(peer);
+    if (it != peers_.end() && it->second.socket != nullptr && !it->second.socket->closed()) {
+      it->second.socket->SendFrame(FrameType::kCancel, 0, request_id, std::string());
+    }
+  });
+}
+
+dbase::Result<WireMeshReply> NodeClient::MeshCall(const std::string& peer, std::string request,
+                                                  dbase::Micros timeout_us) {
+  ASSIGN_OR_RETURN(dbase::BufferSlice body,
+                   RawRequest(peer, FrameType::kMeshCall, std::move(request),
+                              FrameType::kMeshReply, timeout_us));
+  return DecodeMeshReply(body);
+}
+
+}  // namespace dnet

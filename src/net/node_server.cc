@@ -1,0 +1,277 @@
+#include "src/net/node_server.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+#include <vector>
+
+#include "src/base/clock.h"
+
+namespace dnet {
+
+NodeServer::NodeServer(Config config) : config_(std::move(config)) {}
+
+NodeServer::~NodeServer() { Stop(); }
+
+dbase::Status NodeServer::Start() {
+  if (running_.load(std::memory_order_relaxed)) {
+    return dbase::FailedPrecondition("NodeServer already started");
+  }
+  ASSIGN_OR_RETURN(listen_fd_, ListenLoopback(config_.port, 128));
+  auto port = BoundPort(listen_fd_);
+  if (!port.ok()) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return port.status();
+  }
+  port_ = *port;
+  auto loop = dbase::EventLoop::Create();
+  if (!loop.ok()) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return loop.status();
+  }
+  loop_ = std::move(loop).value();
+  const dbase::Status added =
+      loop_->Add(listen_fd_, EPOLLIN, [this](uint32_t) { OnAcceptable(); });
+  if (!added.ok()) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    loop_.reset();
+    return added;
+  }
+  running_.store(true, std::memory_order_relaxed);
+  loop_thread_ = std::make_unique<dbase::JoiningThread>("dnet-server", [this] { loop_->Run(); });
+  return dbase::OkStatus();
+}
+
+void NodeServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_relaxed)) {
+    return;
+  }
+  // Tear peers down on the loop thread so cancel handlers fire in the
+  // same context they always do, then stop the loop.
+  dbase::Latch drained(1);
+  loop_->Post([this, &drained] {
+    std::vector<int> fds;
+    fds.reserve(peers_.size());
+    for (const auto& [fd, peer] : peers_) {
+      fds.push_back(fd);
+    }
+    for (int fd : fds) {
+      auto it = peers_.find(fd);
+      if (it != peers_.end() && it->second.socket != nullptr) {
+        it->second.socket->Close(dbase::Unavailable("server stopping"));
+      }
+    }
+    drained.CountDown();
+  });
+  drained.Wait();
+  loop_->Stop();
+  loop_thread_.reset();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  peers_.clear();
+  // loop_ intentionally stays alive (stopped): invoke completions that were
+  // in flight when the server stopped still re-enter through loop_->Post,
+  // where they park harmlessly in the queue of the dead loop. Start()
+  // replaces it; the destructor frees it.
+}
+
+void NodeServer::OnAcceptable() {
+  while (true) {
+    const int fd = accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // EAGAIN or transient failure; level-triggered epoll retries.
+    }
+    auto socket = FrameSocket::Adopt(
+        loop_.get(), fd, config_.limits,
+        [this, fd](const FrameHeader& header, dbase::BufferSlice body) {
+          OnFrame(fd, header, std::move(body));
+        },
+        [this, fd](const dbase::Status& reason) { OnPeerClosed(fd, reason); });
+    if (!socket.ok()) {
+      continue;  // Adopt closed the fd.
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    peers_[fd].socket = std::move(socket).value();
+  }
+}
+
+void NodeServer::Drop(int fd, dbase::Status reason) {
+  auto it = peers_.find(fd);
+  if (it != peers_.end() && it->second.socket != nullptr) {
+    // Close routes the reason through OnPeerClosed, which does the
+    // protocol-error bookkeeping — counting here as well would double.
+    it->second.socket->Close(reason);
+  }
+}
+
+void NodeServer::OnPeerClosed(int fd, const dbase::Status& reason) {
+  // Every malformed-bytes close lands here — whether the socket layer
+  // rejected the header or a handler Drop()ed a bad body — so this is the
+  // one place protocol errors are counted. A peer that merely vanished
+  // (EOF, reset, shutdown) closes with a different code and is not one.
+  if (reason.code() == dbase::StatusCode::kInvalidArgument) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  auto it = peers_.find(fd);
+  if (it == peers_.end()) {
+    return;
+  }
+  bytes_sent_closed_.fetch_add(it->second.socket->bytes_sent(), std::memory_order_relaxed);
+  bytes_received_closed_.fetch_add(it->second.socket->bytes_received(),
+                                   std::memory_order_relaxed);
+  // Cancel work owed to the dead connection: its router is gone, nobody
+  // will consume the results.
+  if (on_cancel_) {
+    for (const auto& [request_id, invocation_id] : it->second.inflight) {
+      on_cancel_(invocation_id);
+    }
+  }
+  peers_.erase(it);
+}
+
+void NodeServer::OnFrame(int fd, const FrameHeader& header, dbase::BufferSlice body) {
+  frames_received_.fetch_add(1, std::memory_order_relaxed);
+  switch (header.type) {
+    case FrameType::kJoin: {
+      auto join = DecodeJoin(body);
+      if (!join.ok()) {
+        Drop(fd, join.status());
+        return;
+      }
+      auto it = peers_.find(fd);
+      if (it == peers_.end()) {
+        return;
+      }
+      it->second.name = std::move(join->node_name);
+      it->second.socket->SendFrame(FrameType::kJoinAck, 0, header.request_id,
+                                   EncodeJoin(WireJoin{config_.node_name}));
+      return;
+    }
+    case FrameType::kLeave: {
+      auto it = peers_.find(fd);
+      if (it != peers_.end() && it->second.socket != nullptr) {
+        it->second.socket->Close(dbase::OkStatus());
+      }
+      return;
+    }
+    case FrameType::kInvoke:
+      HandleInvoke(fd, header, body);
+      return;
+    case FrameType::kCancel: {
+      if (!body.empty()) {
+        Drop(fd, dbase::InvalidArgument("cancel frame carries a body"));
+        return;
+      }
+      auto it = peers_.find(fd);
+      if (it == peers_.end()) {
+        return;
+      }
+      auto inflight = it->second.inflight.find(header.request_id);
+      if (inflight != it->second.inflight.end() && on_cancel_) {
+        on_cancel_(inflight->second);
+      }
+      return;
+    }
+    case FrameType::kGossipReq: {
+      if (!body.empty()) {
+        Drop(fd, dbase::InvalidArgument("gossip request carries a body"));
+        return;
+      }
+      auto it = peers_.find(fd);
+      if (it == peers_.end() || status_provider_ == nullptr) {
+        return;
+      }
+      it->second.socket->SendFrame(FrameType::kGossip, 0, header.request_id,
+                                   EncodeNodeStatus(status_provider_()));
+      return;
+    }
+    case FrameType::kMeshCall:
+      HandleMesh(fd, header, body);
+      return;
+    case FrameType::kJoinAck:
+    case FrameType::kOutcome:
+    case FrameType::kGossip:
+    case FrameType::kMeshReply:
+      // Reply types are client-bound; a server receiving one is talking
+      // to something confused or hostile.
+      Drop(fd, dbase::InvalidArgument("reply frame sent to server"));
+      return;
+  }
+  Drop(fd, dbase::InvalidArgument("unknown frame type"));
+}
+
+void NodeServer::HandleInvoke(int fd, const FrameHeader& header,
+                              const dbase::BufferSlice& body) {
+  auto invoke = DecodeInvoke(body);
+  if (!invoke.ok()) {
+    Drop(fd, invoke.status());
+    return;
+  }
+  auto it = peers_.find(fd);
+  if (it == peers_.end()) {
+    return;
+  }
+  if (on_invoke_ == nullptr) {
+    WireOutcome refused;
+    refused.code = dbase::StatusCode::kUnavailable;
+    refused.message = "node not serving";
+    it->second.socket->SendFrame(FrameType::kOutcome, 0, header.request_id,
+                                 EncodeOutcome(refused));
+    return;
+  }
+  it->second.inflight.emplace(header.request_id, invoke->invocation_id);
+  // The completion may fire from any thread, possibly after this
+  // connection (or the whole server) is gone — it re-enters through Post
+  // and re-checks the peer map.
+  const uint64_t request_id = header.request_id;
+  auto done = [this, fd, request_id](WireOutcome outcome) {
+    loop_->Post([this, fd, request_id, outcome = std::move(outcome)]() mutable {
+      auto peer = peers_.find(fd);
+      if (peer == peers_.end() || peer->second.socket == nullptr ||
+          peer->second.socket->closed()) {
+        return;  // Connection died; cancel-on-disconnect already ran.
+      }
+      peer->second.inflight.erase(request_id);
+      const uint16_t flags = outcome.shed ? kFlagShed : 0;
+      peer->second.socket->SendFrame(FrameType::kOutcome, flags, request_id,
+                                     EncodeOutcome(outcome));
+    });
+  };
+  on_invoke_(std::move(invoke).value(), std::move(done));
+}
+
+void NodeServer::HandleMesh(int fd, const FrameHeader& header, const dbase::BufferSlice& body) {
+  auto it = peers_.find(fd);
+  if (it == peers_.end()) {
+    return;
+  }
+  if (on_mesh_ == nullptr) {
+    Drop(fd, dbase::InvalidArgument("mesh call to a node without a mesh"));
+    return;
+  }
+  const uint64_t request_id = header.request_id;
+  auto done = [this, fd, request_id](WireMeshReply reply) {
+    loop_->Post([this, fd, request_id, reply = std::move(reply)]() {
+      auto peer = peers_.find(fd);
+      if (peer == peers_.end() || peer->second.socket == nullptr) {
+        return;
+      }
+      peer->second.socket->SendFrame(FrameType::kMeshReply, 0, request_id,
+                                     EncodeMeshReply(reply));
+    });
+  };
+  on_mesh_(std::string(body.view()), std::move(done));
+}
+
+}  // namespace dnet

@@ -1,0 +1,135 @@
+// NodeServer: the dnet wire endpoint embedded in every engine process. It
+// owns one EventLoop thread, accepts peer connections, speaks the frame
+// protocol, and hands decoded requests to type-erased handlers — the
+// runtime layer above (NodeAgent) plugs in Platform::Submit without dnet
+// depending on runtime headers.
+//
+// Transport duties the server keeps for itself:
+//  - join bookkeeping (peer names for diagnostics),
+//  - request/reply correlation (outcome frames carry the invoke's id),
+//  - cancel-on-disconnect: invocations owed to a dead connection are
+//    cancelled through the cancel handler, so a crashed router cannot
+//    leak in-flight work,
+//  - protocol hygiene: any malformed frame kills its connection
+//    (kInvalidArgument) — hostile bytes never reach a handler.
+#ifndef SRC_NET_NODE_SERVER_H_
+#define SRC_NET_NODE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/base/event_loop.h"
+#include "src/base/status.h"
+#include "src/base/thread.h"
+#include "src/net/frame_socket.h"
+#include "src/net/wire.h"
+
+namespace dnet {
+
+class NodeServer {
+ public:
+  struct Config {
+    // 0 picks an ephemeral port; read the result from port() after Start.
+    uint16_t port = 0;
+    std::string node_name = "node";
+    FrameLimits limits;
+  };
+
+  // Completes one invocation: thread-safe, callable at most once. The
+  // outcome's `shed` field becomes the kFlagShed frame flag.
+  using OutcomeFn = std::function<void(WireOutcome outcome)>;
+  // Receives a decoded invoke plus its completion. Runs on the loop
+  // thread — dispatch real work elsewhere and call `done` when finished.
+  using InvokeHandler = std::function<void(WireInvoke invoke, OutcomeFn done)>;
+  // Cancel request for an invocation previously handed to InvokeHandler
+  // (explicit kCancel frame, or the owing connection died).
+  using CancelHandler = std::function<void(uint64_t invocation_id)>;
+  // Snapshot for kGossipReq. Runs on the loop thread; must be cheap.
+  using StatusProvider = std::function<WireNodeStatus()>;
+  // Serves a mesh call (body = serialized sanitized request). Runs on the
+  // loop thread — offload if serving may block.
+  using MeshReplyFn = std::function<void(WireMeshReply reply)>;
+  using MeshHandler = std::function<void(std::string request, MeshReplyFn done)>;
+
+  explicit NodeServer(Config config);
+  ~NodeServer();
+
+  // All handlers must be set before Start().
+  void set_invoke_handler(InvokeHandler handler) { on_invoke_ = std::move(handler); }
+  void set_cancel_handler(CancelHandler handler) { on_cancel_ = std::move(handler); }
+  void set_status_provider(StatusProvider provider) { status_provider_ = std::move(provider); }
+  void set_mesh_handler(MeshHandler handler) { on_mesh_ = std::move(handler); }
+
+  // Binds, starts the loop thread, begins accepting.
+  dbase::Status Start();
+  // Stops accepting, drops connections, joins the loop thread. In-flight
+  // invocations are cancelled through the cancel handler.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  const std::string& node_name() const { return config_.node_name; }
+
+  // Counters for statz/tests (thread-safe).
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  uint64_t protocol_errors() const { return protocol_errors_.load(std::memory_order_relaxed); }
+  uint64_t frames_received() const { return frames_received_.load(std::memory_order_relaxed); }
+  uint64_t bytes_sent() const { return bytes_sent_closed_.load(std::memory_order_relaxed); }
+  uint64_t bytes_received() const {
+    return bytes_received_closed_.load(std::memory_order_relaxed);
+  }
+
+  NodeServer(const NodeServer&) = delete;
+  NodeServer& operator=(const NodeServer&) = delete;
+
+ private:
+  struct Peer {
+    std::shared_ptr<FrameSocket> socket;
+    std::string name;  // From kJoin; empty until then.
+    // Invocations owed to this connection: request_id → invocation id
+    // (cancel currency). Entries leave when the outcome is sent.
+    std::map<uint64_t, uint64_t> inflight;
+  };
+
+  void OnAcceptable();
+  void OnFrame(int fd, const FrameHeader& header, dbase::BufferSlice body);
+  void OnPeerClosed(int fd, const dbase::Status& reason);
+  // Protocol violation: count it, kill the connection.
+  void Drop(int fd, dbase::Status reason);
+
+  void HandleInvoke(int fd, const FrameHeader& header, const dbase::BufferSlice& body);
+  void HandleMesh(int fd, const FrameHeader& header, const dbase::BufferSlice& body);
+
+  Config config_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::unique_ptr<dbase::EventLoop> loop_;
+  std::unique_ptr<dbase::JoiningThread> loop_thread_;
+  std::atomic<bool> running_{false};
+
+  InvokeHandler on_invoke_;
+  CancelHandler on_cancel_;
+  StatusProvider status_provider_;
+  MeshHandler on_mesh_;
+
+  // Loop-thread-only.
+  std::map<int, Peer> peers_;
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> frames_received_{0};
+  // Byte counters of closed connections; live sockets' counters are added
+  // when they close (statz reads the sum plus live sockets on the loop).
+  std::atomic<uint64_t> bytes_sent_closed_{0};
+  std::atomic<uint64_t> bytes_received_closed_{0};
+};
+
+}  // namespace dnet
+
+#endif  // SRC_NET_NODE_SERVER_H_

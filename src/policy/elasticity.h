@@ -88,6 +88,16 @@ struct ElasticitySignals {
   uint64_t breaker_fast_fails = 0;
   int breakers_open = 0;
 
+  // Cluster/router pressure (src/runtime/cluster.h): cumulative cross-node
+  // re-routes (a peer shed or died and the work moved), peers currently
+  // not routable (suspect or evicted), and wire bytes moved by the node
+  // client. Zero on single-node deployments. These are router-local — they
+  // do not travel in node gossip.
+  uint64_t cluster_reroutes = 0;
+  int cluster_peers_unavailable = 0;
+  uint64_t net_bytes_sent = 0;
+  uint64_t net_bytes_received = 0;
+
   int total_workers() const { return compute_workers + comm_workers; }
 };
 

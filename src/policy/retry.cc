@@ -23,6 +23,8 @@ std::string_view FailureKindName(FailureKind kind) {
       return "pool_child_lost";
     case FailureKind::kResourceExhausted:
       return "resource_exhausted";
+    case FailureKind::kPeerLost:
+      return "peer_lost";
   }
   return "unknown";
 }

@@ -33,6 +33,7 @@ enum class FailureKind {
   kNonzeroExit,        // Child exited with a nonzero status.
   kPoolChildLost,      // Pooled template child died between fill and dispatch.
   kResourceExhausted,  // fork/context allocation failed (or injected fault).
+  kPeerLost,           // Remote node died / connection lost mid-invocation.
 };
 
 std::string_view FailureKindName(FailureKind kind);
@@ -40,10 +41,12 @@ std::string_view FailureKindName(FailureKind kind);
 // Retry-safe kinds: the failure is environmental, the function never
 // produced an outcome, and a re-run can succeed. Jail kills and nonzero
 // exits are the function's own deterministic behaviour; deadline/cancel
-// kills are the client's decision — none of those retry.
+// kills are the client's decision — none of those retry. A lost peer is
+// environmental too: Dandelion functions are pure, so re-running the
+// invocation on another node is always side-effect-safe.
 inline bool IsRetrySafe(FailureKind kind) {
   return kind == FailureKind::kCrash || kind == FailureKind::kPoolChildLost ||
-         kind == FailureKind::kResourceExhausted;
+         kind == FailureKind::kResourceExhausted || kind == FailureKind::kPeerLost;
 }
 
 // Kinds that reflect on the function's (or the node's) health and feed the

@@ -2,20 +2,155 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <limits>
-#include <mutex>
+#include <utility>
+
+#include "src/base/clock.h"
+#include "src/http/http_parser.h"
 
 namespace dandelion {
 
-Cluster::Cluster(Config config) : config_(config) {
-  const int nodes = std::max(1, config.num_nodes);
-  nodes_.reserve(static_cast<size_t>(nodes));
-  for (int n = 0; n < nodes; ++n) {
-    nodes_.push_back(std::make_unique<Platform>(config.node_config));
+namespace {
+// Grace added to the router-side timeout when the request carries a
+// deadline, so the serving node's own deadline machinery (which produces
+// the richer report) wins the race against the client timer.
+constexpr dbase::Micros kRemoteDeadlineGraceUs = 100 * dbase::kMicrosPerMilli;
+// Per-peer gossip timeout cap: one slow peer must not stall the round.
+constexpr dbase::Micros kGossipTimeoutCapUs = 500 * dbase::kMicrosPerMilli;
+}  // namespace
+
+Cluster::Cluster(Config config)
+    : config_(std::move(config)),
+      remote_retry_(config_.remote_retry),
+      membership_(config_.membership) {
+  // With remote nodes configured a router-only cluster (0 locals) is
+  // legitimate; a fully empty cluster is not.
+  const int locals = config_.remote_nodes.empty() ? std::max(1, config_.num_nodes)
+                                                  : std::max(0, config_.num_nodes);
+  nodes_.reserve(static_cast<size_t>(locals));
+  for (int n = 0; n < locals; ++n) {
+    nodes_.push_back(std::make_unique<Platform>(config_.node_config));
     served_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
     inflight_.push_back(std::make_unique<std::atomic<int64_t>>(0));
   }
+  // Every local node's mesh can carry remote-registered hosts over the
+  // node wire — the same socket path invokes ride.
+  for (auto& node : nodes_) {
+    node->mesh().SetRemoteTransport(
+        [this](const std::string& peer, const dhttp::SanitizedRequest& request)
+            -> dbase::Result<dhttp::MeshCallResult> {
+          dnet::NodeClient* client = nullptr;
+          {
+            std::lock_guard<std::mutex> lock(remotes_mu_);
+            client = client_started_ ? client_.get() : nullptr;
+          }
+          if (client == nullptr) {
+            return dbase::FailedPrecondition("cluster has no remote nodes");
+          }
+          ASSIGN_OR_RETURN(
+              dnet::WireMeshReply reply,
+              client->MeshCall(peer, request.request.Serialize(), 2 * dbase::kMicrosPerSecond));
+          ASSIGN_OR_RETURN(dhttp::HttpResponse response, dhttp::ParseResponse(reply.response));
+          dhttp::MeshCallResult result;
+          result.response = std::move(response);
+          result.latency_us = reply.latency_us;
+          return result;
+        });
+  }
+  for (const RemoteNode& remote : config_.remote_nodes) {
+    (void)AddRemoteNode(remote.name, remote.port);
+  }
+}
+
+Cluster::~Cluster() { Shutdown(); }
+
+void Cluster::EnsureClientStarted() {
+  // Caller holds remotes_mu_.
+  if (client_started_) {
+    return;
+  }
+  dnet::NodeClient::Config client_config;
+  client_config.node_name = config_.router_name;
+  client_config.limits = config_.limits;
+  client_ = std::make_unique<dnet::NodeClient>(client_config);
+  client_->Start();
+  client_started_ = true;
+  if (config_.gossip_interval_us > 0) {
+    gossip_thread_ = std::make_unique<dbase::JoiningThread>("cluster-gossip", [this] {
+      std::unique_lock<std::mutex> lock(gossip_mu_);
+      while (!stopping_) {
+        gossip_cv_.wait_for(lock, std::chrono::microseconds(config_.gossip_interval_us));
+        if (stopping_) {
+          break;
+        }
+        lock.unlock();
+        GossipNow();
+        lock.lock();
+      }
+    });
+  }
+}
+
+dbase::Status Cluster::AddRemoteNode(const std::string& name, uint16_t port) {
+  std::lock_guard<std::mutex> lock(remotes_mu_);
+  for (auto& slot : remotes_) {
+    if (slot->name != name) {
+      continue;
+    }
+    std::lock_guard<std::mutex> slot_lock(slot->mu);
+    if (slot->state != dpolicy::MemberState::kLeft) {
+      return dbase::AlreadyExists("remote node already joined: " + name);
+    }
+    // Administrative rejoin of an evicted/removed node (possibly on a new
+    // port after a restart).
+    slot->port = port;
+    slot->state = dpolicy::MemberState::kActive;
+    slot->last_gossip_us = 0;
+    EnsureClientStarted();
+    client_->RemovePeer(name);
+    client_->AddPeer(name, port);
+    return dbase::OkStatus();
+  }
+  EnsureClientStarted();
+  client_->AddPeer(name, port);
+  auto slot = std::make_unique<RemoteSlot>();
+  slot->name = name;
+  slot->port = port;
+  remotes_.push_back(std::move(slot));
+  return dbase::OkStatus();
+}
+
+void Cluster::RemoveRemoteNode(const std::string& name) {
+  std::lock_guard<std::mutex> lock(remotes_mu_);
+  for (auto& slot : remotes_) {
+    if (slot->name != name) {
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> slot_lock(slot->mu);
+      slot->state = dpolicy::MemberState::kLeft;
+    }
+    // Administrative leave really disconnects (unlike staleness eviction,
+    // which keeps probing so the node can rejoin when it recovers).
+    if (client_started_) {
+      client_->RemovePeer(name);
+    }
+    return;
+  }
+}
+
+int Cluster::total_nodes() const {
+  std::lock_guard<std::mutex> lock(remotes_mu_);
+  return num_nodes() + static_cast<int>(remotes_.size());
+}
+
+Cluster::RemoteSlot* Cluster::remote_slot(int index) const {
+  std::lock_guard<std::mutex> lock(remotes_mu_);
+  const int r = index - num_nodes();
+  if (r < 0 || r >= static_cast<int>(remotes_.size())) {
+    return nullptr;
+  }
+  return remotes_[static_cast<size_t>(r)].get();
 }
 
 dbase::Status Cluster::RegisterFunction(const dfunc::FunctionSpec& spec) {
@@ -38,49 +173,280 @@ void Cluster::ForEachNode(const std::function<void(Platform&)>& setup) {
   }
 }
 
-double Cluster::NodeLoad(int index) const {
-  const auto& node = nodes_[static_cast<size_t>(index)];
-  const EngineStats stats = node->engine_stats();
-  const double queued =
-      static_cast<double>(stats.compute_queue_len + stats.comm_queue_len);
-  const double inflight =
-      static_cast<double>(inflight_[static_cast<size_t>(index)]->load(std::memory_order_relaxed));
-  return queued + inflight;
+void Cluster::NoteAffinity(const std::string& composition, int index) {
+  std::lock_guard<std::mutex> lock(affinity_mu_);
+  affinity_[composition] = index;
 }
 
-int Cluster::PickNode(PriorityClass priority) {
-  // Batch work tolerates queueing: under kLeastLoaded it still spreads
-  // round-robin (backlog smoothing) while interactive requests pay the
-  // load scan for the quietest node.
-  if (config_.policy == LoadBalancePolicy::kRoundRobin || nodes_.size() == 1 ||
-      priority == PriorityClass::kBatch) {
-    return static_cast<int>(round_robin_.fetch_add(1, std::memory_order_relaxed) %
-                            nodes_.size());
+int Cluster::AffinityFor(const std::string& composition) const {
+  std::lock_guard<std::mutex> lock(affinity_mu_);
+  auto it = affinity_.find(composition);
+  return it == affinity_.end() ? -1 : it->second;
+}
+
+bool Cluster::Eligible(int index, const std::set<int>& exclude, bool allow_suspect) const {
+  if (exclude.count(index) > 0) {
+    return false;
   }
-  int best = 0;
-  double best_load = std::numeric_limits<double>::max();
-  for (int n = 0; n < num_nodes(); ++n) {
-    const double load = NodeLoad(n);
-    if (load < best_load) {
-      best_load = load;
-      best = n;
+  if (index < num_nodes()) {
+    return true;
+  }
+  RemoteSlot* slot = remote_slot(index);
+  if (slot == nullptr) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(slot->mu);
+  switch (slot->state) {
+    case dpolicy::MemberState::kActive:
+      return true;
+    case dpolicy::MemberState::kSuspect:
+      return allow_suspect;
+    case dpolicy::MemberState::kLeft:
+      return false;
+  }
+  return false;
+}
+
+double Cluster::NodeLoad(int index) const {
+  if (index < num_nodes()) {
+    const auto& node = nodes_[static_cast<size_t>(index)];
+    const EngineStats stats = node->engine_stats();
+    const double queued =
+        static_cast<double>(stats.compute_queue_len + stats.comm_queue_len);
+    const double inflight = static_cast<double>(
+        inflight_[static_cast<size_t>(index)]->load(std::memory_order_relaxed));
+    return queued + inflight;
+  }
+  RemoteSlot* slot = remote_slot(index);
+  if (slot == nullptr) {
+    return std::numeric_limits<double>::max();
+  }
+  const double router_inflight =
+      static_cast<double>(slot->inflight.load(std::memory_order_relaxed));
+  std::lock_guard<std::mutex> lock(slot->mu);
+  if (slot->last_gossip_us == 0) {
+    // Never heard: a fresh joiner is presumed idle — only what we have in
+    // flight toward it counts.
+    return router_inflight;
+  }
+  const dpolicy::ElasticitySignals& s = slot->status.signals;
+  double load = router_inflight + static_cast<double>(slot->status.inflight) +
+                static_cast<double>(s.compute_backlog + s.comm_backlog);
+  const dbase::Micros age =
+      dbase::MonotonicClock::Get()->NowMicros() - slot->last_gossip_us;
+  if (age > config_.membership.suspect_after_us) {
+    // Stale signals: rank below every fresh node without hard-excluding.
+    load += 1e6;
+  }
+  return load;
+}
+
+int Cluster::PickNode(const InvocationRequest& request, const std::set<int>& exclude) {
+  const int total = total_nodes();
+  if (total == 0) {
+    return -1;
+  }
+  // Locality first: the sticky node wins while it is healthy and below its
+  // gossiped admission cap; otherwise fall through to the load fallback.
+  if (config_.policy == LoadBalancePolicy::kLocality) {
+    const int affine = AffinityFor(request.composition);
+    if (affine >= 0 && affine < total && Eligible(affine, exclude, false)) {
+      bool saturated = false;
+      if (affine >= num_nodes()) {
+        if (RemoteSlot* slot = remote_slot(affine); slot != nullptr) {
+          std::lock_guard<std::mutex> lock(slot->mu);
+          saturated = slot->status.admission_cap > 0 &&
+                      slot->status.inflight +
+                              static_cast<uint64_t>(std::max<int64_t>(
+                                  0, slot->inflight.load(std::memory_order_relaxed))) >=
+                          slot->status.admission_cap;
+        }
+      }
+      if (!saturated) {
+        return affine;
+      }
     }
   }
-  return best;
+  // Batch work tolerates queueing: under the load-aware policies it still
+  // spreads round-robin (backlog smoothing) while interactive requests pay
+  // the load scan for the quietest node.
+  const bool scan = config_.policy != LoadBalancePolicy::kRoundRobin &&
+                    request.priority != PriorityClass::kBatch && total > 1;
+  for (const bool allow_suspect : {false, true}) {
+    if (!scan) {
+      const uint64_t start = round_robin_.fetch_add(1, std::memory_order_relaxed);
+      for (int i = 0; i < total; ++i) {
+        const int candidate = static_cast<int>((start + static_cast<uint64_t>(i)) %
+                                               static_cast<uint64_t>(total));
+        if (Eligible(candidate, exclude, allow_suspect)) {
+          return candidate;
+        }
+      }
+      continue;
+    }
+    int best = -1;
+    double best_load = std::numeric_limits<double>::max();
+    for (int n = 0; n < total; ++n) {
+      if (!Eligible(n, exclude, allow_suspect)) {
+        continue;
+      }
+      const double load = NodeLoad(n);
+      if (load < best_load) {
+        best_load = load;
+        best = n;
+      }
+    }
+    if (best >= 0) {
+      return best;
+    }
+  }
+  return -1;
+}
+
+void Cluster::Dispatch(InvocationRequest request, RoutedCallback callback, int attempts,
+                       std::set<int> tried, bool shed_rerouted,
+                       InvocationHandle* first_handle) {
+  const int index = PickNode(request, tried);
+  if (index < 0) {
+    no_eligible_node_.fetch_add(1, std::memory_order_relaxed);
+    callback(dbase::Unavailable("no eligible cluster node for '" + request.composition + "'"),
+             -1, attempts + 1);
+    return;
+  }
+  if (index < num_nodes()) {
+    served_[static_cast<size_t>(index)]->fetch_add(1, std::memory_order_relaxed);
+    inflight_[static_cast<size_t>(index)]->fetch_add(1, std::memory_order_relaxed);
+    NoteAffinity(request.composition, index);
+    InvocationHandle handle = nodes_[static_cast<size_t>(index)]->Submit(
+        std::move(request),
+        [this, index, attempts,
+         callback = std::move(callback)](dbase::Result<dfunc::DataSetList> result) {
+          inflight_[static_cast<size_t>(index)]->fetch_sub(1, std::memory_order_relaxed);
+          callback(std::move(result), index, attempts + 1);
+        });
+    if (first_handle != nullptr) {
+      *first_handle = handle;
+    }
+    return;
+  }
+  DispatchRemote(index, std::move(request), std::move(callback), attempts, std::move(tried),
+                 shed_rerouted);
+}
+
+void Cluster::DispatchRemote(int index, InvocationRequest request, RoutedCallback callback,
+                             int attempts, std::set<int> tried, bool shed_rerouted) {
+  RemoteSlot* slot = remote_slot(index);
+  dnet::NodeClient* client = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(remotes_mu_);
+    client = client_started_ ? client_.get() : nullptr;
+  }
+  if (slot == nullptr || client == nullptr) {
+    callback(dbase::Internal("remote slot vanished"), index, attempts + 1);
+    return;
+  }
+
+  dnet::WireInvoke wire;
+  wire.composition = request.composition;
+  // Payloads are refcounted slices (PR 7): this copy shares buffers, and a
+  // re-route after a shed or a dead peer re-sends the same bytes without
+  // materializing them twice.
+  wire.args = request.args;
+  wire.priority = static_cast<uint8_t>(request.priority);
+  wire.invocation_id = request.id;
+  dbase::Micros timeout = config_.remote_invoke_timeout_us;
+  if (request.deadline_us > 0) {
+    const dbase::Micros now = dbase::MonotonicClock::Get()->NowMicros();
+    const dbase::Micros remaining = request.deadline_us > now ? request.deadline_us - now : 1;
+    wire.remaining_deadline_us = remaining;
+    timeout = std::min(timeout, remaining + kRemoteDeadlineGraceUs);
+  }
+
+  slot->inflight.fetch_add(1, std::memory_order_relaxed);
+  client->InvokeAsync(
+      slot->name, std::move(wire), timeout,
+      [this, index, slot, request = std::move(request), callback = std::move(callback), attempts,
+       tried = std::move(tried), shed_rerouted](dbase::Result<dnet::WireOutcome> raw) mutable {
+        slot->inflight.fetch_sub(1, std::memory_order_relaxed);
+        const bool interactive = request.priority != PriorityClass::kBatch;
+
+        if (!raw.ok()) {
+          // Transport-level failure. kUnavailable means the peer (or the
+          // connection to it) died mid-flight — FailureKind::kPeerLost,
+          // retry-safe because functions are pure. Everything else
+          // (deadline, shutdown) is the client's own doing and surfaces.
+          if (raw.status().code() == dbase::StatusCode::kUnavailable) {
+            dpolicy::RetryDecision decision;
+            {
+              std::lock_guard<std::mutex> lock(policy_mu_);
+              decision = remote_retry_.OnFailure(slot->name, dpolicy::FailureKind::kPeerLost,
+                                                 interactive, attempts,
+                                                 dbase::MonotonicClock::Get()->NowMicros());
+            }
+            {
+              std::lock_guard<std::mutex> slot_lock(slot->mu);
+              if (slot->state == dpolicy::MemberState::kActive) {
+                slot->state = dpolicy::MemberState::kSuspect;
+              }
+            }
+            if (decision.retry) {
+              reroutes_peer_lost_.fetch_add(1, std::memory_order_relaxed);
+              tried.insert(index);
+              Dispatch(std::move(request), std::move(callback), attempts + 1, std::move(tried),
+                       shed_rerouted, nullptr);
+              return;
+            }
+            reroute_denied_.fetch_add(1, std::memory_order_relaxed);
+          }
+          callback(raw.status(), index, attempts + 1);
+          return;
+        }
+
+        dnet::WireOutcome outcome = std::move(raw).value();
+        if (outcome.shed && !shed_rerouted) {
+          // 429-style admission shed: re-route once, then surface.
+          reroutes_shed_.fetch_add(1, std::memory_order_relaxed);
+          tried.insert(index);
+          Dispatch(std::move(request), std::move(callback), attempts + 1, std::move(tried),
+                   /*shed_rerouted=*/true, nullptr);
+          return;
+        }
+        if (outcome.code == dbase::StatusCode::kOk) {
+          {
+            std::lock_guard<std::mutex> lock(policy_mu_);
+            remote_retry_.OnSuccess(slot->name);
+          }
+          slot->served.fetch_add(1, std::memory_order_relaxed);
+          NoteAffinity(request.composition, index);
+          callback(std::move(outcome.sets), index, attempts + 1);
+          return;
+        }
+        // A failure the node itself reported: deterministic function
+        // failures (including jail kills, never retry-safe) and errors its
+        // own RetryPolicy already gave up on surface unchanged.
+        callback(dbase::Status(outcome.code, std::move(outcome.message)), index, attempts + 1);
+      });
+}
+
+InvocationHandle Cluster::InvokeRouted(InvocationRequest request, RoutedCallback callback) {
+  if (request.id == 0) {
+    // One cluster-wide id per invocation: re-routes keep it, so a node
+    // serving a re-sent invocation and the cancel path agree on identity.
+    request.id = next_invocation_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  InvocationHandle handle;
+  Dispatch(std::move(request), std::move(callback), /*attempts=*/0, {}, false, &handle);
+  return handle;
 }
 
 InvocationHandle Cluster::InvokeAsync(
     InvocationRequest request,
     std::function<void(dbase::Result<dfunc::DataSetList>, int)> callback) {
-  const int node = PickNode(request.priority);
-  served_[static_cast<size_t>(node)]->fetch_add(1, std::memory_order_relaxed);
-  inflight_[static_cast<size_t>(node)]->fetch_add(1, std::memory_order_relaxed);
-  return nodes_[static_cast<size_t>(node)]->Submit(
-      std::move(request),
-      [this, node, callback = std::move(callback)](dbase::Result<dfunc::DataSetList> result) {
-        inflight_[static_cast<size_t>(node)]->fetch_sub(1, std::memory_order_relaxed);
-        callback(std::move(result), node);
-      });
+  return InvokeRouted(std::move(request),
+                      [callback = std::move(callback)](dbase::Result<dfunc::DataSetList> result,
+                                                       int node, int /*attempts*/) {
+                        callback(std::move(result), node);
+                      });
 }
 
 void Cluster::InvokeAsync(const std::string& composition, dfunc::DataSetList args,
@@ -108,15 +474,17 @@ Cluster::RoutedResult Cluster::Invoke(InvocationRequest request) {
   if (request.deadline_us > 0) {
     wait_deadline = std::min(wait_deadline, request.deadline_us);
   }
-  InvocationHandle handle =
-      InvokeAsync(std::move(request),
-                  [state](dbase::Result<dfunc::DataSetList> result, int node) {
-                    std::lock_guard<std::mutex> lock(state->mu);
-                    state->routed.result = std::move(result);
-                    state->routed.node_index = node;
-                    state->done = true;
-                    state->cv.notify_one();
-                  });
+  InvocationHandle handle = InvokeRouted(
+      std::move(request),
+      [this, state](dbase::Result<dfunc::DataSetList> result, int node, int attempts) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->routed.result = std::move(result);
+        state->routed.node_index = node;
+        state->routed.node_name = NodeName(node);
+        state->routed.attempts = attempts;
+        state->done = true;
+        state->cv.notify_one();
+      });
   std::unique_lock<std::mutex> lock(state->mu);
   while (!state->done) {
     const dbase::Micros remaining =
@@ -146,11 +514,26 @@ Cluster::RoutedResult Cluster::Invoke(const std::string& composition,
   return Invoke(std::move(request));
 }
 
+std::string Cluster::NodeName(int index) const {
+  if (index < 0) {
+    return "";
+  }
+  if (index < num_nodes()) {
+    return "local-" + std::to_string(index);
+  }
+  RemoteSlot* slot = remote_slot(index);
+  return slot != nullptr ? slot->name : "";
+}
+
 std::vector<uint64_t> Cluster::InvocationsPerNode() const {
   std::vector<uint64_t> counts;
   counts.reserve(served_.size());
   for (const auto& counter : served_) {
     counts.push_back(counter->load(std::memory_order_relaxed));
+  }
+  std::lock_guard<std::mutex> lock(remotes_mu_);
+  for (const auto& slot : remotes_) {
+    counts.push_back(slot->served.load(std::memory_order_relaxed));
   }
   return counts;
 }
@@ -168,7 +551,185 @@ std::vector<Cluster::CoreSplit> Cluster::CoreSplits() const {
   return splits;
 }
 
+void Cluster::GossipNow() {
+  std::vector<RemoteSlot*> slots;
+  dnet::NodeClient* client = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(remotes_mu_);
+    client = client_started_ ? client_.get() : nullptr;
+    slots.reserve(remotes_.size());
+    for (const auto& slot : remotes_) {
+      slots.push_back(slot.get());
+    }
+  }
+  if (client == nullptr || slots.empty()) {
+    return;
+  }
+  const dbase::Micros timeout =
+      config_.gossip_interval_us > 0
+          ? std::min(config_.gossip_interval_us, kGossipTimeoutCapUs)
+          : kGossipTimeoutCapUs;
+
+  std::vector<dpolicy::MemberSignals> signals;
+  signals.reserve(slots.size());
+  for (size_t i = 0; i < slots.size(); ++i) {
+    RemoteSlot* slot = slots[i];
+    bool probe = true;
+    {
+      std::lock_guard<std::mutex> slot_lock(slot->mu);
+      // Administratively removed nodes (disconnected peer) are skipped
+      // entirely; staleness-evicted ones keep getting probed so they can
+      // rejoin when they come back.
+      probe = !(slot->state == dpolicy::MemberState::kLeft && slot->last_gossip_us == 0);
+    }
+    dbase::Result<dnet::WireNodeStatus> status =
+        probe ? client->Gossip(slot->name, timeout)
+              : dbase::Result<dnet::WireNodeStatus>(dbase::Unavailable("removed"));
+    dpolicy::MemberSignals member;
+    member.name = slot->name;
+    if (status.ok()) {
+      const dbase::Micros heard = dbase::MonotonicClock::Get()->NowMicros();
+      std::lock_guard<std::mutex> slot_lock(slot->mu);
+      slot->status = std::move(status).value();
+      slot->last_gossip_us = heard;
+      // Gossiped residency feeds locality routing: route a composition to
+      // the node that already holds its context/data.
+      const int global_index = num_nodes() + static_cast<int>(i);
+      for (const std::string& composition : slot->status.resident_compositions) {
+        NoteAffinityFromGossip(composition, global_index);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> slot_lock(slot->mu);
+      member.last_heard_us = slot->last_gossip_us;
+      if (slot->status.admission_cap > 0) {
+        member.utilization = static_cast<double>(slot->status.inflight) /
+                             static_cast<double>(slot->status.admission_cap);
+      }
+    }
+    signals.push_back(std::move(member));
+  }
+
+  dpolicy::MembershipDecision decision;
+  {
+    std::lock_guard<std::mutex> lock(policy_mu_);
+    decision = membership_.Tick(dbase::MonotonicClock::Get()->NowMicros(), signals);
+  }
+  ApplyMembership(decision);
+  gossip_rounds_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Cluster::NoteAffinityFromGossip(const std::string& composition, int index) {
+  // Slot mutex is held by the caller; only affinity_mu_ is taken here.
+  std::lock_guard<std::mutex> lock(affinity_mu_);
+  affinity_[composition] = index;
+}
+
+void Cluster::ApplyMembership(const dpolicy::MembershipDecision& decision) {
+  for (const dpolicy::MemberTransition& transition : decision.transitions) {
+    RemoteSlot* found = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(remotes_mu_);
+      for (const auto& slot : remotes_) {
+        if (slot->name == transition.name) {
+          found = slot.get();
+          break;
+        }
+      }
+    }
+    if (found == nullptr) {
+      continue;
+    }
+    std::lock_guard<std::mutex> slot_lock(found->mu);
+    found->state = transition.to;
+  }
+  if (config_.apply_scale_in && decision.desired_nodes_delta < 0 &&
+      !decision.drain_candidate.empty()) {
+    RemoveRemoteNode(decision.drain_candidate);
+  }
+}
+
+Cluster::ClusterStats Cluster::Stats() const {
+  ClusterStats stats;
+  stats.reroutes_shed = reroutes_shed_.load(std::memory_order_relaxed);
+  stats.reroutes_peer_lost = reroutes_peer_lost_.load(std::memory_order_relaxed);
+  stats.reroute_denied = reroute_denied_.load(std::memory_order_relaxed);
+  stats.no_eligible_node = no_eligible_node_.load(std::memory_order_relaxed);
+  stats.gossip_rounds = gossip_rounds_.load(std::memory_order_relaxed);
+
+  for (int n = 0; n < num_nodes(); ++n) {
+    PeerStats peer;
+    peer.name = "local-" + std::to_string(n);
+    peer.remote = false;
+    peer.state = "active";
+    peer.served = served_[static_cast<size_t>(n)]->load(std::memory_order_relaxed);
+    peer.inflight = inflight_[static_cast<size_t>(n)]->load(std::memory_order_relaxed);
+    stats.peers.push_back(std::move(peer));
+  }
+
+  std::vector<dnet::NodeClient::PeerSnapshot> wire;
+  {
+    std::lock_guard<std::mutex> lock(remotes_mu_);
+    if (client_started_) {
+      wire = client_->SnapshotPeers();
+    }
+    const dbase::Micros now = dbase::MonotonicClock::Get()->NowMicros();
+    for (const auto& slot : remotes_) {
+      PeerStats peer;
+      peer.name = slot->name;
+      peer.remote = true;
+      peer.served = slot->served.load(std::memory_order_relaxed);
+      peer.inflight = slot->inflight.load(std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> slot_lock(slot->mu);
+        peer.state = dpolicy::MemberStateName(slot->state);
+        peer.gossip_age_us =
+            slot->last_gossip_us > 0 ? static_cast<int64_t>(now - slot->last_gossip_us) : -1;
+        peer.remote_inflight = slot->status.inflight;
+        peer.remote_admission_cap = slot->status.admission_cap;
+        if (slot->status.admission_cap > 0) {
+          peer.utilization = static_cast<double>(slot->status.inflight) /
+                             static_cast<double>(slot->status.admission_cap);
+        }
+      }
+      for (const auto& snapshot : wire) {
+        if (snapshot.name != slot->name) {
+          continue;
+        }
+        peer.invokes_sent = snapshot.invokes_sent;
+        peer.sheds_received = snapshot.sheds_received;
+        peer.peer_lost_failures = snapshot.peer_lost_failures;
+        peer.bytes_sent = snapshot.bytes_sent;
+        peer.bytes_received = snapshot.bytes_received;
+        break;
+      }
+      stats.peers.push_back(std::move(peer));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(policy_mu_);
+    stats.membership = membership_.stats();
+    stats.remote_retry = remote_retry_.Stats();
+  }
+  return stats;
+}
+
 void Cluster::Shutdown() {
+  if (shut_down_.exchange(true, std::memory_order_relaxed)) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(gossip_mu_);
+    stopping_ = true;
+  }
+  gossip_cv_.notify_all();
+  gossip_thread_.reset();
+  {
+    std::lock_guard<std::mutex> lock(remotes_mu_);
+    if (client_started_) {
+      client_->Stop();
+    }
+  }
   for (auto& node : nodes_) {
     node->Shutdown();
   }

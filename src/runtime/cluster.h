@@ -1,16 +1,48 @@
 // Cluster manager (§5): "orchestrates multiple worker nodes and load
 // balances composition invocations across nodes. We extended Dirigent to
-// support Dandelion worker nodes." This is the single-process stand-in:
-// N Platform instances (worker nodes) behind a load-balancing invoke API.
+// support Dandelion worker nodes."
+//
+// Two node flavors live behind one Invoke/InvokeAsync API:
+//
+//   - local nodes: N in-process Platform instances (the single-process
+//     stand-in the earlier PRs built everything on), and
+//   - remote nodes: engine processes reached over the dnet wire (ROADMAP
+//     "Distributed data plane") through one connection-pooling NodeClient.
+//
+// Routing is locality-aware under LoadBalancePolicy::kLocality: a
+// composition goes to the node that served it most recently (locally
+// observed, plus the resident-composition lists remote nodes gossip),
+// falling back to kLeastLoaded when the sticky node is saturated, suspect
+// or gone. Remote load is read from gossiped ElasticitySignals.
+//
+// Cross-node shedding: a peer that responds 429-style (kUnavailable with
+// the shed frame flag) gets the invocation re-routed once to another node
+// before the error surfaces. Remote transport failures map into the PR 8
+// failure taxonomy as FailureKind::kPeerLost — retry-safe, because
+// Dandelion functions are pure — and are absorbed by a router-side
+// RetryPolicy (breaker keyed by node) that re-routes to surviving nodes;
+// remote jail kills and other deterministic function failures surface
+// unchanged. Node join/leave is policy-driven: a gossip loop feeds
+// dpolicy::MembershipPolicy, which suspects stale peers, evicts dead ones,
+// re-admits rejoiners, and emits fleet scale hints.
 #ifndef SRC_RUNTIME_CLUSTER_H_
 #define SRC_RUNTIME_CLUSTER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "src/net/node_client.h"
+#include "src/policy/membership.h"
+#include "src/policy/retry.h"
 #include "src/runtime/platform.h"
 
 namespace dandelion {
@@ -18,46 +50,95 @@ namespace dandelion {
 enum class LoadBalancePolicy {
   kRoundRobin,
   // Routes to the node with the fewest in-flight invocations + queued
-  // engine tasks.
+  // engine tasks (gossiped backlog for remote nodes).
   kLeastLoaded,
+  // Sticky composition→node affinity from serve history and gossiped
+  // residency; falls back to kLeastLoaded when the affine node is
+  // saturated or unavailable.
+  kLocality,
 };
 
 class Cluster {
  public:
+  struct RemoteNode {
+    std::string name;
+    uint16_t port = 0;
+  };
+
   struct Config {
+    // In-process nodes; 0 is allowed when remote nodes are configured.
     int num_nodes = 2;
     PlatformConfig node_config;
     LoadBalancePolicy policy = LoadBalancePolicy::kRoundRobin;
+
+    // Engine processes to dial over the dnet wire (loopback ports).
+    std::vector<RemoteNode> remote_nodes;
+    std::string router_name = "router";
+    dnet::FrameLimits limits;
+    // Backstop timeout for remote invokes carrying no deadline.
+    dbase::Micros remote_invoke_timeout_us = 120 * dbase::kMicrosPerSecond;
+    // Gossip cadence for remote signals + membership; 0 disables the
+    // background loop (tests drive GossipNow() by hand).
+    dbase::Micros gossip_interval_us = 200 * dbase::kMicrosPerMilli;
+    dpolicy::MembershipOptions membership;
+    // Router-side absorption of kPeerLost (breakers keyed by node name).
+    dpolicy::RetryOptions remote_retry;
+    // When the membership policy emits a scale-in hint, actually drain
+    // (remove) the nominated node instead of just counting the hint.
+    bool apply_scale_in = false;
   };
 
   explicit Cluster(Config config);
+  ~Cluster();
 
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
+  // Local (in-process) nodes.
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   Platform& node(int index) { return *nodes_[static_cast<size_t>(index)]; }
+  // Locals + remote nodes ever added (remote slots persist through
+  // eviction so node indices stay stable).
+  int total_nodes() const;
 
-  // Registration is cluster-wide: every node gets the function/composition
-  // (a node can only serve what it has registered).
+  // Dynamic membership: join a running engine process / drain one. Join
+  // makes the node routable immediately; the membership policy evicts it
+  // if it never answers gossip.
+  dbase::Status AddRemoteNode(const std::string& name, uint16_t port);
+  void RemoveRemoteNode(const std::string& name);
+
+  // Registration is cluster-wide for local nodes (a node can only serve
+  // what it has registered); remote nodes register their own functions at
+  // spawn (see src/tools/dandelion_node.cc).
   dbase::Status RegisterFunction(const dfunc::FunctionSpec& spec);
   dbase::Status RegisterCompositionDsl(std::string_view dsl_source);
 
-  // Applies `setup` to every node — e.g. registering mesh services.
+  // Applies `setup` to every local node — e.g. registering mesh services.
   void ForEachNode(const std::function<void(Platform&)>& setup);
 
   // Load-balanced invocation. Returns the result plus which node served it
-  // (for tests and placement studies).
+  // (for tests and placement studies). `result` is empty only before the
+  // invocation has been routed — a terminal RoutedResult always holds one.
   struct RoutedResult {
-    dbase::Result<dfunc::DataSetList> result;
+    std::optional<dbase::Result<dfunc::DataSetList>> result;
     int node_index = -1;
-    RoutedResult() : result(dbase::Internal("unset")) {}
+    std::string node_name;
+    // Total placement attempts: >1 means shedding or peer loss re-routed.
+    int attempts = 1;
+
+    bool ok() const { return result.has_value() && result->ok(); }
+    dbase::Status status() const {
+      return result.has_value() ? result->status() : dbase::Unavailable("not routed");
+    }
+    const dfunc::DataSetList& sets() const { return result->value(); }
   };
   // Routed invokes take first-class requests: the deadline and cancel flag
-  // travel with the invocation to whichever node serves it, and placement
-  // can consider the request class (under kLeastLoaded, interactive
-  // requests pay the load scan while batch spreads round-robin — backlog
-  // smoothing is enough for work that tolerates queueing).
+  // travel with the invocation to whichever node serves it (remote nodes
+  // get the *remaining* time re-anchored on their own clock), and
+  // placement can consider the request class (under kLeastLoaded,
+  // interactive requests pay the load scan while batch spreads
+  // round-robin — backlog smoothing is enough for work that tolerates
+  // queueing).
   RoutedResult Invoke(InvocationRequest request);
   InvocationHandle InvokeAsync(
       InvocationRequest request,
@@ -68,10 +149,10 @@ class Cluster {
   void InvokeAsync(const std::string& composition, dfunc::DataSetList args,
                    std::function<void(dbase::Result<dfunc::DataSetList>, int node)> callback);
 
-  // Per-node served-invocation counters.
+  // Per-node served-invocation counters (locals then remotes).
   std::vector<uint64_t> InvocationsPerNode() const;
 
-  // Per-node compute/comm core split — cluster-wide view of what each
+  // Per-local-node compute/comm core split — cluster-wide view of what each
   // node's elasticity control plane (configured via node_config) has done.
   struct CoreSplit {
     int compute_workers = 0;
@@ -79,17 +160,118 @@ class Cluster {
   };
   std::vector<CoreSplit> CoreSplits() const;
 
+  // One synchronous gossip + membership round (the background loop runs
+  // this on gossip_interval_us; tests call it directly).
+  void GossipNow();
+
+  // The statz "cluster" section's source of truth.
+  struct PeerStats {
+    std::string name;
+    bool remote = false;
+    std::string_view state = "active";
+    uint64_t served = 0;
+    int64_t inflight = 0;  // Router-side in-flight toward this node.
+    // Remote-only wire counters (from the NodeClient).
+    uint64_t invokes_sent = 0;
+    uint64_t sheds_received = 0;
+    uint64_t peer_lost_failures = 0;
+    uint64_t bytes_sent = 0;
+    uint64_t bytes_received = 0;
+    // Age of the last gossip snapshot; -1 = never heard.
+    int64_t gossip_age_us = -1;
+    // From the peer's last gossiped ElasticitySignals.
+    uint64_t remote_inflight = 0;
+    uint64_t remote_admission_cap = 0;
+    double utilization = 0.0;
+  };
+  struct ClusterStats {
+    std::vector<PeerStats> peers;
+    uint64_t reroutes_shed = 0;
+    uint64_t reroutes_peer_lost = 0;
+    uint64_t reroute_denied = 0;
+    uint64_t no_eligible_node = 0;
+    uint64_t gossip_rounds = 0;
+    dpolicy::MembershipStats membership;
+    dpolicy::RetryPolicyStats remote_retry;
+  };
+  ClusterStats Stats() const;
+
   void Shutdown();
 
  private:
-  int PickNode(PriorityClass priority);
+  struct RemoteSlot {
+    std::string name;
+    uint16_t port = 0;
+    std::atomic<uint64_t> served{0};
+    std::atomic<int64_t> inflight{0};
+    mutable std::mutex mu;
+    dnet::WireNodeStatus status;              // Last gossip snapshot.
+    dbase::Micros last_gossip_us = 0;         // 0 = never heard.
+    dpolicy::MemberState state = dpolicy::MemberState::kActive;
+  };
+
+  // Node indices are global: [0, num_nodes) local, then remotes in join
+  // order. Remote slots are never erased (indices stay stable); evicted
+  // slots sit in MemberState::kLeft until their node gossips again.
+  // Internal terminal callback: result, serving node index, total
+  // placement attempts (so RoutedResult can report re-routes).
+  using RoutedCallback =
+      std::function<void(dbase::Result<dfunc::DataSetList>, int node, int attempts)>;
+
+  int PickNode(const InvocationRequest& request, const std::set<int>& exclude);
   double NodeLoad(int index) const;
+  bool Eligible(int index, const std::set<int>& exclude, bool allow_suspect) const;
+  void Dispatch(InvocationRequest request, RoutedCallback callback, int attempts,
+                std::set<int> tried, bool shed_rerouted, InvocationHandle* first_handle);
+  void DispatchRemote(int index, InvocationRequest request, RoutedCallback callback,
+                      int attempts, std::set<int> tried, bool shed_rerouted);
+  InvocationHandle InvokeRouted(InvocationRequest request, RoutedCallback callback);
+  void NoteAffinity(const std::string& composition, int index);
+  void NoteAffinityFromGossip(const std::string& composition, int index);
+  int AffinityFor(const std::string& composition) const;
+  std::string NodeName(int index) const;
+  RemoteSlot* remote_slot(int index) const;
+  void EnsureClientStarted();
+  void ApplyMembership(const dpolicy::MembershipDecision& decision);
 
   Config config_;
   std::vector<std::unique_ptr<Platform>> nodes_;
   std::vector<std::unique_ptr<std::atomic<uint64_t>>> served_;
   std::vector<std::unique_ptr<std::atomic<int64_t>>> inflight_;
   std::atomic<uint64_t> round_robin_{0};
+  std::atomic<uint64_t> next_invocation_id_{1};
+
+  // Remote side. remotes_ is append-only under remotes_mu_; slots are
+  // heap-allocated so raw pointers stay valid across growth.
+  mutable std::mutex remotes_mu_;
+  std::vector<std::unique_ptr<RemoteSlot>> remotes_;
+  std::unique_ptr<dnet::NodeClient> client_;
+  bool client_started_ = false;  // Guarded by remotes_mu_.
+
+  // Composition → global node index (most recent server / gossiped
+  // residency).
+  mutable std::mutex affinity_mu_;
+  std::unordered_map<std::string, int> affinity_;
+
+  // Router-side policy state.
+  mutable std::mutex policy_mu_;
+  dpolicy::RetryPolicy remote_retry_;
+  dpolicy::MembershipPolicy membership_;
+
+  // Re-route + gossip counters.
+  std::atomic<uint64_t> reroutes_shed_{0};
+  std::atomic<uint64_t> reroutes_peer_lost_{0};
+  std::atomic<uint64_t> reroute_denied_{0};
+  std::atomic<uint64_t> no_eligible_node_{0};
+  std::atomic<uint64_t> gossip_rounds_{0};
+
+  // Background gossip loop.
+  std::mutex gossip_mu_;
+  std::condition_variable gossip_cv_;
+  bool stopping_ = false;
+  std::unique_ptr<dbase::JoiningThread> gossip_thread_;
+
+  std::atomic<bool> shut_down_{false};
 };
 
 }  // namespace dandelion

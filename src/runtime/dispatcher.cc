@@ -1104,7 +1104,13 @@ void Dispatcher::ReaperLoop() {
       lock.lock();
       continue;
     }
-    reaper_cv_.wait_for(lock, std::chrono::microseconds(nearest - now + 500));
+    // Bound the sleep: a deadline in the far future would overflow the
+    // nanosecond conversion inside wait_for, which then returns instantly
+    // and turns this loop into a spin that starves ArmReaper callers.
+    // Waking once a second to re-scan costs nothing.
+    const dbase::Micros sleep_us =
+        std::min<dbase::Micros>(nearest - now + 500, dbase::kMicrosPerSecond);
+    reaper_cv_.wait_for(lock, std::chrono::microseconds(sleep_us));
   }
 }
 

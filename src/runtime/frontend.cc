@@ -17,6 +17,7 @@
 #include "src/base/log.h"
 #include "src/base/string_util.h"
 #include "src/http/http_parser.h"
+#include "src/runtime/cluster.h"
 #include "src/runtime/fault.h"
 #include "src/runtime/jail.h"
 
@@ -223,9 +224,23 @@ dbase::Status HttpFrontend::Start() {
       control != nullptr && !signals_registered_) {
     signals_registered_ = true;
     signal_source_id_ = control->AddSignalSource(
-        [counters = counters_](dpolicy::ElasticitySignals* signals) {
+        [counters = counters_, cluster = cluster_](dpolicy::ElasticitySignals* signals) {
           signals->admission_shed +=
               counters->shed_429.load(std::memory_order_relaxed);
+          if (cluster == nullptr) {
+            return;
+          }
+          // Router pressure: how often work had to move nodes, how much of
+          // the fleet is unreachable, and what the wire is carrying.
+          const Cluster::ClusterStats stats = cluster->Stats();
+          signals->cluster_reroutes += stats.reroutes_shed + stats.reroutes_peer_lost;
+          for (const Cluster::PeerStats& peer : stats.peers) {
+            if (peer.remote && peer.state != "active") {
+              ++signals->cluster_peers_unavailable;
+            }
+            signals->net_bytes_sent += peer.bytes_sent;
+            signals->net_bytes_received += peer.bytes_received;
+          }
         });
   }
   running_.store(true);
@@ -665,21 +680,30 @@ void HttpFrontend::DispatchInvoke(const std::weak_ptr<Connection>& weak_conn, co
   // members. The posted closure only ever runs on a live loop, which
   // implies a live frontend (Stop() joins the loop thread before
   // destruction).
-  InvocationHandle handle = platform_->Submit(
-      std::move(invocation),
-      [this, loop = loop_, counters, class_index, weak_conn,
-       slot](dbase::Result<dfunc::DataSetList> result) {
-        counters->inflight[class_index].fetch_sub(1, std::memory_order_relaxed);
-        counters->served.fetch_add(1, std::memory_order_relaxed);
-        if (!result.ok() &&
-            result.status().code() == dbase::StatusCode::kDeadlineExceeded) {
-          counters->deadline_504.fetch_add(1, std::memory_order_relaxed);
-        }
-        WireChunks bytes = InvocationResponseWire(std::move(result));
-        loop->Post([this, weak_conn, slot, bytes = std::move(bytes)]() mutable {
-          ApplySlotCompletion(weak_conn, slot, std::move(bytes));
-        });
-      });
+  auto completion = [this, loop = loop_, counters, class_index, weak_conn,
+                     slot](dbase::Result<dfunc::DataSetList> result) {
+    counters->inflight[class_index].fetch_sub(1, std::memory_order_relaxed);
+    counters->served.fetch_add(1, std::memory_order_relaxed);
+    if (!result.ok() &&
+        result.status().code() == dbase::StatusCode::kDeadlineExceeded) {
+      counters->deadline_504.fetch_add(1, std::memory_order_relaxed);
+    }
+    WireChunks bytes = InvocationResponseWire(std::move(result));
+    loop->Post([this, weak_conn, slot, bytes = std::move(bytes)]() mutable {
+      ApplySlotCompletion(weak_conn, slot, std::move(bytes));
+    });
+  };
+  InvocationHandle handle;
+  if (cluster_ != nullptr) {
+    // Cluster route: locality-aware placement across local + remote nodes,
+    // with cross-node shed/peer-lost re-routing, behind the same callback.
+    handle = cluster_->InvokeAsync(
+        std::move(invocation),
+        [completion = std::move(completion)](dbase::Result<dfunc::DataSetList> result,
+                                             int /*node*/) { completion(std::move(result)); });
+  } else {
+    handle = platform_->Submit(std::move(invocation), std::move(completion));
+  }
 
   // Attach the handle so a dying connection cancels the invocation instead
   // of letting orphaned work run to completion. If the connection already
@@ -1171,7 +1195,47 @@ std::string HttpFrontend::StatzJson() const {
                                breaker.consecutive_failures);
     }
   }
-  json += "}}}\n";
+  json += "}}";
+  // Distributed data plane: router-side view of every cluster node — wire
+  // counters from the NodeClient, membership state + gossip staleness, and
+  // the cross-node re-route activity.
+  json += ",\"cluster\":{";
+  if (cluster_ != nullptr) {
+    const Cluster::ClusterStats cluster = cluster_->Stats();
+    json += dbase::StrFormat(
+        "\"enabled\":true,\"reroutes_shed\":%llu,\"reroutes_peer_lost\":%llu,"
+        "\"reroute_denied\":%llu,\"no_eligible_node\":%llu,\"gossip_rounds\":%llu,"
+        "\"members_suspected\":%llu,\"members_evicted\":%llu,"
+        "\"members_rejoined\":%llu,\"scale_out_hints\":%llu,\"scale_in_hints\":%llu,"
+        "\"peers\":{",
+        u(cluster.reroutes_shed), u(cluster.reroutes_peer_lost), u(cluster.reroute_denied),
+        u(cluster.no_eligible_node), u(cluster.gossip_rounds), u(cluster.membership.suspects),
+        u(cluster.membership.evictions), u(cluster.membership.rejoins),
+        u(cluster.membership.scale_out_hints), u(cluster.membership.scale_in_hints));
+    bool first = true;
+    for (const Cluster::PeerStats& peer : cluster.peers) {
+      if (!first) {
+        json.push_back(',');
+      }
+      first = false;
+      AppendJsonString(&json, peer.name);
+      json += dbase::StrFormat(
+          ":{\"remote\":%s,\"state\":\"%s\",\"served\":%llu,\"inflight\":%lld,"
+          "\"invokes_sent\":%llu,\"sheds_received\":%llu,\"peer_lost_failures\":%llu,"
+          "\"bytes_sent\":%llu,\"bytes_received\":%llu,\"gossip_age_us\":%lld,"
+          "\"remote_inflight\":%llu,\"remote_admission_cap\":%llu,"
+          "\"utilization\":%.3f}",
+          peer.remote ? "true" : "false", std::string(peer.state).c_str(), u(peer.served),
+          static_cast<long long>(peer.inflight), u(peer.invokes_sent), u(peer.sheds_received),
+          u(peer.peer_lost_failures), u(peer.bytes_sent), u(peer.bytes_received),
+          static_cast<long long>(peer.gossip_age_us), u(peer.remote_inflight),
+          u(peer.remote_admission_cap), peer.utilization);
+    }
+    json += "}";
+  } else {
+    json += "\"enabled\":false";
+  }
+  json += "}}\n";
   return json;
 }
 

@@ -49,6 +49,8 @@
 
 namespace dandelion {
 
+class Cluster;
+
 struct FrontendConfig {
   // port 0 lets the kernel pick; the bound port is then readable via port().
   uint16_t port = 0;
@@ -125,6 +127,14 @@ class HttpFrontend {
   // Binds, listens, and starts the event-loop thread.
   dbase::Status Start();
   void Stop();
+
+  // Routes invokes through a cluster (locality-aware dispatch + cross-node
+  // shedding over the dnet wire) instead of submitting straight to the
+  // local platform. The attached platform keeps serving registration,
+  // statz and signals. Call before Start(); the cluster must outlive the
+  // frontend. /statz grows a "cluster" section with per-peer wire and
+  // membership counters.
+  void AttachCluster(Cluster* cluster) { cluster_ = cluster; }
 
   uint16_t port() const { return port_; }
   bool running() const { return running_.load(std::memory_order_relaxed); }
@@ -252,6 +262,7 @@ class HttpFrontend {
   std::string StatzJson() const;
 
   Platform* platform_;
+  Cluster* cluster_ = nullptr;  // Optional invoke route; not owned.
   FrontendConfig config_;
   uint16_t port_;
   int listen_fd_ = -1;

@@ -1,0 +1,258 @@
+#include "src/runtime/node_agent.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/http/sanitizer.h"
+
+namespace dandelion {
+
+NodeAgent::NodeAgent(Platform* platform, NodeAgentConfig config)
+    : platform_(platform),
+      config_(std::move(config)),
+      server_([this] {
+        dnet::NodeServer::Config server_config;
+        server_config.port = config_.port;
+        server_config.node_name = config_.node_name;
+        server_config.limits = config_.limits;
+        return server_config;
+      }()) {
+  server_.set_invoke_handler([this](dnet::WireInvoke invoke, dnet::NodeServer::OutcomeFn done) {
+    HandleInvoke(std::move(invoke), std::move(done));
+  });
+  server_.set_cancel_handler([this](uint64_t invocation_id) { HandleCancel(invocation_id); });
+  server_.set_status_provider([this] { return BuildStatus(); });
+  server_.set_mesh_handler([this](std::string request, dnet::NodeServer::MeshReplyFn done) {
+    HandleMesh(std::move(request), std::move(done));
+  });
+}
+
+NodeAgent::~NodeAgent() { Stop(); }
+
+dbase::Status NodeAgent::Start() {
+  if (running_.exchange(true, std::memory_order_relaxed)) {
+    return dbase::FailedPrecondition("NodeAgent already started");
+  }
+  if (config_.dispatch_threads > 0) {
+    dispatch_pool_ =
+        std::make_unique<dbase::WorkerPool>(config_.dispatch_threads, "node-dispatch");
+  }
+  return server_.Start();
+}
+
+void NodeAgent::Stop() {
+  if (!running_.exchange(false, std::memory_order_relaxed)) {
+    return;
+  }
+  // Stopping the server joins its loop thread: no new invokes or mesh
+  // calls can be accepted past this point.
+  server_.Stop();
+  // Cancel whatever a (possibly dead) router still owes us an answer for,
+  // then wait for every accepted completion to fire: those callbacks touch
+  // this object and post into the server's loop, so returning with one
+  // pending would hand a dangling agent to an engine thread. The dispatch
+  // pool stays up through the drain — queued submits must run, not leak.
+  std::vector<InvocationHandle> handles;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    handles.reserve(inflight_handles_.size());
+    for (auto& [id, handle] : inflight_handles_) {
+      handles.push_back(handle);
+    }
+  }
+  for (auto& handle : handles) {
+    handle.Cancel();
+  }
+  {
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    drain_cv_.wait(lock,
+                   [this] { return outstanding_.load(std::memory_order_acquire) == 0; });
+  }
+  if (dispatch_pool_ != nullptr) {
+    dispatch_pool_->Shutdown();
+    dispatch_pool_.reset();
+  }
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  inflight_handles_.clear();
+  completed_early_.clear();
+}
+
+void NodeAgent::NoteServed(const std::string& composition) {
+  std::lock_guard<std::mutex> lock(resident_mu_);
+  auto it = std::find(resident_.begin(), resident_.end(), composition);
+  if (it != resident_.end()) {
+    resident_.erase(it);
+  }
+  resident_.push_back(composition);
+  while (resident_.size() > config_.max_resident_gossip) {
+    resident_.pop_front();
+  }
+}
+
+void NodeAgent::HandleInvoke(dnet::WireInvoke invoke, dnet::NodeServer::OutcomeFn done) {
+  const PriorityClass priority =
+      invoke.priority == static_cast<uint8_t>(PriorityClass::kBatch) ? PriorityClass::kBatch
+                                                                     : PriorityClass::kInteractive;
+  // Admission: shed at the per-class cap with the re-routable marker, the
+  // wire analogue of the frontend's 429.
+  const size_t cap = priority == PriorityClass::kBatch ? config_.max_inflight_batch
+                                                       : config_.max_inflight_interactive;
+  const int klass = static_cast<int>(priority);
+  if (cap != 0) {
+    const int64_t now_inflight = inflight_[klass].fetch_add(1, std::memory_order_relaxed);
+    if (static_cast<size_t>(now_inflight) >= cap) {
+      inflight_[klass].fetch_sub(1, std::memory_order_relaxed);
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      dnet::WireOutcome outcome;
+      outcome.code = dbase::StatusCode::kUnavailable;
+      outcome.message = "node at capacity";
+      outcome.shed = true;
+      done(std::move(outcome));
+      return;
+    }
+  } else {
+    inflight_[klass].fetch_add(1, std::memory_order_relaxed);
+  }
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+
+  InvocationRequest request;
+  request.composition = std::move(invoke.composition);
+  request.args = std::move(invoke.args);
+  request.priority = priority;
+  request.id = invoke.invocation_id;
+  if (invoke.remaining_deadline_us > 0) {
+    // The wire carries time *remaining*; absolute monotonic stamps do not
+    // transfer between processes. Clamp it: a corrupt or hostile value must
+    // not overflow now+remaining into the past, nor park a reaper entry in
+    // the unreachable future.
+    constexpr dbase::Micros kMaxRemoteDeadlineUs = 24ll * 3600 * dbase::kMicrosPerSecond;
+    request.deadline_us = InvocationRequest::DeadlineIn(
+        std::min(invoke.remaining_deadline_us, kMaxRemoteDeadlineUs));
+  }
+  NoteServed(request.composition);
+
+  const uint64_t invocation_id = request.id;
+  auto submit = [this, request = std::move(request), done = std::move(done), invocation_id,
+                 klass]() mutable {
+    // The handle is captured by the completion so the report (failure
+    // kind, absorbed retries) is readable at outcome-build time.
+    auto handle = std::make_shared<InvocationHandle>();
+    auto callback = [this, done = std::move(done), handle, invocation_id,
+                     klass](dbase::Result<dfunc::DataSetList> result) {
+      inflight_[klass].fetch_sub(1, std::memory_order_relaxed);
+      served_.fetch_add(1, std::memory_order_relaxed);
+      if (invocation_id != 0) {
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        // The completion can outrun Submit's return: leave a token so the
+        // submit side knows not to insert a handle for a dead invocation.
+        if (inflight_handles_.erase(invocation_id) == 0) {
+          completed_early_.insert(invocation_id);
+        }
+      }
+      dnet::WireOutcome outcome;
+      const InvocationReport report = handle->Report();
+      outcome.failure_kind = static_cast<uint8_t>(report.failure_kind);
+      outcome.retries_attempted = static_cast<uint32_t>(report.retries_attempted);
+      if (result.ok()) {
+        outcome.code = dbase::StatusCode::kOk;
+        outcome.sets = std::move(result).value();
+      } else {
+        outcome.code = result.status().code();
+        outcome.message = result.status().message();
+      }
+      done(std::move(outcome));
+      {
+        std::lock_guard<std::mutex> drain_lock(drain_mu_);
+        outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      drain_cv_.notify_all();
+    };
+    *handle = platform_->Submit(std::move(request), std::move(callback));
+    if (invocation_id != 0) {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      if (completed_early_.erase(invocation_id) == 0) {
+        inflight_handles_[invocation_id] = *handle;
+      }
+    }
+  };
+  if (dispatch_pool_ != nullptr && dispatch_pool_->Submit(submit)) {
+    return;
+  }
+  submit();
+}
+
+void NodeAgent::HandleCancel(uint64_t invocation_id) {
+  InvocationHandle handle;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto it = inflight_handles_.find(invocation_id);
+    if (it == inflight_handles_.end()) {
+      return;
+    }
+    handle = it->second;
+  }
+  handle.Cancel();
+}
+
+void NodeAgent::HandleMesh(std::string request, dnet::NodeServer::MeshReplyFn done) {
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  auto serve = [this, request = std::move(request), done = std::move(done)]() {
+    dnet::WireMeshReply reply;
+    auto sanitized = dhttp::SanitizeRequest(request);
+    if (!sanitized.ok()) {
+      reply.response = dhttp::HttpResponse::BadRequest(sanitized.status().ToString()).Serialize();
+    } else {
+      dhttp::MeshCallResult result = platform_->mesh().Call(*sanitized);
+      reply.latency_us = result.latency_us;
+      reply.response = result.response.Serialize();
+    }
+    done(std::move(reply));
+    {
+      std::lock_guard<std::mutex> drain_lock(drain_mu_);
+      outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    drain_cv_.notify_all();
+  };
+  if (dispatch_pool_ != nullptr && dispatch_pool_->Submit(serve)) {
+    return;
+  }
+  serve();
+}
+
+dnet::WireNodeStatus NodeAgent::BuildStatus() {
+  dnet::WireNodeStatus status;
+  status.node_name = config_.node_name;
+  const EngineStats engines = platform_->engine_stats();
+  const DispatcherStats dispatch = platform_->dispatcher_stats();
+  dpolicy::ElasticitySignals& s = status.signals;
+  s.now_us = dbase::MonotonicClock::Get()->NowMicros();
+  s.compute_workers = engines.compute_workers;
+  s.comm_workers = engines.comm_workers;
+  s.compute_backlog = engines.compute_queue_len;
+  s.comm_backlog = engines.comm_queue_len;
+  s.interactive_compute_backlog = engines.compute_urgent_queue_len;
+  s.interactive_comm_backlog = engines.comm_urgent_queue_len;
+  s.inflight_interactive = dispatch.inflight_interactive;
+  s.inflight_batch = dispatch.inflight_batch;
+  s.admission_shed = shed_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = dispatch.invocations_deadline_exceeded;
+  s.sandbox_failures = dispatch.sandbox_failures;
+  s.breaker_fast_fails = dispatch.breaker_fast_fails;
+  s.breakers_open = dispatch.breakers_open;
+  if (SandboxPool* pool = platform_->sandbox_pool(); pool != nullptr) {
+    const SandboxPoolStats warm = pool->Stats();
+    s.warm_pool_shelved = static_cast<uint64_t>(warm.shelved);
+    s.warm_pool_misses = warm.misses;
+  }
+  status.inflight = dispatch.inflight_interactive + dispatch.inflight_batch;
+  status.admission_cap = config_.max_inflight_interactive + config_.max_inflight_batch;
+  {
+    std::lock_guard<std::mutex> lock(resident_mu_);
+    status.resident_compositions.assign(resident_.begin(), resident_.end());
+  }
+  return status;
+}
+
+}  // namespace dandelion

@@ -1,0 +1,117 @@
+// NodeAgent: binds a Platform to the dnet wire (ROADMAP "Distributed data
+// plane"). It embeds a dnet::NodeServer in the engine process and plugs
+// the four wire duties into the runtime:
+//
+//   invoke  → per-class admission check (shed with kUnavailable+shed flag
+//             at the caps, exactly like the HTTP frontend's 429), then
+//             Platform::Submit with the deadline reconstructed from the
+//             wire's relative remaining time;
+//   cancel  → InvocationHandle::Cancel via an id-keyed inflight table
+//             (also driven by the server's cancel-on-disconnect);
+//   gossip  → an ElasticitySignals snapshot assembled from the engine and
+//             dispatcher stats plus the recently-served composition list
+//             (the router's locality + membership input);
+//   mesh    → serve a carried service-mesh request against the local mesh
+//             and report the modelled latency back.
+//
+// Dispatch setup and mesh serving run on a small offload pool so the wire
+// loop thread never leaves socket work.
+#ifndef SRC_RUNTIME_NODE_AGENT_H_
+#define SRC_RUNTIME_NODE_AGENT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "src/base/status.h"
+#include "src/base/thread.h"
+#include "src/net/node_server.h"
+#include "src/runtime/platform.h"
+
+namespace dandelion {
+
+struct NodeAgentConfig {
+  std::string node_name = "node";
+  // 0 picks an ephemeral port; the bound port is readable via port().
+  uint16_t port = 0;
+  // Per-class admission caps, same semantics as the HTTP frontend's:
+  // arriving work beyond the cap is shed immediately (kUnavailable with
+  // the shed frame flag) instead of queueing blindly. 0 = uncapped.
+  size_t max_inflight_interactive = 256;
+  size_t max_inflight_batch = 256;
+  // How many recently-served composition names travel in gossip (the
+  // locality signal); oldest drop first.
+  size_t max_resident_gossip = 64;
+  dnet::FrameLimits limits;
+  // Offload threads for dispatch setup and mesh serving.
+  int dispatch_threads = 2;
+};
+
+class NodeAgent {
+ public:
+  NodeAgent(Platform* platform, NodeAgentConfig config);
+  ~NodeAgent();
+
+  NodeAgent(const NodeAgent&) = delete;
+  NodeAgent& operator=(const NodeAgent&) = delete;
+
+  dbase::Status Start();
+  void Stop();
+
+  uint16_t port() const { return server_.port(); }
+  const std::string& node_name() const { return config_.node_name; }
+  const dnet::NodeServer& server() const { return server_; }
+
+  // Counters for statz/tests (thread-safe).
+  uint64_t invocations_served() const { return served_.load(std::memory_order_relaxed); }
+  uint64_t invocations_shed() const { return shed_.load(std::memory_order_relaxed); }
+
+  // The gossip snapshot; also callable directly by tests.
+  dnet::WireNodeStatus BuildStatus();
+
+ private:
+  void HandleInvoke(dnet::WireInvoke invoke, dnet::NodeServer::OutcomeFn done);
+  void HandleCancel(uint64_t invocation_id);
+  void HandleMesh(std::string request, dnet::NodeServer::MeshReplyFn done);
+  void NoteServed(const std::string& composition);
+
+  Platform* const platform_;
+  NodeAgentConfig config_;
+  dnet::NodeServer server_;
+  std::unique_ptr<dbase::WorkerPool> dispatch_pool_;
+  std::atomic<bool> running_{false};
+
+  // Admission gauges (the wire-side analogue of the frontend's
+  // InvokeCounters).
+  std::atomic<int64_t> inflight_[kNumPriorityClasses] = {};
+  std::atomic<uint64_t> served_{0};
+  std::atomic<uint64_t> shed_{0};
+
+  // Accepted work whose completion has not fired yet. Completions touch
+  // this object and post into the server's loop, so Stop() drains to zero
+  // before returning — otherwise a late engine completion would re-enter a
+  // destroyed agent.
+  std::atomic<int64_t> outstanding_{0};
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+
+  // Cancel currency: invocation id → handle, while in flight. An id whose
+  // completion outran Submit's return parks in completed_early_ so the
+  // submit side skips the (now pointless) handle insert.
+  std::mutex inflight_mu_;
+  std::map<uint64_t, InvocationHandle> inflight_handles_;
+  std::set<uint64_t> completed_early_;
+
+  // Recently-served compositions, most recent last (gossip residency).
+  std::mutex resident_mu_;
+  std::deque<std::string> resident_;
+};
+
+}  // namespace dandelion
+
+#endif  // SRC_RUNTIME_NODE_AGENT_H_

@@ -1,0 +1,184 @@
+// Standalone Dandelion engine-node daemon (ROADMAP "Distributed data
+// plane"): one Platform wrapped in a NodeAgent serving the dnet wire on a
+// loopback TCP port. A parent process (the cluster tests, the macro replay
+// bench, or a CI lane) spawns N of these, reads the "LISTENING <port>"
+// handshake line from stdout, and points a Cluster router at the ports.
+// SIGTERM/SIGINT shut the node down cleanly.
+//
+// Flags (--key=value):
+//   --name=<node name>       gossip/logging identity            [node]
+//   --port=<port>            listen port, 0 = ephemeral         [0]
+//   --workers=<n>            worker cores                       [4]
+//   --control-plane=<0|1>    enable the elasticity control loop [0]
+//   --interactive-cap=<n>    admission cap, 0 = uncapped        [256]
+//   --batch-cap=<n>          admission cap, 0 = uncapped        [256]
+//   --backend=thread|process isolation backend                  [thread]
+//   --dsl=<text>             extra composition DSL (repeatable)
+//
+// Out of the box the node registers the builtin compute functions (echo,
+// matmul, array_stats, fail, spin), a "work" body that burns the decimal
+// microsecond count carried in its input payload (the macro bench's unit of
+// offered load), and the Id / Work / Fail compositions the cluster tests
+// and the replay bench invoke — so a freshly spawned node can serve traffic
+// with no further provisioning round-trip.
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <semaphore.h>
+#include <string>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/base/status.h"
+#include "src/func/builtins.h"
+#include "src/runtime/node_agent.h"
+#include "src/runtime/platform.h"
+
+namespace {
+
+sem_t g_shutdown;
+
+void HandleSignal(int) { sem_post(&g_shutdown); }
+
+// Burns CPU for the decimal microsecond count in the first "in" item
+// (default 100us when absent/garbled), then echoes the inputs — the
+// replay bench's knob for modelling per-invocation service time. Spins in
+// slices so cancel/preemption stays responsive.
+dbase::Status WorkFunction(dfunc::FunctionCtx& ctx) {
+  dbase::Micros burn = 100;
+  if (auto in = ctx.SingleInput("in"); in.ok()) {
+    dbase::Micros parsed = 0;
+    size_t digits = 0;
+    for (char c : *in) {
+      if (c < '0' || c > '9') break;
+      parsed = parsed * 10 + (c - '0');
+      if (++digits >= 9) break;
+    }
+    if (digits > 0) burn = parsed;
+  }
+  constexpr dbase::Micros kSliceUs = 500;
+  while (burn > 0) {
+    if (ctx.cancelled()) return dbase::Cancelled("work cancelled");
+    const dbase::Micros slice = burn < kSliceUs ? burn : kSliceUs;
+    dbase::SpinFor(slice);
+    burn -= slice;
+  }
+  for (const auto& set : ctx.inputs()) {
+    for (const auto& item : set.items) {
+      ctx.EmitOutput("out", item.data, item.key);
+    }
+  }
+  return dbase::OkStatus();
+}
+
+struct Flags {
+  std::string name = "node";
+  uint16_t port = 0;
+  int workers = 4;
+  bool control_plane = false;
+  size_t interactive_cap = 256;
+  size_t batch_cap = 256;
+  std::string backend = "thread";
+  std::vector<std::string> dsl;
+};
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+    const std::string key = arg.substr(2, eq - 2);
+    const std::string value = arg.substr(eq + 1);
+    if (key == "name") {
+      flags->name = value;
+    } else if (key == "port") {
+      flags->port = static_cast<uint16_t>(std::atoi(value.c_str()));
+    } else if (key == "workers") {
+      flags->workers = std::atoi(value.c_str());
+    } else if (key == "control-plane") {
+      flags->control_plane = value == "1" || value == "true";
+    } else if (key == "interactive-cap") {
+      flags->interactive_cap = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (key == "batch-cap") {
+      flags->batch_cap = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (key == "backend") {
+      flags->backend = value;
+    } else if (key == "dsl") {
+      flags->dsl.push_back(value);
+    } else {
+      std::fprintf(stderr, "unknown flag: --%s\n", key.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+constexpr const char* kDefaultCompositions[] = {
+    "composition Id(in) => out { echo(in = all in) => (out = out); }",
+    "composition Work(in) => out { work(in = all in) => (out = out); }",
+    "composition Fail(in) => out { fail(in = all in) => (out = out); }",
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) return 2;
+
+  sem_init(&g_shutdown, 0, 0);
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+  // A router tearing down mid-write must not kill the node.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  dandelion::PlatformConfig config;
+  config.num_workers = flags.workers;
+  config.enable_control_plane = flags.control_plane;
+  config.sleep_for_modeled_latency = false;
+  if (flags.backend == "process") {
+    config.backend = dandelion::IsolationBackend::kProcess;
+  }
+  dandelion::Platform platform(config);
+
+  auto must = [](const dbase::Status& status) {
+    if (!status.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n", status.ToString().c_str());
+      std::exit(1);
+    }
+  };
+  must(platform.RegisterFunction({.name = "echo", .body = dfunc::EchoFunction}));
+  must(platform.RegisterFunction({.name = "matmul", .body = dfunc::MatMulFunction}));
+  must(platform.RegisterFunction({.name = "array_stats", .body = dfunc::ArrayStatsFunction}));
+  must(platform.RegisterFunction({.name = "fail", .body = dfunc::FailingFunction}));
+  must(platform.RegisterFunction({.name = "work", .body = WorkFunction}));
+  for (const char* dsl : kDefaultCompositions) {
+    must(platform.RegisterCompositionDsl(dsl));
+  }
+  for (const std::string& dsl : flags.dsl) {
+    must(platform.RegisterCompositionDsl(dsl));
+  }
+
+  dandelion::NodeAgentConfig agent_config;
+  agent_config.node_name = flags.name;
+  agent_config.port = flags.port;
+  agent_config.max_inflight_interactive = flags.interactive_cap;
+  agent_config.max_inflight_batch = flags.batch_cap;
+  dandelion::NodeAgent agent(&platform, agent_config);
+  must(agent.Start());
+
+  // The handshake line the spawning parent blocks on; fflush because the
+  // pipe to the parent is block-buffered.
+  std::printf("LISTENING %u\n", static_cast<unsigned>(agent.port()));
+  std::fflush(stdout);
+
+  while (sem_wait(&g_shutdown) != 0 && errno == EINTR) {
+  }
+
+  agent.Stop();
+  platform.Shutdown();
+  return 0;
+}

@@ -75,7 +75,7 @@ TEST(ClusterTest, RoundRobinSpreadsEvenly) {
 
   for (int i = 0; i < 9; ++i) {
     auto routed = cluster.Invoke("Id", EchoArgs("x" + std::to_string(i)));
-    ASSERT_TRUE(routed.result.ok()) << routed.result.status().ToString();
+    ASSERT_TRUE(routed.ok()) << routed.status().ToString();
     EXPECT_EQ(routed.node_index, i % 3);
   }
   const auto counts = cluster.InvocationsPerNode();
@@ -89,8 +89,8 @@ TEST(ClusterTest, ResultsCorrectRegardlessOfNode) {
   for (int i = 0; i < 12; ++i) {
     const std::string payload = "payload-" + std::to_string(i);
     auto routed = cluster.Invoke("Id", EchoArgs(payload));
-    ASSERT_TRUE(routed.result.ok());
-    EXPECT_EQ((*routed.result)[0].items[0].data, payload);
+    ASSERT_TRUE(routed.ok());
+    EXPECT_EQ(routed.sets()[0].items[0].data, payload);
   }
 }
 
@@ -122,7 +122,7 @@ TEST(ClusterTest, LeastLoadedAvoidsBusyNode) {
                       });
   // While node 0 is busy, least-loaded must route elsewhere.
   auto routed = cluster.Invoke("Id", EchoArgs("quick"));
-  ASSERT_TRUE(routed.result.ok());
+  ASSERT_TRUE(routed.ok());
   EXPECT_EQ(routed.node_index, 1);
   ASSERT_TRUE(slow_done.WaitFor(5 * dbase::kMicrosPerSecond));
 }
@@ -142,7 +142,7 @@ TEST(ClusterTest, ForEachNodeConfiguresServices) {
 TEST(ClusterTest, UnknownCompositionFailsButReportsNode) {
   Cluster cluster(SmallClusterConfig(2, LoadBalancePolicy::kRoundRobin));
   auto routed = cluster.Invoke("Ghost", {});
-  EXPECT_FALSE(routed.result.ok());
+  EXPECT_FALSE(routed.ok());
   EXPECT_GE(routed.node_index, 0);
 }
 
@@ -151,7 +151,7 @@ TEST(ClusterTest, SingleNodeClusterWorks) {
   ASSERT_TRUE(cluster.RegisterFunction({.name = "echo", .body = dfunc::EchoFunction}).ok());
   ASSERT_TRUE(cluster.RegisterCompositionDsl(kIdDsl).ok());
   auto routed = cluster.Invoke("Id", EchoArgs("solo"));
-  ASSERT_TRUE(routed.result.ok());
+  ASSERT_TRUE(routed.ok());
   EXPECT_EQ(routed.node_index, 0);
 }
 
@@ -166,9 +166,9 @@ TEST(ClusterTest, RoutedRequestCarriesDeadlineAndClass) {
   request.priority = PriorityClass::kBatch;
   request.deadline_us = InvocationRequest::DeadlineIn(5 * dbase::kMicrosPerSecond);
   auto routed = cluster.Invoke(std::move(request));
-  ASSERT_TRUE(routed.result.ok()) << routed.result.status().ToString();
+  ASSERT_TRUE(routed.ok()) << routed.status().ToString();
   ASSERT_GE(routed.node_index, 0);
-  EXPECT_EQ((*routed.result)[0].items[0].data, "routed");
+  EXPECT_EQ(routed.sets()[0].items[0].data, "routed");
 
   // The serving node's dispatcher saw the request's class.
   uint64_t started = 0;
@@ -184,8 +184,8 @@ TEST(ClusterTest, RoutedRequestCarriesDeadlineAndClass) {
   late.args = EchoArgs("late");
   late.deadline_us = 1;  // Monotonic epoch: long past.
   auto expired = cluster.Invoke(std::move(late));
-  ASSERT_FALSE(expired.result.ok());
-  EXPECT_EQ(expired.result.status().code(), dbase::StatusCode::kDeadlineExceeded);
+  ASSERT_FALSE(expired.ok());
+  EXPECT_EQ(expired.status().code(), dbase::StatusCode::kDeadlineExceeded);
 }
 
 TEST(ClusterTest, ConcurrentInvocationsAcrossNodes) {
@@ -213,6 +213,53 @@ TEST(ClusterTest, ConcurrentInvocationsAcrossNodes) {
   for (uint64_t count : counts) {
     EXPECT_EQ(count, static_cast<uint64_t>(kTotal / 3));
   }
+}
+
+TEST(ClusterTest, LocalitySticksToTheWarmNodeAndFallsBackForColdOnes) {
+  Cluster cluster(SmallClusterConfig(2, LoadBalancePolicy::kLocality));
+  ASSERT_TRUE(cluster.RegisterFunction({.name = "echo", .body = dfunc::EchoFunction}).ok());
+  ASSERT_TRUE(cluster
+                  .RegisterFunction({.name = "slow",
+                                     .body =
+                                         [](dfunc::FunctionCtx& ctx) {
+                                           dbase::SpinFor(80 * dbase::kMicrosPerMilli);
+                                           return dfunc::EchoFunction(ctx);
+                                         }})
+                  .ok());
+  ASSERT_TRUE(cluster.RegisterCompositionDsl(kIdDsl).ok());
+  ASSERT_TRUE(cluster
+                  .RegisterCompositionDsl(
+                      "composition Sticky(in) => out { slow(in = all in) => (out = out); }")
+                  .ok());
+
+  // A composition never seen before has no affinity: the first invoke pays
+  // the least-loaded scan (all idle → node 0) and warms that node.
+  auto routed = cluster.Invoke("Sticky", EchoArgs("warm"));
+  ASSERT_TRUE(routed.ok());
+  EXPECT_EQ(routed.node_index, 0);
+
+  // Park an in-flight Sticky on the warm node.
+  dbase::Latch parked(1);
+  cluster.InvokeAsync("Sticky", EchoArgs("occupy"),
+                      [&](dbase::Result<DataSetList> result, int node) {
+                        EXPECT_TRUE(result.ok());
+                        EXPECT_EQ(node, 0);
+                        parked.CountDown();
+                      });
+
+  // A cold composition still load-balances: node 0 is busier, so Id's
+  // first invoke lands on node 1 (and warms it for Id).
+  routed = cluster.Invoke("Id", EchoArgs("cold"));
+  ASSERT_TRUE(routed.ok());
+  EXPECT_EQ(routed.node_index, 1);
+
+  // Sticky keeps going to its warm node even though node 1 is idle —
+  // exactly the trade locality makes against pure least-loaded.
+  routed = cluster.Invoke("Sticky", EchoArgs("again"));
+  ASSERT_TRUE(routed.ok());
+  EXPECT_EQ(routed.node_index, 0);
+
+  ASSERT_TRUE(parked.WaitFor(5 * dbase::kMicrosPerSecond));
 }
 
 }  // namespace

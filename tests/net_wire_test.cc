@@ -1,0 +1,237 @@
+// Unit tests for the dnet wire format: header encode/decode with every
+// rejection path, invoke/outcome/status/join/mesh body round trips, the
+// zero-copy aliasing contract of DecodeInvoke, and checked (never clamping)
+// parsing of truncated or corrupt bodies.
+#include "src/net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/base/buffer.h"
+#include "src/func/data.h"
+
+namespace dnet {
+namespace {
+
+using dfunc::DataItem;
+using dfunc::DataSet;
+using dfunc::DataSetList;
+
+std::string Concat(const std::vector<dbase::BufferSlice>& chunks) {
+  std::string out;
+  for (const auto& chunk : chunks) {
+    out.append(chunk.view());
+  }
+  return out;
+}
+
+dbase::BufferSlice SliceOf(std::string bytes) {
+  return dbase::BufferSlice(dbase::Buffer::FromString(std::move(bytes)));
+}
+
+TEST(WireHeaderTest, RoundTrip) {
+  FrameHeader header;
+  header.type = FrameType::kInvoke;
+  header.flags = kFlagShed;
+  header.body_len = 12345;
+  header.request_id = 0xABCDEF0123456789ull;
+  const std::string bytes = EncodeFrameHeader(header);
+  ASSERT_EQ(bytes.size(), kFrameHeaderBytes);
+
+  auto decoded = DecodeFrameHeader(bytes, FrameLimits{});
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->version, kWireVersion);
+  EXPECT_EQ(decoded->type, FrameType::kInvoke);
+  EXPECT_EQ(decoded->flags, kFlagShed);
+  EXPECT_EQ(decoded->body_len, 12345u);
+  EXPECT_EQ(decoded->request_id, 0xABCDEF0123456789ull);
+}
+
+TEST(WireHeaderTest, RejectsShortBuffer) {
+  const std::string bytes = EncodeFrameHeader(FrameHeader{});
+  auto decoded = DecodeFrameHeader(std::string_view(bytes).substr(0, 10), FrameLimits{});
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(WireHeaderTest, RejectsBadMagic) {
+  std::string bytes = EncodeFrameHeader(FrameHeader{});
+  bytes[0] ^= 0xFF;
+  EXPECT_FALSE(DecodeFrameHeader(bytes, FrameLimits{}).ok());
+}
+
+TEST(WireHeaderTest, RejectsUnknownVersion) {
+  std::string bytes = EncodeFrameHeader(FrameHeader{});
+  bytes[4] = 99;
+  EXPECT_FALSE(DecodeFrameHeader(bytes, FrameLimits{}).ok());
+}
+
+TEST(WireHeaderTest, RejectsUnknownType) {
+  std::string bytes = EncodeFrameHeader(FrameHeader{});
+  bytes[5] = 77;  // No FrameType has this value.
+  EXPECT_FALSE(DecodeFrameHeader(bytes, FrameLimits{}).ok());
+}
+
+TEST(WireHeaderTest, RejectsNonZeroReserved) {
+  std::string bytes = EncodeFrameHeader(FrameHeader{});
+  bytes[13] = 1;  // Reserved word must be zero.
+  EXPECT_FALSE(DecodeFrameHeader(bytes, FrameLimits{}).ok());
+}
+
+TEST(WireHeaderTest, RejectsOversizedBody) {
+  FrameLimits limits;
+  limits.max_body_bytes = 1024;
+  FrameHeader header;
+  header.type = FrameType::kInvoke;
+  header.body_len = 1025;
+  EXPECT_FALSE(DecodeFrameHeader(EncodeFrameHeader(header), limits).ok());
+  header.body_len = 1024;
+  EXPECT_TRUE(DecodeFrameHeader(EncodeFrameHeader(header), limits).ok());
+}
+
+TEST(WireInvokeTest, RoundTrip) {
+  WireInvoke invoke;
+  invoke.composition = "MatMulChain";
+  invoke.remaining_deadline_us = 2'500'000;
+  invoke.priority = 1;
+  invoke.invocation_id = 42;
+  invoke.args.push_back(
+      DataSet{"in", {DataItem{"k0", "payload zero"}, DataItem{"k1", "payload one"}}});
+  invoke.args.push_back(DataSet{"cfg", {DataItem{"", std::string(100, 'x')}}});
+
+  auto body = SliceOf(Concat(EncodeInvoke(invoke)));
+  auto decoded = DecodeInvoke(body);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->composition, "MatMulChain");
+  EXPECT_EQ(decoded->remaining_deadline_us, 2'500'000);
+  EXPECT_EQ(decoded->priority, 1);
+  EXPECT_EQ(decoded->invocation_id, 42u);
+  ASSERT_EQ(decoded->args.size(), 2u);
+  EXPECT_EQ(decoded->args[0].name, "in");
+  ASSERT_EQ(decoded->args[0].items.size(), 2u);
+  EXPECT_EQ(decoded->args[0].items[0].key, "k0");
+  EXPECT_EQ(decoded->args[0].items[0].data.ToString(), "payload zero");
+  EXPECT_EQ(decoded->args[1].items[0].data.ToString(), std::string(100, 'x'));
+}
+
+TEST(WireInvokeTest, DecodedPayloadsAliasTheBody) {
+  WireInvoke invoke;
+  invoke.composition = "Id";
+  invoke.args.push_back(DataSet{"in", {DataItem{"", std::string(64 * 1024, 'z')}}});
+
+  auto body = SliceOf(Concat(EncodeInvoke(invoke)));
+  const auto before = dfunc::DataPlaneStats::Get().snapshot();
+  auto decoded = DecodeInvoke(body);
+  const auto after = dfunc::DataPlaneStats::Get().snapshot();
+  ASSERT_TRUE(decoded.ok());
+  // The unmarshal under DecodeInvoke aliases the receive buffer: payload
+  // bytes move by reference, none are memcpy'd.
+  EXPECT_EQ(after.bytes_copied, before.bytes_copied);
+  EXPECT_GE(after.bytes_aliased, before.bytes_aliased + 64 * 1024);
+}
+
+TEST(WireInvokeTest, RejectsTruncatedBody) {
+  WireInvoke invoke;
+  invoke.composition = "Id";
+  invoke.args.push_back(DataSet{"in", {DataItem{"", "hello"}}});
+  std::string bytes = Concat(EncodeInvoke(invoke));
+  for (size_t cut : {size_t{0}, size_t{1}, bytes.size() / 2, bytes.size() - 1}) {
+    auto truncated = DecodeInvoke(SliceOf(bytes.substr(0, cut)));
+    EXPECT_FALSE(truncated.ok()) << "cut=" << cut;
+    if (!truncated.ok()) {
+      EXPECT_EQ(truncated.status().code(), dbase::StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(WireOutcomeTest, OkRoundTripCarriesSets) {
+  WireOutcome outcome;
+  outcome.sets.push_back(DataSet{"out", {DataItem{"r", "result bytes"}}});
+  auto body = SliceOf(Concat(EncodeOutcome(outcome)));
+  auto decoded = DecodeOutcome(body);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->code, dbase::StatusCode::kOk);
+  ASSERT_EQ(decoded->sets.size(), 1u);
+  EXPECT_EQ(decoded->sets[0].items[0].data.ToString(), "result bytes");
+}
+
+TEST(WireOutcomeTest, ErrorRoundTripCarriesTaxonomy) {
+  WireOutcome outcome;
+  outcome.code = dbase::StatusCode::kInternal;
+  outcome.message = "sandbox crashed";
+  outcome.failure_kind = 1;  // dpolicy::FailureKind::kCrash.
+  outcome.retries_attempted = 2;
+  auto decoded = DecodeOutcome(SliceOf(Concat(EncodeOutcome(outcome))));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->code, dbase::StatusCode::kInternal);
+  EXPECT_EQ(decoded->message, "sandbox crashed");
+  EXPECT_EQ(decoded->failure_kind, 1);
+  EXPECT_EQ(decoded->retries_attempted, 2u);
+}
+
+TEST(WireOutcomeTest, RejectsCorruptBody) {
+  WireOutcome outcome;
+  outcome.sets.push_back(DataSet{"out", {DataItem{"", "x"}}});
+  std::string bytes = Concat(EncodeOutcome(outcome));
+  std::string corrupt = bytes;
+  corrupt.resize(corrupt.size() / 2);
+  EXPECT_FALSE(DecodeOutcome(SliceOf(corrupt)).ok());
+}
+
+TEST(WireStatusTest, RoundTrip) {
+  WireNodeStatus status;
+  status.node_name = "engine-3";
+  status.signals.compute_workers = 6;
+  status.signals.comm_workers = 2;
+  status.signals.compute_backlog = 17;
+  status.signals.inflight_interactive = 4;
+  status.signals.admission_shed = 9;
+  status.signals.warm_pool_shelved = 3;
+  status.resident_compositions = {"Id", "MatMulChain"};
+  status.inflight = 5;
+  status.admission_cap = 256;
+
+  auto decoded = DecodeNodeStatus(SliceOf(EncodeNodeStatus(status)));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->node_name, "engine-3");
+  EXPECT_EQ(decoded->signals.compute_workers, 6);
+  EXPECT_EQ(decoded->signals.comm_workers, 2);
+  EXPECT_EQ(decoded->signals.compute_backlog, 17u);
+  EXPECT_EQ(decoded->signals.inflight_interactive, 4u);
+  EXPECT_EQ(decoded->signals.admission_shed, 9u);
+  EXPECT_EQ(decoded->signals.warm_pool_shelved, 3u);
+  EXPECT_EQ(decoded->resident_compositions,
+            (std::vector<std::string>{"Id", "MatMulChain"}));
+  EXPECT_EQ(decoded->inflight, 5u);
+  EXPECT_EQ(decoded->admission_cap, 256u);
+}
+
+TEST(WireStatusTest, RejectsTruncation) {
+  WireNodeStatus status;
+  status.node_name = "n";
+  status.resident_compositions = {"Id"};
+  std::string bytes = EncodeNodeStatus(status);
+  for (size_t cut = 0; cut < bytes.size(); cut += 3) {
+    EXPECT_FALSE(DecodeNodeStatus(SliceOf(bytes.substr(0, cut))).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(WireJoinTest, RoundTrip) {
+  auto decoded = DecodeJoin(SliceOf(EncodeJoin(WireJoin{"router-a"})));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->node_name, "router-a");
+}
+
+TEST(WireMeshTest, RoundTrip) {
+  WireMeshReply reply;
+  reply.latency_us = 777;
+  reply.response = "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok";
+  auto decoded = DecodeMeshReply(SliceOf(EncodeMeshReply(reply)));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->latency_us, 777);
+  EXPECT_EQ(decoded->response, reply.response);
+}
+
+}  // namespace
+}  // namespace dnet
